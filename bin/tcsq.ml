@@ -1,0 +1,453 @@
+(* tcsq: command-line front end for temporal-clique subgraph querying.
+
+   Subcommands:
+     datasets   list the built-in synthetic datasets
+     generate   write a dataset (or custom random graph) as CSV
+     stats      describe a graph
+     query      evaluate one temporal-clique query
+     explain    show the TSRJoin plan for a query
+     compare    run one query under all four methods
+
+   Examples:
+     tcsq generate --dataset yellow --scale 0.1 -o yellow.csv
+     tcsq stats yellow.csv
+     tcsq query yellow.csv --pattern 3-star --labels a,b,c --window 0:10000
+     tcsq compare --dataset bike --pattern triangle --labels a,b,c \
+         --window-frac 0.1 *)
+
+open Cmdliner
+
+(* ---------- shared arguments and loaders ---------- *)
+
+let dataset_arg =
+  let doc = "Built-in dataset name (yellow, green, bike, divvy, stack, caida)." in
+  Arg.(value & opt (some string) None & info [ "dataset" ] ~docv:"NAME" ~doc)
+
+let scale_arg =
+  let doc = "Edge-count scale factor for built-in datasets." in
+  Arg.(value & opt float 1.0 & info [ "scale" ] ~docv:"S" ~doc)
+
+let graph_file_arg =
+  let doc =
+    "Graph file: CSV (src,dst,label,ts,te per line) or the binary format \
+     (.bin extension)."
+  in
+  Arg.(value & pos 0 (some file) None & info [] ~docv:"GRAPH" ~doc)
+
+let load_graph file dataset scale =
+  match (file, dataset) with
+  | Some path, None ->
+      if Filename.check_suffix path ".bin" then Ok (Tgraph.Binary_io.load path)
+      else Ok (Tgraph.Io.load path)
+  | None, Some name -> (
+      match Tgraph.Dataset.of_string name with
+      | Some ds -> Ok (Tgraph.Dataset.graph ~scale ds)
+      | None -> Error (Printf.sprintf "unknown dataset %S" name))
+  | Some _, Some _ -> Error "give either a graph file or --dataset, not both"
+  | None, None -> Error "need a graph file or --dataset"
+
+let pattern_arg =
+  let doc = "Query pattern: 3-star, 4-chain, triangle, 4-circle, tshape4, ..." in
+  Arg.(value & opt string "3-star" & info [ "pattern"; "p" ] ~docv:"SHAPE" ~doc)
+
+let labels_arg =
+  let doc =
+    "Comma-separated edge labels, one per pattern edge ('*' = any label)."
+  in
+  Arg.(value & opt (some string) None & info [ "labels"; "l" ] ~docv:"L1,L2,..." ~doc)
+
+let window_arg =
+  let doc = "Query window as START:END (inclusive)." in
+  Arg.(value & opt (some string) None & info [ "window"; "w" ] ~docv:"WS:WE" ~doc)
+
+let window_frac_arg =
+  let doc = "Query window as a fraction of the time domain (centered)." in
+  Arg.(value & opt (some float) None & info [ "window-frac" ] ~docv:"F" ~doc)
+
+let method_arg =
+  let doc = "Processing method: tsrjoin, binary, hybrid, time." in
+  Arg.(value & opt string "tsrjoin" & info [ "method"; "m" ] ~docv:"METHOD" ~doc)
+
+let limit_arg =
+  let doc = "Stop after printing this many matches." in
+  Arg.(value & opt int 20 & info [ "limit"; "n" ] ~docv:"N" ~doc)
+
+let parse_window g window window_frac =
+  match (window, window_frac) with
+  | Some s, None -> (
+      match String.split_on_char ':' s with
+      | [ a; b ] -> (
+          match (int_of_string_opt a, int_of_string_opt b) with
+          | Some ws, Some we when ws <= we -> Ok (Temporal.Interval.make ws we)
+          | _ -> Error (Printf.sprintf "bad window %S" s))
+      | _ -> Error (Printf.sprintf "bad window %S (want WS:WE)" s))
+  | None, Some frac ->
+      if frac <= 0.0 || frac > 1.0 then Error "window fraction must be in (0,1]"
+      else Ok (Tgraph.Graph.window_of_fraction g ~frac ~at:0.5)
+  | None, None -> Ok (Tgraph.Graph.time_domain g)
+  | Some _, Some _ -> Error "give --window or --window-frac, not both"
+
+let match_arg =
+  let doc =
+    "Textual query, e.g. 'MATCH (x)-[a]->(y)-[b]->(z) IN [0, 100]'. \
+     Overrides --pattern/--labels/--window."
+  in
+  Arg.(value & opt (some string) None & info [ "match" ] ~docv:"QUERY" ~doc)
+
+let parse_query g pattern labels window window_frac =
+  let ( let* ) = Result.bind in
+  let* shape =
+    match Semantics.Pattern.of_string pattern with
+    | Some s -> Ok s
+    | None -> Error (Printf.sprintf "unknown pattern %S" pattern)
+  in
+  let k = Semantics.Pattern.n_edges shape in
+  let* label_ids =
+    match labels with
+    | None ->
+        (* default: the first k labels of the graph *)
+        if Tgraph.Graph.n_labels g < k then
+          Error (Printf.sprintf "graph has fewer than %d labels; use --labels" k)
+        else Ok (Array.init k Fun.id)
+    | Some s ->
+        let names = String.split_on_char ',' (String.trim s) in
+        if List.length names <> k then
+          Error (Printf.sprintf "pattern %s needs %d labels, got %d" pattern k
+                   (List.length names))
+        else begin
+          let table = Tgraph.Graph.labels g in
+          let rec resolve acc = function
+            | [] -> Ok (Array.of_list (List.rev acc))
+            | n :: rest when String.trim n = "*" ->
+                resolve (Semantics.Query.any_label :: acc) rest
+            | n :: rest -> (
+                match Tgraph.Label.find table (String.trim n) with
+                | Some id -> resolve (id :: acc) rest
+                | None -> Error (Printf.sprintf "unknown label %S" n))
+          in
+          resolve [] names
+        end
+  in
+  let* window = parse_window g window window_frac in
+  Ok (Semantics.Pattern.instantiate shape ~labels:label_ids ~window)
+
+let lasting_arg =
+  let doc = "Only return matches whose lifespan lasts at least this long." in
+  Arg.(value & opt (some int) None & info [ "lasting" ] ~docv:"D" ~doc)
+
+let apply_lasting lasting q =
+  match lasting with
+  | Some d -> Semantics.Query.with_min_duration q d
+  | None -> q
+
+let parse_query_or_match g match_ pattern labels window window_frac =
+  match match_ with
+  | Some text ->
+      let default_window =
+        match parse_window g window window_frac with
+        | Ok w -> Some w
+        | Error _ -> None
+      in
+      Semantics.Qlang.parse_and_compile ?default_window g text
+  | None -> parse_query g pattern labels window window_frac
+
+let or_die = function
+  | Ok v -> v
+  | Error msg ->
+      Format.eprintf "tcsq: %s@." msg;
+      exit 2
+
+(* ---------- subcommands ---------- *)
+
+let datasets_cmd =
+  let run () =
+    Array.iter
+      (fun ds ->
+        let cfg = Tgraph.Dataset.config ds in
+        Format.printf "%-8s %7d edges  %s@." (Tgraph.Dataset.to_string ds)
+          cfg.Tgraph.Generator.n_edges (Tgraph.Dataset.describe ds))
+      Tgraph.Dataset.all
+  in
+  Cmd.v (Cmd.info "datasets" ~doc:"List the built-in synthetic datasets.")
+    Term.(const run $ const ())
+
+let generate_cmd =
+  let output =
+    Arg.(value & opt string "graph.csv" & info [ "o"; "output" ] ~docv:"FILE")
+  in
+  let run dataset scale output =
+    let g =
+      or_die
+        (match dataset with
+        | Some _ -> load_graph None dataset scale
+        | None -> Error "--dataset is required")
+    in
+    if Filename.check_suffix output ".bin" then Tgraph.Binary_io.save g output
+    else Tgraph.Io.save g output;
+    Format.printf "wrote %a to %s@." Tgraph.Graph.pp_summary g output
+  in
+  Cmd.v (Cmd.info "generate" ~doc:"Generate a synthetic dataset as CSV.")
+    Term.(const run $ dataset_arg $ scale_arg $ output)
+
+let stats_cmd =
+  let run file dataset scale =
+    let g = or_die (load_graph file dataset scale) in
+    Format.printf "%a@." Tgraph.Stats.pp (Tgraph.Stats.compute g)
+  in
+  Cmd.v (Cmd.info "stats" ~doc:"Describe a temporal graph.")
+    Term.(const run $ graph_file_arg $ dataset_arg $ scale_arg)
+
+let query_cmd =
+  let count_only =
+    Arg.(value & flag & info [ "count" ] ~doc:"Print only the match count.")
+  in
+  let format_arg =
+    Arg.(
+      value
+      & opt (enum [ ("plain", `Plain); ("json", `Json); ("csv", `Csv) ]) `Plain
+      & info [ "format" ] ~docv:"FMT" ~doc:"Output format: plain, json or csv.")
+  in
+  let run file dataset scale match_ pattern labels window window_frac lasting
+      method_ limit count_only format =
+    let g = or_die (load_graph file dataset scale) in
+    let q =
+      apply_lasting lasting
+        (or_die (parse_query_or_match g match_ pattern labels window window_frac))
+    in
+    let m =
+      or_die
+        (match Workload.Engine.method_of_string method_ with
+        | Some m -> Ok m
+        | None -> Error (Printf.sprintf "unknown method %S" method_))
+    in
+    let engine = Workload.Engine.prepare g in
+    let stats = Semantics.Run_stats.create () in
+    let shown = ref 0 in
+    let total = ref 0 in
+    let kept = ref [] in
+    let t0 = Unix.gettimeofday () in
+    Workload.Engine.run ~stats engine m q ~emit:(fun mtch ->
+        incr total;
+        if (not count_only) && !shown < limit then begin
+          incr shown;
+          match format with
+          | `Plain -> Format.printf "%a@." Semantics.Match_result.pp mtch
+          | `Json | `Csv -> kept := mtch :: !kept
+        end);
+    let dt = Unix.gettimeofday () -. t0 in
+    (match format with
+    | `Plain ->
+        if (not count_only) && !total > !shown then
+          Format.printf "... and %d more@." (!total - !shown);
+        Format.printf "%d matches in %.1f ms (%a)@." !total (dt *. 1000.0)
+          Semantics.Run_stats.pp stats
+    | `Json ->
+        print_endline (Semantics.Json_out.matches_to_json g (List.rev !kept))
+    | `Csv ->
+        print_endline Semantics.Json_out.csv_header;
+        List.iter
+          (fun mtch -> print_endline (Semantics.Json_out.match_to_csv mtch))
+          (List.rev !kept))
+  in
+  Cmd.v
+    (Cmd.info "query" ~doc:"Evaluate a temporal-clique subgraph query.")
+    Term.(
+      const run $ graph_file_arg $ dataset_arg $ scale_arg $ match_arg
+      $ pattern_arg $ labels_arg $ window_arg $ window_frac_arg $ lasting_arg
+      $ method_arg $ limit_arg $ count_only $ format_arg)
+
+let explain_cmd =
+  let analyze =
+    Arg.(
+      value & flag
+      & info [ "analyze" ]
+          ~doc:"Execute the plan and report per-step counters.")
+  in
+  let run file dataset scale match_ pattern labels window window_frac lasting
+      analyze =
+    let g = or_die (load_graph file dataset scale) in
+    let q =
+      apply_lasting lasting
+        (or_die (parse_query_or_match g match_ pattern labels window window_frac))
+    in
+    let tai = Tcsq_core.Tai.build g in
+    let plan = Tcsq_core.Plan.build tai q in
+    Format.printf "%a@.%a@." Semantics.Query.pp q Tcsq_core.Plan.pp plan;
+    if analyze then
+      Format.printf "%a@." Tcsq_core.Tsrjoin.pp_profile
+        (Tcsq_core.Tsrjoin.profile ~plan tai q)
+  in
+  Cmd.v (Cmd.info "explain" ~doc:"Show the TSRJoin plan for a query.")
+    Term.(
+      const run $ graph_file_arg $ dataset_arg $ scale_arg $ match_arg
+      $ pattern_arg $ labels_arg $ window_arg $ window_frac_arg $ lasting_arg
+      $ analyze)
+
+let compare_cmd =
+  let budget =
+    Arg.(
+      value
+      & opt int 5_000_000
+      & info [ "budget" ] ~docv:"TUPLES"
+          ~doc:"Per-method intermediate-tuple budget.")
+  in
+  let run file dataset scale match_ pattern labels window window_frac lasting
+      budget =
+    let g = or_die (load_graph file dataset scale) in
+    let q =
+      apply_lasting lasting
+        (or_die (parse_query_or_match g match_ pattern labels window window_frac))
+    in
+    let engine = Workload.Engine.prepare g in
+    Format.printf "%-8s %10s %10s %14s %12s@." "method" "matches" "ms"
+      "intermediate" "scanned";
+    Array.iter
+      (fun m ->
+        let stats =
+          Semantics.Run_stats.create
+            ~limits:
+              { Semantics.Run_stats.max_results = max_int;
+                max_intermediate = budget }
+            ()
+        in
+        let t0 = Unix.gettimeofday () in
+        let outcome =
+          match Workload.Engine.count ~stats engine m q with
+          | n -> string_of_int n
+          | exception Semantics.Run_stats.Limit_exceeded _ -> "budget!"
+        in
+        Format.printf "%-8s %10s %10.1f %14d %12d@."
+          (Workload.Engine.method_name m)
+          outcome
+          ((Unix.gettimeofday () -. t0) *. 1000.0)
+          stats.Semantics.Run_stats.intermediate
+          stats.Semantics.Run_stats.scanned)
+      Workload.Engine.all_methods
+  in
+  Cmd.v
+    (Cmd.info "compare" ~doc:"Run one query under all four methods.")
+    Term.(
+      const run $ graph_file_arg $ dataset_arg $ scale_arg $ match_arg
+      $ pattern_arg $ labels_arg $ window_arg $ window_frac_arg $ lasting_arg
+      $ budget)
+
+let topk_cmd =
+  let k_arg =
+    Arg.(value & opt int 10 & info [ "k" ] ~docv:"K" ~doc:"How many matches.")
+  in
+  let run file dataset scale match_ pattern labels window window_frac k =
+    let g = or_die (load_graph file dataset scale) in
+    let q = or_die (parse_query_or_match g match_ pattern labels window window_frac) in
+    let tai = Tcsq_core.Tai.build g in
+    let top = Tcsq_core.Durable.top_k tai q ~k in
+    List.iter
+      (fun m ->
+        Format.printf "%4d ticks  %a@."
+          (Tcsq_core.Durable.durability m)
+          Semantics.Match_result.pp m)
+      top;
+    Format.printf "(%d most durable matches)@." (List.length top)
+  in
+  Cmd.v
+    (Cmd.info "topk" ~doc:"The k most durable matches of a query.")
+    Term.(
+      const run $ graph_file_arg $ dataset_arg $ scale_arg $ match_arg
+      $ pattern_arg $ labels_arg $ window_arg $ window_frac_arg $ k_arg)
+
+let reach_cmd =
+  let src_arg =
+    Arg.(
+      required
+      & opt (some int) None
+      & info [ "from" ] ~docv:"VERTEX" ~doc:"Source vertex.")
+  in
+  let show_arg =
+    Arg.(value & opt int 10 & info [ "show" ] ~docv:"N"
+           ~doc:"Print journeys to the first N reachable vertices.")
+  in
+  let to_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "to" ] ~docv:"VERTEX"
+          ~doc:"Also report the fastest journey duration to this vertex.")
+  in
+  let run file dataset scale window window_frac src show to_ =
+    let g = or_die (load_graph file dataset scale) in
+    let window = or_die (parse_window g window window_frac) in
+    let r = Tpath.Reachability.earliest_arrival ~window g ~src in
+    Format.printf
+      "%d of %d vertices reachable from %d within %s (time-respecting)@."
+      (Tpath.Reachability.reachable_count r)
+      (Tgraph.Graph.n_vertices g) src
+      (Temporal.Interval.to_string window);
+    let shown = ref 0 in
+    let v = ref 0 in
+    while !shown < show && !v < Tgraph.Graph.n_vertices g do
+      (match Tpath.Reachability.journey_to r !v with
+      | Some j ->
+          incr shown;
+          Format.printf "  to %d: %a@." !v Tpath.Journey.pp j
+      | None -> ());
+      incr v
+    done;
+    match to_ with
+    | None -> ()
+    | Some dst -> (
+        match Tpath.Reachability.fastest_duration ~window g ~src ~dst with
+        | Some d -> Format.printf "fastest journey %d -> %d: %d ticks@." src dst d
+        | None -> Format.printf "no journey %d -> %d inside the window@." src dst)
+  in
+  Cmd.v
+    (Cmd.info "reach"
+       ~doc:
+         "Time-respecting reachability (earliest arrival) from a vertex — \
+          the contrast query class to temporal cliques.")
+    Term.(
+      const run $ graph_file_arg $ dataset_arg $ scale_arg $ window_arg
+      $ window_frac_arg $ src_arg $ show_arg $ to_arg)
+
+let suite_cmd =
+  let file_arg =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "queries" ] ~docv:"FILE"
+          ~doc:"Workload file: one query-language statement per line.")
+  in
+  let run file dataset scale queries_file method_ =
+    let g = or_die (load_graph file dataset scale) in
+    let m =
+      or_die
+        (match Workload.Engine.method_of_string method_ with
+        | Some m -> Ok m
+        | None -> Error (Printf.sprintf "unknown method %S" method_))
+    in
+    let queries =
+      or_die
+        (match Workload.Suite.load g queries_file with
+        | Ok qs -> Ok qs
+        | Error e -> Error e)
+    in
+    let engine = Workload.Engine.prepare g in
+    Format.printf "running %d queries with %s@." (List.length queries)
+      (Workload.Engine.method_name m);
+    let meas = Workload.Runner.run_method engine m queries in
+    Format.printf "%a@.%a@." Workload.Runner.pp_header ()
+      Workload.Runner.pp_measurement meas
+  in
+  Cmd.v
+    (Cmd.info "run-suite" ~doc:"Execute a saved workload file and report timings.")
+    Term.(
+      const run $ graph_file_arg $ dataset_arg $ scale_arg $ file_arg
+      $ method_arg)
+
+let main =
+  let doc = "temporal-clique subgraph query processing (TSRJoin)" in
+  Cmd.group (Cmd.info "tcsq" ~version:"1.0.0" ~doc)
+    [
+      datasets_cmd; generate_cmd; stats_cmd; query_cmd; explain_cmd;
+      compare_cmd; topk_cmd; reach_cmd; suite_cmd;
+    ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,31 @@
+open Semantics
+
+let durability m = Temporal.Interval.length m.Match_result.life
+
+(* Min-heap order on (durability, match): the heap root is the weakest
+   of the current top-k, evicted when a stronger match arrives. *)
+let cmp a b =
+  let c = Int.compare (durability a) (durability b) in
+  if c <> 0 then c else Match_result.compare b a
+
+let top_k ?stats ?config ?plan ?cost tai q ~k =
+  if k < 0 then invalid_arg "Durable.top_k: negative k";
+  if k = 0 then []
+  else begin
+    let heap = Temporal.Min_heap.create ~capacity:(k + 1) ~cmp () in
+    Tsrjoin.run ?stats ?config ?plan ?cost tai q ~emit:(fun m ->
+        if Temporal.Min_heap.length heap < k then Temporal.Min_heap.push heap m
+        else begin
+          match Temporal.Min_heap.peek heap with
+          | Some weakest when cmp m weakest > 0 ->
+              ignore (Temporal.Min_heap.pop_exn heap);
+              Temporal.Min_heap.push heap m
+          | Some _ | None -> ()
+        end);
+    let rec drain acc =
+      match Temporal.Min_heap.pop heap with
+      | Some m -> drain (m :: acc)
+      | None -> acc
+    in
+    drain [] (* popped weakest-first, so the result is strongest-first *)
+  end

@@ -1,0 +1,22 @@
+(** Top-k most durable temporal-clique matches.
+
+    The durability of a match is the length of its lifespan (Semertzidis
+    & Pitoura's "most durable patterns", recast over our labeled,
+    windowed queries). Evaluation streams TSRJoin matches through a
+    bounded min-heap, so memory is O(k) regardless of the result size. *)
+
+val top_k :
+  ?stats:Semantics.Run_stats.t ->
+  ?config:Tsrjoin.config ->
+  ?plan:Plan.t ->
+  ?cost:Plan.cost_model ->
+  Tai.t ->
+  Semantics.Query.t ->
+  k:int ->
+  Semantics.Match_result.t list
+(** The [k] matches with the longest lifespans, most durable first; ties
+    are broken deterministically (by {!Semantics.Match_result.compare}).
+    @raise Invalid_argument when [k < 0]. *)
+
+val durability : Semantics.Match_result.t -> int
+(** Lifespan length of a match. *)

@@ -1,0 +1,132 @@
+open Tgraph
+
+type trace_event =
+  | Scanned of int * Edge.t
+  | Window_filtered of int * Edge.t
+  | Expired of Edge.t list
+  | Enumerated of Edge.t array * Temporal.Interval.t
+  | Inserted of int * Edge.t
+  | Scanner_closed of int
+  | Sweep_aborted
+
+(* One active list per relation. Elements are span items (payload = edge
+   id); the edge is recovered through the TSR-independent table captured
+   at insertion, so we keep a parallel id -> edge map via closure-free
+   arrays: we simply store the edge in the span payload by keeping a
+   side table per relation. Simpler: store edges directly in a sorted
+   vector. *)
+module Active = struct
+  type t = Edge.t Temporal.Vec.t
+
+  let create () : t = Temporal.Vec.create ()
+
+  let cmp_end a b =
+    let c = Int.compare (Edge.te a) (Edge.te b) in
+    if c <> 0 then c else Edge.compare_by_start a b
+
+  let insert (a : t) e = Temporal.Vec.insert_sorted ~cmp:cmp_end a e
+
+  let expire (a : t) t ~tracing ~on_expired =
+    if tracing then begin
+      let removed = ref [] in
+      let n =
+        Temporal.Vec.remove_prefix
+          (fun e ->
+            if Edge.te e < t then begin
+              removed := e :: !removed;
+              true
+            end
+            else false)
+          a
+      in
+      if n > 0 then on_expired (List.rev !removed)
+    end
+    else ignore (Temporal.Vec.remove_prefix (fun e -> Edge.te e < t) a)
+
+  let iter = Temporal.Vec.iter
+  let length = Temporal.Vec.length
+end
+
+let run ?stats ?trace ~tsrs ~ws ~we ~emit () =
+  let tracing = Option.is_some trace in
+  let trace ev = match trace with Some f -> f ev | None -> () in
+  let k = Array.length tsrs in
+  if k = 0 then invalid_arg "Lfto.run: no relations";
+  if we < ws then invalid_arg "Lfto.run: empty valid window";
+  let tick_scanned () =
+    match stats with
+    | Some s -> Semantics.Run_stats.tick_scanned s
+    | None -> ()
+  in
+  let add_enum_steps n =
+    match stats with
+    | Some s -> Semantics.Run_stats.add_enum_steps s n
+    | None -> ()
+  in
+  (* Scanners: Scan_cur starts at the first edge; Scan_end just after the
+     last edge starting within the window. *)
+  let cur = Array.make k 0 in
+  let stop = Array.init k (fun i -> Tsr.upper_bound_start tsrs.(i) we) in
+  let active = Array.init k (fun _ -> Active.create ()) in
+  let members =
+    Array.make k (Edge.make ~id:0 ~src:0 ~dst:0 ~lbl:0 (Temporal.Interval.point 0))
+  in
+  (* Enumerate every combination of [e] (in slot [arrival]) with one
+     active edge per other relation, pruning by running intersection. *)
+  let enumerate arrival e =
+    members.(arrival) <- e;
+    let rec fill rel life =
+      if rel = k then begin
+        if tracing then trace (Enumerated (Array.copy members, life));
+        emit members life
+      end
+      else if rel = arrival then fill (rel + 1) life
+      else
+        Active.iter
+          (fun m ->
+            add_enum_steps 1;
+            members.(rel) <- m;
+            match Temporal.Interval.intersect life (Edge.ivl m) with
+            | Some life' -> fill (rel + 1) life'
+            | None -> ())
+          active.(rel)
+    in
+    fill 0 (Edge.ivl e)
+  in
+  let any_open () =
+    let rec go i = i < k && (cur.(i) < stop.(i) || go (i + 1)) in
+    go 0
+  in
+  let next_scanner () =
+    let best = ref (-1) in
+    for i = 0 to k - 1 do
+      if cur.(i) < stop.(i) then
+        if
+          !best < 0
+          || Edge.compare_by_start (Tsr.get tsrs.(i) cur.(i))
+               (Tsr.get tsrs.(!best) cur.(!best))
+             < 0
+        then best := i
+    done;
+    !best
+  in
+  while any_open () do
+    let i = next_scanner () in
+    let e = Tsr.get tsrs.(i) cur.(i) in
+    tick_scanned ();
+    trace (Scanned (i, e));
+    if Temporal.Interval.overlaps_window (Edge.ivl e) ~ws ~we then begin
+      Array.iter
+        (fun a ->
+          Active.expire a (Edge.ts e) ~tracing ~on_expired:(fun es ->
+              trace (Expired es)))
+        active;
+      enumerate i e;
+      Active.insert active.(i) e;
+      trace (Inserted (i, e))
+    end
+    else trace (Window_filtered (i, e));
+    cur.(i) <- cur.(i) + 1;
+    if cur.(i) >= stop.(i) then trace (Scanner_closed i)
+  done;
+  ignore (Active.length active.(0))

@@ -1,0 +1,39 @@
+(** Leapfrog temporal overlap (LFTO) — the paper's Algorithm 1.
+
+    A k-way plane-sweep interval join over bound r-TSRs: scans the
+    relations in merged start-time order, maintains one end-time-sorted
+    active list per relation, and, on each arrival overlapping the valid
+    window, enumerates every combination of the arrived edge with one
+    active edge per other relation. Each combination jointly overlaps at
+    the arrival time; its window overlap follows from per-edge window
+    overlap.
+
+    This literal implementation exists for ground truth, traces
+    (Table I) and ablation; production code uses {!Lfto_opt}. *)
+
+type trace_event =
+  | Scanned of int * Tgraph.Edge.t  (** relation index, edge *)
+  | Window_filtered of int * Tgraph.Edge.t
+      (** scanned but not overlapping the valid window *)
+  | Expired of Tgraph.Edge.t list  (** removed by delActive *)
+  | Enumerated of Tgraph.Edge.t array * Temporal.Interval.t
+  | Inserted of int * Tgraph.Edge.t
+  | Scanner_closed of int
+  | Sweep_aborted  (** delSkip cut the sweep short (optimized only) *)
+
+val run :
+  ?stats:Semantics.Run_stats.t ->
+  ?trace:(trace_event -> unit) ->
+  tsrs:Tsr.t array ->
+  ws:int ->
+  we:int ->
+  emit:(Tgraph.Edge.t array -> Temporal.Interval.t -> unit) ->
+  unit ->
+  unit
+(** [emit members lifespan] is called once per combination; [members.(i)]
+    comes from [tsrs.(i)], [lifespan] is the (non-empty) intersection of
+    the members' intervals. The members array is reused between calls.
+    [ws, we] is the valid window (the query window at the bottom
+    operator, the propagated lifespan clipped to the query window
+    above).
+    @raise Invalid_argument when [tsrs] is empty or [we < ws]. *)

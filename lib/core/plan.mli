@@ -1,0 +1,60 @@
+(** TSRJoin physical plans.
+
+    A plan is an ordered list of TSRJoin steps. Each step has a pivot
+    query variable; the step matches {e all} of the pivot's
+    still-unmatched adjacent query edges in one LFTO call. The first
+    step of each connected component produces pivot bindings by leapfrog
+    intersection of TAI key sets; later pivots are already bound by a
+    propagated partial match.
+
+    The default planner is the paper's cost-model sketch: the first
+    pivot minimizes the expected cardinality of its adjacent-edge star
+    (label frequencies, vertex count, and a per-label temporal overlap
+    probability); subsequent pivots greedily minimize the expected
+    extension factor. *)
+
+type step = {
+  pivot : int;
+  edges : Semantics.Query.edge array;  (** matched at this step *)
+  produce_binding : bool;  (** leapfrog binding production (component root) *)
+}
+
+type t
+
+val steps : t -> step array
+val query : t -> Semantics.Query.t
+
+type cost_model
+(** Per-graph statistics backing the planner (label frequencies, key-set
+    cardinalities, temporal overlap probabilities). Build it once per
+    TAI and reuse across queries — computing it scans the edge table. *)
+
+val cost_model : Tai.t -> cost_model
+
+val build : ?cost:cost_model -> Tai.t -> Semantics.Query.t -> t
+(** Cost-model planner; [cost] defaults to a freshly computed model. *)
+
+val build_adaptive :
+  ?cost:cost_model -> ?defer_ratio:float -> Tai.t -> Semantics.Query.t -> t
+(** The paper's §VII future-work direction: a hybrid plan that may match
+    only a {e subset} of a pivot's unmatched adjacent edges per step,
+    deferring edges whose expected TSR size exceeds [defer_ratio]
+    (default 8.0) times the step's most selective edge. Deferred edges
+    are matched by later steps, after the partial match's lifespan has
+    narrowed and other predicates have pruned — the fix for the
+    non-selective-chain weakness observed in Fig. 11. Falls back to
+    {!build}-like steps when nothing is worth deferring. *)
+
+val of_pivot_order : Semantics.Query.t -> int list -> t
+(** Plan with an explicit pivot preference order (for tests and
+    ablations). The list is consulted greedily: the next pivot is the
+    first listed variable that is usable (bound, or a fresh component
+    root) and has unmatched adjacent edges; remaining pivots are chosen
+    as in {!build} without cost information.
+    @raise Invalid_argument if the list omits needed variables. *)
+
+val validate : t -> (unit, string) result
+(** Checks plan invariants: every query edge matched exactly once, and
+    every non-root pivot bound by an earlier step. *)
+
+val pp : Format.formatter -> t -> unit

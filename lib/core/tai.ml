@@ -1,0 +1,487 @@
+open Tgraph
+module Grouping = Triejoin.Grouping
+module Slice = Triejoin.Slice
+
+type two_level = {
+  edges : Edge.t array;
+  by_label : Grouping.t;
+  level2 : Grouping.t array;
+  eci : Temporal.Coverage.t array array option; (* per label, per 2nd key *)
+}
+
+type three_level = {
+  edges : Edge.t array;
+  by_label : Grouping.t;
+  level2 : Grouping.t array;
+  level3 : Grouping.t array array;
+  eci : Temporal.Coverage.t array array array option;
+}
+
+type structure_only = {
+  s_by_label : Grouping.t;
+  s_level2 : Grouping.t array;
+  s_level3 : Grouping.t array array;
+}
+
+type t = {
+  graph : Graph.t;
+  ls : two_level;
+  ld : two_level;
+  lsd : three_level;
+  lds : structure_only;
+  all_sources : int array; (* wildcard binding-production key sets *)
+  all_destinations : int array;
+}
+
+let coverage_of_run edges off len =
+  let items =
+    Array.init len (fun i -> Edge.to_span edges.(off + i))
+  in
+  Temporal.Coverage.build items
+
+let build_two_level graph ~cmp ~key2 ~with_eci =
+  let edges = Array.copy (Graph.edges graph) in
+  Array.sort cmp edges;
+  let by_label =
+    Grouping.group edges ~off:0 ~len:(Array.length edges) ~key:Edge.lbl
+  in
+  let n = Grouping.n_groups by_label in
+  let level2 =
+    Array.init n (fun li ->
+        let off, len = Grouping.range by_label li in
+        Grouping.group edges ~off ~len ~key:key2)
+  in
+  let eci =
+    if not with_eci then None
+    else
+      Some
+        (Array.init n (fun li ->
+             Array.init (Grouping.n_groups level2.(li)) (fun si ->
+                 let off, len = Grouping.range level2.(li) si in
+                 coverage_of_run edges off len)))
+  in
+  { edges; by_label; level2; eci }
+
+let build_three_level graph ~with_eci =
+  let edges = Array.copy (Graph.edges graph) in
+  Array.sort Edge.compare_lsd edges;
+  let by_label =
+    Grouping.group edges ~off:0 ~len:(Array.length edges) ~key:Edge.lbl
+  in
+  let n = Grouping.n_groups by_label in
+  let level2 =
+    Array.init n (fun li ->
+        let off, len = Grouping.range by_label li in
+        Grouping.group edges ~off ~len ~key:Edge.src)
+  in
+  let level3 =
+    Array.init n (fun li ->
+        Array.init (Grouping.n_groups level2.(li)) (fun si ->
+            let off, len = Grouping.range level2.(li) si in
+            Grouping.group edges ~off ~len ~key:Edge.dst))
+  in
+  let eci =
+    if not with_eci then None
+    else
+      Some
+        (Array.init n (fun li ->
+             Array.init (Grouping.n_groups level2.(li)) (fun si ->
+                 let g3 = level3.(li).(si) in
+                 Array.init (Grouping.n_groups g3) (fun di ->
+                     let off, len = Grouping.range g3 di in
+                     coverage_of_run edges off len))))
+  in
+  { edges; by_label; level2; level3; eci }
+
+let build_structure_only graph =
+  let edges = Array.copy (Graph.edges graph) in
+  Array.sort Edge.compare_lds edges;
+  let s_by_label =
+    Grouping.group edges ~off:0 ~len:(Array.length edges) ~key:Edge.lbl
+  in
+  let n = Grouping.n_groups s_by_label in
+  let s_level2 =
+    Array.init n (fun li ->
+        let off, len = Grouping.range s_by_label li in
+        Grouping.group edges ~off ~len ~key:Edge.dst)
+  in
+  let s_level3 =
+    Array.init n (fun li ->
+        Array.init (Grouping.n_groups s_level2.(li)) (fun di ->
+            let off, len = Grouping.range s_level2.(li) di in
+            Grouping.group edges ~off ~len ~key:Edge.src))
+  in
+  (* The sorted edge copy is discarded: LDS keeps structure only. *)
+  { s_by_label; s_level2; s_level3 }
+
+let distinct_sorted of_edge graph =
+  let seen = Hashtbl.create 256 in
+  Graph.iter_edges (fun e -> Hashtbl.replace seen (of_edge e) ()) graph;
+  let keys = Array.of_seq (Hashtbl.to_seq_keys seen) in
+  Array.sort Int.compare keys;
+  keys
+
+let build ?(with_eci = true) graph =
+  {
+    graph;
+    ls = build_two_level graph ~cmp:Edge.compare_ls ~key2:Edge.src ~with_eci;
+    ld = build_two_level graph ~cmp:Edge.compare_ld ~key2:Edge.dst ~with_eci;
+    lsd = build_three_level graph ~with_eci;
+    lds = build_structure_only graph;
+    all_sources = distinct_sorted Edge.src graph;
+    all_destinations = distinct_sorted Edge.dst graph;
+  }
+
+(* ---- incremental maintenance ---- *)
+
+(* Merge the (start-sorted within trie order) old edge array with the
+   sorted delta, then regroup; coverages are recomputed only for groups
+   containing a delta edge, others are looked up in the old trie. *)
+let merge_sorted ~cmp old_edges delta =
+  let n = Array.length old_edges and d = Array.length delta in
+  let out = Array.make (n + d) (if n > 0 then old_edges.(0) else delta.(0)) in
+  let i = ref 0 and j = ref 0 in
+  for k = 0 to n + d - 1 do
+    if !i < n && (!j >= d || cmp old_edges.(!i) delta.(!j) <= 0) then begin
+      out.(k) <- old_edges.(!i);
+      incr i
+    end
+    else begin
+      out.(k) <- delta.(!j);
+      incr j
+    end
+  done;
+  out
+
+let merge_two_level (old_trie : two_level) graph delta ~cmp ~key2 ~touched2 =
+  let delta = Array.copy delta in
+  Array.sort cmp delta;
+  let edges =
+    if Array.length old_trie.edges = 0 && Array.length delta = 0 then [||]
+    else merge_sorted ~cmp old_trie.edges delta
+  in
+  ignore graph;
+  let by_label =
+    Grouping.group edges ~off:0 ~len:(Array.length edges) ~key:Edge.lbl
+  in
+  let n = Grouping.n_groups by_label in
+  let level2 =
+    Array.init n (fun li ->
+        let off, len = Grouping.range by_label li in
+        Grouping.group edges ~off ~len ~key:key2)
+  in
+  let eci =
+    match old_trie.eci with
+    | None -> None
+    | Some old_eci ->
+        Some
+          (Array.init n (fun li ->
+               let lbl = by_label.Grouping.keys.(li) in
+               Array.init (Grouping.n_groups level2.(li)) (fun ki ->
+                   let k2 = level2.(li).Grouping.keys.(ki) in
+                   let off, len = Grouping.range level2.(li) ki in
+                   if Hashtbl.mem touched2 (lbl, k2) then
+                     coverage_of_run edges off len
+                   else begin
+                     (* untouched group: identical edge run, reuse *)
+                     match Grouping.find old_trie.by_label lbl with
+                     | None -> coverage_of_run edges off len
+                     | Some old_li -> (
+                         match Grouping.find old_trie.level2.(old_li) k2 with
+                         | None -> coverage_of_run edges off len
+                         | Some old_ki -> old_eci.(old_li).(old_ki))
+                   end)))
+  in
+  { edges; by_label; level2; eci }
+
+let merge_three_level (old_trie : three_level) delta ~touched3 =
+  let delta = Array.copy delta in
+  Array.sort Edge.compare_lsd delta;
+  let edges =
+    if Array.length old_trie.edges = 0 && Array.length delta = 0 then [||]
+    else merge_sorted ~cmp:Edge.compare_lsd old_trie.edges delta
+  in
+  let by_label =
+    Grouping.group edges ~off:0 ~len:(Array.length edges) ~key:Edge.lbl
+  in
+  let n = Grouping.n_groups by_label in
+  let level2 =
+    Array.init n (fun li ->
+        let off, len = Grouping.range by_label li in
+        Grouping.group edges ~off ~len ~key:Edge.src)
+  in
+  let level3 =
+    Array.init n (fun li ->
+        Array.init (Grouping.n_groups level2.(li)) (fun si ->
+            let off, len = Grouping.range level2.(li) si in
+            Grouping.group edges ~off ~len ~key:Edge.dst))
+  in
+  let eci =
+    match old_trie.eci with
+    | None -> None
+    | Some old_eci ->
+        Some
+          (Array.init n (fun li ->
+               let lbl = by_label.Grouping.keys.(li) in
+               Array.init (Grouping.n_groups level2.(li)) (fun si ->
+                   let src = level2.(li).Grouping.keys.(si) in
+                   let g3 = level3.(li).(si) in
+                   Array.init (Grouping.n_groups g3) (fun di ->
+                       let dst = g3.Grouping.keys.(di) in
+                       let off, len = Grouping.range g3 di in
+                       if Hashtbl.mem touched3 (lbl, src, dst) then
+                         coverage_of_run edges off len
+                       else begin
+                         match Grouping.find old_trie.by_label lbl with
+                         | None -> coverage_of_run edges off len
+                         | Some oli -> (
+                             match Grouping.find old_trie.level2.(oli) src with
+                             | None -> coverage_of_run edges off len
+                             | Some osi -> (
+                                 match
+                                   Grouping.find old_trie.level3.(oli).(osi) dst
+                                 with
+                                 | None -> coverage_of_run edges off len
+                                 | Some odi -> old_eci.(oli).(osi).(odi)))
+                       end))))
+  in
+  { edges; by_label; level2; level3; eci }
+
+let merge tai graph' =
+  let old_n = Graph.n_edges tai.graph in
+  let new_n = Graph.n_edges graph' in
+  if new_n < old_n then
+    invalid_arg "Tai.merge: the new graph has fewer edges than the indexed one";
+  let same_edge a b =
+    Edge.src a = Edge.src b && Edge.dst a = Edge.dst b
+    && Edge.lbl a = Edge.lbl b
+    && Temporal.Interval.equal (Edge.ivl a) (Edge.ivl b)
+  in
+  for i = 0 to old_n - 1 do
+    if not (same_edge (Graph.edge graph' i) (Graph.edge tai.graph i)) then
+      invalid_arg "Tai.merge: the new graph does not extend the indexed one"
+  done;
+  if new_n = old_n then tai
+  else begin
+    let delta = Array.init (new_n - old_n) (fun i -> Graph.edge graph' (old_n + i)) in
+    let touched_ls = Hashtbl.create 64
+    and touched_ld = Hashtbl.create 64
+    and touched_lsd = Hashtbl.create 64 in
+    Array.iter
+      (fun e ->
+        Hashtbl.replace touched_ls (Edge.lbl e, Edge.src e) ();
+        Hashtbl.replace touched_ld (Edge.lbl e, Edge.dst e) ();
+        Hashtbl.replace touched_lsd (Edge.lbl e, Edge.src e, Edge.dst e) ())
+      delta;
+    {
+      graph = graph';
+      ls =
+        merge_two_level tai.ls graph' delta ~cmp:Edge.compare_ls ~key2:Edge.src
+          ~touched2:touched_ls;
+      ld =
+        merge_two_level tai.ld graph' delta ~cmp:Edge.compare_ld ~key2:Edge.dst
+          ~touched2:touched_ld;
+      lsd = merge_three_level tai.lsd delta ~touched3:touched_lsd;
+      lds = build_structure_only graph';
+      all_sources = distinct_sorted Edge.src graph';
+      all_destinations = distinct_sorted Edge.dst graph';
+    }
+  end
+
+let build_time ?with_eci graph =
+  let t0 = Unix.gettimeofday () in
+  let tai = build ?with_eci graph in
+  (tai, Unix.gettimeofday () -. t0)
+
+let graph t = t.graph
+let has_eci t = t.ls.eci <> None
+let all_sources t = t.all_sources
+let all_destinations t = t.all_destinations
+
+let second_keys (trie : two_level) ~lbl =
+  match Grouping.find trie.by_label lbl with
+  | None -> [||]
+  | Some li -> trie.level2.(li).Grouping.keys
+
+let sources t ~lbl = second_keys t.ls ~lbl
+let destinations t ~lbl = second_keys t.ld ~lbl
+
+let dsts_of_src t ~lbl ~src =
+  match Grouping.find t.lsd.by_label lbl with
+  | None -> [||]
+  | Some li -> (
+      match Grouping.find t.lsd.level2.(li) src with
+      | None -> [||]
+      | Some si -> t.lsd.level3.(li).(si).Grouping.keys)
+
+let srcs_of_dst t ~lbl ~dst =
+  match Grouping.find t.lds.s_by_label lbl with
+  | None -> [||]
+  | Some li -> (
+      match Grouping.find t.lds.s_level2.(li) dst with
+      | None -> [||]
+      | Some di -> t.lds.s_level3.(li).(di).Grouping.keys)
+
+let two_level_tsr (trie : two_level) ~lbl ~k2 =
+  match Grouping.find trie.by_label lbl with
+  | None -> Tsr.empty
+  | Some li -> (
+      match Grouping.find trie.level2.(li) k2 with
+      | None -> Tsr.empty
+      | Some ki ->
+          let off, len = Grouping.range trie.level2.(li) ki in
+          let coverage =
+            Option.map (fun eci -> eci.(li).(ki)) trie.eci
+          in
+          Tsr.make_unchecked ?coverage (Slice.make trie.edges ~off ~len))
+
+(* Wildcard retrieval: collect the endpoint's run under every label and
+   merge them by start time into a fresh (coverage-free) TSR. *)
+let two_level_tsr_any (trie : two_level) ~k2 =
+  let runs = ref [] in
+  let total = ref 0 in
+  Array.iteri
+    (fun li g2 ->
+      ignore li;
+      match Grouping.find g2 k2 with
+      | None -> ()
+      | Some ki ->
+          let off, len = Grouping.range g2 ki in
+          runs := (off, len) :: !runs;
+          total := !total + len)
+    trie.level2;
+  match !runs with
+  | [] -> Tsr.empty
+  | [ (off, len) ] -> Tsr.make_unchecked (Slice.make trie.edges ~off ~len)
+  | runs ->
+      let out = Array.make !total trie.edges.(fst (List.hd runs)) in
+      let pos = ref 0 in
+      List.iter
+        (fun (off, len) ->
+          Array.blit trie.edges off out !pos len;
+          pos := !pos + len)
+        runs;
+      Array.sort Edge.compare_by_start out;
+      Tsr.make_unchecked (Slice.full out)
+
+let tsr_out t ~lbl ~src =
+  if lbl = Semantics.Query.any_label then two_level_tsr_any t.ls ~k2:src
+  else two_level_tsr t.ls ~lbl ~k2:src
+
+let tsr_in t ~lbl ~dst =
+  if lbl = Semantics.Query.any_label then two_level_tsr_any t.ld ~k2:dst
+  else two_level_tsr t.ld ~lbl ~k2:dst
+
+let tsr_between_one t ~lbl ~src ~dst =
+  match Grouping.find t.lsd.by_label lbl with
+  | None -> Tsr.empty
+  | Some li -> (
+      match Grouping.find t.lsd.level2.(li) src with
+      | None -> Tsr.empty
+      | Some si -> (
+          let g3 = t.lsd.level3.(li).(si) in
+          match Grouping.find g3 dst with
+          | None -> Tsr.empty
+          | Some di ->
+              let off, len = Grouping.range g3 di in
+              let coverage =
+                Option.map (fun eci -> eci.(li).(si).(di)) t.lsd.eci
+              in
+              Tsr.make_unchecked ?coverage (Slice.make t.lsd.edges ~off ~len)))
+
+let tsr_between t ~lbl ~src ~dst =
+  if lbl <> Semantics.Query.any_label then tsr_between_one t ~lbl ~src ~dst
+  else begin
+    (* union of the (l, src, dst) runs over every label *)
+    let edges = ref [] in
+    Array.iter
+      (fun lbl ->
+        Tsr.iter (fun e -> edges := e :: !edges)
+          (tsr_between_one t ~lbl ~src ~dst))
+      (Array.init (Grouping.n_groups t.lsd.by_label) (fun li ->
+           t.lsd.by_label.Grouping.keys.(li)));
+    Tsr.of_edges (Array.of_list !edges)
+  end
+
+let eci_two_level (trie : two_level) =
+  match trie.eci with
+  | None -> 0
+  | Some eci ->
+      Array.fold_left
+        (fun acc per_label ->
+          Array.fold_left
+            (fun acc c -> acc + Temporal.Coverage.size_words c)
+            acc per_label)
+        0 eci
+
+let eci_three_level (trie : three_level) =
+  match trie.eci with
+  | None -> 0
+  | Some eci ->
+      Array.fold_left
+        (fun acc per_label ->
+          Array.fold_left
+            (fun acc per_src ->
+              Array.fold_left
+                (fun acc c -> acc + Temporal.Coverage.size_words c)
+                acc per_src)
+            acc per_label)
+        0 eci
+
+let eci_size_words t =
+  eci_two_level t.ls + eci_two_level t.ld + eci_three_level t.lsd
+
+let groupings_two_level (trie : two_level) =
+  Grouping.size_words trie.by_label
+  + Array.fold_left (fun acc g -> acc + Grouping.size_words g) 0 trie.level2
+
+let size_words t =
+  let edge_words arr = 8 * Array.length arr in
+  let lsd_groupings =
+    Grouping.size_words t.lsd.by_label
+    + Array.fold_left (fun acc g -> acc + Grouping.size_words g) 0 t.lsd.level2
+    + Array.fold_left
+        (fun acc gs ->
+          Array.fold_left (fun acc g -> acc + Grouping.size_words g) acc gs)
+        0 t.lsd.level3
+  in
+  let lds_groupings =
+    Grouping.size_words t.lds.s_by_label
+    + Array.fold_left (fun acc g -> acc + Grouping.size_words g) 0 t.lds.s_level2
+    + Array.fold_left
+        (fun acc gs ->
+          Array.fold_left (fun acc g -> acc + Grouping.size_words g) acc gs)
+        0 t.lds.s_level3
+  in
+  5
+  + edge_words t.ls.edges + groupings_two_level t.ls
+  + edge_words t.ld.edges + groupings_two_level t.ld
+  + edge_words t.lsd.edges + lsd_groupings + lds_groupings + eci_size_words t
+
+let count_tuples_2 (trie : two_level) =
+  match trie.eci with
+  | None -> 0
+  | Some eci ->
+      Array.fold_left
+        (fun acc per ->
+          Array.fold_left
+            (fun acc c -> acc + Temporal.Coverage.n_tuples c)
+            acc per)
+        0 eci
+
+let count_tuples_3 (trie : three_level) =
+  match trie.eci with
+  | None -> 0
+  | Some eci ->
+      Array.fold_left
+        (fun acc per ->
+          Array.fold_left
+            (fun acc per2 ->
+              Array.fold_left
+                (fun acc c -> acc + Temporal.Coverage.n_tuples c)
+                acc per2)
+            acc per)
+        0 eci
+
+let eci_n_tuples t =
+  count_tuples_2 t.ls + count_tuples_2 t.ld + count_tuples_3 t.lsd

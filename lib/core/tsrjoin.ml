@@ -1,0 +1,263 @@
+open Semantics
+open Tgraph
+
+type lfto_mode = Basic | Optimized of Lfto_opt.config
+
+type config = { mode : lfto_mode }
+
+let default_config = { mode = Optimized Lfto_opt.all_on }
+let basic_config = { mode = Basic }
+
+let run ?stats ?per_step ?root_slice ?(config = default_config) ?plan ?cost
+    tai q ~emit =
+  let min_duration = Query.min_duration q in
+  let plan = match plan with Some p -> p | None -> Plan.build ?cost tai q in
+  (match Plan.validate plan with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Tsrjoin.run: invalid plan: " ^ msg));
+  let steps = Plan.steps plan in
+  let n_steps = Array.length steps in
+  (match per_step with
+  | Some arr when Array.length arr <> n_steps ->
+      invalid_arg "Tsrjoin.run: per_step array does not match the plan"
+  | Some _ | None -> ());
+  let step_stats i =
+    match per_step with Some arr -> Some arr.(i) | None -> None
+  in
+  let bindings = Array.make (Query.n_vars q) (-1) in
+  let assignment = Array.make (Query.n_edges q) (-1) in
+  let qw = Query.window q in
+  let tick tick_fn step_i =
+    (match stats with Some s -> tick_fn s | None -> ());
+    match step_stats step_i with Some s -> tick_fn s | None -> ()
+  in
+  let tick_binding step_i = tick Run_stats.tick_binding step_i in
+  let tick_intermediate step_i = tick Run_stats.tick_intermediate step_i in
+  let tick_result () =
+    match stats with Some s -> Run_stats.tick_result s | None -> ()
+  in
+  (* one scratch context per plan depth: an outer sweep is suspended
+     (mid-emit) while inner steps run their own LFTO, so contexts must
+     not be shared across depths; within a depth, calls are sequential *)
+  let lfto_ctxs = Array.init n_steps (fun _ -> Lfto_opt.create_context ()) in
+  let run_lfto step_i tsrs ~ws ~we ~emit_combo =
+    (* when profiling, LFTO counters (scanned, enum_steps) land in the
+       step's bucket and are merged into the global stats afterwards *)
+    let lfto_stats =
+      match step_stats step_i with Some s -> Some s | None -> stats
+    in
+    let before_scanned, before_enum =
+      match (per_step, lfto_stats) with
+      | Some _, Some s -> (s.Run_stats.scanned, s.Run_stats.enum_steps)
+      | _ -> (0, 0)
+    in
+    (match config.mode with
+    | Basic -> Lfto.run ?stats:lfto_stats ~tsrs ~ws ~we ~emit:emit_combo ()
+    | Optimized cfg ->
+        Lfto_opt.run ?stats:lfto_stats ~ctx:lfto_ctxs.(step_i) ~config:cfg
+          ~tsrs ~ws ~we ~emit:emit_combo ());
+    match (per_step, stats, lfto_stats) with
+    | Some _, Some g, Some s ->
+        g.Run_stats.scanned <-
+          g.Run_stats.scanned + s.Run_stats.scanned - before_scanned;
+        Run_stats.add_enum_steps g (s.Run_stats.enum_steps - before_enum)
+    | _ -> ()
+  in
+  (* TSR of one step edge, with the pivot already bound: fully bound
+     when both endpoints are (including self loops), half bound
+     otherwise. *)
+  let tsr_for_edge (e : Query.edge) =
+    let sb = bindings.(e.Query.src_var) and db = bindings.(e.Query.dst_var) in
+    if sb >= 0 && db >= 0 then
+      Tai.tsr_between tai ~lbl:e.Query.lbl ~src:sb ~dst:db
+    else if sb >= 0 then Tai.tsr_out tai ~lbl:e.Query.lbl ~src:sb
+    else Tai.tsr_in tai ~lbl:e.Query.lbl ~dst:db
+  in
+  let rec exec step_i life valid =
+    if step_i = n_steps then begin
+      tick_result ();
+      emit (Match_result.make (Array.copy assignment) life)
+    end
+    else begin
+      let step = steps.(step_i) in
+      let pivot = step.Plan.pivot in
+      let step_edges = step.Plan.edges in
+      let k = Array.length step_edges in
+      let handle_binding vb =
+        tick_binding step_i;
+        (* Bind the pivot for TSR retrieval; component roots need it
+           explicitly. *)
+        let pivot_was = bindings.(pivot) in
+        bindings.(pivot) <- vb;
+        let tsrs = Array.map tsr_for_edge step_edges in
+        if Array.exists Tsr.is_empty tsrs then bindings.(pivot) <- pivot_was
+        else begin
+          let emit_combo members combo_life =
+            (* Endpoint-consistency check + new-variable binding; two
+               step edges may share an unbound endpoint. *)
+            let newly = ref [] in
+            let ok = ref true in
+            for j = 0 to k - 1 do
+              if !ok then begin
+                let qe = step_edges.(j) in
+                let ge = members.(j) in
+                let check_or_bind var vertex =
+                  if bindings.(var) = -1 then begin
+                    bindings.(var) <- vertex;
+                    newly := var :: !newly
+                  end
+                  else if bindings.(var) <> vertex then ok := false
+                in
+                check_or_bind qe.Query.src_var (Edge.src ge);
+                if !ok then check_or_bind qe.Query.dst_var (Edge.dst ge)
+              end
+            done;
+            if !ok then begin
+              (* combo_life individually overlaps [valid] per member and
+                 is jointly non-empty, hence both intersections below are
+                 non-empty (see DESIGN.md §5). *)
+              let life' = Temporal.Interval.intersect_exn life combo_life in
+              (* durable-match push-down: lifespans only shrink, so a
+                 partial already below the duration floor is dead *)
+              if Temporal.Interval.length life' >= min_duration then begin
+              let valid' = Temporal.Interval.intersect_exn valid combo_life in
+              for j = 0 to k - 1 do
+                assignment.(step_edges.(j).Query.idx) <- Edge.id members.(j)
+              done;
+              tick_intermediate step_i;
+              exec (step_i + 1) life' valid';
+              for j = 0 to k - 1 do
+                assignment.(step_edges.(j).Query.idx) <- -1
+              done
+              end
+            end;
+            List.iter (fun var -> bindings.(var) <- -1) !newly
+          in
+          run_lfto step_i tsrs ~ws:(Temporal.Interval.ts valid)
+            ~we:(Temporal.Interval.te valid) ~emit_combo;
+          bindings.(pivot) <- pivot_was
+        end
+      in
+      if step.Plan.produce_binding then begin
+        (* parallel evaluation: the first leapfrog's candidates are
+           partitioned round-robin across domains *)
+        let keep =
+          match root_slice with
+          | Some (index, total) when step_i = 0 ->
+              let counter = ref (-1) in
+              fun () ->
+                incr counter;
+                !counter mod total = index
+          | Some _ | None -> fun () -> true
+        in
+        (* Key set per adjacent edge: sources of the label when the pivot
+           is the edge source, destinations when it is the target; a self
+           loop contributes both. *)
+        let sources_of lbl =
+          if lbl = Query.any_label then Tai.all_sources tai
+          else Tai.sources tai ~lbl
+        in
+        let destinations_of lbl =
+          if lbl = Query.any_label then Tai.all_destinations tai
+          else Tai.destinations tai ~lbl
+        in
+        let key_sets =
+          Array.to_list step_edges
+          |> List.concat_map (fun (e : Query.edge) ->
+                 let as_src =
+                   if e.Query.src_var = pivot then [ sources_of e.Query.lbl ]
+                   else []
+                 in
+                 let as_dst =
+                   if e.Query.dst_var = pivot then
+                     [ destinations_of e.Query.lbl ]
+                   else []
+                 in
+                 as_src @ as_dst)
+        in
+        let iters =
+          Array.of_list
+            (List.map Triejoin.Key_iter.of_sorted_array_unchecked key_sets)
+        in
+        let lf = Triejoin.Leapfrog.create iters in
+        Triejoin.Leapfrog.iter
+          (fun vb -> if keep () then handle_binding vb)
+          lf
+      end
+      else begin
+        let vb = bindings.(pivot) in
+        assert (vb >= 0);
+        handle_binding vb
+      end
+    end
+  in
+  exec 0 (Temporal.Interval.make min_int max_int) qw
+
+let evaluate ?stats ?config ?plan ?cost tai q =
+  let acc = ref [] in
+  run ?stats ?config ?plan ?cost tai q ~emit:(fun m -> acc := m :: !acc);
+  List.rev !acc
+
+let count ?stats ?config ?plan ?cost tai q =
+  let n = ref 0 in
+  run ?stats ?config ?plan ?cost tai q ~emit:(fun _ -> incr n);
+  !n
+
+type step_profile = {
+  step : Plan.step;
+  bindings : int;
+  partials : int;
+  scanned : int;
+  enum_steps : int;
+}
+
+let profile ?config ?plan ?cost tai q =
+  let plan = match plan with Some p -> p | None -> Plan.build ?cost tai q in
+  let n_steps = Array.length (Plan.steps plan) in
+  let per_step = Array.init n_steps (fun _ -> Run_stats.create ()) in
+  let results = ref 0 in
+  run ?config ~plan ~per_step tai q ~emit:(fun _ -> incr results);
+  let profiles =
+    Array.mapi
+      (fun i s ->
+        {
+          step = (Plan.steps plan).(i);
+          bindings = s.Run_stats.bindings;
+          partials = s.Run_stats.intermediate;
+          scanned = s.Run_stats.scanned;
+          enum_steps = s.Run_stats.enum_steps;
+        })
+      per_step
+  in
+  (profiles, !results)
+
+let pp_profile fmt (profiles, results) =
+  Format.fprintf fmt "@[<v>";
+  Array.iteri
+    (fun i p ->
+      Format.fprintf fmt "%s@ "
+        (Printf.sprintf
+           "step %d: pivot x%d%s | bindings %d | partial matches %d | scanned %d | enum steps %d"
+           i p.step.Plan.pivot
+           (if p.step.Plan.produce_binding then " (leapfrog)" else "")
+           p.bindings p.partials p.scanned p.enum_steps))
+    profiles;
+  Format.fprintf fmt "complete matches: %d@]" results
+
+let run_parallel ?(domains = 4) ?config ?plan ?cost tai q =
+  if domains < 1 then invalid_arg "Tsrjoin.run_parallel: need >= 1 domain";
+  let plan = match plan with Some p -> p | None -> Plan.build ?cost tai q in
+  if domains = 1 then evaluate ?config ~plan tai q
+  else begin
+    let worker index () =
+      let acc = ref [] in
+      run ?config ~plan ~root_slice:(index, domains) tai q ~emit:(fun m ->
+          acc := m :: !acc);
+      List.rev !acc
+    in
+    let spawned =
+      List.init (domains - 1) (fun i -> Domain.spawn (worker (i + 1)))
+    in
+    let own = worker 0 () in
+    own @ List.concat_map Domain.join spawned
+  end

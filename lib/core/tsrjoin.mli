@@ -1,0 +1,94 @@
+(** The Leapfrog TSRJoin engine: executes a {!Plan.t} depth-first.
+
+    Per plan step, pivot bindings come either from leapfrog intersection
+    of TAI key sets (component roots) or from the propagated partial
+    match; LFTO then joins the pivot's bound r-TSRs inside the current
+    valid window, extending the partial match with edge bindings and a
+    narrowed lifespan (partial match production + propagation).
+
+    The valid window handed to LFTO is the propagated lifespan clipped
+    to the query window — the clip guarantees every complete match's
+    lifespan overlaps the query window (the paper's example windows are
+    always inside the query window, where the two coincide). *)
+
+type lfto_mode = Basic | Optimized of Lfto_opt.config
+
+type config = { mode : lfto_mode }
+
+val default_config : config
+(** [Optimized Lfto_opt.all_on]. *)
+
+val basic_config : config
+
+val run :
+  ?stats:Semantics.Run_stats.t ->
+  ?per_step:Semantics.Run_stats.t array ->
+  ?root_slice:int * int ->
+  ?config:config ->
+  ?plan:Plan.t ->
+  ?cost:Plan.cost_model ->
+  Tai.t ->
+  Semantics.Query.t ->
+  emit:(Semantics.Match_result.t -> unit) ->
+  unit
+(** Evaluates the query, calling [emit] once per complete match. A
+    supplied [plan] must be for (a query structurally equal to) the
+    query. [root_slice = (i, n)] restricts the first leapfrog to its
+    [i]-th round-robin share of [n] (the {!run_parallel} partitioning).
+    Raises {!Semantics.Run_stats.Limit_exceeded} when the stats budget
+    runs out. *)
+
+val evaluate :
+  ?stats:Semantics.Run_stats.t ->
+  ?config:config ->
+  ?plan:Plan.t ->
+  ?cost:Plan.cost_model ->
+  Tai.t ->
+  Semantics.Query.t ->
+  Semantics.Match_result.t list
+
+val count :
+  ?stats:Semantics.Run_stats.t ->
+  ?config:config ->
+  ?plan:Plan.t ->
+  ?cost:Plan.cost_model ->
+  Tai.t ->
+  Semantics.Query.t ->
+  int
+
+val run_parallel :
+  ?domains:int ->
+  ?config:config ->
+  ?plan:Plan.t ->
+  ?cost:Plan.cost_model ->
+  Tai.t ->
+  Semantics.Query.t ->
+  Semantics.Match_result.t list
+(** Evaluates across OCaml 5 domains (default 4) by partitioning the
+    first leapfrog's candidate bindings round-robin; sound because every
+    complete match descends from exactly one root binding, and the TAI
+    is immutable. Result order is deterministic given [domains] but
+    differs from the sequential order; budgets/stats are not supported
+    here (wrap per-domain runs manually if needed). *)
+
+(** {2 Profiling (EXPLAIN ANALYZE)} *)
+
+type step_profile = {
+  step : Plan.step;
+  bindings : int;  (** pivot bindings examined at this step *)
+  partials : int;  (** partial matches this step produced *)
+  scanned : int;  (** TSR edges its LFTO sweeps read *)
+  enum_steps : int;  (** active-list elements visited *)
+}
+
+val profile :
+  ?config:config ->
+  ?plan:Plan.t ->
+  ?cost:Plan.cost_model ->
+  Tai.t ->
+  Semantics.Query.t ->
+  step_profile array * int
+(** Executes the query collecting per-plan-step counters; also returns
+    the complete-match count. *)
+
+val pp_profile : Format.formatter -> step_profile array * int -> unit

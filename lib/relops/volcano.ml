@@ -1,0 +1,77 @@
+let batch_size = 1024
+
+type t = { mutable pull : unit -> Tuple.t array option }
+
+let of_producer pull = { pull }
+
+let next op =
+  let rec go () =
+    match op.pull () with
+    | Some [||] -> go ()
+    | (Some _ | None) as r -> r
+  in
+  go ()
+
+let source seq =
+  let cursor = ref seq in
+  let pull () =
+    match !cursor () with
+    | Seq.Nil -> None
+    | Seq.Cons (first, rest) ->
+        let acc = Temporal.Vec.create ~capacity:batch_size () in
+        Temporal.Vec.push acc first;
+        let rec fill s =
+          if Temporal.Vec.length acc >= batch_size then s
+          else
+            match s () with
+            | Seq.Nil -> Seq.empty
+            | Seq.Cons (x, rest) ->
+                Temporal.Vec.push acc x;
+                fill rest
+        in
+        cursor := fill rest;
+        Some (Temporal.Vec.to_array acc)
+  in
+  of_producer pull
+
+let flat_map f upstream =
+  (* Buffers overflow tuples beyond the batch boundary so every output
+     batch respects [batch_size]. *)
+  let pending : Tuple.t Queue.t = Queue.create () in
+  let upstream_done = ref false in
+  let pull () =
+    let rec refill () =
+      if Queue.length pending >= batch_size || !upstream_done then ()
+      else
+        match next upstream with
+        | None -> upstream_done := true
+        | Some batch ->
+            Array.iter (fun tup -> List.iter (fun o -> Queue.add o pending) (f tup)) batch;
+            refill ()
+    in
+    refill ();
+    if Queue.is_empty pending then None
+    else begin
+      let n = min batch_size (Queue.length pending) in
+      Some (Array.init n (fun _ -> Queue.pop pending))
+    end
+  in
+  of_producer pull
+
+let filter_map f upstream =
+  flat_map (fun tup -> match f tup with Some o -> [ o ] | None -> []) upstream
+
+let consume op f =
+  let rec go () =
+    match next op with
+    | None -> ()
+    | Some batch ->
+        Array.iter f batch;
+        go ()
+  in
+  go ()
+
+let count op =
+  let n = ref 0 in
+  consume op (fun _ -> incr n);
+  !n

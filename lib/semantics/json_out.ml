@@ -1,0 +1,43 @@
+let escape_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let edge_to_json g id =
+  let e = Tgraph.Graph.edge g id in
+  Printf.sprintf "{\"id\": %d, \"src\": %d, \"dst\": %d, \"label\": %s, \"ts\": %d, \"te\": %d}"
+    id (Tgraph.Edge.src e) (Tgraph.Edge.dst e)
+    (escape_string (Tgraph.Label.name (Tgraph.Graph.labels g) (Tgraph.Edge.lbl e)))
+    (Tgraph.Edge.ts e) (Tgraph.Edge.te e)
+
+let match_to_json g m =
+  Printf.sprintf "{\"edges\": [%s], \"lifespan\": {\"ts\": %d, \"te\": %d}}"
+    (String.concat ", "
+       (Array.to_list (Array.map (edge_to_json g) m.Match_result.edges)))
+    (Temporal.Interval.ts m.Match_result.life)
+    (Temporal.Interval.te m.Match_result.life)
+
+let matches_to_json g ms =
+  "[" ^ String.concat ",\n " (List.map (match_to_json g) ms) ^ "]"
+
+let csv_header = "edges,lifespan_ts,lifespan_te"
+
+let match_to_csv m =
+  Printf.sprintf "%s,%d,%d"
+    (String.concat ";"
+       (Array.to_list (Array.map string_of_int m.Match_result.edges)))
+    (Temporal.Interval.ts m.Match_result.life)
+    (Temporal.Interval.te m.Match_result.life)

@@ -1,0 +1,24 @@
+(** Minimal JSON serialization of query results (writer only — the
+    system never parses JSON, so no parser is vendored).
+
+    Matches serialize with their edge bindings resolved against the
+    graph, e.g.:
+
+    {v
+    {"edges": [{"id": 3, "src": 0, "dst": 4, "label": "a",
+                "ts": 13, "te": 15}, ...],
+     "lifespan": {"ts": 15, "te": 15}}
+    v} *)
+
+val escape_string : string -> string
+(** JSON string escaping (quotes included). *)
+
+val match_to_json : Tgraph.Graph.t -> Match_result.t -> string
+
+val matches_to_json : Tgraph.Graph.t -> Match_result.t list -> string
+(** A JSON array of matches. *)
+
+val match_to_csv : Match_result.t -> string
+(** Terse CSV: edge ids separated by [;], then lifespan start/end. *)
+
+val csv_header : string

@@ -1,0 +1,72 @@
+exception Done
+
+let evaluate ?(limit = max_int) g q =
+  let open Tgraph in
+  let n = Query.n_edges q in
+  let ws = Query.ws q and we = Query.we q in
+  let min_duration = Query.min_duration q in
+  (* Candidates per label (and under the wildcard key): edges
+     overlapping the query window. *)
+  let candidates = Hashtbl.create 8 in
+  Graph.iter_edges
+    (fun e ->
+      if Temporal.Interval.overlaps_window (Edge.ivl e) ~ws ~we then begin
+        let add key =
+          let cur = try Hashtbl.find candidates key with Not_found -> [] in
+          Hashtbl.replace candidates key (e :: cur)
+        in
+        add (Edge.lbl e);
+        add Query.any_label
+      end)
+    g;
+  let bindings = Array.make (Query.n_vars q) (-1) in
+  let chosen = Array.make n (-1) in
+  let results = ref [] in
+  let count = ref 0 in
+  let rec step i life =
+    if i = n then begin
+      results := Match_result.make (Array.copy chosen) life :: !results;
+      incr count;
+      if !count >= limit then raise Done
+    end
+    else begin
+      let qe = Query.edge q i in
+      let cands =
+        try Hashtbl.find candidates qe.Query.lbl with Not_found -> []
+      in
+      List.iter
+        (fun e ->
+          let src_ok =
+            bindings.(qe.Query.src_var) = -1
+            || bindings.(qe.Query.src_var) = Edge.src e
+          in
+          let dst_ok =
+            bindings.(qe.Query.dst_var) = -1
+            || bindings.(qe.Query.dst_var) = Edge.dst e
+          in
+          let loop_ok =
+            qe.Query.src_var <> qe.Query.dst_var || Edge.src e = Edge.dst e
+          in
+          if src_ok && dst_ok && loop_ok then
+            match Temporal.Interval.intersect life (Edge.ivl e) with
+            | None -> ()
+            | Some life' when Temporal.Interval.length life' < min_duration ->
+                (* lifespans only shrink: no durable completion exists *)
+                ()
+            | Some life' ->
+                let saved_src = bindings.(qe.Query.src_var) in
+                let saved_dst = bindings.(qe.Query.dst_var) in
+                bindings.(qe.Query.src_var) <- Edge.src e;
+                bindings.(qe.Query.dst_var) <- Edge.dst e;
+                chosen.(i) <- Edge.id e;
+                step (i + 1) life';
+                bindings.(qe.Query.src_var) <- saved_src;
+                bindings.(qe.Query.dst_var) <- saved_dst;
+                chosen.(i) <- -1)
+        cands
+    end
+  in
+  (try step 0 (Temporal.Interval.make min_int max_int) with Done -> ());
+  !results
+
+let count ?limit g q = List.length (evaluate ?limit g q)

@@ -1,0 +1,12 @@
+(** Brute-force oracle evaluator.
+
+    Backtracks over query edges in order, scanning the whole edge table
+    per step. Exponentially slower than any engine in this repository but
+    obviously correct — it is the ground truth for every cross-engine
+    test. *)
+
+val evaluate : ?limit:int -> Tgraph.Graph.t -> Query.t -> Match_result.t list
+(** All complete matches, in unspecified order. Stops after [limit]
+    matches when given. *)
+
+val count : ?limit:int -> Tgraph.Graph.t -> Query.t -> int

@@ -1,0 +1,105 @@
+type shape =
+  | Star of int
+  | Chain of int
+  | Cycle of int
+  | T_shape of int
+  | Double_star of int
+
+let validate = function
+  | Star k when k >= 1 -> ()
+  | Chain k when k >= 1 -> ()
+  | Cycle k when k >= 3 -> ()
+  | T_shape k when k >= 3 -> ()
+  | Double_star k when k >= 1 -> ()
+  | Star k -> invalid_arg (Printf.sprintf "Pattern: %d-star needs k >= 1" k)
+  | Chain k -> invalid_arg (Printf.sprintf "Pattern: %d-chain needs k >= 1" k)
+  | Cycle k -> invalid_arg (Printf.sprintf "Pattern: %d-circle needs k >= 3" k)
+  | T_shape k ->
+      invalid_arg (Printf.sprintf "Pattern: %d-tshape needs k >= 3" k)
+  | Double_star k ->
+      invalid_arg (Printf.sprintf "Pattern: %d-dstar needs k >= 1" k)
+
+let n_edges = function
+  | Star k | Chain k | Cycle k | T_shape k -> k
+  | Double_star k -> 2 * k
+
+let n_vars = function
+  | Star k -> k + 1
+  | Chain k -> k + 1
+  | Cycle k -> k
+  | T_shape k -> k + 1
+  | Double_star k -> k + 2
+
+let instantiate shape ~labels ~window =
+  validate shape;
+  let k = n_edges shape in
+  if Array.length labels <> k then
+    invalid_arg
+      (Printf.sprintf "Pattern.instantiate: expected %d labels, got %d" k
+         (Array.length labels));
+  let edge i (s, d) = (labels.(i), s, d) in
+  let edges =
+    match shape with
+    | Star k ->
+        (* center is variable 0; spokes are 1..k *)
+        List.init k (fun i -> edge i (0, i + 1))
+    | Chain k -> List.init k (fun i -> edge i (i, i + 1))
+    | Cycle k -> List.init k (fun i -> edge i (i, (i + 1) mod k))
+    | T_shape k ->
+        (* two spokes out of variable 0 (to 1 and 2), then a chain
+           2 -> 3 -> ... *)
+        edge 0 (0, 1) :: edge 1 (0, 2)
+        :: List.init (k - 2) (fun i -> edge (i + 2) (i + 2, i + 3))
+    | Double_star k ->
+        (* centers are variables 0 and 1; shared targets are 2..k+1 *)
+        List.init k (fun i -> edge i (0, i + 2))
+        @ List.init k (fun i -> edge (k + i) (1, i + 2))
+  in
+  Query.make ~n_vars:(n_vars shape) ~edges ~window
+
+let to_string = function
+  | Cycle 3 -> "triangle"
+  | Star k -> Printf.sprintf "%d-star" k
+  | Chain k -> Printf.sprintf "%d-chain" k
+  | Cycle k -> Printf.sprintf "%d-circle" k
+  | T_shape k -> Printf.sprintf "%d-tshape" k
+  | Double_star k -> Printf.sprintf "%d-dstar" k
+
+let of_string s =
+  let s = String.lowercase_ascii (String.trim s) in
+  if s = "triangle" then Some (Cycle 3)
+  else
+    let try_formats kind mk =
+      let prefixed = Printf.sprintf "%s" kind in
+      let parse_int t = int_of_string_opt t in
+      (* "4-star" *)
+      match String.index_opt s '-' with
+      | Some i
+        when String.sub s (i + 1) (String.length s - i - 1) = prefixed ->
+          Option.bind (parse_int (String.sub s 0 i)) (fun k -> Some (mk k))
+      | _ ->
+          (* "star4" *)
+          let n = String.length prefixed in
+          if String.length s > n && String.sub s 0 n = prefixed then
+            Option.bind
+              (parse_int (String.sub s n (String.length s - n)))
+              (fun k -> Some (mk k))
+          else None
+    in
+    let candidates =
+      [
+        try_formats "star" (fun k -> Star k);
+        try_formats "chain" (fun k -> Chain k);
+        try_formats "circle" (fun k -> Cycle k);
+        try_formats "cycle" (fun k -> Cycle k);
+        try_formats "tshape" (fun k -> T_shape k);
+        try_formats "dstar" (fun k -> Double_star k);
+      ]
+    in
+    let shape = List.find_opt Option.is_some candidates in
+    match shape with
+    | Some (Some sh) -> ( try validate sh; Some sh with Invalid_argument _ -> None)
+    | Some None | None -> None
+
+let paper_set = [ Star 3; Star 4; Chain 3; Chain 4; Cycle 3; Cycle 4 ]
+let selectivity_set = [ Star 4; Chain 4; Cycle 4 ]

@@ -1,0 +1,365 @@
+(* Hand-written lexer + recursive-descent parser: the grammar is LL(1)
+   and tiny, so no parser generator is warranted. *)
+
+type token =
+  | Tmatch
+  | Tin
+  | Tlasting
+  | Tlparen
+  | Trparen
+  | Tlbracket
+  | Trbracket
+  | Tcomma
+  | Tarrow_out_head (* -[ *)
+  | Tarrow_out_tail (* ]-> *)
+  | Tarrow_in_head (* <-[ *)
+  | Tarrow_in_tail (* ]- *)
+  | Tident of string
+  | Tint of int
+  | Tstar
+  | Teof
+
+type lexed = { token : token; position : int }
+
+type error = { position : int; message : string }
+
+exception Parse_error of error
+
+let fail position fmt =
+  Format.kasprintf (fun message -> raise (Parse_error { position; message })) fmt
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_'
+
+let lex input =
+  let n = String.length input in
+  let out = ref [] in
+  let i = ref 0 in
+  let push token position = out := { token; position } :: !out in
+  while !i < n do
+    let c = input.[!i] in
+    let at = !i in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = '#' then begin
+      while !i < n && input.[!i] <> '\n' do incr i done
+    end
+    else if c = '*' then (push Tstar at; incr i)
+    else if c = '(' then (push Tlparen at; incr i)
+    else if c = ')' then (push Trparen at; incr i)
+    else if c = '[' then (push Tlbracket at; incr i)
+    else if c = ',' then (push Tcomma at; incr i)
+    else if c = '-' then begin
+      (* -[  (edge head) *)
+      if !i + 1 < n && input.[!i + 1] = '[' then begin
+        push Tarrow_out_head at;
+        i := !i + 2
+      end
+      else fail at "expected '[' after '-'"
+    end
+    else if c = ']' then begin
+      (* ]->, ]-, or a plain ] closing a window *)
+      if !i + 2 < n && input.[!i + 1] = '-' && input.[!i + 2] = '>' then begin
+        push Tarrow_out_tail at;
+        i := !i + 3
+      end
+      else if !i + 1 < n && input.[!i + 1] = '-' then begin
+        push Tarrow_in_tail at;
+        i := !i + 2
+      end
+      else (push Trbracket at; incr i)
+    end
+    else if c = '<' then begin
+      if !i + 2 < n && input.[!i + 1] = '-' && input.[!i + 2] = '[' then begin
+        push Tarrow_in_head at;
+        i := !i + 3
+      end
+      else fail at "expected '-[' after '<'"
+    end
+    else if c >= '0' && c <= '9' then begin
+      let j = ref !i in
+      while !j < n && input.[!j] >= '0' && input.[!j] <= '9' do incr j done;
+      push (Tint (int_of_string (String.sub input !i (!j - !i)))) at;
+      i := !j
+    end
+    else if is_ident_char c then begin
+      let j = ref !i in
+      while !j < n && is_ident_char input.[!j] do incr j done;
+      let word = String.sub input !i (!j - !i) in
+      (match String.lowercase_ascii word with
+      | "match" -> push Tmatch at
+      | "in" -> push Tin at
+      | "lasting" -> push Tlasting at
+      | _ -> push (Tident word) at);
+      i := !j
+    end
+    else fail at "unexpected character %C" c
+  done;
+  push Teof n;
+  Array.of_list (List.rev !out)
+
+(* ---- AST ---- *)
+
+type ast_edge = { lbl_name : string; src : int; dst : int }
+
+type ast = {
+  vars : string array;
+  edges : ast_edge list; (* in source order *)
+  win : (int * int) option;
+  lasting : int option;
+}
+
+let n_edges ast = List.length ast.edges
+let n_vars ast = Array.length ast.vars
+let var_names ast = Array.copy ast.vars
+let window ast = ast.win
+let lasting ast = ast.lasting
+
+(* ---- parser ---- *)
+
+type state = {
+  tokens : lexed array;
+  mutable pos : int;
+  var_ids : (string, int) Hashtbl.t;
+  mutable var_order : string list;
+  mutable fresh : int;
+  mutable acc_edges : ast_edge list;
+}
+
+let peek st = st.tokens.(st.pos)
+let advance st = st.pos <- st.pos + 1
+
+let expect st token message =
+  let l = peek st in
+  if l.token = token then advance st else fail l.position "%s" message
+
+let var_id st name =
+  match Hashtbl.find_opt st.var_ids name with
+  | Some id -> id
+  | None ->
+      let id = Hashtbl.length st.var_ids in
+      Hashtbl.add st.var_ids name id;
+      st.var_order <- name :: st.var_order;
+      id
+
+let parse_node st =
+  expect st Tlparen "expected '(' starting a node";
+  match (peek st).token with
+  | Trparen ->
+      advance st;
+      let name = Printf.sprintf "$%d" st.fresh in
+      st.fresh <- st.fresh + 1;
+      var_id st name
+  | Tident name ->
+      advance st;
+      expect st Trparen "expected ')' closing the node";
+      var_id st name
+  | _ -> fail (peek st).position "expected a variable name or ')'"
+
+let parse_label st =
+  match (peek st).token with
+  | Tident name ->
+      advance st;
+      name
+  | Tstar ->
+      advance st;
+      "*"
+  | _ -> fail (peek st).position "expected an edge label or '*'"
+
+(* one edge step: either -[l]-> node  or  <-[l]- node; returns the next
+   chain anchor *)
+let parse_step st anchor =
+  match (peek st).token with
+  | Tarrow_out_head ->
+      advance st;
+      let lbl_name = parse_label st in
+      expect st Tarrow_out_tail "expected ']->' after the label";
+      let target = parse_node st in
+      st.acc_edges <- { lbl_name; src = anchor; dst = target } :: st.acc_edges;
+      target
+  | Tarrow_in_head ->
+      advance st;
+      let lbl_name = parse_label st in
+      expect st Tarrow_in_tail "expected ']-' after the label";
+      let source = parse_node st in
+      st.acc_edges <- { lbl_name; src = source; dst = anchor } :: st.acc_edges;
+      source
+  | _ -> fail (peek st).position "expected '-[' or '<-[' continuing the chain"
+
+let parse_chain st =
+  let anchor = ref (parse_node st) in
+  (* at least one edge *)
+  anchor := parse_step st !anchor;
+  let rec more () =
+    match (peek st).token with
+    | Tarrow_out_head | Tarrow_in_head ->
+        anchor := parse_step st !anchor;
+        more ()
+    | _ -> ()
+  in
+  more ()
+
+let parse_window st =
+  expect st Tlbracket "expected '[' starting the window";
+  let ws =
+    match (peek st).token with
+    | Tint v ->
+        advance st;
+        v
+    | _ -> fail (peek st).position "expected the window start timestamp"
+  in
+  expect st Tcomma "expected ',' inside the window";
+  let we =
+    match (peek st).token with
+    | Tint v ->
+        advance st;
+        v
+    | _ -> fail (peek st).position "expected the window end timestamp"
+  in
+  let close = peek st in
+  (match close.token with
+  | Tarrow_in_tail | Tarrow_out_tail ->
+      (* the lexer greedily reads "]-" / "]->"; a window is closed by a
+         plain ']' only, so reaching here is a syntax error *)
+      fail close.position "expected ']' closing the window"
+  | Trbracket -> advance st
+  | _ -> fail close.position "expected ']' closing the window");
+  if we < ws then fail close.position "window end %d before start %d" we ws;
+  (ws, we)
+
+let parse input =
+  match
+    let tokens = lex input in
+    let st =
+      {
+        tokens;
+        pos = 0;
+        var_ids = Hashtbl.create 8;
+        var_order = [];
+        fresh = 0;
+        acc_edges = [];
+      }
+    in
+    expect st Tmatch "expected MATCH";
+    parse_chain st;
+    let rec more_chains () =
+      if (peek st).token = Tcomma then begin
+        advance st;
+        parse_chain st;
+        more_chains ()
+      end
+    in
+    more_chains ();
+    let win =
+      if (peek st).token = Tin then begin
+        advance st;
+        Some (parse_window st)
+      end
+      else None
+    in
+    let lasting =
+      if (peek st).token = Tlasting then begin
+        advance st;
+        match (peek st).token with
+        | Tint v when v >= 1 ->
+            advance st;
+            Some v
+        | Tint _ -> fail (peek st).position "LASTING needs a duration >= 1"
+        | _ -> fail (peek st).position "expected a duration after LASTING"
+      end
+      else None
+    in
+    (match (peek st).token with
+    | Teof -> ()
+    | _ -> fail (peek st).position "trailing input after the query");
+    {
+      vars = Array.of_list (List.rev st.var_order);
+      edges = List.rev st.acc_edges;
+      win;
+      lasting;
+    }
+  with
+  | ast -> Ok ast
+  | exception Parse_error e -> Error e
+
+(* ---- compilation ---- *)
+
+let compile ?default_window g ast =
+  let table = Tgraph.Graph.labels g in
+  let ( let* ) = Result.bind in
+  let* window =
+    match (ast.win, default_window) with
+    | Some (ws, we), _ -> Ok (Temporal.Interval.make ws we)
+    | None, Some w -> Ok w
+    | None, None -> Error "query has no IN window and no default was given"
+  in
+  let rec resolve acc = function
+    | [] -> Ok (List.rev acc)
+    | e :: rest when e.lbl_name = "*" ->
+        resolve ((Query.any_label, e.src, e.dst) :: acc) rest
+    | e :: rest -> (
+        match Tgraph.Label.find table e.lbl_name with
+        | Some lbl -> resolve ((lbl, e.src, e.dst) :: acc) rest
+        | None -> Error (Printf.sprintf "unknown edge label %S" e.lbl_name))
+  in
+  let* edges = resolve [] ast.edges in
+  let q = Query.make ~n_vars:(Array.length ast.vars) ~edges ~window in
+  Ok
+    (match ast.lasting with
+    | Some d -> Query.with_min_duration q d
+    | None -> q)
+
+let parse_and_compile ?default_window g input =
+  match parse input with
+  | Error { position; message } ->
+      Error (Printf.sprintf "at offset %d: %s" position message)
+  | Ok ast -> compile ?default_window g ast
+
+(* ---- rendering (unparse) ---- *)
+
+let render g q =
+  let label l =
+    if l = Query.any_label then "*"
+    else Tgraph.Label.name (Tgraph.Graph.labels g) l
+  in
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf "MATCH ";
+  let edges = Query.edges q in
+  (* greedy chaining: extend the current chain while the next edge starts
+     where the previous one ended *)
+  let n = Array.length edges in
+  let i = ref 0 in
+  while !i < n do
+    if !i > 0 then Buffer.add_string buf ", ";
+    let e = edges.(!i) in
+    Buffer.add_string buf (Printf.sprintf "(x%d)" e.Query.src_var);
+    Buffer.add_string buf
+      (Printf.sprintf "-[%s]->(x%d)" (label e.Query.lbl) e.Query.dst_var);
+    let anchor = ref e.Query.dst_var in
+    incr i;
+    let continue = ref true in
+    while !continue && !i < n do
+      let e = edges.(!i) in
+      if e.Query.src_var = !anchor then begin
+        Buffer.add_string buf
+          (Printf.sprintf "-[%s]->(x%d)" (label e.Query.lbl) e.Query.dst_var);
+        anchor := e.Query.dst_var;
+        incr i
+      end
+      else if e.Query.dst_var = !anchor && e.Query.src_var <> e.Query.dst_var
+      then begin
+        Buffer.add_string buf
+          (Printf.sprintf "<-[%s]-(x%d)" (label e.Query.lbl) e.Query.src_var);
+        anchor := e.Query.src_var;
+        incr i
+      end
+      else continue := false
+    done
+  done;
+  Buffer.add_string buf
+    (Printf.sprintf " IN [%d, %d]" (Query.ws q) (Query.we q));
+  if Query.min_duration q > 1 then
+    Buffer.add_string buf (Printf.sprintf " LASTING %d" (Query.min_duration q));
+  Buffer.contents buf

@@ -1,0 +1,68 @@
+(** A small textual query language for temporal-clique subgraph queries.
+
+    Grammar (case-insensitive keywords, [#] comments to end of line):
+
+    {v
+    query    ::= MATCH chain ("," chain)* (IN window)? (LASTING INT)?
+    chain    ::= node (edge node)+
+    node     ::= "(" IDENT? ")"                  anonymous = fresh variable
+    edge     ::= "-[" label "]->" | "<-[" label "]-"
+    label    ::= LABEL | "*"                     "*" = any label
+    window   ::= "[" INT "," INT "]"
+    v}
+
+    Examples:
+
+    {v
+    MATCH (x)-[congested]->(y)-[congested]->(z) IN [1020, 1140]
+    MATCH (a)-[follows]->(c), (b)-[follows]->(c) IN [213, 219]
+    MATCH (x)-[a]->(y)<-[b]-(z)
+    v}
+
+    Without an [IN] clause the query window must be supplied at
+    {!compile} time (e.g. the graph's whole time domain).
+
+    Parsing is independent of any graph; {!compile} resolves label names
+    against a graph's label table. *)
+
+type ast
+(** A parsed query: variables, labeled directed edges, optional window. *)
+
+type error = { position : int; message : string }
+(** [position] is a 0-based character offset into the input. *)
+
+val parse : string -> (ast, error) result
+
+val n_edges : ast -> int
+val n_vars : ast -> int
+val var_names : ast -> string array
+(** Variable names in binding order (anonymous nodes are ["$0"], ["$1"],
+    ...). *)
+
+val window : ast -> (int * int) option
+
+val lasting : ast -> int option
+(** The LASTING duration floor, when given. *)
+
+val compile :
+  ?default_window:Temporal.Interval.t ->
+  Tgraph.Graph.t ->
+  ast ->
+  (Query.t, string) result
+(** Resolves labels and materializes the {!Query.t}. Fails on unknown
+    labels or when no window is available from either the [IN] clause or
+    [default_window]. *)
+
+val parse_and_compile :
+  ?default_window:Temporal.Interval.t ->
+  Tgraph.Graph.t ->
+  string ->
+  (Query.t, string) result
+(** Convenience composition with positions rendered into the message. *)
+
+val render : Tgraph.Graph.t -> Query.t -> string
+(** A textual form of the query (variables named [x0], [x1], ...;
+    consecutive edges that chain naturally are rendered as one chain).
+    [parse_and_compile g (render g q)] reproduces [q] up to variable
+    renumbering — same edge list modulo variable names, hence exactly
+    the same matches. *)

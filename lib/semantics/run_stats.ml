@@ -1,0 +1,46 @@
+type limits = { max_results : int; max_intermediate : int }
+
+let no_limits = { max_results = max_int; max_intermediate = max_int }
+let with_max_results n = { no_limits with max_results = n }
+
+exception Limit_exceeded of string
+
+type t = {
+  mutable results : int;
+  mutable intermediate : int;
+  mutable scanned : int;
+  mutable bindings : int;
+  mutable enum_steps : int;
+  limits : limits;
+}
+
+let create ?(limits = no_limits) () =
+  { results = 0; intermediate = 0; scanned = 0; bindings = 0; enum_steps = 0;
+    limits }
+
+let tick_result s =
+  s.results <- s.results + 1;
+  if s.results > s.limits.max_results then
+    raise (Limit_exceeded "result budget exhausted")
+
+let add_intermediate s n =
+  s.intermediate <- s.intermediate + n;
+  if s.intermediate > s.limits.max_intermediate then
+    raise (Limit_exceeded "intermediate-tuple budget exhausted")
+
+let tick_intermediate s = add_intermediate s 1
+let tick_scanned s = s.scanned <- s.scanned + 1
+let tick_binding s = s.bindings <- s.bindings + 1
+let add_enum_steps s n = s.enum_steps <- s.enum_steps + n
+
+let merge_into dst src =
+  dst.results <- dst.results + src.results;
+  dst.intermediate <- dst.intermediate + src.intermediate;
+  dst.scanned <- dst.scanned + src.scanned;
+  dst.bindings <- dst.bindings + src.bindings;
+  dst.enum_steps <- dst.enum_steps + src.enum_steps
+
+let pp fmt s =
+  Format.fprintf fmt
+    "results=%d intermediate=%d scanned=%d bindings=%d enum_steps=%d" s.results
+    s.intermediate s.scanned s.bindings s.enum_steps

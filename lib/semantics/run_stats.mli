@@ -1,0 +1,38 @@
+(** Execution counters and budgets shared by every query-processing
+    pipeline.
+
+    [intermediate] counts every tuple produced by any operator below the
+    root (partial matches, join outputs, temporal cliques): the metric of
+    the paper's Fig. 10. [scanned] counts edge reads during sweeps — the
+    cost that the ECI/delSkip optimizations remove. Budgets make
+    non-selective baselines stoppable, mirroring the paper's caps
+    (10^9-tuple intermediate threshold, bounded output). *)
+
+type limits = { max_results : int; max_intermediate : int }
+
+val no_limits : limits
+val with_max_results : int -> limits
+
+exception Limit_exceeded of string
+(** Raised by the tick functions when a budget is exhausted. Pipelines
+    let it escape; runners catch it and record a truncated outcome. *)
+
+type t = {
+  mutable results : int;
+  mutable intermediate : int;
+  mutable scanned : int;  (** edges read by sweep scanners *)
+  mutable bindings : int;  (** vertex bindings produced by leapfrog *)
+  mutable enum_steps : int;  (** active-list elements visited during
+                                 enumeration *)
+  limits : limits;
+}
+
+val create : ?limits:limits -> unit -> t
+val tick_result : t -> unit
+val tick_intermediate : t -> unit
+val add_intermediate : t -> int -> unit
+val tick_scanned : t -> unit
+val tick_binding : t -> unit
+val add_enum_steps : t -> int -> unit
+val merge_into : t -> t -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,12 @@
+type t = Span_item.t Vec.t
+
+let create () = Vec.create ()
+let length = Vec.length
+let is_empty = Vec.is_empty
+let insert a item = Vec.insert_sorted ~cmp:Span_item.compare_by_end a item
+let expire a t = Vec.remove_prefix (fun it -> Span_item.te it < t) a
+let iter = Vec.iter
+let get = Vec.get
+let to_list = Vec.to_list
+let clear = Vec.clear
+let min_end a = if Vec.is_empty a then None else Some (Span_item.te (Vec.get a 0))

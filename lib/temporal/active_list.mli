@@ -1,0 +1,29 @@
+(** An active list for plane-sweep algorithms: the set of intervals alive
+    at the sweep position, kept sorted by end time so that expiration is
+    a prefix removal.
+
+    This is the [Active[i]] structure of LFTO (Algorithm 1) and of the
+    STI-CP clique production. *)
+
+type t
+
+val create : unit -> t
+val length : t -> int
+val is_empty : t -> bool
+
+val insert : t -> Span_item.t -> unit
+(** The paper's [insActive]: insert keeping end-time order. *)
+
+val expire : t -> int -> int
+(** [expire a t] is the paper's [delActive]: removes every item with
+    end time strictly before [t]; returns how many were removed. *)
+
+val iter : (Span_item.t -> unit) -> t -> unit
+(** Iterates in end-time ascending order. *)
+
+val get : t -> int -> Span_item.t
+val to_list : t -> Span_item.t list
+val clear : t -> unit
+
+val min_end : t -> int option
+(** End time of the earliest-expiring item. *)

@@ -1,0 +1,71 @@
+type relation =
+  | Before
+  | Meets
+  | Overlaps
+  | Starts
+  | During
+  | Finishes
+  | Equal
+  | Finished_by
+  | Contains
+  | Started_by
+  | Overlapped_by
+  | Met_by
+  | After
+
+let all =
+  [|
+    Before; Meets; Overlaps; Starts; During; Finishes; Equal; Finished_by;
+    Contains; Started_by; Overlapped_by; Met_by; After;
+  |]
+
+let classify a b =
+  let sa = Interval.ts a and ea = Interval.te a in
+  let sb = Interval.ts b and eb = Interval.te b in
+  if ea + 1 < sb then Before
+  else if ea + 1 = sb then Meets
+  else if eb + 1 < sa then After
+  else if eb + 1 = sa then Met_by
+  else if sa = sb && ea = eb then Equal
+  else if sa = sb then if ea < eb then Starts else Started_by
+  else if ea = eb then if sa > sb then Finishes else Finished_by
+  else if sa > sb && ea < eb then During
+  else if sa < sb && ea > eb then Contains
+  else if sa < sb then Overlaps
+  else Overlapped_by
+
+let inverse = function
+  | Before -> After
+  | Meets -> Met_by
+  | Overlaps -> Overlapped_by
+  | Starts -> Started_by
+  | During -> Contains
+  | Finishes -> Finished_by
+  | Equal -> Equal
+  | Finished_by -> Finishes
+  | Contains -> During
+  | Started_by -> Starts
+  | Overlapped_by -> Overlaps
+  | Met_by -> Meets
+  | After -> Before
+
+let overlaps_in_time = function
+  | Before | Meets | Met_by | After -> false
+  | Overlaps | Starts | During | Finishes | Equal | Finished_by | Contains
+  | Started_by | Overlapped_by ->
+      true
+
+let to_string = function
+  | Before -> "before"
+  | Meets -> "meets"
+  | Overlaps -> "overlaps"
+  | Starts -> "starts"
+  | During -> "during"
+  | Finishes -> "finishes"
+  | Equal -> "equal"
+  | Finished_by -> "finished-by"
+  | Contains -> "contains"
+  | Started_by -> "started-by"
+  | Overlapped_by -> "overlapped-by"
+  | Met_by -> "met-by"
+  | After -> "after"

@@ -1,0 +1,36 @@
+(** Allen's interval algebra over closed integer intervals.
+
+    For any two intervals exactly one of the thirteen basic relations
+    holds; {!classify} computes it. Useful for reasoning about and
+    testing temporal predicates: joint overlap — the predicate of
+    temporal-clique queries — is exactly "not (before / after / meets /
+    met-by)" for integer intervals, see {!overlaps_in_time}. *)
+
+type relation =
+  | Before  (** a ends strictly before b starts, with a gap *)
+  | Meets  (** a ends exactly one tick before b starts *)
+  | Overlaps  (** proper overlap: a starts first, ends inside b *)
+  | Starts  (** same start, a ends first *)
+  | During  (** a strictly inside b *)
+  | Finishes  (** same end, a starts later *)
+  | Equal
+  | Finished_by  (** inverse of [Finishes] *)
+  | Contains  (** inverse of [During] *)
+  | Started_by  (** inverse of [Starts] *)
+  | Overlapped_by  (** inverse of [Overlaps] *)
+  | Met_by  (** inverse of [Meets] *)
+  | After  (** inverse of [Before] *)
+
+val classify : Interval.t -> Interval.t -> relation
+(** [classify a b] is the unique basic relation with [a relation b]. *)
+
+val inverse : relation -> relation
+(** [classify b a = inverse (classify a b)]. *)
+
+val overlaps_in_time : relation -> bool
+(** Whether the relation implies a shared timestamp (everything except
+    [Before], [Meets], [Met_by], [After]). Agrees with
+    {!Interval.overlaps}. *)
+
+val to_string : relation -> string
+val all : relation array

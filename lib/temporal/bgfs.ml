@@ -1,0 +1,59 @@
+(* Group boundaries: [group_end rel i] is the first index past the run of
+   items sharing start time with item [i]. *)
+let group_end rel i =
+  let n = Relation.length rel in
+  let t = Span_item.ts (Relation.get rel i) in
+  let j = ref (i + 1) in
+  while !j < n && Span_item.ts (Relation.get rel !j) = t do incr j done;
+  !j
+
+let join left right ~f =
+  let count = ref 0 in
+  let nl = Relation.length left and nr = Relation.length right in
+  let il = ref 0 and ir = ref 0 in
+  let scan_group ~group_rel ~group_from ~group_to ~other_rel ~other_from ~n_other
+      ~emit =
+    (* the farthest-reaching member bounds the shared forward scan *)
+    let max_end = ref min_int in
+    for g = group_from to group_to - 1 do
+      max_end := max !max_end (Span_item.te (Relation.get group_rel g))
+    done;
+    let k = ref other_from in
+    while
+      !k < n_other && Span_item.ts (Relation.get other_rel !k) <= !max_end
+    do
+      let partner = Relation.get other_rel !k in
+      for g = group_from to group_to - 1 do
+        let member = Relation.get group_rel g in
+        if Interval.overlaps (Span_item.ivl member) (Span_item.ivl partner)
+        then begin
+          incr count;
+          emit member partner
+        end
+      done;
+      incr k
+    done
+  in
+  while !il < nl && !ir < nr do
+    let a = Relation.get left !il and b = Relation.get right !ir in
+    if Span_item.ts a <= Span_item.ts b then begin
+      (* left group first on ties: its shared scan starts at the right
+         cursor, which still points at the tied right group, so tie
+         pairs are emitted exactly once (the right group then scans left
+         from beyond this group) *)
+      let stop = group_end left !il in
+      scan_group ~group_rel:left ~group_from:!il ~group_to:stop
+        ~other_rel:right ~other_from:!ir ~n_other:nr ~emit:f;
+      il := stop
+    end
+    else begin
+      let stop = group_end right !ir in
+      scan_group ~group_rel:right ~group_from:!ir ~group_to:stop
+        ~other_rel:left ~other_from:!il ~n_other:nl
+        ~emit:(fun b a -> f a b);
+      ir := stop
+    end
+  done;
+  !count
+
+let count left right = join left right ~f:(fun _ _ -> ())

@@ -1,0 +1,15 @@
+(** Grouped forward-scan interval join (the bgFS variant of Bouros &
+    Mamoulis).
+
+    Like {!Forward_scan}, but consecutive tuples sharing a start time
+    are processed as one group: the forward scan over the other relation
+    runs once per group up to the group's maximal end, and each scanned
+    partner is paired with every group member it overlaps. Cuts repeated
+    scanning on relations with many simultaneous starts.
+
+    Enumerates exactly the pairs of {!Sweep_join.join}. *)
+
+val join :
+  Relation.t -> Relation.t -> f:(Span_item.t -> Span_item.t -> unit) -> int
+
+val count : Relation.t -> Relation.t -> int

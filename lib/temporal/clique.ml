@@ -1,0 +1,84 @@
+type outcome = Complete of int | Truncated of int
+
+exception Limit_reached
+
+(* Plane sweep in merged start-time order, exactly as LFTO (Algorithm 1 of
+   the paper) but over globally label-filtered relations instead of
+   vertex-bound TSRs. When item [e] of relation [i] arrives at time
+   t = ts(e), every surviving active member contains t, so any combination
+   of one member per relation jointly overlaps at t. *)
+let enumerate stis ~ws ~we ?(limit = max_int) ~f () =
+  let k = Array.length stis in
+  if k = 0 then Complete 0
+  else begin
+    let cur = Array.make k 0 and stop = Array.make k 0 in
+    Array.iteri
+      (fun i sti ->
+        let s, e = Sti.scan_range sti ~ws ~we in
+        cur.(i) <- s;
+        stop.(i) <- e)
+      stis;
+    let active = Array.init k (fun _ -> Active_list.create ()) in
+    let members = Array.make k (Span_item.make 0 (Interval.point 0)) in
+    let produced = ref 0 in
+    let emit_combinations arrival_rel e =
+      members.(arrival_rel) <- e;
+      let rec fill rel life =
+        if rel = k then begin
+          if !produced >= limit then raise Limit_reached;
+          incr produced;
+          f members life
+        end
+        else if rel = arrival_rel then fill (rel + 1) life
+        else
+          Active_list.iter
+            (fun m ->
+              members.(rel) <- m;
+              match Interval.intersect life (Span_item.ivl m) with
+              | Some life' -> fill (rel + 1) life'
+              | None -> ())
+            active.(rel)
+      in
+      fill 0 (Span_item.ivl e)
+    in
+    let open_scanners () =
+      let any = ref false in
+      for i = 0 to k - 1 do
+        if cur.(i) < stop.(i) then any := true
+      done;
+      !any
+    in
+    let next_scanner () =
+      let best = ref (-1) in
+      for i = 0 to k - 1 do
+        if cur.(i) < stop.(i) then begin
+          let it = Relation.get (Sti.relation stis.(i)) cur.(i) in
+          if
+            !best < 0
+            || Span_item.compare_by_start it
+                 (Relation.get (Sti.relation stis.(!best)) cur.(!best))
+               < 0
+          then best := i
+        end
+      done;
+      !best
+    in
+    match
+      while open_scanners () do
+        let i = next_scanner () in
+        let e = Relation.get (Sti.relation stis.(i)) cur.(i) in
+        if Interval.overlaps_window (Span_item.ivl e) ~ws ~we then begin
+          let t = Span_item.ts e in
+          Array.iter (fun a -> ignore (Active_list.expire a t)) active;
+          emit_combinations i e;
+          Active_list.insert active.(i) e
+        end;
+        cur.(i) <- cur.(i) + 1
+      done
+    with
+    | () -> Complete !produced
+    | exception Limit_reached -> Truncated !produced
+  end
+
+let count stis ~ws ~we ?limit () =
+  enumerate stis ~ws ~we ?limit ~f:(fun _ _ -> ()) ()

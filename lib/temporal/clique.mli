@@ -1,0 +1,30 @@
+(** STI-CP: k-way temporal-overlap clique production.
+
+    Given [k] start-time-indexed relations and a query window, enumerate
+    every [k]-tuple of items — one from each relation — whose intervals
+    jointly overlap (the clique lifespan is non-empty; joint window
+    overlap then follows from per-item window overlap). This is the
+    temporal-predicate solver of the TIME (T^P) pipeline: the produced
+    cliques are handed to a topological join afterwards.
+
+    Enumeration is a plane sweep over the merged start order with one
+    active list per relation; a clique is emitted when its latest-starting
+    member arrives, so each clique is produced exactly once. *)
+
+type outcome =
+  | Complete of int  (** all cliques produced; the count *)
+  | Truncated of int  (** the [limit] was hit after producing this many *)
+
+val enumerate :
+  Sti.t array ->
+  ws:int ->
+  we:int ->
+  ?limit:int ->
+  f:(Span_item.t array -> Interval.t -> unit) ->
+  unit ->
+  outcome
+(** [enumerate stis ~ws ~we ~f ()] calls [f members lifespan] per clique;
+    [members.(i)] belongs to relation [i]. [members] is reused across
+    calls: copy it if retained. [limit] defaults to [max_int]. *)
+
+val count : Sti.t array -> ws:int -> we:int -> ?limit:int -> unit -> outcome

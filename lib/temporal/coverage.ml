@@ -1,0 +1,95 @@
+type tuple = { cs : int; ce : int; ec : int }
+type t = { tuples : tuple array }
+
+let empty = { tuples = [||] }
+let tuples c = c.tuples
+let n_tuples c = Array.length c.tuples
+
+(* The step function t -> eC(t) can only change value at an interval start
+   or just after an interval end. We sweep those critical times in
+   ascending order, maintaining the active intervals in a min-heap keyed
+   by start time. Expired intervals are removed lazily: an expired
+   non-minimum element never affects eC, and expired minimums are popped
+   before reading. *)
+let build items =
+  if not (Span_item.is_sorted_by_start items) then
+    invalid_arg "Coverage.build: items not sorted by start time";
+  let n = Array.length items in
+  if n = 0 then empty
+  else begin
+    let critical = Array.make (2 * n) 0 in
+    Array.iteri
+      (fun i it ->
+        critical.(2 * i) <- Span_item.ts it;
+        critical.((2 * i) + 1) <- Span_item.te it + 1)
+      items;
+    Array.sort Int.compare critical;
+    let heap =
+      Min_heap.create ~capacity:n
+        ~cmp:(fun a b -> Interval.compare (Span_item.ivl a) (Span_item.ivl b))
+        ()
+    in
+    let out = ref [] in
+    let next_item = ref 0 in
+    let n_critical = Array.length critical in
+    let i = ref 0 in
+    while !i < n_critical do
+      let time = critical.(!i) in
+      (* Skip duplicate critical times. *)
+      while !i < n_critical && critical.(!i) = time do incr i done;
+      while !next_item < n && Span_item.ts items.(!next_item) <= time do
+        Min_heap.push heap items.(!next_item);
+        incr next_item
+      done;
+      Min_heap.drain_while heap (fun it -> Span_item.te it < time);
+      let segment_end =
+        if !i < n_critical then critical.(!i) - 1 else time
+        (* the last critical time is max(te)+1, where the heap is empty *)
+      in
+      match Min_heap.peek heap with
+      | None -> ()
+      | Some earliest ->
+          let ec = Span_item.ts earliest in
+          out := { cs = time; ce = segment_end; ec } :: !out
+    done;
+    (* Merge adjacent segments sharing the same earliest concurrent. *)
+    let merged =
+      List.fold_left
+        (fun acc seg ->
+          match acc with
+          | prev :: rest
+            when prev.ec = seg.ec && prev.ce + 1 = seg.cs ->
+              { prev with ce = seg.ce } :: rest
+          | _ -> seg :: acc)
+        []
+        (List.rev !out)
+    in
+    { tuples = Array.of_list (List.rev merged) }
+  end
+
+(* Binary search: first tuple with ce >= t (tuples are disjoint and sorted
+   by cs, hence also by ce). That tuple either contains t or starts after
+   t, matching the paper's getCoverageTuple contract. *)
+let get_coverage_tuple c t =
+  let tuples = c.tuples in
+  let n = Array.length tuples in
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if tuples.(mid).ce < t then lo := mid + 1 else hi := mid
+  done;
+  if !lo >= n then None else Some tuples.(!lo)
+
+let earliest_concurrent c t =
+  match get_coverage_tuple c t with
+  | Some tup when tup.cs <= t && t <= tup.ce -> Some tup.ec
+  | Some _ | None -> None
+
+let size_words c = 3 + (4 * Array.length c.tuples)
+
+let pp fmt c =
+  Format.fprintf fmt "@[<hov 1>{";
+  Array.iter
+    (fun { cs; ce; ec } -> Format.fprintf fmt "(%d,%d,%d)@ " cs ce ec)
+    c.tuples;
+  Format.fprintf fmt "}@]"

@@ -1,0 +1,37 @@
+(* gFS: repeatedly pick the relation whose cursor holds the earlier start;
+   scan the other relation forward from its cursor while partners start at
+   or before the picked interval's end. Every overlapping pair (a, b) is
+   found when the earlier-starting member is picked (the later-starting
+   member then lies in the scanned range), and only then, so each pair is
+   emitted once. *)
+
+let join left right ~f =
+  let count = ref 0 in
+  let nl = Relation.length left and nr = Relation.length right in
+  let il = ref 0 and ir = ref 0 in
+  while !il < nl && !ir < nr do
+    let a = Relation.get left !il and b = Relation.get right !ir in
+    if Span_item.compare_by_start a b <= 0 then begin
+      let stop = Span_item.te a in
+      let k = ref !ir in
+      while !k < nr && Span_item.ts (Relation.get right !k) <= stop do
+        incr count;
+        f a (Relation.get right !k);
+        incr k
+      done;
+      incr il
+    end
+    else begin
+      let stop = Span_item.te b in
+      let k = ref !il in
+      while !k < nl && Span_item.ts (Relation.get left !k) <= stop do
+        incr count;
+        f (Relation.get left !k) b;
+        incr k
+      done;
+      incr ir
+    end
+  done;
+  !count
+
+let count left right = join left right ~f:(fun _ _ -> ())

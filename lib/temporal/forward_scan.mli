@@ -1,0 +1,12 @@
+(** Forward-scan binary interval join (FS / gFS, Bouros & Mamoulis).
+
+    Alternative sweep that, for the relation holding the current
+    earliest-starting interval, scans the other relation forward emitting
+    every partner starting before that interval ends. Enumerates exactly
+    the same pairs as {!Sweep_join}; kept as an independently-implemented
+    competitor and cross-check. *)
+
+val join :
+  Relation.t -> Relation.t -> f:(Span_item.t -> Span_item.t -> unit) -> int
+
+val count : Relation.t -> Relation.t -> int

@@ -1,0 +1,111 @@
+(* Gapless active set: O(1) insert and O(1) swap-remove by slot. Each
+   item remembers its slot through a side table indexed by a dense
+   per-relation sequence number. *)
+module Active_set = struct
+  type t = {
+    items : Span_item.t Vec.t;
+    mutable slots : int array; (* seq -> position in items, or -1 *)
+    seqs : int Vec.t; (* position -> seq *)
+  }
+
+  let create capacity =
+    { items = Vec.create (); slots = Array.make (max 1 capacity) (-1);
+      seqs = Vec.create () }
+
+  let insert t seq item =
+    t.slots.(seq) <- Vec.length t.items;
+    Vec.push t.items item;
+    Vec.push t.seqs seq
+
+  let remove t seq =
+    let pos = t.slots.(seq) in
+    if pos >= 0 then begin
+      let last = Vec.length t.items - 1 in
+      let moved_seq = Vec.get t.seqs last in
+      Vec.set t.items pos (Vec.get t.items last);
+      Vec.set t.seqs pos moved_seq;
+      t.slots.(moved_seq) <- pos;
+      ignore (Vec.pop_exn t.items);
+      ignore (Vec.pop_exn t.seqs);
+      t.slots.(seq) <- -1
+    end
+
+  let iter f t = Vec.iter f t.items
+end
+
+type event = { time : int; kind : int; (* 0 = end, 1 = start *) side : int; seq : int }
+
+let join left right ~f =
+  let nl = Relation.length left and nr = Relation.length right in
+  let events = Array.make (2 * (nl + nr)) { time = 0; kind = 0; side = 0; seq = 0 } in
+  let pos = ref 0 in
+  let add_relation side rel =
+    for i = 0 to Relation.length rel - 1 do
+      let it = Relation.get rel i in
+      events.(!pos) <- { time = Span_item.ts it; kind = 1; side; seq = i };
+      incr pos;
+      events.(!pos) <- { time = Span_item.te it + 1; kind = 0; side; seq = i };
+      incr pos
+    done
+  in
+  add_relation 0 left;
+  add_relation 1 right;
+  (* ends before starts at equal times: an interval ending at t-1 must
+     leave before arrivals at t pair with it *)
+  Array.sort
+    (fun a b ->
+      let c = Int.compare a.time b.time in
+      if c <> 0 then c else Int.compare a.kind b.kind)
+    events;
+  let active = [| Active_set.create nl; Active_set.create nr |] in
+  let item side seq =
+    if side = 0 then Relation.get left seq else Relation.get right seq
+  in
+  let count = ref 0 in
+  let emit side a b =
+    incr count;
+    if side = 0 then f a b else f b a
+  in
+  let batch : event Vec.t = Vec.create () in
+  let flush () =
+    (* pairs between batch starts and the opposite active sets, then
+       within-batch cross-side pairs, then insert the batch *)
+    Vec.iter
+      (fun ev ->
+        let it = item ev.side ev.seq in
+        Active_set.iter
+          (fun other -> emit ev.side it other)
+          active.(1 - ev.side))
+      batch;
+    let n = Vec.length batch in
+    for i = 0 to n - 1 do
+      let a = Vec.get batch i in
+      for j = i + 1 to n - 1 do
+        let b = Vec.get batch j in
+        if a.side <> b.side then
+          emit a.side (item a.side a.seq) (item b.side b.seq)
+      done
+    done;
+    Vec.iter (fun ev -> Active_set.insert active.(ev.side) ev.seq (item ev.side ev.seq)) batch;
+    Vec.clear batch
+  in
+  let n_events = !pos in
+  let i = ref 0 in
+  while !i < n_events do
+    let ev = events.(!i) in
+    if ev.kind = 0 then begin
+      flush ();
+      Active_set.remove active.(ev.side) ev.seq
+    end
+    else begin
+      (* batch only starts sharing this timestamp *)
+      if not (Vec.is_empty batch) && (Vec.get batch 0).time <> ev.time then
+        flush ();
+      Vec.push batch ev
+    end;
+    incr i
+  done;
+  flush ();
+  !count
+
+let count left right = join left right ~f:(fun _ _ -> ())

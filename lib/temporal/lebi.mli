@@ -1,0 +1,16 @@
+(** Lazy endpoint-based interval join (the LEBI variant of Piatov et
+    al.).
+
+    Event-list mechanics, unlike {!Sweep_join}'s active-list sweep: both
+    relations are turned into merged (timestamp, kind) endpoint events;
+    active sets are gapless arrays with O(1) swap-removal at end events;
+    start events are batched per timestamp and emitted lazily in one
+    traversal of the opposite active set.
+
+    Enumerates exactly the pairs of {!Sweep_join.join}; kept as an
+    independently-implemented competitor and cross-check. *)
+
+val join :
+  Relation.t -> Relation.t -> f:(Span_item.t -> Span_item.t -> unit) -> int
+
+val count : Relation.t -> Relation.t -> int

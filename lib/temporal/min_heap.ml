@@ -1,0 +1,78 @@
+(* The backing array is allocated lazily at the first push, so no dummy
+   element is ever needed. *)
+type 'a t = {
+  cmp : 'a -> 'a -> int;
+  mutable data : 'a array;
+  mutable size : int;
+  hint : int;
+}
+
+let create ?(capacity = 16) ~cmp () =
+  { cmp; data = [||]; size = 0; hint = max capacity 1 }
+
+let length h = h.size
+let is_empty h = h.size = 0
+
+
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if h.cmp h.data.(i) h.data.(parent) < 0 then begin
+      let tmp = h.data.(i) in
+      h.data.(i) <- h.data.(parent);
+      h.data.(parent) <- tmp;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < h.size && h.cmp h.data.(l) h.data.(!smallest) < 0 then smallest := l;
+  if r < h.size && h.cmp h.data.(r) h.data.(!smallest) < 0 then smallest := r;
+  if !smallest <> i then begin
+    let tmp = h.data.(i) in
+    h.data.(i) <- h.data.(!smallest);
+    h.data.(!smallest) <- tmp;
+    sift_down h !smallest
+  end
+
+let push h x =
+  if h.size = Array.length h.data then begin
+    let capacity = max h.hint (2 * Array.length h.data) in
+    let data = Array.make capacity x in
+    Array.blit h.data 0 data 0 h.size;
+    h.data <- data
+  end;
+  h.data.(h.size) <- x;
+  h.size <- h.size + 1;
+  sift_up h (h.size - 1)
+
+let peek h = if h.size = 0 then None else Some h.data.(0)
+
+let peek_exn h =
+  if h.size = 0 then invalid_arg "Min_heap.peek_exn: empty heap"
+  else h.data.(0)
+
+let pop_exn h =
+  if h.size = 0 then invalid_arg "Min_heap.pop_exn: empty heap"
+  else begin
+    let top = h.data.(0) in
+    h.size <- h.size - 1;
+    if h.size > 0 then begin
+      h.data.(0) <- h.data.(h.size);
+      sift_down h 0
+    end;
+    top
+  end
+
+let pop h = if h.size = 0 then None else Some (pop_exn h)
+let clear h = h.size <- 0
+
+let rec drain_while h p =
+  match peek h with
+  | Some x when p x ->
+      ignore (pop_exn h);
+      drain_while h p
+  | Some _ | None -> ()

@@ -1,0 +1,48 @@
+module Make (T : sig
+  type t
+end) =
+struct
+  open Effect
+  open Effect.Deep
+
+  type _ Effect.t += Yield : T.t -> unit Effect.t
+
+  type state =
+    | Not_started
+    | Suspended of (unit, unit) continuation
+    | Finished
+
+  let to_pull produce =
+    let state = ref Not_started in
+    let yielded : T.t option ref = ref None in
+    let handler () =
+      match_with
+        (fun () -> produce (fun x -> perform (Yield x)))
+        ()
+        {
+          retc = (fun () -> state := Finished);
+          exnc =
+            (fun e ->
+              state := Finished;
+              raise e);
+          effc =
+            (fun (type a) (eff : a Effect.t) ->
+              match eff with
+              | Yield x ->
+                  Some
+                    (fun (k : (a, unit) continuation) ->
+                      yielded := Some x;
+                      state := Suspended k)
+              | _ -> None);
+        }
+    in
+    fun () ->
+      yielded := None;
+      (match !state with
+      | Not_started -> handler ()
+      | Suspended k ->
+          state := Finished (* replaced on the next suspension *);
+          continue k ()
+      | Finished -> ());
+      !yielded
+end

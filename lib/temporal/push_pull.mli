@@ -1,0 +1,21 @@
+(** Push-to-pull inversion via OCaml 5 effect handlers.
+
+    Every engine in this repository produces results in push style
+    ([~emit:(fun x -> ...)]); the vectorized operator framework consumes
+    in pull style. [Make(T).to_pull producer] suspends the producer at
+    each emission with a one-shot continuation, turning it into an
+    iterator — no threads, no queues, O(1) memory between pulls. *)
+
+module Make (T : sig
+  type t
+end) : sig
+  val to_pull : ((T.t -> unit) -> unit) -> unit -> T.t option
+  (** [to_pull produce] is a stateful [next] function: the first call
+      starts [produce], each emission is handed back as [Some x], and
+      [None] is returned once [produce] finishes. The producer runs
+      exactly once; exceptions it raises escape from [next].
+
+      The returned function is single-consumer and must not be called
+      re-entrantly from inside the producer. Calls after [None] keep
+      returning [None]. *)
+end

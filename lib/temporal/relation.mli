@@ -1,0 +1,42 @@
+(** A temporal relation: span items sorted by start time.
+
+    This is the common input format of every interval join algorithm in
+    this library and the storage format of the TSRs attached to the TAI
+    tries. *)
+
+type t
+
+val of_items : Span_item.t array -> t
+(** [of_items a] copies and sorts [a] by (start, end, id). *)
+
+val of_sorted : Span_item.t array -> t
+(** [of_sorted a] adopts [a] without copying.
+    @raise Invalid_argument if [a] is not sorted by start. *)
+
+val of_list : Span_item.t list -> t
+val empty : t
+val length : t -> int
+val is_empty : t -> bool
+val get : t -> int -> Span_item.t
+val items : t -> Span_item.t array
+val iter : (Span_item.t -> unit) -> t -> unit
+
+val lower_bound_start : t -> int -> int
+(** [lower_bound_start r t] is the first index whose item starts at or
+    after [t] (= [length r] when none does). *)
+
+val upper_bound_start : t -> int -> int
+(** [upper_bound_start r t] is the first index whose item starts strictly
+    after [t]. *)
+
+val count_window : t -> ws:int -> we:int -> int
+(** Number of items overlapping the window (linear in candidates). *)
+
+val time_span : t -> Interval.t option
+(** The smallest interval covering every item, if the relation is
+    non-empty. *)
+
+val size_words : t -> int
+(** Approximate heap words, counting items as boxed records. *)
+
+val pp : Format.formatter -> t -> unit

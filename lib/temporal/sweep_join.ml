@@ -1,0 +1,58 @@
+(* Classic endpoint-based sweep: advance over the union of both relations
+   in start-time order; on arrival of an item, expire the other side's
+   active list and pair the item with everything still active there. Each
+   overlapping pair (a, b) is emitted exactly once, at the arrival of the
+   later-starting member, which is a witness time of their overlap. *)
+
+let join_impl left right ~ws ~we ~f =
+  let count = ref 0 in
+  let active_l = Active_list.create () and active_r = Active_list.create () in
+  let nl = Relation.length left and nr = Relation.length right in
+  let il = ref 0 and ir = ref 0 in
+  let emit a b =
+    if
+      Interval.overlaps (Span_item.ivl a) (Span_item.ivl b)
+      && Interval.ts (Span_item.ivl a) <= we
+      && Interval.ts (Span_item.ivl b) <= we
+      && Interval.te (Span_item.ivl a) >= ws
+      && Interval.te (Span_item.ivl b) >= ws
+    then begin
+      incr count;
+      f a b
+    end
+  in
+  while !il < nl || !ir < nr do
+    let take_left =
+      !ir >= nr
+      || (!il < nl
+          && Span_item.compare_by_start (Relation.get left !il)
+               (Relation.get right !ir)
+             <= 0)
+    in
+    if take_left then begin
+      let a = Relation.get left !il in
+      incr il;
+      ignore (Active_list.expire active_r (Span_item.ts a));
+      Active_list.iter (fun b -> emit a b) active_r;
+      Active_list.insert active_l a
+    end
+    else begin
+      let b = Relation.get right !ir in
+      incr ir;
+      ignore (Active_list.expire active_l (Span_item.ts b));
+      Active_list.iter (fun a -> emit a b) active_l;
+      Active_list.insert active_r b
+    end
+  done;
+  !count
+
+let join left right ~f = join_impl left right ~ws:min_int ~we:max_int ~f
+
+let join_window left right ~ws ~we ~f =
+  (* As in LFTO: an overlapping pair in which both members individually
+     overlap the window has max-start <= we and min-end >= ws, hence its
+     joint overlap intersects the window. Restricting the scan to items
+     starting at or before [we] and filtering per-item suffices. *)
+  join_impl left right ~ws ~we ~f
+
+let count left right = join left right ~f:(fun _ _ -> ())

@@ -1,0 +1,24 @@
+(** Endpoint-based plane-sweep binary interval join (EBI family,
+    Piatov et al.).
+
+    Enumerates every pair [(a, b)] with [a] from the left relation and
+    [b] from the right relation whose intervals overlap. Both relations
+    must be in {!Relation.t} (start-sorted) form. *)
+
+val join :
+  Relation.t -> Relation.t -> f:(Span_item.t -> Span_item.t -> unit) -> int
+(** [join left right ~f] calls [f a b] for every overlapping pair and
+    returns the number of pairs. *)
+
+val join_window :
+  Relation.t ->
+  Relation.t ->
+  ws:int ->
+  we:int ->
+  f:(Span_item.t -> Span_item.t -> unit) ->
+  int
+(** Like {!join}, restricted to pairs whose joint overlap intersects the
+    window [ws, we]. *)
+
+val count : Relation.t -> Relation.t -> int
+(** [count l r] is [join l r ~f:(fun _ _ -> ())]. *)

@@ -1,0 +1,98 @@
+open Semantics
+
+let random_graph ~seed ~n_vertices ~n_edges ~n_labels ~domain ~max_len () =
+  let rng = Random.State.make [| seed; 0xbeef |] in
+  let labels =
+    Tgraph.Label.of_names (Array.init n_labels (Printf.sprintf "l%d"))
+  in
+  let b = Tgraph.Graph.Builder.create ~labels () in
+  for _ = 1 to n_edges do
+    let src = Random.State.int rng n_vertices in
+    let dst = Random.State.int rng n_vertices in
+    let lbl = Random.State.int rng n_labels in
+    let ts = Random.State.int rng domain in
+    let te = min (domain - 1) (ts + Random.State.int rng (max 1 max_len)) in
+    ignore (Tgraph.Graph.Builder.add_edge b ~src ~dst ~lbl ~ts ~te)
+  done;
+  Tgraph.Graph.Builder.finish b
+
+(* A pool of query patterns over [n_labels] labels; windows are chosen by
+   the caller. Includes shapes with shared unbound endpoints and repeated
+   labels to stress consistency checking. *)
+let query_pool ~n_labels ~window =
+  let l i = i mod n_labels in
+  [
+    (* 2-star *)
+    Query.make ~n_vars:3 ~edges:[ (l 0, 0, 1); (l 1, 0, 2) ] ~window;
+    (* 3-star *)
+    Query.make ~n_vars:4 ~edges:[ (l 0, 0, 1); (l 1, 0, 2); (l 2, 0, 3) ] ~window;
+    (* 3-chain *)
+    Query.make ~n_vars:4 ~edges:[ (l 0, 0, 1); (l 1, 1, 2); (l 2, 2, 3) ] ~window;
+    (* 4-chain *)
+    Query.make ~n_vars:5
+      ~edges:[ (l 0, 0, 1); (l 1, 1, 2); (l 2, 2, 3); (l 3, 3, 4) ]
+      ~window;
+    (* triangle *)
+    Query.make ~n_vars:3 ~edges:[ (l 0, 0, 1); (l 1, 1, 2); (l 2, 2, 0) ] ~window;
+    (* 4-circle *)
+    Query.make ~n_vars:4
+      ~edges:[ (l 0, 0, 1); (l 1, 1, 2); (l 2, 2, 3); (l 3, 3, 0) ]
+      ~window;
+    (* parallel query edges (shared endpoints) *)
+    Query.make ~n_vars:2 ~edges:[ (l 0, 0, 1); (l 1, 0, 1) ] ~window;
+    (* repeated label on a star *)
+    Query.make ~n_vars:3 ~edges:[ (l 0, 0, 1); (l 0, 0, 2) ] ~window;
+    (* self loop plus spoke *)
+    Query.make ~n_vars:2 ~edges:[ (l 0, 0, 0); (l 1, 0, 1) ] ~window;
+    (* in-star (edges pointing at the center) *)
+    Query.make ~n_vars:3 ~edges:[ (l 0, 1, 0); (l 1, 2, 0) ] ~window;
+    (* mixed directions through a middle vertex *)
+    Query.make ~n_vars:3 ~edges:[ (l 0, 1, 0); (l 1, 1, 2) ] ~window;
+    (* single edge *)
+    Query.make ~n_vars:2 ~edges:[ (l 0, 0, 1) ] ~window;
+    (* disconnected: two independent edges *)
+    Query.make ~n_vars:4 ~edges:[ (l 0, 0, 1); (l 1, 2, 3) ] ~window;
+    (* wildcard edge (any label) in a 2-star *)
+    Query.make ~n_vars:3
+      ~edges:[ (l 0, 0, 1); (Query.any_label, 0, 2) ]
+      ~window;
+    (* fully unlabeled triangle (the durable-pattern setting) *)
+    Query.make ~n_vars:3
+      ~edges:
+        [
+          (Query.any_label, 0, 1); (Query.any_label, 1, 2);
+          (Query.any_label, 2, 0);
+        ]
+      ~window;
+  ]
+
+let random_query ~seed ~n_labels ~max_edges ~window =
+  let rng = Random.State.make [| seed; 0x51ab |] in
+  let n_edges = 1 + Random.State.int rng (max max_edges 1) in
+  let n_vars = 1 + Random.State.int rng (n_edges + 2) in
+  let used = Array.make n_vars false in
+  let pick_used_or_any () =
+    let used_vars =
+      Array.to_list (Array.mapi (fun i u -> (i, u)) used)
+      |> List.filter_map (fun (i, u) -> if u then Some i else None)
+    in
+    if used_vars = [] || Random.State.int rng 5 = 0 then
+      Random.State.int rng n_vars
+    else List.nth used_vars (Random.State.int rng (List.length used_vars))
+  in
+  let edges =
+    List.init n_edges (fun _ ->
+        let a = pick_used_or_any () in
+        let b =
+          if Random.State.int rng 12 = 0 then a (* occasional self loop *)
+          else Random.State.int rng n_vars
+        in
+        used.(a) <- true;
+        used.(b) <- true;
+        let lbl =
+          if Random.State.int rng 8 = 0 then Query.any_label
+          else Random.State.int rng n_labels
+        in
+        if Random.State.bool rng then (lbl, a, b) else (lbl, b, a))
+  in
+  Query.make ~n_vars ~edges ~window

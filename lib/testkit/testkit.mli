@@ -1,0 +1,32 @@
+(** Deterministic random inputs for tests, fuzzing and examples:
+    uniform random temporal graphs and a pool of query shapes that
+    exercises every structural corner of the matcher (shared unbound
+    endpoints, repeated labels, self loops, mixed directions,
+    disconnected patterns). *)
+
+val random_graph :
+  seed:int ->
+  n_vertices:int ->
+  n_edges:int ->
+  n_labels:int ->
+  domain:int ->
+  max_len:int ->
+  unit ->
+  Tgraph.Graph.t
+
+val query_pool :
+  n_labels:int -> window:Temporal.Interval.t -> Semantics.Query.t list
+(** Fifteen query shapes over the first [n_labels] labels, including
+    wildcard-labeled patterns. *)
+
+val random_query :
+  seed:int ->
+  n_labels:int ->
+  max_edges:int ->
+  window:Temporal.Interval.t ->
+  Semantics.Query.t
+(** A random pattern: 1..max_edges edges over a random variable set with
+    random labels (occasionally the wildcard) and directions; mostly
+    connected (each edge prefers an already-used variable), with
+    occasional self loops, parallel edges and disconnected components.
+    Deterministic in [seed]. *)

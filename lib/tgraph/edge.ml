@@ -1,0 +1,55 @@
+type t = {
+  id : int;
+  src : int;
+  dst : int;
+  lbl : int;
+  ivl : Temporal.Interval.t;
+}
+
+let make ~id ~src ~dst ~lbl ivl = { id; src; dst; lbl; ivl }
+let id e = e.id
+let src e = e.src
+let dst e = e.dst
+let lbl e = e.lbl
+let ivl e = e.ivl
+let ts e = Temporal.Interval.ts e.ivl
+let te e = Temporal.Interval.te e.ivl
+let to_span e = Temporal.Span_item.make e.id e.ivl
+
+let compare_by_start a b =
+  let c = Temporal.Interval.compare a.ivl b.ivl in
+  if c <> 0 then c else Int.compare a.id b.id
+
+let compare_chain cs = List.fold_left (fun acc c -> if acc <> 0 then acc else c) 0 cs
+
+let compare_lsd a b =
+  compare_chain
+    [
+      Int.compare a.lbl b.lbl;
+      Int.compare a.src b.src;
+      Int.compare a.dst b.dst;
+      compare_by_start a b;
+    ]
+
+let compare_lds a b =
+  compare_chain
+    [
+      Int.compare a.lbl b.lbl;
+      Int.compare a.dst b.dst;
+      Int.compare a.src b.src;
+      compare_by_start a b;
+    ]
+
+let compare_ls a b =
+  compare_chain
+    [ Int.compare a.lbl b.lbl; Int.compare a.src b.src; compare_by_start a b ]
+
+let compare_ld a b =
+  compare_chain
+    [ Int.compare a.lbl b.lbl; Int.compare a.dst b.dst; compare_by_start a b ]
+
+let equal a b = a.id = b.id
+
+let pp fmt e =
+  Format.fprintf fmt "e%d:%d-[%d]->%d@%a" e.id e.src e.lbl e.dst
+    Temporal.Interval.pp e.ivl

@@ -1,0 +1,155 @@
+type topology =
+  | Grid of { rows : int; cols : int }
+  | Power_law of { n_vertices : int; exponent : float }
+  | Uniform_random of { n_vertices : int }
+
+type config = {
+  topology : topology;
+  n_edges : int;
+  n_labels : int;
+  domain : int;
+  mean_duration : float;
+  label_affinity : int option;
+  seed : int;
+}
+
+let label_name i =
+  (* a, b, ..., z, aa, ab, ... *)
+  let rec go i acc =
+    let acc = String.make 1 (Char.chr (Char.code 'a' + (i mod 26))) :: acc in
+    if i < 26 then String.concat "" acc else go ((i / 26) - 1) acc
+  in
+  go i []
+
+(* Zipf-like sampler: cumulative weights 1/(i+1)^exponent, inverted by
+   binary search. *)
+let make_zipf rng n exponent =
+  let cum = Array.make n 0.0 in
+  let total = ref 0.0 in
+  for i = 0 to n - 1 do
+    total := !total +. (1.0 /. Float.pow (float_of_int (i + 1)) exponent);
+    cum.(i) <- !total
+  done;
+  fun () ->
+    let u = Random.State.float rng !total in
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if cum.(mid) < u then lo := mid + 1 else hi := mid
+    done;
+    !lo
+
+let sample_duration rng mean =
+  (* Geometric-like: exponential sample rounded up, so the mean parameter
+     controls the long-vs-short interval profile. *)
+  let u = Random.State.float rng 1.0 in
+  let d = -.mean *. log (1.0 -. u) in
+  max 1 (int_of_float (Float.round d))
+
+let generate cfg =
+  if cfg.n_edges < 0 then invalid_arg "Generator.generate: negative n_edges";
+  if cfg.n_labels <= 0 then invalid_arg "Generator.generate: need labels";
+  if cfg.domain <= 0 then invalid_arg "Generator.generate: need a domain";
+  let rng = Random.State.make [| cfg.seed; 0x7c5; cfg.n_edges |] in
+  let labels =
+    Label.of_names (Array.init cfg.n_labels label_name)
+  in
+  let b = Graph.Builder.create ~labels () in
+  let sample_endpoints =
+    match cfg.topology with
+    | Grid { rows; cols } ->
+        if rows < 2 || cols < 2 then
+          invalid_arg "Generator.generate: grid needs at least 2x2";
+        (* Mostly 4-neighbour street segments, with occasional diagonal
+           shortcuts (real road networks are not bipartite; without the
+           diagonals no triangle pattern could ever match). *)
+        let cardinal = [ (0, 1); (0, -1); (1, 0); (-1, 0) ] in
+        let diagonal = [ (1, 1); (1, -1); (-1, 1); (-1, -1) ] in
+        fun () ->
+          let r = Random.State.int rng rows
+          and c = Random.State.int rng cols in
+          let pool =
+            if Random.State.int rng 5 = 0 then diagonal else cardinal
+          in
+          let dirs =
+            List.filter
+              (fun (dr, dc) ->
+                let r' = r + dr and c' = c + dc in
+                r' >= 0 && r' < rows && c' >= 0 && c' < cols)
+              pool
+          in
+          let dr, dc = List.nth dirs (Random.State.int rng (List.length dirs)) in
+          ((r * cols) + c, ((r + dr) * cols) + (c + dc))
+    | Power_law { n_vertices; exponent } ->
+        if n_vertices < 2 then
+          invalid_arg "Generator.generate: need at least 2 vertices";
+        let zipf = make_zipf rng n_vertices exponent in
+        (* Random vertex relabeling so hub ids are scattered. *)
+        let perm = Array.init n_vertices (fun i -> i) in
+        for i = n_vertices - 1 downto 1 do
+          let j = Random.State.int rng (i + 1) in
+          let tmp = perm.(i) in
+          perm.(i) <- perm.(j);
+          perm.(j) <- tmp
+        done;
+        fun () ->
+          let src = perm.(zipf ()) in
+          let rec pick_dst () =
+            let dst = perm.(zipf ()) in
+            if dst = src then pick_dst () else dst
+          in
+          (src, pick_dst ())
+    | Uniform_random { n_vertices } ->
+        if n_vertices < 2 then
+          invalid_arg "Generator.generate: need at least 2 vertices";
+        fun () ->
+          let src = Random.State.int rng n_vertices in
+          let rec pick_dst () =
+            let dst = Random.State.int rng n_vertices in
+            if dst = src then pick_dst () else dst
+          in
+          (src, pick_dst ())
+  in
+  (* Label frequencies are Zipf-skewed, as in real edge-labeled graphs;
+     the skew is what gives label combinations diverse selectivities. *)
+  let global_label = make_zipf rng cfg.n_labels 1.0 in
+  let sample_label =
+    match cfg.label_affinity with
+    | None -> fun _src -> global_label ()
+    | Some k ->
+        if k <= 0 || k > cfg.n_labels then
+          invalid_arg "Generator.generate: label_affinity out of range";
+        (* Per-vertex allowed label sets, drawn lazily but deterministically
+           in first-visit order from the same stream. *)
+        let affinity : (int, int array) Hashtbl.t = Hashtbl.create 1024 in
+        fun src ->
+          let allowed =
+            match Hashtbl.find_opt affinity src with
+            | Some a -> a
+            | None ->
+                let seen = Hashtbl.create k in
+                let a = Array.make k 0 in
+                let n = ref 0 in
+                while !n < k do
+                  let l = global_label () in
+                  if not (Hashtbl.mem seen l) then begin
+                    Hashtbl.add seen l ();
+                    a.(!n) <- l;
+                    incr n
+                  end
+                done;
+                Hashtbl.add affinity src a;
+                a
+          in
+          allowed.(Random.State.int rng k)
+  in
+  for _ = 1 to cfg.n_edges do
+    let src, dst = sample_endpoints () in
+    let lbl = sample_label src in
+    let ts = Random.State.int rng cfg.domain in
+    let te = min (cfg.domain - 1) (ts + sample_duration rng cfg.mean_duration - 1) in
+    ignore (Graph.Builder.add_edge b ~src ~dst ~lbl ~ts ~te)
+  done;
+  Graph.Builder.finish b
+
+let with_edges cfg n = { cfg with n_edges = n }

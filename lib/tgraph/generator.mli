@@ -1,0 +1,41 @@
+(** Deterministic synthetic temporal-graph generators.
+
+    These stand in for the paper's real datasets (see DESIGN.md §3): each
+    generator reproduces a topology family (grid road network, power-law
+    social/AS network, uniform random) and an interval-length profile
+    (long vs short relative to the time domain), which are the properties
+    the paper's selectivity arguments depend on. *)
+
+type topology =
+  | Grid of { rows : int; cols : int }
+      (** road network: vertices are intersections, edges connect
+          4-neighbours; heavy multi-edges over time *)
+  | Power_law of { n_vertices : int; exponent : float }
+      (** social / AS topology: endpoints drawn from a Zipf-like
+          distribution with the given exponent *)
+  | Uniform_random of { n_vertices : int }
+
+type config = {
+  topology : topology;
+  n_edges : int;
+  n_labels : int;
+  domain : int;  (** timestamps range over [0, domain - 1] *)
+  mean_duration : float;
+      (** mean edge-interval length; durations are geometric-like with
+          this mean, truncated to the domain *)
+  label_affinity : int option;
+      (** when [Some k], every vertex supports only [k] of the labels and
+          its out-edges draw from that subset. This decouples label
+          frequency from combination selectivity: each label stays
+          frequent while specific label combinations at one vertex stay
+          rare — the "topologically selective" regime of the paper's
+          Stack/CAIDA networks. [None]: labels are Zipf-drawn globally. *)
+  seed : int;
+}
+
+val generate : config -> Graph.t
+(** Deterministic in [config] (including [seed]). Labels are named
+    ["a"], ["b"], ... in id order. *)
+
+val with_edges : config -> int -> config
+(** [with_edges c n] is [c] resized to [n] edges (size sweeps). *)

@@ -1,0 +1,100 @@
+let to_channel g oc =
+  let labels = Graph.labels g in
+  output_string oc "# src,dst,label,ts,te\n";
+  Graph.iter_edges
+    (fun e ->
+      Printf.fprintf oc "%d,%d,%s,%d,%d\n" (Edge.src e) (Edge.dst e)
+        (Label.name labels (Edge.lbl e))
+        (Edge.ts e) (Edge.te e))
+    g
+
+let save g path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> to_channel g oc)
+
+let parse_line ~source ~line_no b line =
+  let line = String.trim line in
+  if line = "" || line.[0] = '#' then ()
+  else
+    match String.split_on_char ',' line with
+    | [ src; dst; lbl; ts; te ] -> (
+        match
+          ( int_of_string_opt (String.trim src),
+            int_of_string_opt (String.trim dst),
+            int_of_string_opt (String.trim ts),
+            int_of_string_opt (String.trim te) )
+        with
+        | Some src, Some dst, Some ts, Some te ->
+            ignore
+              (Graph.Builder.add_edge_named b ~src ~dst ~lbl:(String.trim lbl)
+                 ~ts ~te)
+        | None, _, _, _ | _, None, _, _ | _, _, None, _ | _, _, _, None ->
+            failwith
+              (Printf.sprintf "%s:%d: malformed integer field in %S" source
+                 line_no line))
+    | _ ->
+        failwith
+          (Printf.sprintf "%s:%d: expected 5 comma-separated fields in %S"
+             source line_no line)
+
+let of_channel ?(source = "<channel>") ic =
+  let b = Graph.Builder.create () in
+  let line_no = ref 0 in
+  (try
+     while true do
+       let line = input_line ic in
+       incr line_no;
+       parse_line ~source ~line_no:!line_no b line
+     done
+   with End_of_file -> ());
+  Graph.Builder.finish b
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_channel ~source:path ic)
+
+let load_contacts ?(label = "contact") ~duration path =
+  if duration < 1 then invalid_arg "Io.load_contacts: duration must be >= 1";
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let b = Graph.Builder.create () in
+      let line_no = ref 0 in
+      (try
+         while true do
+           let line = String.trim (input_line ic) in
+           incr line_no;
+           if line <> "" && line.[0] <> '#' then begin
+             let fields =
+               String.split_on_char ' ' line
+               |> List.concat_map (String.split_on_char '\t')
+               |> List.filter (fun f -> f <> "")
+             in
+             match fields with
+             | [ src; dst; ts ] -> (
+                 match
+                   ( int_of_string_opt src,
+                     int_of_string_opt dst,
+                     int_of_string_opt ts )
+                 with
+                 | Some src, Some dst, Some ts ->
+                     ignore
+                       (Graph.Builder.add_edge_named b ~src ~dst ~lbl:label
+                          ~ts
+                          ~te:(ts + duration - 1))
+                 | _ ->
+                     failwith
+                       (Printf.sprintf "%s:%d: malformed contact line %S" path
+                          !line_no line))
+             | _ ->
+                 failwith
+                   (Printf.sprintf
+                      "%s:%d: expected 'src dst timestamp', got %S" path
+                      !line_no line)
+           end
+         done
+       with End_of_file -> ());
+      Graph.Builder.finish b)

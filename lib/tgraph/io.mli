@@ -1,0 +1,28 @@
+(** CSV-ish persistence for temporal graphs.
+
+    Line format (one edge per line, '#' comments and blank lines
+    ignored):
+
+    {v src,dst,label,ts,te v}
+
+    where [label] is the label string (interned on load). *)
+
+val save : Graph.t -> string -> unit
+(** [save g path] writes [g] to [path]. *)
+
+val load : string -> Graph.t
+(** [load path] reads a graph.
+    @raise Failure with a line-numbered message on malformed input. *)
+
+val to_channel : Graph.t -> out_channel -> unit
+val of_channel : ?source:string -> in_channel -> Graph.t
+
+val load_contacts : ?label:string -> duration:int -> string -> Graph.t
+(** Imports a SNAP-style contact sequence: whitespace-separated
+    [src dst timestamp] lines ('#' comments ignored), turning each
+    contact into an edge valid for [duration] timestamps from its
+    contact time, labeled [label] (default ["contact"]). This is how
+    public temporal datasets (e.g. SNAP's email/CollegeMsg networks)
+    map onto the interval model.
+    @raise Failure with a line-numbered message on malformed input.
+    @raise Invalid_argument when [duration < 1]. *)

@@ -1,0 +1,44 @@
+type t = {
+  by_name : (string, int) Hashtbl.t;
+  mutable by_id : string array;
+  mutable count : int;
+}
+
+let create () = { by_name = Hashtbl.create 16; by_id = [||]; count = 0 }
+
+let grow t =
+  let capacity = max 4 (2 * Array.length t.by_id) in
+  let by_id = Array.make capacity "" in
+  Array.blit t.by_id 0 by_id 0 t.count;
+  t.by_id <- by_id
+
+let intern t name =
+  match Hashtbl.find_opt t.by_name name with
+  | Some id -> id
+  | None ->
+      let id = t.count in
+      if id = Array.length t.by_id then grow t;
+      t.by_id.(id) <- name;
+      t.count <- id + 1;
+      Hashtbl.add t.by_name name id;
+      id
+
+let find t name = Hashtbl.find_opt t.by_name name
+
+let name t id =
+  if id < 0 || id >= t.count then
+    invalid_arg (Printf.sprintf "Label.name: unknown label id %d" id);
+  t.by_id.(id)
+
+let count t = t.count
+let names t = Array.sub t.by_id 0 t.count
+
+let of_names arr =
+  let t = create () in
+  Array.iter
+    (fun n ->
+      if Hashtbl.mem t.by_name n then
+        invalid_arg (Printf.sprintf "Label.of_names: duplicate label %S" n);
+      ignore (intern t n))
+    arr;
+  t

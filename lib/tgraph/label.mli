@@ -1,0 +1,30 @@
+(** Edge label interning: a bidirectional map between label strings and
+    dense integer ids.
+
+    Every index in the system keys labels by their dense id; the table is
+    only consulted at the input/output boundary. *)
+
+type t
+
+val create : unit -> t
+
+val intern : t -> string -> int
+(** [intern t name] is the id of [name], allocating the next dense id on
+    first sight. *)
+
+val find : t -> string -> int option
+(** The id of [name] if it was interned. *)
+
+val name : t -> int -> string
+(** [name t id] is the string of [id].
+    @raise Invalid_argument on an unknown id. *)
+
+val count : t -> int
+(** Number of distinct labels interned so far. *)
+
+val names : t -> string array
+(** All label names, indexed by id. *)
+
+val of_names : string array -> t
+(** Pre-populated table; ids follow array order.
+    @raise Invalid_argument on duplicate names. *)

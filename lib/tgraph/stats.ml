@@ -1,0 +1,124 @@
+type t = {
+  n_vertices : int;
+  n_edges : int;
+  n_labels : int;
+  domain : Temporal.Interval.t option;
+  mean_interval_length : float;
+  median_interval_length : int;
+  max_interval_length : int;
+  mean_out_degree : float;
+  max_out_degree : int;
+  max_in_degree : int;
+  mean_parallelism : float;
+}
+
+let compute g =
+  let n_edges = Graph.n_edges g in
+  let n_vertices = Graph.n_vertices g in
+  if n_edges = 0 then
+    {
+      n_vertices;
+      n_edges;
+      n_labels = Graph.n_labels g;
+      domain = None;
+      mean_interval_length = 0.0;
+      median_interval_length = 0;
+      max_interval_length = 0;
+      mean_out_degree = 0.0;
+      max_out_degree = 0;
+      max_in_degree = 0;
+      mean_parallelism = 0.0;
+    }
+  else begin
+    let lengths = Array.make n_edges 0 in
+    let out_deg = Array.make (max 1 n_vertices) 0 in
+    let in_deg = Array.make (max 1 n_vertices) 0 in
+    let sum_len = ref 0 in
+    Graph.iter_edges
+      (fun e ->
+        let len = Temporal.Interval.length (Edge.ivl e) in
+        lengths.(Edge.id e) <- len;
+        sum_len := !sum_len + len;
+        out_deg.(Edge.src e) <- out_deg.(Edge.src e) + 1;
+        in_deg.(Edge.dst e) <- in_deg.(Edge.dst e) + 1)
+      g;
+    Array.sort Int.compare lengths;
+    let max_out = Array.fold_left max 0 out_deg in
+    let max_in = Array.fold_left max 0 in_deg in
+    (* Parallelism: group edges by (label, source); within each group,
+       for each edge count the group edges alive at its start time. *)
+    let groups = Hashtbl.create 64 in
+    Graph.iter_edges
+      (fun e ->
+        let key = (Edge.lbl e, Edge.src e) in
+        let cur = try Hashtbl.find groups key with Not_found -> [] in
+        Hashtbl.replace groups key (e :: cur))
+      g;
+    (* Alive-at-start counts per group via two sorted endpoint arrays:
+       alive(t) = #(starts <= t) - #(ends < t). Exact in O(n log n). *)
+    let upper_bound a t =
+      let lo = ref 0 and hi = ref (Array.length a) in
+      while !lo < !hi do
+        let mid = (!lo + !hi) / 2 in
+        if a.(mid) <= t then lo := mid + 1 else hi := mid
+      done;
+      !lo
+    in
+    let lower_bound a t =
+      let lo = ref 0 and hi = ref (Array.length a) in
+      while !lo < !hi do
+        let mid = (!lo + !hi) / 2 in
+        if a.(mid) < t then lo := mid + 1 else hi := mid
+      done;
+      !lo
+    in
+    let parallel_sum = ref 0 in
+    Hashtbl.iter
+      (fun _ es ->
+        let starts = Array.of_list (List.map Edge.ts es) in
+        let ends = Array.of_list (List.map Edge.te es) in
+        Array.sort Int.compare starts;
+        Array.sort Int.compare ends;
+        List.iter
+          (fun e ->
+            let t = Edge.ts e in
+            parallel_sum :=
+              !parallel_sum + upper_bound starts t - lower_bound ends t)
+          es)
+      groups;
+    {
+      n_vertices;
+      n_edges;
+      n_labels = Graph.n_labels g;
+      domain = Some (Graph.time_domain g);
+      mean_interval_length = float_of_int !sum_len /. float_of_int n_edges;
+      median_interval_length = lengths.(n_edges / 2);
+      max_interval_length = lengths.(n_edges - 1);
+      mean_out_degree = float_of_int n_edges /. float_of_int (max 1 n_vertices);
+      max_out_degree = max_out;
+      max_in_degree = max_in;
+      mean_parallelism = float_of_int !parallel_sum /. float_of_int n_edges;
+    }
+  end
+
+let pp fmt s =
+  Format.fprintf fmt
+    "@[<v>|V| = %d@ |E| = %d@ |L| = %d@ domain = %s@ interval length: mean \
+     %.2f, median %d, max %d@ out-degree: mean %.2f, max %d@ in-degree max = \
+     %d@ parallelism = %.2f@]"
+    s.n_vertices s.n_edges s.n_labels
+    (match s.domain with
+    | None -> "-"
+    | Some d -> Temporal.Interval.to_string d)
+    s.mean_interval_length s.median_interval_length s.max_interval_length
+    s.mean_out_degree s.max_out_degree s.max_in_degree s.mean_parallelism
+
+let pp_table_header fmt () =
+  Format.fprintf fmt "%-10s %10s %10s %6s %12s %12s %10s" "network" "|V|" "|E|"
+    "|L|" "domain" "mean-ivl" "median-ivl"
+
+let pp_table_row ~name fmt s =
+  Format.fprintf fmt "%-10s %10d %10d %6d %12d %12.1f %10d" name s.n_vertices
+    s.n_edges s.n_labels
+    (match s.domain with None -> 0 | Some d -> Temporal.Interval.length d)
+    s.mean_interval_length s.median_interval_length

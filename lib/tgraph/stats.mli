@@ -1,0 +1,28 @@
+(** Descriptive statistics of a temporal graph: the columns of the
+    paper's Table III plus interval-shape measures used to characterize
+    the synthetic datasets. *)
+
+type t = {
+  n_vertices : int;
+  n_edges : int;
+  n_labels : int;
+  domain : Temporal.Interval.t option;
+  mean_interval_length : float;
+  median_interval_length : int;
+  max_interval_length : int;
+  mean_out_degree : float;
+  max_out_degree : int;
+  max_in_degree : int;
+  mean_parallelism : float;
+      (** average number of edges alive at an edge's start time that share
+          its (label, source): a proxy for temporal density *)
+}
+
+val compute : Graph.t -> t
+val pp : Format.formatter -> t -> unit
+
+val pp_table_row : name:string -> Format.formatter -> t -> unit
+(** One Table III row: name, |V|, |E|, |L|, domain length, mean/median
+    interval length. *)
+
+val pp_table_header : Format.formatter -> unit -> unit

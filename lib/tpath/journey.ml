@@ -1,0 +1,55 @@
+open Tgraph
+
+type t = { edges : int list; departure : int; arrival : int }
+
+let length j = List.length j.edges
+
+let verify g ~src j =
+  match j.edges with
+  | [] -> Error "empty journey"
+  | first :: _ ->
+      let rec walk at time = function
+        | [] -> Ok time
+        | id :: rest ->
+            let e = Graph.edge g id in
+            if Edge.src e <> at then
+              Error
+                (Printf.sprintf "edge %d departs from %d, journey is at %d" id
+                   (Edge.src e) at)
+            else begin
+              (* earliest feasible traversal instant >= current time *)
+              let instant = max time (Edge.ts e) in
+              if instant > Edge.te e then
+                Error
+                  (Printf.sprintf
+                     "edge %d (valid %s) cannot be traversed at or after %d" id
+                     (Temporal.Interval.to_string (Edge.ivl e))
+                     time)
+              else walk (Edge.dst e) instant rest
+            end
+      in
+      let e0 = Graph.edge g first in
+      if Edge.src e0 <> src then Error "journey does not start at the source"
+      else if
+        j.departure < Edge.ts e0 || j.departure > Edge.te e0
+      then Error "departure instant outside the first edge's interval"
+      else begin
+        match walk src j.departure j.edges with
+        | Error _ as e -> e
+        | Ok earliest_arrival ->
+            (* the claimed arrival must be feasible: it can be any instant
+               >= the earliest schedule's arrival that still fits the last
+               edge *)
+            let last = Graph.edge g (List.nth j.edges (length j - 1)) in
+            if j.arrival < earliest_arrival || j.arrival > Edge.te last then
+              Error
+                (Printf.sprintf
+                   "claimed arrival %d infeasible (earliest %d, last edge ends %d)"
+                   j.arrival earliest_arrival (Edge.te last))
+            else Ok ()
+      end
+
+let pp fmt j =
+  Format.fprintf fmt "journey(%s; depart %d, arrive %d)"
+    (String.concat " -> " (List.map (Printf.sprintf "e%d") j.edges))
+    j.departure j.arrival

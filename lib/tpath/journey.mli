@@ -1,0 +1,25 @@
+(** Time-respecting journeys over interval temporal graphs.
+
+    The contrast class to temporal-clique matching (the paper's related
+    work: TopChain, ChronoGraph, temporal path queries): instead of all
+    edges overlapping jointly, a journey traverses edges in sequence at
+    non-decreasing times, each traversal instant lying inside its edge's
+    validity interval.
+
+    Formally, a journey from [v0] is a sequence of edges [e1; ...; ek]
+    with [src e1 = v0], [src e(i+1) = dst e(i)], and traversal instants
+    [t1 <= t2 <= ... <= tk] with [ti] inside [ivl ei]. Traversal is
+    instantaneous (the interval-contact model). *)
+
+type t = { edges : int list; departure : int; arrival : int }
+(** Edge ids in traversal order with the chosen departure instant (the
+    traversal time of the first edge) and arrival instant (of the
+    last). *)
+
+val length : t -> int
+
+val verify : Tgraph.Graph.t -> src:int -> t -> (unit, string) result
+(** Checks connectivity and the existence of a non-decreasing traversal
+    schedule starting at [departure] and ending at [arrival]. *)
+
+val pp : Format.formatter -> t -> unit

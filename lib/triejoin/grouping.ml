@@ -1,0 +1,37 @@
+type t = { keys : int array; offsets : int array }
+
+let group arr ~off ~len ~key =
+  if off < 0 || len < 0 || off + len > Array.length arr then
+    invalid_arg "Grouping.group: window out of bounds";
+  let keys = ref [] and offsets = ref [] and n = ref 0 in
+  let i = ref off in
+  let stop = off + len in
+  while !i < stop do
+    let k = key arr.(!i) in
+    (match !keys with
+    | prev :: _ when prev >= k ->
+        invalid_arg "Grouping.group: array not sorted by key within window"
+    | _ -> ());
+    keys := k :: !keys;
+    offsets := !i :: !offsets;
+    incr n;
+    while !i < stop && key arr.(!i) = k do incr i done
+  done;
+  {
+    keys = Array.of_list (List.rev !keys);
+    offsets = Array.of_list (List.rev (stop :: !offsets));
+  }
+
+let n_groups g = Array.length g.keys
+
+let find g k =
+  let keys = g.keys in
+  let lo = ref 0 and hi = ref (Array.length keys) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if keys.(mid) < k then lo := mid + 1 else hi := mid
+  done;
+  if !lo < Array.length keys && keys.(!lo) = k then Some !lo else None
+
+let range g i = (g.offsets.(i), g.offsets.(i + 1) - g.offsets.(i))
+let size_words g = 2 + Array.length g.keys + Array.length g.offsets

@@ -1,0 +1,22 @@
+(** Run-length grouping of a sorted array by an integer key: the
+    construction primitive behind every trie level (adjacency indexes and
+    TAIs alike). *)
+
+type t = { keys : int array; offsets : int array }
+(** [keys] are the distinct key values in ascending order; group [i]
+    occupies absolute index range [offsets.(i) .. offsets.(i+1) - 1] of
+    the grouped array ([offsets] has [length keys + 1] entries). *)
+
+val group : 'a array -> off:int -> len:int -> key:('a -> int) -> t
+(** Groups the window [off, off+len) of an array already sorted (within
+    the window) by [key].
+    @raise Invalid_argument if keys are found out of order. *)
+
+val find : t -> int -> int option
+(** [find g k] is the group index of key [k], by binary search. *)
+
+val range : t -> int -> int * int
+(** [range g i] is group [i]'s absolute [(offset, length)]. *)
+
+val n_groups : t -> int
+val size_words : t -> int

@@ -1,0 +1,28 @@
+(** Leapfrog multiway intersection of sorted key sets (the binding
+    production of a leapfrog triejoin, Veldhuizen).
+
+    [leapfrog-init] sorts the iterators by their current key;
+    [leapfrog-search] repeatedly seeks the smallest iterator to the
+    current maximum until all agree; [leapfrog-next] advances past the
+    last binding. *)
+
+type t
+
+val create : Key_iter.t array -> t
+(** Takes ownership of the iterators (they are reset).
+    @raise Invalid_argument on an empty array. *)
+
+val current : t -> int option
+(** The binding at the current position, if the intersection is not yet
+    exhausted. *)
+
+val next : t -> unit
+(** Advance past the current binding. *)
+
+val iter : (int -> unit) -> t -> unit
+(** Iterate over all remaining bindings. *)
+
+val to_list : t -> int list
+
+val intersect_arrays : int array list -> int array
+(** Convenience: the intersection of strictly-ascending arrays. *)

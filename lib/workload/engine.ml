@@ -1,0 +1,104 @@
+type method_ = Tsrjoin | Binary | Hybrid | Time
+
+let all_methods = [| Tsrjoin; Binary; Hybrid; Time |]
+
+let method_name = function
+  | Tsrjoin -> "tsrjoin"
+  | Binary -> "binary"
+  | Hybrid -> "hybrid"
+  | Time -> "time"
+
+let method_of_string s =
+  match String.lowercase_ascii s with
+  | "tsrjoin" | "tsrj" -> Some Tsrjoin
+  | "binary" -> Some Binary
+  | "hybrid" -> Some Hybrid
+  | "time" -> Some Time
+  | _ -> None
+
+type t = {
+  graph : Tgraph.Graph.t;
+  tai : Tcsq_core.Tai.t;
+  cost : Tcsq_core.Plan.cost_model;
+  adjacency : Triejoin.Adjacency.t;
+  sti_index : Relops.Sti_index.t;
+}
+
+let prepare graph =
+  let tai = Tcsq_core.Tai.build ~with_eci:true graph in
+  {
+    graph;
+    tai;
+    cost = Tcsq_core.Plan.cost_model tai;
+    adjacency = Triejoin.Adjacency.build graph;
+    sti_index = Relops.Sti_index.build graph;
+  }
+
+let graph t = t.graph
+let tai t = t.tai
+let adjacency t = t.adjacency
+let sti_index t = t.sti_index
+
+let run ?stats ?tsrjoin_config t method_ q ~emit =
+  match method_ with
+  | Tsrjoin ->
+      Tcsq_core.Tsrjoin.run ?stats ?config:tsrjoin_config ~cost:t.cost t.tai q
+        ~emit
+  | Binary -> Relops.Binary.run ?stats t.adjacency q ~emit
+  | Hybrid -> Relops.Hybrid.run ?stats t.adjacency q ~emit
+  | Time -> Relops.Time_pipeline.run ?stats t.sti_index q ~emit
+
+let evaluate ?stats ?tsrjoin_config t method_ q =
+  let acc = ref [] in
+  run ?stats ?tsrjoin_config t method_ q ~emit:(fun m -> acc := m :: !acc);
+  List.rev !acc
+
+let count ?stats ?tsrjoin_config t method_ q =
+  let n = ref 0 in
+  run ?stats ?tsrjoin_config t method_ q ~emit:(fun _ -> incr n);
+  !n
+
+module Match_gen = Temporal.Push_pull.Make (struct
+  type t = Semantics.Match_result.t
+end)
+
+let volcano ?tsrjoin_config t method_ q =
+  let next_match =
+    Match_gen.to_pull (fun emit -> run ?tsrjoin_config t method_ q ~emit)
+  in
+  let tuple_of_match (m : Semantics.Match_result.t) =
+    let tup = Relops.Tuple.initial q in
+    let open Semantics in
+    Array.iteri
+      (fun i id ->
+        let qe = Query.edge q i in
+        let e = Tgraph.Graph.edge t.graph id in
+        tup.Relops.Tuple.edges.(i) <- id;
+        tup.Relops.Tuple.binds.(qe.Query.src_var) <- Tgraph.Edge.src e;
+        tup.Relops.Tuple.binds.(qe.Query.dst_var) <- Tgraph.Edge.dst e)
+      m.Match_result.edges;
+    { tup with Relops.Tuple.life = m.Match_result.life }
+  in
+  Relops.Volcano.of_producer (fun () ->
+      let acc = Temporal.Vec.create ~capacity:Relops.Volcano.batch_size () in
+      let rec fill () =
+        if Temporal.Vec.length acc >= Relops.Volcano.batch_size then ()
+        else
+          match next_match () with
+          | Some m ->
+              Temporal.Vec.push acc (tuple_of_match m);
+              fill ()
+          | None -> ()
+      in
+      fill ();
+      if Temporal.Vec.is_empty acc then None else Some (Temporal.Vec.to_array acc))
+
+let index_size_words t = function
+  | Tsrjoin -> Tcsq_core.Tai.size_words t.tai
+  | Binary | Hybrid -> Triejoin.Adjacency.size_words t.adjacency
+  | Time -> Relops.Sti_index.size_words t.sti_index
+
+let index_build_seconds graph = function
+  | Tsrjoin -> snd (Tcsq_core.Tai.build_time ~with_eci:true graph)
+  | Binary | Hybrid -> snd (Triejoin.Adjacency.build_time graph)
+  | Time -> snd (Relops.Sti_index.build_time graph)

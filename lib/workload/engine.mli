@@ -1,0 +1,68 @@
+(** Unified entry point over the four query-processing methods.
+
+    Builds and owns all indexes so that the methods run against the same
+    graph, and exposes the per-method storage/build-cost accounting of
+    Tables IV and V. *)
+
+type method_ = Tsrjoin | Binary | Hybrid | Time
+
+val all_methods : method_ array
+val method_name : method_ -> string
+val method_of_string : string -> method_ option
+
+type t
+
+val prepare : Tgraph.Graph.t -> t
+(** Builds the TAI (+ECIs), the label adjacency index, and the STI-CP
+    index. *)
+
+val graph : t -> Tgraph.Graph.t
+val tai : t -> Tcsq_core.Tai.t
+val adjacency : t -> Triejoin.Adjacency.t
+val sti_index : t -> Relops.Sti_index.t
+
+val run :
+  ?stats:Semantics.Run_stats.t ->
+  ?tsrjoin_config:Tcsq_core.Tsrjoin.config ->
+  t ->
+  method_ ->
+  Semantics.Query.t ->
+  emit:(Semantics.Match_result.t -> unit) ->
+  unit
+(** May raise {!Semantics.Run_stats.Limit_exceeded} under budgets. *)
+
+val evaluate :
+  ?stats:Semantics.Run_stats.t ->
+  ?tsrjoin_config:Tcsq_core.Tsrjoin.config ->
+  t ->
+  method_ ->
+  Semantics.Query.t ->
+  Semantics.Match_result.t list
+
+val count :
+  ?stats:Semantics.Run_stats.t ->
+  ?tsrjoin_config:Tcsq_core.Tsrjoin.config ->
+  t ->
+  method_ ->
+  Semantics.Query.t ->
+  int
+
+val volcano :
+  ?tsrjoin_config:Tcsq_core.Tsrjoin.config ->
+  t ->
+  method_ ->
+  Semantics.Query.t ->
+  Relops.Volcano.t
+(** The query as a pull operator over 1024-tuple batches (the paper's
+    vectorized execution model), built on an effect-handler inversion of
+    the engine's push interface. Complete matches arrive as complete
+    tuples (all edges and variables bound). Single-consumer. *)
+
+val index_size_words : t -> method_ -> int
+(** Table IV: TSRJOIN = TAI (three sorted edge copies, tries, ECIs);
+    BINARY and HYBRID = label adjacency index (LSD + LDS); TIME = STI-CP
+    index. *)
+
+val index_build_seconds : Tgraph.Graph.t -> method_ -> float
+(** Table V: builds the method's index from scratch and reports wall
+    seconds. *)

@@ -1,0 +1,81 @@
+open Semantics
+
+type config = {
+  n_queries : int;
+  window_frac : float;
+  shape : Pattern.shape;
+  max_results : int;
+  seed : int;
+  max_attempts : int;
+}
+
+let default ~shape =
+  {
+    n_queries = 100;
+    window_frac = 0.1;
+    shape;
+    max_results = 100_000;
+    seed = 97;
+    max_attempts = 5_000;
+  }
+
+type query_info = { query : Query.t; result_size : int }
+
+(* Draw k distinct labels uniformly (partial Fisher-Yates). *)
+let draw_labels rng ~n_labels ~k =
+  if k > n_labels then None
+  else begin
+    let pool = Array.init n_labels Fun.id in
+    for i = 0 to k - 1 do
+      let j = i + Random.State.int rng (n_labels - i) in
+      let tmp = pool.(i) in
+      pool.(i) <- pool.(j);
+      pool.(j) <- tmp
+    done;
+    Some (Array.sub pool 0 k)
+  end
+
+let generate engine cfg =
+  if cfg.window_frac <= 0.0 || cfg.window_frac > 1.0 then
+    invalid_arg "Query_gen.generate: window_frac must be in (0, 1]";
+  Pattern.validate cfg.shape;
+  let g = Engine.graph engine in
+  if Tgraph.Graph.n_edges g = 0 then []
+  else begin
+    let rng = Random.State.make [| cfg.seed; 0x9e3 |] in
+    let k = Pattern.n_edges cfg.shape in
+    let n_labels = Tgraph.Graph.n_labels g in
+    let accepted = ref [] and n_accepted = ref 0 and attempts = ref 0 in
+    while !n_accepted < cfg.n_queries && !attempts < cfg.max_attempts do
+      incr attempts;
+      match draw_labels rng ~n_labels ~k with
+      | None -> attempts := cfg.max_attempts
+      | Some labels ->
+          let window =
+            Tgraph.Graph.window_of_fraction g ~frac:cfg.window_frac
+              ~at:(Random.State.float rng 1.0)
+          in
+          let query = Pattern.instantiate cfg.shape ~labels ~window in
+          (* The intermediate cap bounds the cost of probing wildly
+             unselective candidates (which would be rejected anyway). *)
+          let stats =
+            Run_stats.create
+              ~limits:
+                {
+                  Run_stats.max_results = cfg.max_results;
+                  max_intermediate = (50 * cfg.max_results) + 100_000;
+                }
+              ()
+          in
+          let size =
+            try Some (Engine.count ~stats engine Engine.Tsrjoin query)
+            with Run_stats.Limit_exceeded _ -> None (* > M: too unselective *)
+          in
+          (match size with
+          | Some size when size >= 1 ->
+              accepted := { query; result_size = size } :: !accepted;
+              incr n_accepted
+          | Some _ | None -> ())
+    done;
+    List.rev !accepted
+  end

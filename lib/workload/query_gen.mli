@@ -1,0 +1,31 @@
+(** The paper's workload generation model (Section VI).
+
+    Parameters: number of queries [n], window fraction [l] of the time
+    domain, pattern shape, the label set (the graph's), and a maximal
+    result size [M]. For each candidate, [k] distinct labels are drawn
+    uniformly, the window is placed uniformly in the domain, and the
+    query joins the workload iff its (TSRJoin-computed) result size lies
+    in [[1, M]]. *)
+
+type config = {
+  n_queries : int;
+  window_frac : float;  (** e.g. 0.1 for the default 10% windows *)
+  shape : Semantics.Pattern.shape;
+  max_results : int;  (** the selectivity knob M *)
+  seed : int;
+  max_attempts : int;  (** candidate draws before giving up *)
+}
+
+val default : shape:Semantics.Pattern.shape -> config
+(** 100-query workload at 10% windows with M = 100K, as in the paper's
+    pattern experiment (attempts capped at [50 * n_queries]). *)
+
+type query_info = {
+  query : Semantics.Query.t;
+  result_size : int;  (** exact complete-result cardinality *)
+}
+
+val generate : Engine.t -> config -> query_info list
+(** Deterministic in [config]. May return fewer than [n_queries] when
+    the attempt budget runs out (e.g. patterns with no matches at this
+    selectivity). *)

@@ -1,0 +1,94 @@
+open Semantics
+
+type budget = {
+  max_results_per_query : int;
+  max_intermediate_per_query : int;
+}
+
+let default_budget =
+  { max_results_per_query = 100_000; max_intermediate_per_query = 5_000_000 }
+
+type measurement = {
+  method_ : Engine.method_;
+  n_queries : int;
+  n_truncated : int;
+  total_seconds : float;
+  mean_seconds : float;
+  p50_seconds : float;
+  p95_seconds : float;
+  total_results : int;
+  total_intermediate : int;
+  total_scanned : int;
+}
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else sorted.(min (n - 1) (int_of_float (float_of_int (n - 1) *. p)))
+
+let run_method ?(budget = default_budget) ?tsrjoin_config engine method_ queries =
+  let totals = Run_stats.create () in
+  let n_truncated = ref 0 in
+  let per_query = ref [] in
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun q ->
+      let stats =
+        Run_stats.create
+          ~limits:
+            {
+              Run_stats.max_results = budget.max_results_per_query;
+              max_intermediate = budget.max_intermediate_per_query;
+            }
+          ()
+      in
+      let q0 = Unix.gettimeofday () in
+      (try Engine.run ~stats ?tsrjoin_config engine method_ q ~emit:(fun _ -> ())
+       with Run_stats.Limit_exceeded _ -> incr n_truncated);
+      per_query := (Unix.gettimeofday () -. q0) :: !per_query;
+      Run_stats.merge_into totals stats)
+    queries;
+  let total_seconds = Unix.gettimeofday () -. t0 in
+  let n = List.length queries in
+  let sorted = Array.of_list !per_query in
+  Array.sort Float.compare sorted;
+  {
+    method_;
+    n_queries = n;
+    n_truncated = !n_truncated;
+    total_seconds;
+    mean_seconds = (if n = 0 then 0.0 else total_seconds /. float_of_int n);
+    p50_seconds = percentile sorted 0.5;
+    p95_seconds = percentile sorted 0.95;
+    total_results = totals.Run_stats.results;
+    total_intermediate = totals.Run_stats.intermediate;
+    total_scanned = totals.Run_stats.scanned;
+  }
+
+let run_all ?budget ?(methods = Engine.all_methods) engine queries =
+  Array.to_list
+    (Array.map (fun m -> run_method ?budget engine m queries) methods)
+
+let pp_header fmt () =
+  Format.fprintf fmt "%-8s %8s %6s %12s %12s %14s %14s" "method" "queries"
+    "trunc" "mean-ms" "total-s" "intermediate" "scanned"
+
+let csv_header =
+  "method,queries,truncated,mean_ms,p50_ms,p95_ms,total_s,results,intermediate,scanned"
+
+let to_csv_row ?tag m =
+  let prefix = match tag with Some t -> t ^ "," | None -> "" in
+  Printf.sprintf "%s%s,%d,%d,%.4f,%.4f,%.4f,%.4f,%d,%d,%d" prefix
+    (Engine.method_name m.method_)
+    m.n_queries m.n_truncated
+    (m.mean_seconds *. 1000.0)
+    (m.p50_seconds *. 1000.0)
+    (m.p95_seconds *. 1000.0)
+    m.total_seconds m.total_results m.total_intermediate m.total_scanned
+
+let pp_measurement fmt m =
+  Format.fprintf fmt "%-8s %8d %6d %12.3f %12.3f %14d %14d"
+    (Engine.method_name m.method_)
+    m.n_queries m.n_truncated
+    (m.mean_seconds *. 1000.0)
+    m.total_seconds m.total_intermediate m.total_scanned

@@ -1,0 +1,50 @@
+(** Workload execution and measurement: times each method over a query
+    workload under result/intermediate budgets (the laptop-scale
+    analogue of the paper's timeouts), accumulating the counters behind
+    Figs. 9-12. *)
+
+type budget = {
+  max_results_per_query : int;
+  max_intermediate_per_query : int;
+}
+
+val default_budget : budget
+(** 100K results, 5M intermediate tuples per query. *)
+
+type measurement = {
+  method_ : Engine.method_;
+  n_queries : int;
+  n_truncated : int;  (** queries stopped by a budget (paper: timeouts) *)
+  total_seconds : float;
+  mean_seconds : float;  (** over all queries, truncated ones included *)
+  p50_seconds : float;  (** median per-query wall time *)
+  p95_seconds : float;
+  total_results : int;
+  total_intermediate : int;
+  total_scanned : int;
+}
+
+val run_method :
+  ?budget:budget ->
+  ?tsrjoin_config:Tcsq_core.Tsrjoin.config ->
+  Engine.t ->
+  Engine.method_ ->
+  Semantics.Query.t list ->
+  measurement
+
+val run_all :
+  ?budget:budget ->
+  ?methods:Engine.method_ array ->
+  Engine.t ->
+  Semantics.Query.t list ->
+  measurement list
+
+val pp_measurement : Format.formatter -> measurement -> unit
+val pp_header : Format.formatter -> unit -> unit
+
+val csv_header : string
+(** Column names for {!to_csv_row}. *)
+
+val to_csv_row : ?tag:string -> measurement -> string
+(** One comma-separated row (prefixed by [tag] when given), for external
+    plotting. *)

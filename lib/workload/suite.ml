@@ -1,0 +1,36 @@
+let to_lines g queries = List.map (Semantics.Qlang.render g) queries
+
+let of_lines g lines =
+  let rec go acc line_no = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest ->
+        let line = String.trim line in
+        if line = "" || line.[0] = '#' then go acc (line_no + 1) rest
+        else begin
+          match Semantics.Qlang.parse_and_compile g line with
+          | Ok q -> go (q :: acc) (line_no + 1) rest
+          | Error e -> Error (Printf.sprintf "line %d: %s" line_no e)
+        end
+  in
+  go [] 1 lines
+
+let save g queries path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc "# tcsq workload: one query per line\n";
+      List.iter (fun l -> output_string oc (l ^ "\n")) (to_lines g queries))
+
+let load g path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> ());
+      of_lines g (List.rev !lines))

@@ -1,0 +1,99 @@
+(* Tests for the per-label temporal histograms used by the cost model. *)
+
+open Tgraph
+
+let graph () =
+  (* label 0: ten edges bursty in [0, 9]; label 1: two long edges over
+     the whole domain [0, 99] *)
+  let edges =
+    List.init 10 (fun i -> (0, 1, 0, i, i))
+    @ [ (0, 1, 1, 0, 99); (1, 0, 1, 0, 99) ]
+  in
+  Graph.of_edge_list edges
+
+let test_bursty_vs_flat () =
+  let h = Time_histogram.build ~n_buckets:10 (graph ()) in
+  (* the burst label is fully active in [0, 9] and dead in [50, 59] *)
+  let early = Time_histogram.active_in_window h ~lbl:0 ~ws:0 ~we:9 in
+  let late = Time_histogram.active_in_window h ~lbl:0 ~ws:50 ~we:59 in
+  Alcotest.(check bool) "burst early" true (early >= 9.0);
+  Alcotest.(check bool) "burst dead late" true (late < 0.5);
+  (* the long label is active everywhere *)
+  let long_late = Time_histogram.active_in_window h ~lbl:1 ~ws:50 ~we:59 in
+  Alcotest.(check bool) "long label alive late" true (long_late >= 1.5)
+
+let test_selectivity_bounds () =
+  let h = Time_histogram.build ~n_buckets:10 (graph ()) in
+  let s_early = Time_histogram.selectivity h ~lbl:0 ~ws:0 ~we:9 in
+  let s_late = Time_histogram.selectivity h ~lbl:0 ~ws:50 ~we:59 in
+  Alcotest.(check bool) "in (0, 1]" true (s_early > 0.0 && s_early <= 1.0);
+  Alcotest.(check bool) "ordering" true (s_early > s_late);
+  Alcotest.(check bool) "unknown label" true
+    (Time_histogram.selectivity h ~lbl:9 ~ws:0 ~we:9 <= 1e-8)
+
+let test_empty_graph () =
+  let g = Graph.Builder.finish (Graph.Builder.create ()) in
+  let h = Time_histogram.build g in
+  Alcotest.(check bool) "zero estimate" true
+    (Time_histogram.active_in_window h ~lbl:0 ~ws:0 ~we:10 = 0.0)
+
+let test_degenerate_windows () =
+  let h = Time_histogram.build ~n_buckets:4 (graph ()) in
+  Alcotest.(check bool) "inverted window" true
+    (Time_histogram.active_in_window h ~lbl:0 ~ws:9 ~we:0 = 0.0);
+  (* windows beyond the domain clamp to edge buckets *)
+  let far = Time_histogram.active_in_window h ~lbl:1 ~ws:1000 ~we:2000 in
+  Alcotest.(check bool) "clamped lookup is finite" true (far >= 0.0)
+
+let prop_window_monotone =
+  QCheck.Test.make ~name:"wider windows never lose active mass" ~count:200
+    QCheck.(triple (int_range 0 5000) (int_range 0 80) (int_range 0 15))
+    (fun (seed, ws, width) ->
+      let g =
+        Test_util.random_graph ~seed ~n_vertices:6 ~n_edges:60 ~n_labels:3
+          ~domain:100 ~max_len:20 ()
+      in
+      let h = Time_histogram.build ~n_buckets:16 g in
+      let narrow = Time_histogram.active_in_window h ~lbl:0 ~ws ~we:(ws + width) in
+      let wide =
+        Time_histogram.active_in_window h ~lbl:0 ~ws ~we:(ws + width + 20)
+      in
+      wide +. 1e-9 >= narrow)
+
+let prop_full_window_counts_all =
+  QCheck.Test.make ~name:"domain-wide window ≈ label count or more" ~count:100
+    QCheck.(int_range 0 5000)
+    (fun seed ->
+      let g =
+        Test_util.random_graph ~seed ~n_vertices:6 ~n_edges:60 ~n_labels:2
+          ~domain:50 ~max_len:10 ()
+      in
+      if Tgraph.Graph.n_edges g = 0 then true
+      else begin
+        let h = Time_histogram.build ~n_buckets:8 g in
+        let domain = Tgraph.Graph.time_domain g in
+        let count = ref 0 in
+        Tgraph.Graph.iter_edges
+          (fun e -> if Tgraph.Edge.lbl e = 0 then incr count)
+          g;
+        Time_histogram.active_in_window h ~lbl:0
+          ~ws:(Temporal.Interval.ts domain)
+          ~we:(Temporal.Interval.te domain)
+        +. 1e-6
+        >= float_of_int !count
+      end)
+
+let qsuite name tests = (name, List.map (QCheck_alcotest.to_alcotest ~long:false) tests)
+
+let () =
+  Alcotest.run "histogram"
+    [
+      ( "basics",
+        [
+          Alcotest.test_case "bursty vs flat labels" `Quick test_bursty_vs_flat;
+          Alcotest.test_case "selectivity bounds" `Quick test_selectivity_bounds;
+          Alcotest.test_case "empty graph" `Quick test_empty_graph;
+          Alcotest.test_case "degenerate windows" `Quick test_degenerate_windows;
+        ] );
+      qsuite "properties" [ prop_window_monotone; prop_full_window_counts_all ];
+    ]

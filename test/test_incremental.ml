@@ -1,0 +1,190 @@
+(* Tests for incremental index maintenance: Graph.append, Tai.merge, and
+   the Incremental wrapper — all cross-checked against from-scratch
+   rebuilds and the oracle. *)
+
+open Semantics
+open Tcsq_core
+
+let window a b = Temporal.Interval.make a b
+
+(* deep structural comparison of two TAIs through their public API *)
+let check_tai_equivalent ~msg reference candidate =
+  let g = Tai.graph reference in
+  let n_labels = Tgraph.Graph.n_labels g in
+  let ids tsr = List.map Tgraph.Edge.id (Tsr.to_list tsr) in
+  for lbl = 0 to n_labels - 1 do
+    Alcotest.(check (list int))
+      (Printf.sprintf "%s: sources(%d)" msg lbl)
+      (Array.to_list (Tai.sources reference ~lbl))
+      (Array.to_list (Tai.sources candidate ~lbl));
+    Alcotest.(check (list int))
+      (Printf.sprintf "%s: destinations(%d)" msg lbl)
+      (Array.to_list (Tai.destinations reference ~lbl))
+      (Array.to_list (Tai.destinations candidate ~lbl));
+    Array.iter
+      (fun src ->
+        Alcotest.(check (list int))
+          (Printf.sprintf "%s: tsr_out(%d, %d)" msg lbl src)
+          (ids (Tai.tsr_out reference ~lbl ~src))
+          (ids (Tai.tsr_out candidate ~lbl ~src));
+        (* the attached coverage must describe the same step function *)
+        let tuples tai =
+          match Tsr.coverage (Tai.tsr_out tai ~lbl ~src) with
+          | None -> []
+          | Some c ->
+              Array.to_list
+                (Array.map
+                   (fun { Temporal.Coverage.cs; ce; ec } -> (cs, ce, ec))
+                   (Temporal.Coverage.tuples c))
+        in
+        Alcotest.(check (list (triple int int int)))
+          (Printf.sprintf "%s: coverage(%d, %d)" msg lbl src)
+          (tuples reference) (tuples candidate);
+        Array.iter
+          (fun dst ->
+            Alcotest.(check (list int))
+              (Printf.sprintf "%s: tsr_between(%d, %d, %d)" msg lbl src dst)
+              (ids (Tai.tsr_between reference ~lbl ~src ~dst))
+              (ids (Tai.tsr_between candidate ~lbl ~src ~dst)))
+          (Tai.dsts_of_src reference ~lbl ~src))
+      (Tai.sources reference ~lbl);
+    Array.iter
+      (fun dst ->
+        Alcotest.(check (list int))
+          (Printf.sprintf "%s: tsr_in(%d, %d)" msg lbl dst)
+          (ids (Tai.tsr_in reference ~lbl ~dst))
+          (ids (Tai.tsr_in candidate ~lbl ~dst)))
+      (Tai.destinations reference ~lbl)
+  done
+
+let random_extra rng n ~n_vertices ~n_labels ~domain =
+  List.init n (fun _ ->
+      let ts = Random.State.int rng domain in
+      ( Random.State.int rng n_vertices,
+        Random.State.int rng n_vertices,
+        Random.State.int rng n_labels,
+        ts,
+        min (domain - 1) (ts + Random.State.int rng 10) ))
+
+let test_append_basics () =
+  let g = Tgraph.Graph.of_edge_list [ (0, 1, 0, 0, 5) ] in
+  let g' = Tgraph.Graph.append g [ (1, 4, 0, 3, 8) ] in
+  Alcotest.(check int) "edges" 2 (Tgraph.Graph.n_edges g');
+  Alcotest.(check int) "vertices grow" 5 (Tgraph.Graph.n_vertices g');
+  Alcotest.(check int) "id continues" 1 (Tgraph.Edge.id (Tgraph.Graph.edge g' 1));
+  Alcotest.(check int) "base unchanged" 1 (Tgraph.Graph.n_edges g);
+  Alcotest.check_raises "unknown label" (Invalid_argument "") (fun () ->
+      try ignore (Tgraph.Graph.append g [ (0, 1, 9, 0, 1) ])
+      with Invalid_argument _ -> raise (Invalid_argument ""))
+
+let test_merge_equals_rebuild () =
+  let rng = Random.State.make [| 41 |] in
+  let g =
+    Test_util.random_graph ~seed:41 ~n_vertices:6 ~n_edges:60 ~n_labels:3
+      ~domain:40 ~max_len:10 ()
+  in
+  let tai = Tai.build g in
+  let extra = random_extra rng 25 ~n_vertices:6 ~n_labels:3 ~domain:40 in
+  let g' = Tgraph.Graph.append g extra in
+  let merged = Tai.merge tai g' in
+  let rebuilt = Tai.build g' in
+  check_tai_equivalent ~msg:"merge vs rebuild" rebuilt merged
+
+let test_merge_rejects_non_extension () =
+  let g = Tgraph.Graph.of_edge_list [ (0, 1, 0, 0, 5); (1, 2, 0, 1, 2) ] in
+  let tai = Tai.build g in
+  let smaller = Tgraph.Graph.prefix g 1 in
+  Alcotest.check_raises "shrunk graph" (Invalid_argument "") (fun () ->
+      try ignore (Tai.merge tai smaller)
+      with Invalid_argument _ -> raise (Invalid_argument ""));
+  let different = Tgraph.Graph.of_edge_list [ (0, 2, 0, 0, 5); (1, 2, 0, 1, 2) ] in
+  Alcotest.check_raises "different prefix" (Invalid_argument "") (fun () ->
+      try ignore (Tai.merge tai different)
+      with Invalid_argument _ -> raise (Invalid_argument ""))
+
+let test_merge_noop () =
+  let g = Tgraph.Graph.of_edge_list [ (0, 1, 0, 0, 5) ] in
+  let tai = Tai.build g in
+  Alcotest.(check bool) "same tai back" true (Tai.merge tai g == tai)
+
+let test_incremental_query_correctness () =
+  let g =
+    Test_util.random_graph ~seed:42 ~n_vertices:5 ~n_edges:40 ~n_labels:3
+      ~domain:30 ~max_len:8 ()
+  in
+  let inc = Incremental.create ~merge_threshold:7 g in
+  let rng = Random.State.make [| 43 |] in
+  let q =
+    Query.make ~n_vars:3 ~edges:[ (0, 0, 1); (1, 0, 2) ] ~window:(window 5 25)
+  in
+  for round = 1 to 5 do
+    List.iter
+      (fun (src, dst, lbl, ts, te) ->
+        ignore (Incremental.add_edge inc ~src ~dst ~lbl ~ts ~te))
+      (random_extra rng 5 ~n_vertices:5 ~n_labels:3 ~domain:30);
+    let expected =
+      Match_result.Result_set.of_list (Naive.evaluate (Incremental.graph inc) q)
+    in
+    let actual =
+      Match_result.Result_set.of_list (Incremental.evaluate inc q)
+    in
+    match Match_result.Result_set.diff_summary ~expected ~actual with
+    | None -> ()
+    | Some diff -> Alcotest.failf "round %d: %s" round diff
+  done;
+  Alcotest.(check int) "all edges present" (40 + 25)
+    (Incremental.n_edges inc)
+
+let test_incremental_threshold () =
+  let g = Tgraph.Graph.of_edge_list [ (0, 1, 0, 0, 5) ] in
+  let inc = Incremental.create ~merge_threshold:3 g in
+  ignore (Incremental.add_edge inc ~src:0 ~dst:1 ~lbl:0 ~ts:1 ~te:2);
+  ignore (Incremental.add_edge inc ~src:1 ~dst:0 ~lbl:0 ~ts:2 ~te:3);
+  Alcotest.(check int) "buffered" 2 (Incremental.pending inc);
+  ignore (Incremental.add_edge inc ~src:0 ~dst:0 ~lbl:0 ~ts:3 ~te:4);
+  Alcotest.(check int) "auto-merged" 0 (Incremental.pending inc);
+  Alcotest.(check int) "ids dense" 4 (Incremental.n_edges inc)
+
+let prop_merge_equals_rebuild =
+  QCheck.Test.make ~name:"Tai.merge = rebuild (query results)" ~count:40
+    QCheck.(pair (int_range 0 10_000) (int_range 1 30))
+    (fun (seed, n_extra) ->
+      let g =
+        Test_util.random_graph ~seed ~n_vertices:5 ~n_edges:40 ~n_labels:3
+          ~domain:30 ~max_len:8 ()
+      in
+      let tai = Tai.build g in
+      let rng = Random.State.make [| seed; 77 |] in
+      let g' =
+        Tgraph.Graph.append g
+          (random_extra rng n_extra ~n_vertices:5 ~n_labels:3 ~domain:30)
+      in
+      let merged = Tai.merge tai g' in
+      List.for_all
+        (fun q ->
+          Match_result.Result_set.equal
+            (Match_result.Result_set.of_list (Tsrjoin.evaluate (Tai.build g') q))
+            (Match_result.Result_set.of_list (Tsrjoin.evaluate merged q)))
+        (Test_util.query_pool ~n_labels:3 ~window:(window 5 22)))
+
+let qsuite name tests = (name, List.map (QCheck_alcotest.to_alcotest ~long:false) tests)
+
+let () =
+  Alcotest.run "incremental"
+    [
+      ( "append",
+        [ Alcotest.test_case "basics" `Quick test_append_basics ] );
+      ( "merge",
+        [
+          Alcotest.test_case "equals rebuild (structure)" `Quick test_merge_equals_rebuild;
+          Alcotest.test_case "rejects non-extensions" `Quick test_merge_rejects_non_extension;
+          Alcotest.test_case "no-op merge" `Quick test_merge_noop;
+        ] );
+      ( "wrapper",
+        [
+          Alcotest.test_case "query correctness across rounds" `Quick
+            test_incremental_query_correctness;
+          Alcotest.test_case "threshold behaviour" `Quick test_incremental_threshold;
+        ] );
+      qsuite "properties" [ prop_merge_equals_rebuild ];
+    ]

@@ -1,0 +1,246 @@
+(* Tests for the interval-join algorithms: EBI sweep, forward scan, STI,
+   and STI-CP clique production, each cross-checked against brute
+   force. *)
+
+open Temporal
+
+let items_of l =
+  Array.of_list
+    (List.map (fun (id, a, b) -> Span_item.make id (Interval.make a b)) l)
+
+let rel l = Relation.of_items (items_of l)
+
+let pairs_of_join join l r =
+  let acc = ref [] in
+  let _ = join l r ~f:(fun a b -> acc := (Span_item.id a, Span_item.id b) :: !acc) in
+  List.sort compare !acc
+
+let brute_pairs l r =
+  let acc = ref [] in
+  Relation.iter
+    (fun a ->
+      Relation.iter
+        (fun b ->
+          if Interval.overlaps (Span_item.ivl a) (Span_item.ivl b) then
+            acc := (Span_item.id a, Span_item.id b) :: !acc)
+        r)
+    l;
+  List.sort compare !acc
+
+let test_sweep_small () =
+  let l = rel [ (0, 1, 5); (1, 4, 8) ] and r = rel [ (10, 5, 6); (11, 9, 9) ] in
+  Alcotest.(check (list (pair int int)))
+    "pairs"
+    [ (0, 10); (1, 10) ]
+    (pairs_of_join Sweep_join.join l r)
+
+let test_sweep_empty () =
+  Alcotest.(check int) "left empty" 0 (Sweep_join.count Relation.empty (rel [ (0, 1, 2) ]));
+  Alcotest.(check int) "right empty" 0 (Sweep_join.count (rel [ (0, 1, 2) ]) Relation.empty)
+
+let test_forward_scan_small () =
+  let l = rel [ (0, 1, 5); (1, 4, 8) ] and r = rel [ (10, 5, 6); (11, 9, 9) ] in
+  Alcotest.(check (list (pair int int)))
+    "pairs"
+    [ (0, 10); (1, 10) ]
+    (pairs_of_join Forward_scan.join l r)
+
+let gen_rel =
+  QCheck.Gen.(
+    list_size (int_range 0 30)
+      (pair (int_range 0 50) (int_range 0 10) >|= fun (s, d) -> (s, s + d)))
+
+let arb_two_rels =
+  QCheck.make
+    QCheck.Gen.(pair gen_rel gen_rel)
+    ~print:(fun (a, b) ->
+      let s l = String.concat ";" (List.map (fun (x, y) -> Printf.sprintf "[%d,%d]" x y) l) in
+      s a ^ " | " ^ s b)
+
+let mk_rel spans = rel (List.mapi (fun i (a, b) -> (i, a, b)) spans)
+
+let prop_sweep_matches_brute =
+  QCheck.Test.make ~name:"EBI sweep = brute force" ~count:300 arb_two_rels
+    (fun (a, b) ->
+      let l = mk_rel a and r = mk_rel b in
+      pairs_of_join Sweep_join.join l r = brute_pairs l r)
+
+let prop_fs_matches_brute =
+  QCheck.Test.make ~name:"forward scan = brute force" ~count:300 arb_two_rels
+    (fun (a, b) ->
+      let l = mk_rel a and r = mk_rel b in
+      pairs_of_join Forward_scan.join l r = brute_pairs l r)
+
+let prop_fs_equals_sweep =
+  QCheck.Test.make ~name:"forward scan = EBI sweep" ~count:300 arb_two_rels
+    (fun (a, b) ->
+      let l = mk_rel a and r = mk_rel b in
+      Sweep_join.count l r = Forward_scan.count l r)
+
+let test_sweep_window () =
+  let l = rel [ (0, 0, 3); (1, 10, 12) ] and r = rel [ (10, 2, 11) ] in
+  (* pair (0,10) overlaps on [2,3], outside window [10,20]; (1,10)
+     overlaps on [10,11], inside *)
+  let acc = ref [] in
+  let _ =
+    Sweep_join.join_window l r ~ws:10 ~we:20 ~f:(fun a b ->
+        acc := (Span_item.id a, Span_item.id b) :: !acc)
+  in
+  Alcotest.(check (list (pair int int))) "window filter" [ (1, 10) ] !acc
+
+(* ---------- STI ---------- *)
+
+let test_sti_scan_range_skips () =
+  (* Relation: [0,2] [1,9] [3,4] [12,14]. Window [8,13]: eC(8) = 1, so the
+     scan starts at the edge starting at 1 (index 1), skipping [0,2]. *)
+  let r = rel [ (0, 0, 2); (1, 1, 9); (2, 3, 4); (3, 12, 14) ] in
+  let sti = Sti.build r in
+  let start, stop = Sti.scan_range sti ~ws:8 ~we:13 in
+  Alcotest.(check int) "start skips dead prefix" 1 start;
+  Alcotest.(check int) "stop after last in-window start" 4 stop
+
+let test_sti_scan_range_gap () =
+  (* Nothing alive at ws: scan starts at the first later edge. *)
+  let r = rel [ (0, 0, 2); (1, 10, 11) ] in
+  let sti = Sti.build r in
+  let start, stop = Sti.scan_range sti ~ws:5 ~we:20 in
+  Alcotest.(check int) "start" 1 start;
+  Alcotest.(check int) "stop" 2 stop
+
+let test_sti_dead_relation () =
+  let r = rel [ (0, 0, 2) ] in
+  let sti = Sti.build r in
+  let start, stop = Sti.scan_range sti ~ws:5 ~we:20 in
+  Alcotest.(check int) "empty range" 0 (stop - start)
+
+let brute_window items ~ws ~we =
+  Array.to_list items
+  |> List.filter (fun it -> Interval.overlaps_window (Span_item.ivl it) ~ws ~we)
+  |> List.map Span_item.id
+  |> List.sort compare
+
+let prop_sti_enum_window =
+  QCheck.Test.make ~name:"STI window enumeration = brute force" ~count:300
+    QCheck.(pair (make gen_rel) (pair (int_range 0 50) (int_range 0 20)))
+    (fun (spans, (ws, width)) ->
+      let items = items_of (List.mapi (fun i (a, b) -> (i, a, b)) spans) in
+      Span_item.sort_by_start items;
+      let sti = Sti.build (Relation.of_sorted items) in
+      let we = ws + width in
+      let acc = ref [] in
+      let _ = Sti.enum_window sti ~ws ~we ~f:(fun it -> acc := Span_item.id it :: !acc) in
+      List.sort compare !acc = brute_window items ~ws ~we)
+
+(* ---------- STI-CP clique production ---------- *)
+
+let brute_cliques rels ~ws ~we =
+  (* all k-tuples with non-empty joint overlap, each member overlapping
+     the window *)
+  let k = Array.length rels in
+  let acc = ref [] in
+  let rec go i chosen life =
+    if i = k then acc := List.rev chosen :: !acc
+    else
+      Relation.iter
+        (fun it ->
+          if Interval.overlaps_window (Span_item.ivl it) ~ws ~we then
+            match Interval.intersect life (Span_item.ivl it) with
+            | Some life' -> go (i + 1) (Span_item.id it :: chosen) life'
+            | None -> ())
+        rels.(i)
+  in
+  go 0 [] (Interval.make min_int max_int);
+  List.sort compare !acc
+
+let cliques_of_enum stis ~ws ~we =
+  let acc = ref [] in
+  let outcome =
+    Clique.enumerate stis ~ws ~we
+      ~f:(fun members _life ->
+        acc := Array.to_list (Array.map Span_item.id members) :: !acc)
+      ()
+  in
+  (match outcome with
+  | Clique.Complete _ -> ()
+  | Clique.Truncated _ -> Alcotest.fail "unexpected truncation");
+  List.sort compare !acc
+
+let test_clique_example () =
+  (* G1-flavoured: three relations; only one triple jointly overlaps in
+     window [10,20]. *)
+  let r1 = rel [ (1, 0, 5); (2, 6, 9); (3, 11, 12); (4, 13, 15); (5, 18, 19) ] in
+  let r2 = rel [ (6, 2, 4); (7, 7, 10); (8, 13, 15); (9, 17, 18); (10, 19, 20) ] in
+  let r3 = rel [ (11, 3, 6); (12, 15, 16) ] in
+  let stis = Array.map Sti.build [| r1; r2; r3 |] in
+  Alcotest.(check (list (list int)))
+    "single clique"
+    [ [ 4; 8; 12 ] ]
+    (cliques_of_enum stis ~ws:10 ~we:20)
+
+let test_clique_limit () =
+  let r = rel [ (0, 0, 10); (1, 0, 10); (2, 0, 10) ] in
+  let stis = [| Sti.build r; Sti.build r |] in
+  match Clique.count stis ~ws:0 ~we:10 ~limit:4 () with
+  | Clique.Truncated n -> Alcotest.(check int) "truncated at limit" 4 n
+  | Clique.Complete n -> Alcotest.failf "expected truncation, got complete %d" n
+
+let arb_three_rels =
+  QCheck.make
+    QCheck.Gen.(
+      triple
+        (list_size (int_range 0 8)
+           (pair (int_range 0 30) (int_range 0 8) >|= fun (s, d) -> (s, s + d)))
+        (list_size (int_range 0 8)
+           (pair (int_range 0 30) (int_range 0 8) >|= fun (s, d) -> (s, s + d)))
+        (list_size (int_range 0 8)
+           (pair (int_range 0 30) (int_range 0 8) >|= fun (s, d) -> (s, s + d))))
+    ~print:(fun (a, b, c) ->
+      let s l = String.concat ";" (List.map (fun (x, y) -> Printf.sprintf "[%d,%d]" x y) l) in
+      s a ^ " | " ^ s b ^ " | " ^ s c)
+
+let prop_clique_matches_brute =
+  QCheck.Test.make ~name:"STI-CP cliques = brute force" ~count:200
+    QCheck.(pair arb_three_rels (int_range 0 25))
+    (fun ((a, b, c), ws) ->
+      let next_id = ref 0 in
+      let mk spans =
+        rel
+          (List.map
+             (fun (x, y) ->
+               incr next_id;
+               (!next_id, x, y))
+             spans)
+      in
+      let rels = [| mk a; mk b; mk c |] in
+      let stis = Array.map Sti.build rels in
+      let we = ws + 10 in
+      cliques_of_enum stis ~ws ~we = brute_cliques rels ~ws ~we)
+
+let qsuite name tests = (name, List.map (QCheck_alcotest.to_alcotest ~long:false) tests)
+
+let () =
+  Alcotest.run "interval_joins"
+    [
+      ( "sweep",
+        [
+          Alcotest.test_case "small" `Quick test_sweep_small;
+          Alcotest.test_case "empty sides" `Quick test_sweep_empty;
+          Alcotest.test_case "window filter" `Quick test_sweep_window;
+        ] );
+      ("forward_scan", [ Alcotest.test_case "small" `Quick test_forward_scan_small ]);
+      ( "sti",
+        [
+          Alcotest.test_case "scan_range skips dead prefix" `Quick test_sti_scan_range_skips;
+          Alcotest.test_case "scan_range over gap" `Quick test_sti_scan_range_gap;
+          Alcotest.test_case "dead relation" `Quick test_sti_dead_relation;
+        ] );
+      ( "clique",
+        [
+          Alcotest.test_case "paper-shaped example" `Quick test_clique_example;
+          Alcotest.test_case "limit truncates" `Quick test_clique_limit;
+        ] );
+      qsuite "join-properties"
+        [ prop_sweep_matches_brute; prop_fs_matches_brute; prop_fs_equals_sweep ];
+      qsuite "sti-properties" [ prop_sti_enum_window ];
+      qsuite "clique-properties" [ prop_clique_matches_brute ];
+    ]

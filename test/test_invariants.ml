@@ -1,0 +1,171 @@
+(* Cross-cutting semantic invariants of temporal-clique matching,
+   property-tested through the TSRJoin engine (whose equivalence with the
+   other engines is established elsewhere). *)
+
+open Semantics
+open Tcsq_core
+
+let window a b = Temporal.Interval.make a b
+
+let graph_of seed =
+  Test_util.random_graph ~seed ~n_vertices:6 ~n_edges:60 ~n_labels:3
+    ~domain:40 ~max_len:10 ()
+
+let prop_window_monotone =
+  QCheck.Test.make ~name:"matches grow monotonically with the window"
+    ~count:60
+    QCheck.(triple (int_range 0 10_000) (int_range 0 35) (int_range 0 10))
+    (fun (seed, ws, pad) ->
+      let g = graph_of seed in
+      let tai = Tai.build g in
+      let q lbls w =
+        Query.make ~n_vars:3 ~edges:lbls ~window:w
+      in
+      let edges = [ (0, 0, 1); (1, 1, 2) ] in
+      let narrow =
+        Match_result.Result_set.of_list
+          (Tsrjoin.evaluate tai (q edges (window ws (ws + 4))))
+      in
+      let wide =
+        Match_result.Result_set.of_list
+          (Tsrjoin.evaluate tai (q edges (window (max 0 (ws - pad)) (ws + 4 + pad))))
+      in
+      (* every narrow match appears among the wide matches *)
+      List.for_all
+        (fun m ->
+          List.exists
+            (fun m' -> Match_result.compare m m' = 0)
+            (Match_result.Result_set.to_list wide))
+        (Match_result.Result_set.to_list narrow))
+
+let prop_lifespan_inside_members =
+  QCheck.Test.make ~name:"lifespan = intersection of member intervals"
+    ~count:60
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let g = graph_of seed in
+      let tai = Tai.build g in
+      List.for_all
+        (fun q ->
+          List.for_all
+            (fun m ->
+              match Match_result.life_of_edges g m.Match_result.edges with
+              | Some life -> Temporal.Interval.equal life m.Match_result.life
+              | None -> false)
+            (Tsrjoin.evaluate tai q))
+        (Test_util.query_pool ~n_labels:3 ~window:(window 8 30)))
+
+let prop_irrelevant_edges_do_not_change_results =
+  QCheck.Test.make
+    ~name:"edges outside the window leave the result set unchanged" ~count:40
+    QCheck.(pair (int_range 0 10_000) (int_range 1 10))
+    (fun (seed, n_extra) ->
+      let g = graph_of seed in
+      let tai = Tai.build g in
+      (* all pool windows lie within [5, 30]; adding edges at t >= 100
+         (outside both the window and every existing interval) must not
+         change any result *)
+      let rng = Random.State.make [| seed; 3 |] in
+      let g' =
+        Tgraph.Graph.append g
+          (List.init n_extra (fun _ ->
+               let ts = 100 + Random.State.int rng 50 in
+               ( Random.State.int rng 6,
+                 Random.State.int rng 6,
+                 Random.State.int rng 3,
+                 ts,
+                 ts + Random.State.int rng 10 )))
+      in
+      let tai' = Tai.build g' in
+      List.for_all
+        (fun q ->
+          Match_result.Result_set.equal
+            (Match_result.Result_set.of_list (Tsrjoin.evaluate tai q))
+            (Match_result.Result_set.of_list (Tsrjoin.evaluate tai' q)))
+        (Test_util.query_pool ~n_labels:3 ~window:(window 8 30)))
+
+let prop_edge_order_permutation =
+  QCheck.Test.make ~name:"query-edge order does not affect the match set"
+    ~count:60
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let g = graph_of seed in
+      let tai = Tai.build g in
+      let w = window 8 30 in
+      let q1 =
+        Query.make ~n_vars:3
+          ~edges:[ (0, 0, 1); (1, 1, 2); (2, 2, 0) ]
+          ~window:w
+      in
+      let q2 =
+        Query.make ~n_vars:3
+          ~edges:[ (2, 2, 0); (0, 0, 1); (1, 1, 2) ]
+          ~window:w
+      in
+      (* compare as (sorted edge multiset, lifespan) pairs *)
+      let canon q =
+        Tsrjoin.evaluate tai q
+        |> List.map (fun m ->
+               ( List.sort compare (Array.to_list m.Match_result.edges),
+                 Temporal.Interval.ts m.Match_result.life,
+                 Temporal.Interval.te m.Match_result.life ))
+        |> List.sort compare
+      in
+      canon q1 = canon q2)
+
+let prop_deterministic =
+  QCheck.Test.make ~name:"evaluation is deterministic" ~count:30
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let g = graph_of seed in
+      let tai = Tai.build g in
+      List.for_all
+        (fun q ->
+          let a = Tsrjoin.evaluate tai q in
+          let b = Tsrjoin.evaluate tai q in
+          List.length a = List.length b
+          && List.for_all2 (fun x y -> Match_result.compare x y = 0) a b)
+        (Test_util.query_pool ~n_labels:3 ~window:(window 8 30)))
+
+let prop_double_star_symmetry =
+  QCheck.Test.make
+    ~name:"double-star matches are center-swap symmetric (same labels)"
+    ~count:40
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let g = graph_of seed in
+      let tai = Tai.build g in
+      let q =
+        Pattern.instantiate (Pattern.Double_star 2) ~labels:[| 0; 1; 0; 1 |]
+          ~window:(window 5 30)
+      in
+      (* swapping the two centers maps matches onto matches: edge slots
+         (0,1) and (2,3) swap *)
+      let ms = Tsrjoin.evaluate tai q in
+      let key m =
+        ( m.Match_result.edges.(0), m.Match_result.edges.(1),
+          m.Match_result.edges.(2), m.Match_result.edges.(3) )
+      in
+      let module S = Set.Make (struct
+        type t = int * int * int * int
+
+        let compare = compare
+      end) in
+      let set = S.of_list (List.map key ms) in
+      S.for_all (fun (a, b, c, d) -> S.mem (c, d, a, b) set) set)
+
+let qsuite name tests = (name, List.map (QCheck_alcotest.to_alcotest ~long:false) tests)
+
+let () =
+  Alcotest.run "invariants"
+    [
+      qsuite "semantic-invariants"
+        [
+          prop_window_monotone;
+          prop_lifespan_inside_members;
+          prop_irrelevant_edges_do_not_change_results;
+          prop_edge_order_permutation;
+          prop_deterministic;
+          prop_double_star_symmetry;
+        ];
+    ]

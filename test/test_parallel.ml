@@ -1,0 +1,88 @@
+(* Tests for multi-domain TSRJoin evaluation: result equivalence with
+   the sequential engine across domain counts, patterns and duration
+   floors. *)
+
+open Semantics
+open Tcsq_core
+
+let window a b = Temporal.Interval.make a b
+
+let test_parallel_equals_sequential () =
+  let g =
+    Test_util.random_graph ~seed:81 ~n_vertices:8 ~n_edges:150 ~n_labels:3
+      ~domain:50 ~max_len:12 ()
+  in
+  let tai = Tai.build g in
+  let cost = Plan.cost_model tai in
+  List.iteri
+    (fun qi q ->
+      let expected = Match_result.Result_set.of_list (Tsrjoin.evaluate ~cost tai q) in
+      List.iter
+        (fun domains ->
+          let actual =
+            Match_result.Result_set.of_list
+              (Tsrjoin.run_parallel ~domains ~cost tai q)
+          in
+          match Match_result.Result_set.diff_summary ~expected ~actual with
+          | None -> ()
+          | Some diff ->
+              Alcotest.failf "query %d, %d domains: %s" qi domains diff)
+        [ 1; 2; 3; 4 ])
+    (Test_util.query_pool ~n_labels:3 ~window:(window 8 40))
+
+let test_parallel_durable () =
+  let g =
+    Test_util.random_graph ~seed:82 ~n_vertices:6 ~n_edges:100 ~n_labels:2
+      ~domain:40 ~max_len:12 ()
+  in
+  let tai = Tai.build g in
+  let q =
+    Query.with_min_duration
+      (Query.make ~n_vars:3 ~edges:[ (0, 0, 1); (1, 0, 2) ] ~window:(window 0 39))
+      4
+  in
+  Test_util.check_same_results ~msg:"durable parallel"
+    (Tsrjoin.evaluate tai q)
+    (Tsrjoin.run_parallel ~domains:3 tai q)
+
+let test_parallel_validation () =
+  let g = Tgraph.Graph.of_edge_list [ (0, 1, 0, 0, 5) ] in
+  let tai = Tai.build g in
+  let q = Query.make ~n_vars:2 ~edges:[ (0, 0, 1) ] ~window:(window 0 9) in
+  Alcotest.check_raises "zero domains" (Invalid_argument "") (fun () ->
+      try ignore (Tsrjoin.run_parallel ~domains:0 tai q)
+      with Invalid_argument _ -> raise (Invalid_argument ""));
+  (* more domains than candidates is fine *)
+  Alcotest.(check int) "tiny graph, many domains" 1
+    (List.length (Tsrjoin.run_parallel ~domains:8 tai q))
+
+let prop_parallel_equivalence =
+  QCheck.Test.make ~name:"parallel = sequential on random graphs" ~count:20
+    QCheck.(pair (int_range 0 10_000) (int_range 1 5))
+    (fun (seed, domains) ->
+      let g =
+        Test_util.random_graph ~seed ~n_vertices:5 ~n_edges:50 ~n_labels:3
+          ~domain:30 ~max_len:8 ()
+      in
+      let tai = Tai.build g in
+      List.for_all
+        (fun q ->
+          Match_result.Result_set.equal
+            (Match_result.Result_set.of_list (Tsrjoin.evaluate tai q))
+            (Match_result.Result_set.of_list
+               (Tsrjoin.run_parallel ~domains tai q)))
+        (Test_util.query_pool ~n_labels:3 ~window:(window 5 22)))
+
+let qsuite name tests = (name, List.map (QCheck_alcotest.to_alcotest ~long:false) tests)
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "equivalence",
+        [
+          Alcotest.test_case "matches sequential" `Quick test_parallel_equals_sequential;
+          Alcotest.test_case "durable queries" `Quick test_parallel_durable;
+          Alcotest.test_case "validation and tiny inputs" `Quick test_parallel_validation;
+        ] );
+      qsuite "properties" [ prop_parallel_equivalence ];
+    ]

@@ -1,0 +1,275 @@
+(* Tests for the problem definition: queries, patterns, matches, the
+   naive oracle. *)
+
+open Semantics
+
+let window a b = Temporal.Interval.make a b
+
+let check_invalid name f =
+  Alcotest.check_raises name (Invalid_argument "") (fun () ->
+      try f () with Invalid_argument _ -> raise (Invalid_argument ""))
+
+(* ---------- Query ---------- *)
+
+let test_query_make () =
+  let q =
+    Query.make ~n_vars:3 ~edges:[ (0, 0, 1); (1, 0, 2) ] ~window:(window 0 10)
+  in
+  Alcotest.(check int) "n_edges" 2 (Query.n_edges q);
+  Alcotest.(check int) "n_vars" 3 (Query.n_vars q);
+  Alcotest.(check int) "ws" 0 (Query.ws q);
+  Alcotest.(check int) "we" 10 (Query.we q);
+  check_invalid "empty edges" (fun () ->
+      ignore (Query.make ~n_vars:1 ~edges:[] ~window:(window 0 1)));
+  check_invalid "var out of range" (fun () ->
+      ignore (Query.make ~n_vars:2 ~edges:[ (0, 0, 2) ] ~window:(window 0 1)))
+
+let test_query_adjacent () =
+  let q =
+    Query.make ~n_vars:3
+      ~edges:[ (0, 0, 1); (1, 1, 2); (2, 2, 2) ]
+      ~window:(window 0 10)
+  in
+  Alcotest.(check (list int)) "adjacent to 1" [ 0; 1 ]
+    (List.map (fun e -> e.Query.idx) (Query.adjacent q 1));
+  (* self loop appears once *)
+  Alcotest.(check (list int)) "self loop once" [ 1; 2 ]
+    (List.map (fun e -> e.Query.idx) (Query.adjacent q 2));
+  let e = Query.edge q 1 in
+  Alcotest.(check int) "other endpoint" 2 (Query.other_endpoint e 1);
+  check_invalid "not an endpoint" (fun () ->
+      ignore (Query.other_endpoint e 0))
+
+let test_query_connected () =
+  let c =
+    Query.make ~n_vars:3 ~edges:[ (0, 0, 1); (0, 1, 2) ] ~window:(window 0 1)
+  in
+  Alcotest.(check bool) "connected" true (Query.is_connected c);
+  let d =
+    Query.make ~n_vars:4 ~edges:[ (0, 0, 1); (0, 2, 3) ] ~window:(window 0 1)
+  in
+  Alcotest.(check bool) "disconnected" false (Query.is_connected d)
+
+(* ---------- Pattern ---------- *)
+
+let labels k = Array.init k Fun.id
+
+let test_pattern_shapes () =
+  let star = Pattern.instantiate (Pattern.Star 3) ~labels:(labels 3) ~window:(window 0 9) in
+  Alcotest.(check int) "star edges" 3 (Query.n_edges star);
+  Alcotest.(check int) "star vars" 4 (Query.n_vars star);
+  Alcotest.(check bool) "star connected" true (Query.is_connected star);
+  let chain = Pattern.instantiate (Pattern.Chain 4) ~labels:(labels 4) ~window:(window 0 9) in
+  Alcotest.(check int) "chain vars" 5 (Query.n_vars chain);
+  let cycle = Pattern.instantiate (Pattern.Cycle 4) ~labels:(labels 4) ~window:(window 0 9) in
+  Alcotest.(check int) "cycle vars" 4 (Query.n_vars cycle);
+  Alcotest.(check bool) "cycle connected" true (Query.is_connected cycle);
+  let t = Pattern.instantiate (Pattern.T_shape 4) ~labels:(labels 4) ~window:(window 0 9) in
+  Alcotest.(check int) "tshape vars" 5 (Query.n_vars t);
+  Alcotest.(check bool) "tshape connected" true (Query.is_connected t)
+
+let test_pattern_validation () =
+  check_invalid "cycle 2" (fun () -> Pattern.validate (Pattern.Cycle 2));
+  check_invalid "star 0" (fun () -> Pattern.validate (Pattern.Star 0));
+  check_invalid "label count" (fun () ->
+      ignore
+        (Pattern.instantiate (Pattern.Star 3) ~labels:(labels 2) ~window:(window 0 1)))
+
+let test_pattern_strings () =
+  let cases =
+    [
+      ("3-star", Pattern.Star 3);
+      ("star4", Pattern.Star 4);
+      ("4-chain", Pattern.Chain 4);
+      ("triangle", Pattern.Cycle 3);
+      ("4-circle", Pattern.Cycle 4);
+      ("cycle5", Pattern.Cycle 5);
+      ("tshape4", Pattern.T_shape 4);
+    ]
+  in
+  List.iter
+    (fun (s, shape) ->
+      match Pattern.of_string s with
+      | Some sh when sh = shape -> ()
+      | Some sh -> Alcotest.failf "%s parsed as %s" s (Pattern.to_string sh)
+      | None -> Alcotest.failf "%s did not parse" s)
+    cases;
+  Alcotest.(check bool) "garbage" true (Pattern.of_string "pentagram" = None);
+  Alcotest.(check bool) "degenerate" true (Pattern.of_string "2-circle" = None);
+  (* to_string/of_string roundtrip over the paper set *)
+  List.iter
+    (fun sh ->
+      match Pattern.of_string (Pattern.to_string sh) with
+      | Some sh' when sh' = sh -> ()
+      | _ -> Alcotest.failf "roundtrip failed for %s" (Pattern.to_string sh))
+    Pattern.paper_set
+
+(* ---------- Match verification ---------- *)
+
+let graph () =
+  Tgraph.Graph.of_edge_list
+    [ (0, 1, 0, 0, 5); (0, 2, 1, 3, 8); (1, 2, 0, 4, 6) ]
+
+let test_verify_accepts () =
+  let g = graph () in
+  let q =
+    Query.make ~n_vars:3 ~edges:[ (0, 0, 1); (1, 0, 2) ] ~window:(window 0 10)
+  in
+  let m = Match_result.make [| 0; 1 |] (Temporal.Interval.make 3 5) in
+  (match Match_result.verify g q m with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e)
+
+let test_verify_rejects () =
+  let g = graph () in
+  let q =
+    Query.make ~n_vars:3 ~edges:[ (0, 0, 1); (1, 0, 2) ] ~window:(window 0 10)
+  in
+  let bad_life = Match_result.make [| 0; 1 |] (Temporal.Interval.make 3 6) in
+  Alcotest.(check bool) "wrong lifespan" true
+    (Result.is_error (Match_result.verify g q bad_life));
+  let bad_label = Match_result.make [| 1; 1 |] (Temporal.Interval.make 3 8) in
+  Alcotest.(check bool) "label mismatch" true
+    (Result.is_error (Match_result.verify g q bad_label));
+  (* e2 = 1->2 can't bind query edge 0 (wants source bound shared with
+     edge 1's source) together with e1 = 0->2 *)
+  let bad_binding = Match_result.make [| 2; 1 |] (Temporal.Interval.make 4 6) in
+  Alcotest.(check bool) "binding conflict" true
+    (Result.is_error (Match_result.verify g q bad_binding))
+
+let test_result_set () =
+  let m1 = Match_result.make [| 1; 2 |] (window 0 1) in
+  let m2 = Match_result.make [| 1; 3 |] (window 0 1) in
+  let s = Match_result.Result_set.of_list [ m2; m1; m1 ] in
+  Alcotest.(check int) "dedup" 2 (Match_result.Result_set.cardinality s);
+  let s' = Match_result.Result_set.of_list [ m1; m2 ] in
+  Alcotest.(check bool) "order insensitive" true (Match_result.Result_set.equal s s');
+  let s'' = Match_result.Result_set.of_list [ m1 ] in
+  Alcotest.(check bool) "different" false (Match_result.Result_set.equal s s'');
+  Alcotest.(check bool) "diff summary reports" true
+    (Match_result.Result_set.diff_summary ~expected:s ~actual:s'' <> None)
+
+(* ---------- Naive oracle ---------- *)
+
+let test_naive_single_edge () =
+  let g = graph () in
+  let q = Query.make ~n_vars:2 ~edges:[ (0, 0, 1) ] ~window:(window 0 10) in
+  let ms = Naive.evaluate g q in
+  (* homomorphism semantics: both label-0 edges match the single query
+     edge *)
+  Alcotest.(check (list int))
+    "matches" [ 0; 2 ]
+    (List.sort compare (List.map (fun m -> m.Match_result.edges.(0)) ms))
+
+let test_naive_window_excludes () =
+  let g = graph () in
+  let q = Query.make ~n_vars:2 ~edges:[ (0, 0, 1) ] ~window:(window 7 10) in
+  Alcotest.(check int) "label-0 edges end by 6: no match" 0 (Naive.count g q)
+
+let test_naive_temporal_clique () =
+  (* 2-star: e0 [0,5] and e1 [3,8] jointly overlap on [3,5] *)
+  let g = graph () in
+  let q =
+    Query.make ~n_vars:3 ~edges:[ (0, 0, 1); (1, 0, 2) ] ~window:(window 0 10)
+  in
+  match Naive.evaluate g q with
+  | [ m ] ->
+      Alcotest.(check (list int)) "edges" [ 0; 1 ] (Array.to_list m.Match_result.edges);
+      Alcotest.(check int) "life start" 3 (Temporal.Interval.ts m.Match_result.life);
+      Alcotest.(check int) "life end" 5 (Temporal.Interval.te m.Match_result.life)
+  | ms -> Alcotest.failf "expected 1 match, got %d" (List.length ms)
+
+let test_naive_disjoint_intervals () =
+  (* edges that share topology but never overlap in time *)
+  let g = Tgraph.Graph.of_edge_list [ (0, 1, 0, 0, 2); (0, 2, 1, 5, 9) ] in
+  let q =
+    Query.make ~n_vars:3 ~edges:[ (0, 0, 1); (1, 0, 2) ] ~window:(window 0 10)
+  in
+  Alcotest.(check int) "no temporal clique" 0 (Naive.count g q)
+
+let test_naive_limit () =
+  let g =
+    Tgraph.Graph.of_edge_list
+      (List.init 10 (fun i -> (0, i + 1, 0, 0, 10)))
+  in
+  let q = Query.make ~n_vars:2 ~edges:[ (0, 0, 1) ] ~window:(window 0 10) in
+  Alcotest.(check int) "limited" 3 (List.length (Naive.evaluate ~limit:3 g q))
+
+let test_naive_verifies () =
+  (* every oracle match passes the verifier, across the query pool *)
+  let g =
+    Test_util.random_graph ~seed:42 ~n_vertices:6 ~n_edges:60 ~n_labels:3
+      ~domain:30 ~max_len:8 ()
+  in
+  List.iter
+    (fun q ->
+      List.iter
+        (fun m ->
+          match Match_result.verify g q m with
+          | Ok () -> ()
+          | Error e -> Alcotest.failf "oracle produced invalid match: %s" e)
+        (Naive.evaluate g q))
+    (Test_util.query_pool ~n_labels:3 ~window:(window 5 25))
+
+(* ---------- Run_stats ---------- *)
+
+let test_stats_limits () =
+  let stats =
+    Run_stats.create ~limits:{ Run_stats.max_results = 2; max_intermediate = 10 } ()
+  in
+  Run_stats.tick_result stats;
+  Run_stats.tick_result stats;
+  Alcotest.check_raises "result budget"
+    (Run_stats.Limit_exceeded "result budget exhausted") (fun () ->
+      Run_stats.tick_result stats);
+  let stats2 = Run_stats.create ~limits:{ Run_stats.max_results = 100; max_intermediate = 5 } () in
+  Run_stats.add_intermediate stats2 5;
+  Alcotest.check_raises "intermediate budget"
+    (Run_stats.Limit_exceeded "intermediate-tuple budget exhausted") (fun () ->
+      Run_stats.tick_intermediate stats2)
+
+let test_stats_merge () =
+  let a = Run_stats.create () and b = Run_stats.create () in
+  Run_stats.tick_scanned a;
+  Run_stats.tick_scanned b;
+  Run_stats.tick_binding b;
+  Run_stats.merge_into a b;
+  Alcotest.(check int) "scanned" 2 a.Run_stats.scanned;
+  Alcotest.(check int) "bindings" 1 a.Run_stats.bindings
+
+let () =
+  Alcotest.run "semantics"
+    [
+      ( "query",
+        [
+          Alcotest.test_case "make / validation" `Quick test_query_make;
+          Alcotest.test_case "adjacency" `Quick test_query_adjacent;
+          Alcotest.test_case "connectivity" `Quick test_query_connected;
+        ] );
+      ( "pattern",
+        [
+          Alcotest.test_case "shapes" `Quick test_pattern_shapes;
+          Alcotest.test_case "validation" `Quick test_pattern_validation;
+          Alcotest.test_case "parsing" `Quick test_pattern_strings;
+        ] );
+      ( "match",
+        [
+          Alcotest.test_case "verify accepts" `Quick test_verify_accepts;
+          Alcotest.test_case "verify rejects" `Quick test_verify_rejects;
+          Alcotest.test_case "result sets" `Quick test_result_set;
+        ] );
+      ( "naive",
+        [
+          Alcotest.test_case "single edge" `Quick test_naive_single_edge;
+          Alcotest.test_case "window excludes" `Quick test_naive_window_excludes;
+          Alcotest.test_case "temporal clique" `Quick test_naive_temporal_clique;
+          Alcotest.test_case "disjoint intervals" `Quick test_naive_disjoint_intervals;
+          Alcotest.test_case "limit" `Quick test_naive_limit;
+          Alcotest.test_case "matches verify" `Quick test_naive_verifies;
+        ] );
+      ( "run_stats",
+        [
+          Alcotest.test_case "limits" `Quick test_stats_limits;
+          Alcotest.test_case "merge" `Quick test_stats_merge;
+        ] );
+    ]

@@ -1,0 +1,159 @@
+(* Tests for the extended temporal substrate: Allen's interval algebra
+   and the LEBI / bgFS interval-join variants. *)
+
+open Temporal
+
+let interval a b = Interval.make a b
+
+(* ---------- Allen relations ---------- *)
+
+let test_allen_examples () =
+  let check name expected a b =
+    Alcotest.(check string)
+      name
+      (Allen.to_string expected)
+      (Allen.to_string (Allen.classify a b))
+  in
+  check "before" Allen.Before (interval 1 3) (interval 5 9);
+  check "meets (adjacent ticks)" Allen.Meets (interval 1 3) (interval 4 9);
+  check "overlaps" Allen.Overlaps (interval 1 5) (interval 3 9);
+  check "starts" Allen.Starts (interval 1 3) (interval 1 9);
+  check "during" Allen.During (interval 3 5) (interval 1 9);
+  check "finishes" Allen.Finishes (interval 5 9) (interval 1 9);
+  check "equal" Allen.Equal (interval 2 4) (interval 2 4);
+  check "contains" Allen.Contains (interval 1 9) (interval 3 5);
+  check "after" Allen.After (interval 8 9) (interval 1 3);
+  check "met-by" Allen.Met_by (interval 4 9) (interval 1 3);
+  (* shared single tick is an overlap for closed integer intervals *)
+  check "shared endpoint overlaps" Allen.Overlaps (interval 1 3) (interval 3 9)
+
+let arb_interval_pair =
+  QCheck.make
+    QCheck.Gen.(
+      quad (int_range 0 20) (int_range 0 8) (int_range 0 20) (int_range 0 8))
+    ~print:(fun (a, da, b, db) ->
+      Printf.sprintf "[%d,%d] vs [%d,%d]" a (a + da) b (b + db))
+
+let prop_allen_unique =
+  QCheck.Test.make ~name:"exactly one Allen relation holds" ~count:500
+    arb_interval_pair (fun (a, da, b, db) ->
+      let x = interval a (a + da) and y = interval b (b + db) in
+      let rel = Allen.classify x y in
+      (* the classification is a function, so uniqueness means: the
+         inverse classification matches, and the overlap predicate agrees
+         with Interval.overlaps *)
+      Allen.classify y x = Allen.inverse rel
+      && Allen.overlaps_in_time rel = Interval.overlaps x y)
+
+let prop_allen_inverse_involution =
+  QCheck.Test.make ~name:"inverse is an involution" ~count:1
+    QCheck.unit (fun () ->
+      Array.for_all (fun r -> Allen.inverse (Allen.inverse r) = r) Allen.all)
+
+let test_allen_all_reachable () =
+  (* every one of the 13 relations is produced by some pair *)
+  let seen = Hashtbl.create 13 in
+  for a = 0 to 6 do
+    for da = 0 to 4 do
+      for b = 0 to 6 do
+        for db = 0 to 4 do
+          Hashtbl.replace seen
+            (Allen.classify (interval a (a + da)) (interval b (b + db)))
+            ()
+        done
+      done
+    done
+  done;
+  Alcotest.(check int) "13 relations" 13 (Hashtbl.length seen)
+
+(* ---------- LEBI / bgFS vs the reference sweeps ---------- *)
+
+let items_of l =
+  Array.of_list
+    (List.map (fun (id, a, b) -> Span_item.make id (Interval.make a b)) l)
+
+let rel l = Relation.of_items (items_of l)
+
+let pairs join l r =
+  let acc = ref [] in
+  let _ = join l r ~f:(fun a b -> acc := (Span_item.id a, Span_item.id b) :: !acc) in
+  List.sort compare !acc
+
+let test_lebi_small () =
+  let l = rel [ (0, 1, 5); (1, 4, 8); (2, 4, 4) ] in
+  let r = rel [ (10, 5, 6); (11, 9, 9); (12, 4, 10) ] in
+  Alcotest.(check (list (pair int int)))
+    "pairs"
+    (pairs Sweep_join.join l r)
+    (pairs Lebi.join l r)
+
+let test_bgfs_small () =
+  let l = rel [ (0, 1, 5); (1, 1, 2); (2, 1, 9) ] in
+  let r = rel [ (10, 1, 1); (11, 2, 3); (12, 20, 21) ] in
+  Alcotest.(check (list (pair int int)))
+    "pairs with tied starts"
+    (pairs Sweep_join.join l r)
+    (pairs Bgfs.join l r)
+
+let test_new_joins_empty () =
+  let e = Relation.empty and r = rel [ (0, 1, 2) ] in
+  Alcotest.(check int) "lebi empty" 0 (Lebi.count e r);
+  Alcotest.(check int) "lebi empty right" 0 (Lebi.count r e);
+  Alcotest.(check int) "bgfs empty" 0 (Bgfs.count e r);
+  Alcotest.(check int) "bgfs empty right" 0 (Bgfs.count r e)
+
+let gen_rel =
+  QCheck.Gen.(
+    list_size (int_range 0 40)
+      (pair (int_range 0 30) (int_range 0 10) >|= fun (s, d) -> (s, s + d)))
+
+let arb_two_rels =
+  QCheck.make
+    QCheck.Gen.(pair gen_rel gen_rel)
+    ~print:(fun (a, b) ->
+      let s l =
+        String.concat ";" (List.map (fun (x, y) -> Printf.sprintf "[%d,%d]" x y) l)
+      in
+      s a ^ " | " ^ s b)
+
+let mk side spans = rel (List.mapi (fun i (a, b) -> ((side * 1000) + i, a, b)) spans)
+
+let prop_lebi_matches_sweep =
+  QCheck.Test.make ~name:"LEBI = EBI sweep" ~count:300 arb_two_rels
+    (fun (a, b) ->
+      let l = mk 0 a and r = mk 1 b in
+      pairs Lebi.join l r = pairs Sweep_join.join l r)
+
+let prop_bgfs_matches_sweep =
+  QCheck.Test.make ~name:"bgFS = EBI sweep" ~count:300 arb_two_rels
+    (fun (a, b) ->
+      let l = mk 0 a and r = mk 1 b in
+      pairs Bgfs.join l r = pairs Sweep_join.join l r)
+
+let prop_all_four_agree_on_counts =
+  QCheck.Test.make ~name:"EBI = gFS = LEBI = bgFS (counts)" ~count:200
+    arb_two_rels (fun (a, b) ->
+      let l = mk 0 a and r = mk 1 b in
+      let c = Sweep_join.count l r in
+      Forward_scan.count l r = c && Lebi.count l r = c && Bgfs.count l r = c)
+
+let qsuite name tests = (name, List.map (QCheck_alcotest.to_alcotest ~long:false) tests)
+
+let () =
+  Alcotest.run "temporal_extra"
+    [
+      ( "allen",
+        [
+          Alcotest.test_case "examples" `Quick test_allen_examples;
+          Alcotest.test_case "all 13 reachable" `Quick test_allen_all_reachable;
+        ] );
+      ( "joins",
+        [
+          Alcotest.test_case "lebi small" `Quick test_lebi_small;
+          Alcotest.test_case "bgfs tied starts" `Quick test_bgfs_small;
+          Alcotest.test_case "empty relations" `Quick test_new_joins_empty;
+        ] );
+      qsuite "allen-properties" [ prop_allen_unique; prop_allen_inverse_involution ];
+      qsuite "join-properties"
+        [ prop_lebi_matches_sweep; prop_bgfs_matches_sweep; prop_all_four_agree_on_counts ];
+    ]

@@ -1,0 +1,189 @@
+(* Tests for the triejoin substrate: slices, grouping, key iterators,
+   leapfrog intersection, and the static adjacency index. *)
+
+open Triejoin
+
+let check_invalid name f =
+  Alcotest.check_raises name (Invalid_argument "") (fun () ->
+      try f () with Invalid_argument _ -> raise (Invalid_argument ""))
+
+(* ---------- Slice ---------- *)
+
+let test_slice () =
+  let s = Slice.make [| 10; 20; 30; 40 |] ~off:1 ~len:2 in
+  Alcotest.(check int) "length" 2 (Slice.length s);
+  Alcotest.(check int) "get" 30 (Slice.get s 1);
+  Alcotest.(check (list int)) "to_list" [ 20; 30 ] (Slice.to_list s);
+  let s2 = Slice.sub s ~off:1 ~len:1 in
+  Alcotest.(check (list int)) "sub" [ 30 ] (Slice.to_list s2);
+  check_invalid "oob window" (fun () -> ignore (Slice.make [| 1 |] ~off:0 ~len:2));
+  check_invalid "oob get" (fun () -> ignore (Slice.get s 2))
+
+(* ---------- Grouping ---------- *)
+
+let test_grouping () =
+  let arr = [| 1; 1; 3; 3; 3; 7 |] in
+  let g = Grouping.group arr ~off:0 ~len:6 ~key:Fun.id in
+  Alcotest.(check int) "groups" 3 (Grouping.n_groups g);
+  Alcotest.(check (option int)) "find 3" (Some 1) (Grouping.find g 3);
+  Alcotest.(check (option int)) "find missing" None (Grouping.find g 4);
+  Alcotest.(check (pair int int)) "range" (2, 3) (Grouping.range g 1);
+  check_invalid "unsorted rejected" (fun () ->
+      ignore (Grouping.group [| 2; 1 |] ~off:0 ~len:2 ~key:Fun.id))
+
+let test_grouping_window () =
+  let arr = [| 9; 5; 5; 6; 9 |] in
+  let g = Grouping.group arr ~off:1 ~len:3 ~key:Fun.id in
+  Alcotest.(check int) "groups in window" 2 (Grouping.n_groups g);
+  Alcotest.(check (pair int int)) "offsets absolute" (1, 2) (Grouping.range g 0)
+
+(* ---------- Key_iter / Leapfrog ---------- *)
+
+let test_key_iter_seek () =
+  let it = Key_iter.of_sorted_array [| 1; 4; 9; 12 |] in
+  Key_iter.seek it 5;
+  Alcotest.(check int) "first >= 5" 9 (Key_iter.key it);
+  Key_iter.seek it 9;
+  Alcotest.(check int) "seek to current stays" 9 (Key_iter.key it);
+  Key_iter.seek it 13;
+  Alcotest.(check bool) "past end" true (Key_iter.at_end it);
+  check_invalid "non-strict rejected" (fun () ->
+      ignore (Key_iter.of_sorted_array [| 1; 1 |]))
+
+let test_leapfrog_basic () =
+  let sets = [ [| 1; 3; 5; 7; 9 |]; [| 2; 3; 5; 8; 9 |]; [| 3; 4; 5; 9; 11 |] ] in
+  Alcotest.(check (list int))
+    "intersection" [ 3; 5; 9 ]
+    (Array.to_list (Leapfrog.intersect_arrays sets))
+
+let test_leapfrog_edge_cases () =
+  Alcotest.(check (list int))
+    "single relation" [ 1; 2 ]
+    (Array.to_list (Leapfrog.intersect_arrays [ [| 1; 2 |] ]));
+  Alcotest.(check (list int))
+    "empty member" []
+    (Array.to_list (Leapfrog.intersect_arrays [ [| 1; 2 |]; [||] ]));
+  Alcotest.(check (list int))
+    "disjoint" []
+    (Array.to_list (Leapfrog.intersect_arrays [ [| 1; 3 |]; [| 2; 4 |] ]))
+
+let module_set_intersect lists =
+  let module S = Set.Make (Int) in
+  match List.map (fun a -> S.of_list (Array.to_list a)) lists with
+  | [] -> []
+  | first :: rest -> S.elements (List.fold_left S.inter first rest)
+
+let prop_leapfrog_matches_sets =
+  QCheck.Test.make ~name:"leapfrog = set intersection" ~count:300
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 4) (list (int_bound 30)))
+    (fun lists ->
+      let arrays =
+        List.map
+          (fun l -> Array.of_list (List.sort_uniq Int.compare l))
+          lists
+      in
+      Array.to_list (Leapfrog.intersect_arrays arrays)
+      = module_set_intersect arrays)
+
+(* ---------- Adjacency ---------- *)
+
+let graph () =
+  (* labels: 0 = a, 1 = b *)
+  Tgraph.Graph.of_edge_list
+    [
+      (0, 1, 0, 0, 5);
+      (* e0 *)
+      (0, 1, 0, 3, 8);
+      (* e1: parallel edge, later start *)
+      (0, 2, 0, 1, 2);
+      (* e2 *)
+      (1, 2, 1, 4, 9);
+      (* e3 *)
+      (2, 1, 0, 7, 7);
+      (* e4 *)
+    ]
+
+let ids slice = List.sort compare (List.map Tgraph.Edge.id (Slice.to_list slice))
+
+let test_adjacency_lookups () =
+  let adj = Adjacency.build (graph ()) in
+  Alcotest.(check (list int)) "out(a, 0)" [ 0; 1; 2 ] (ids (Adjacency.out_edges adj ~lbl:0 ~src:0));
+  Alcotest.(check (list int)) "in(a, 1)" [ 0; 1; 4 ] (ids (Adjacency.in_edges adj ~lbl:0 ~dst:1));
+  Alcotest.(check (list int)) "between(a, 0, 1)" [ 0; 1 ]
+    (ids (Adjacency.edges_between adj ~lbl:0 ~src:0 ~dst:1));
+  Alcotest.(check (list int)) "missing label" [] (ids (Adjacency.out_edges adj ~lbl:9 ~src:0));
+  Alcotest.(check (list int)) "missing src" [] (ids (Adjacency.out_edges adj ~lbl:0 ~src:9));
+  Alcotest.(check (list int)) "label edges b" [ 3 ] (ids (Adjacency.label_edges adj ~lbl:1))
+
+let test_adjacency_keys () =
+  let adj = Adjacency.build (graph ()) in
+  Alcotest.(check (list int)) "sources(a)" [ 0; 2 ]
+    (Array.to_list (Adjacency.sources adj ~lbl:0));
+  Alcotest.(check (list int)) "destinations(a)" [ 1; 2 ]
+    (Array.to_list (Adjacency.destinations adj ~lbl:0));
+  Alcotest.(check (list int)) "dst_keys(a, 0)" [ 1; 2 ]
+    (Array.to_list (Adjacency.dst_keys adj ~lbl:0 ~src:0));
+  Alcotest.(check (list int)) "src_keys(a, 1)" [ 0; 2 ]
+    (Array.to_list (Adjacency.src_keys adj ~lbl:0 ~dst:1))
+
+let test_adjacency_between_start_sorted () =
+  let adj = Adjacency.build (graph ()) in
+  let slice = Adjacency.edges_between adj ~lbl:0 ~src:0 ~dst:1 in
+  Alcotest.(check (list int)) "start order" [ 0; 3 ]
+    (List.map Tgraph.Edge.ts (Slice.to_list slice))
+
+let prop_adjacency_out_edges =
+  (* random graphs: out_edges must return exactly the label+src matches *)
+  QCheck.Test.make ~name:"adjacency out_edges complete" ~count:100
+    QCheck.(
+      list_of_size (QCheck.Gen.int_range 0 60)
+        (quad (int_bound 6) (int_bound 6) (int_bound 2) (int_bound 20)))
+    (fun edges ->
+      let g =
+        Tgraph.Graph.of_edge_list
+          (List.map (fun (s, d, l, t) -> (s, d, l, t, t + 3)) edges)
+      in
+      let adj = Adjacency.build g in
+      let ok = ref true in
+      for lbl = 0 to 2 do
+        for src = 0 to 6 do
+          let expected =
+            Tgraph.Graph.fold_edges
+              (fun acc e ->
+                if Tgraph.Edge.lbl e = lbl && Tgraph.Edge.src e = src then
+                  Tgraph.Edge.id e :: acc
+                else acc)
+              [] g
+            |> List.sort compare
+          in
+          if ids (Adjacency.out_edges adj ~lbl ~src) <> expected then ok := false
+        done
+      done;
+      !ok)
+
+let qsuite name tests = (name, List.map (QCheck_alcotest.to_alcotest ~long:false) tests)
+
+let () =
+  Alcotest.run "triejoin"
+    [
+      ("slice", [ Alcotest.test_case "windows" `Quick test_slice ]);
+      ( "grouping",
+        [
+          Alcotest.test_case "full array" `Quick test_grouping;
+          Alcotest.test_case "window" `Quick test_grouping_window;
+        ] );
+      ( "leapfrog",
+        [
+          Alcotest.test_case "key_iter seek" `Quick test_key_iter_seek;
+          Alcotest.test_case "three-way" `Quick test_leapfrog_basic;
+          Alcotest.test_case "edge cases" `Quick test_leapfrog_edge_cases;
+        ] );
+      ( "adjacency",
+        [
+          Alcotest.test_case "lookups" `Quick test_adjacency_lookups;
+          Alcotest.test_case "key sets" `Quick test_adjacency_keys;
+          Alcotest.test_case "between start-sorted" `Quick test_adjacency_between_start_sorted;
+        ] );
+      qsuite "leapfrog-properties" [ prop_leapfrog_matches_sets ];
+      qsuite "adjacency-properties" [ prop_adjacency_out_edges ];
+    ]

@@ -1,0 +1,15 @@
+(* Shared helpers for the test suites: delegates input generation to the
+   Testkit library and adds Alcotest-flavoured assertions. *)
+
+open Semantics
+
+let random_graph = Testkit.random_graph
+let query_pool = Testkit.query_pool
+let result_set_of_list = Match_result.Result_set.of_list
+
+let check_same_results ~msg expected actual =
+  let expected = result_set_of_list expected in
+  let actual = result_set_of_list actual in
+  match Match_result.Result_set.diff_summary ~expected ~actual with
+  | None -> ()
+  | Some diff -> Alcotest.failf "%s: %s" msg diff
