@@ -1,0 +1,12 @@
+#!/bin/sh
+# Full pre-merge check: build everything under the strict dev profile
+# (warnings are errors), run the test suite, and lint every example
+# workload with the static analyzer (`dune build @lint` fails if any
+# query in examples/queries/ draws a warning or error).
+set -eu
+cd "$(dirname "$0")/.."
+
+dune build
+dune runtest
+dune build @lint
+echo "check.sh: build, tests and lint all clean"

@@ -1,6 +1,9 @@
 (* Differential fuzzer: random temporal graphs and queries, all four
    engines (and all LFTO optimization configurations, adaptive plans,
    and both IO codecs) cross-checked against the brute-force oracle.
+   The static analyzer is cross-checked too: a query it calls clean must
+   run without exception, a query it proves empty must have zero naive
+   matches, and every planner's plan must pass plan invariant analysis.
 
    Usage: dune exec bin/fuzz.exe [-- iterations [seed]]
 
@@ -33,6 +36,49 @@ let check_divergence ~iter ~qi ~name expected actual =
         iter qi name diff (base_seed + iter);
       exit 1
 
+let analyzer_failure ~iter ~qi fmt =
+  Printf.ksprintf
+    (fun msg ->
+      Printf.eprintf
+        "ANALYZER DIVERGENCE at iteration %d, query %d:\n  %s\n  reproduce: dune exec bin/fuzz.exe -- 1 %d\n"
+        iter qi msg (base_seed + iter);
+      exit 1)
+    fmt
+
+(* The static analyzer's verdicts, cross-checked against ground truth:
+   provably-empty queries must have zero naive matches, plans from all
+   three planners must pass plan invariant analysis, and analyzer-clean
+   queries must execute without raising. *)
+let check_analyzer ~iter ~qi env tai cost q ~naive_count =
+  let diags = Analysis.Query_check.check ~env q in
+  if Analysis.Diagnostic.proves_empty diags && naive_count <> 0 then
+    analyzer_failure ~iter ~qi
+      "analyzer proved the query empty but naive found %d matches (%s)"
+      naive_count
+      (String.concat "; "
+         (List.map Analysis.Diagnostic.to_string
+            (List.filter
+               (fun d -> d.Analysis.Diagnostic.proves_empty)
+               diags)));
+  if Analysis.Diagnostic.has_errors diags then
+    analyzer_failure ~iter ~qi
+      "analyzer reported an error on a generator-produced query (%s)"
+      (String.concat "; " (List.map Analysis.Diagnostic.to_string diags));
+  let check_plan name plan =
+    match Analysis.Plan_check.check plan with
+    | [] -> ()
+    | ds ->
+        analyzer_failure ~iter ~qi "%s failed plan invariant analysis: %s"
+          name
+          (String.concat "; " (List.map Analysis.Diagnostic.to_string ds))
+  in
+  check_plan "Plan.build" (Tcsq_core.Plan.build ~cost tai q);
+  check_plan "Plan.build_adaptive"
+    (Tcsq_core.Plan.build_adaptive ~cost ~defer_ratio:2.0 tai q);
+  check_plan "Plan.of_pivot_order"
+    (Tcsq_core.Plan.of_pivot_order q
+       (List.init (Query.n_vars q) (fun v -> Query.n_vars q - 1 - v)))
+
 let () =
   Printf.printf "fuzzing %d iterations from seed %d...\n%!" iterations base_seed;
   let t0 = Unix.gettimeofday () in
@@ -56,6 +102,7 @@ let () =
     let engine = Workload.Engine.prepare g in
     let tai = Workload.Engine.tai engine in
     let cost = Tcsq_core.Plan.cost_model tai in
+    let qenv = Analysis.Query_check.env_of_graph g in
     let ws = Random.State.int rng domain in
     let we = min (domain - 1) (ws + Random.State.int rng domain) in
     let window = Temporal.Interval.make ws (max ws we) in
@@ -66,7 +113,10 @@ let () =
     in
     List.iteri
       (fun qi q ->
-        let expected = Match_result.Result_set.of_list (Naive.evaluate g q) in
+        let naive = Naive.evaluate g q in
+        let expected = Match_result.Result_set.of_list naive in
+        check_analyzer ~iter ~qi qenv tai cost q
+          ~naive_count:(List.length naive);
         List.iter
           (fun (name, config, method_) ->
             let actual =

@@ -36,9 +36,14 @@ let graph_file_arg =
 
 let load_graph file dataset scale =
   match (file, dataset) with
-  | Some path, None ->
-      if Filename.check_suffix path ".bin" then Ok (Tgraph.Binary_io.load path)
-      else Ok (Tgraph.Io.load path)
+  | Some path, None -> (
+      try
+        if Filename.check_suffix path ".bin" then
+          Ok (Tgraph.Binary_io.load path)
+        else Ok (Tgraph.Io.load path)
+      with
+      | Tgraph.Io.Malformed msg -> Error msg
+      | Sys_error msg -> Error msg)
   | None, Some name -> (
       match Tgraph.Dataset.of_string name with
       | Some ds -> Ok (Tgraph.Dataset.graph ~scale ds)
@@ -442,12 +447,174 @@ let suite_cmd =
       const run $ graph_file_arg $ dataset_arg $ scale_arg $ file_arg
       $ method_arg)
 
+let lint_cmd =
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit diagnostics as a JSON array of reports.")
+  in
+  let queries_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "queries" ] ~docv:"FILE"
+          ~doc:"Lint every query-language statement in this workload file.")
+  in
+  let pivot_order_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "pivot-order" ] ~docv:"V1,V2,..."
+          ~doc:
+            "Also lint the literal plan induced by this pivot-variable \
+             order (no planner repair): a wrong order surfaces as \
+             unbound-pivot / unmatched-edge diagnostics.")
+  in
+  let parse_pivot_order s =
+    let parts = String.split_on_char ',' (String.trim s) in
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | p :: rest -> (
+          match int_of_string_opt (String.trim p) with
+          | Some v -> go (v :: acc) rest
+          | None -> Error (Printf.sprintf "bad pivot order %S" s))
+    in
+    go [] parts
+  in
+  (* windows are parsed leniently here: an inverted window must reach the
+     analyzer as a diagnostic, not die as a CLI usage error *)
+  let raw_window_diags window =
+    match window with
+    | None -> []
+    | Some s -> (
+        match String.split_on_char ':' s with
+        | [ a; b ] -> (
+            match (int_of_string_opt a, int_of_string_opt b) with
+            | Some ws, Some we ->
+                Analysis.Query_check.check_raw_window ~ws ~we
+            | _ -> [])
+        | _ -> [])
+  in
+  let run file dataset scale match_ pattern labels window window_frac lasting
+      queries_file pivot_order json =
+    let g = or_die (load_graph file dataset scale) in
+    let order =
+      match pivot_order with
+      | None -> None
+      | Some s -> Some (or_die (parse_pivot_order s))
+    in
+    let target = Analysis.Lint.target_of_graph g in
+    (* each linted query: its rendered text plus diagnostics *)
+    let reports =
+      match queries_file with
+      | Some path ->
+          let ic = open_in path in
+          let lines =
+            Fun.protect
+              ~finally:(fun () -> close_in ic)
+              (fun () ->
+                let acc = ref [] in
+                (try
+                   while true do
+                     acc := input_line ic :: !acc
+                   done
+                 with End_of_file -> ());
+                List.rev !acc)
+          in
+          List.filter_map
+            (fun line ->
+              let line = String.trim line in
+              if line = "" || line.[0] = '#' then None
+              else
+                let q, ds = Analysis.Lint.check_text target line in
+                Some (line, q, ds))
+            lines
+      | None -> (
+          let window_diags = raw_window_diags window in
+          if window_diags <> [] then [ ("<window>", None, window_diags) ]
+          else
+            match match_ with
+            | Some text ->
+                let default_window =
+                  match parse_window g window window_frac with
+                  | Ok w -> Some w
+                  | Error _ -> None
+                in
+                let q, ds =
+                  Analysis.Lint.check_text ?default_window target text
+                in
+                [ (text, q, ds) ]
+            | None ->
+                let q =
+                  apply_lasting lasting
+                    (or_die (parse_query g pattern labels window window_frac))
+                in
+                [ (Semantics.Qlang.render g q, Some q,
+                   Analysis.Lint.check_query target q) ])
+    in
+    let reports =
+      match order with
+      | None -> reports
+      | Some order ->
+          List.map
+            (fun (text, q, ds) ->
+              match q with
+              | Some q ->
+                  (text, Some q,
+                   ds @ Analysis.Lint.check_pivot_order target q order)
+              | None -> (text, None, ds))
+            reports
+    in
+    let all = List.concat_map (fun (_, _, ds) -> ds) reports in
+    if json then
+      print_endline
+        (Semantics.Json_out.arr
+           (List.map
+              (fun (text, _, ds) ->
+                Semantics.Json_out.obj
+                  [
+                    ("query", Semantics.Json_out.escape_string text);
+                    ("diagnostics", Analysis.Diagnostic.list_to_json ds);
+                  ])
+              reports))
+    else begin
+      List.iter
+        (fun (text, _, ds) ->
+          if ds <> [] then begin
+            Format.printf "%s@." text;
+            List.iter
+              (fun d -> Format.printf "  %a@." Analysis.Diagnostic.pp d)
+              ds
+          end)
+        reports;
+      let count sev =
+        List.length
+          (List.filter (fun d -> d.Analysis.Diagnostic.severity = sev) all)
+      in
+      Format.printf "%d queries linted: %d errors, %d warnings, %d hints@."
+        (List.length reports)
+        (count Analysis.Diagnostic.Error)
+        (count Analysis.Diagnostic.Warning)
+        (count Analysis.Diagnostic.Hint)
+    end;
+    exit (Analysis.Diagnostic.exit_code all)
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Statically analyze queries (and their plans) without executing \
+          them: exit 0 clean, 1 warnings, 2 errors.")
+    Term.(
+      const run $ graph_file_arg $ dataset_arg $ scale_arg $ match_arg
+      $ pattern_arg $ labels_arg $ window_arg $ window_frac_arg $ lasting_arg
+      $ queries_arg $ pivot_order_arg $ json_arg)
+
 let main =
   let doc = "temporal-clique subgraph query processing (TSRJoin)" in
   Cmd.group (Cmd.info "tcsq" ~version:"1.0.0" ~doc)
     [
       datasets_cmd; generate_cmd; stats_cmd; query_cmd; explain_cmd;
-      compare_cmd; topk_cmd; reach_cmd; suite_cmd;
+      compare_cmd; topk_cmd; reach_cmd; suite_cmd; lint_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -1,0 +1,47 @@
+open Tcsq_core
+
+type target = {
+  tai : Tai.t;
+  cost : Plan.cost_model;
+  env : Query_check.env;
+}
+
+let target_of_tai tai =
+  { tai; cost = Plan.cost_model tai; env = Query_check.env_of_graph (Tai.graph tai) }
+
+let target_of_graph g = target_of_tai (Tai.build g)
+
+let env t = t.env
+
+let check_query t q =
+  let ds = Query_check.check ~env:t.env q in
+  if Diagnostic.has_errors ds then ds
+  else
+    ds
+    @ Plan_check.check (Plan.build ~cost:t.cost t.tai q)
+    @ Plan_check.check (Plan.build_adaptive ~cost:t.cost t.tai q)
+
+let check_pivot_order t q order =
+  let ds = Query_check.check ~env:t.env q in
+  if Diagnostic.has_errors ds then ds
+  else ds @ Plan_check.check (Plan.of_pivot_order_unchecked q order)
+
+let check_text ?default_window t text =
+  match Semantics.Qlang.parse text with
+  | Error { position; message } ->
+      ( None,
+        [
+          Diagnostic.make ~code:"Q000" ~severity:Error
+            ~location:(Text position) "syntax error: %s" message;
+        ] )
+  | Ok ast -> (
+      match
+        Semantics.Qlang.compile ?default_window (Tai.graph t.tai) ast
+      with
+      | Error msg ->
+          ( None,
+            [
+              Diagnostic.make ~code:"Q000" ~severity:Error ~location:Queryloc
+                "%s" msg;
+            ] )
+      | Ok q -> (Some q, check_query t q))

@@ -1,0 +1,35 @@
+(** The lint driver behind [tcsq lint] and the engine's admission check:
+    query semantic analysis, then — when the query is error-free — plan
+    invariant analysis over every planner ({!Tcsq_core.Plan.build},
+    {!Tcsq_core.Plan.build_adaptive}, and, on request, an explicit pivot
+    order). *)
+
+type target
+(** A graph prepared for linting: TAI, cost model and query-check env. *)
+
+val target_of_graph : Tgraph.Graph.t -> target
+val target_of_tai : Tcsq_core.Tai.t -> target
+(** Reuse an existing TAI (e.g. the engine's) instead of rebuilding. *)
+
+val env : target -> Query_check.env
+
+val check_query : target -> Semantics.Query.t -> Diagnostic.t list
+(** {!Query_check.check} plus, when it reports no [Error], plan checks
+    on the cost-model plan and the adaptive plan. *)
+
+val check_pivot_order :
+  target -> Semantics.Query.t -> int list -> Diagnostic.t list
+(** Lints the {e literal} plan induced by the pivot order
+    ({!Tcsq_core.Plan.of_pivot_order_unchecked}): pivots are taken in
+    the given order without the safe planner's bound-first repair, so a
+    wrong order surfaces as [P002]/[P004] diagnostics instead of being
+    silently fixed. *)
+
+val check_text :
+  ?default_window:Temporal.Interval.t ->
+  target ->
+  string ->
+  Semantics.Query.t option * Diagnostic.t list
+(** Parse and compile a query-language string, folding syntax and
+    compilation failures into [Q000]/[Q003] diagnostics, then
+    {!check_query}. The query is [None] when it could not be built. *)

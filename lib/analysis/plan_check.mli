@@ -1,0 +1,25 @@
+(** Pass 2: plan invariant analysis.
+
+    Subsumes {!Tcsq_core.Plan.validate} with structured, per-step
+    diagnostics. A clean plan satisfies: every query edge matched
+    exactly once (so adaptive deferred edges are eventually matched),
+    every step matches at least one edge, each step's edges are incident
+    to its pivot and agree with the query's edge table, non-root pivots
+    are bound by an earlier step, and [produce_binding] is set exactly
+    on component roots (pivots unbound when their step runs).
+
+    Codes (all [Error]):
+    - [P001] step matches no query edge
+    - [P002] pivot used before being bound (unbound non-root pivot)
+    - [P003] [produce_binding] set on an already-bound pivot
+    - [P004] query edge never matched by the plan
+    - [P005] query edge matched more than once
+    - [P006] step edge not incident to the step's pivot
+    - [P007] step edge disagrees with the query's edge table *)
+
+val check : Tcsq_core.Plan.t -> Diagnostic.t list
+(** Diagnostics in step order, then unmatched-edge order. *)
+
+val check_result : Tcsq_core.Plan.t -> (unit, string) result
+(** [Error] carries the first diagnostic rendered — a drop-in for
+    {!Tcsq_core.Plan.validate} call sites. *)

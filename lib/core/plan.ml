@@ -350,6 +350,20 @@ let of_pivot_order q order =
   done;
   finish sim
 
+let of_steps_unchecked q steps = { query = q; steps }
+
+let of_pivot_order_unchecked q order =
+  let sim = sim_create q in
+  let first = ref true in
+  List.iter
+    (fun v ->
+      if v >= 0 && v < Query.n_vars q && unmatched_adjacent sim v <> [] then begin
+        apply_step sim v ~produce_binding:!first;
+        first := false
+      end)
+    order;
+  finish sim
+
 let validate p =
   let q = p.query in
   let matched = Array.make (Query.n_edges q) 0 in

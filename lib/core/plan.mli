@@ -53,6 +53,22 @@ val of_pivot_order : Semantics.Query.t -> int list -> t
     as in {!build} without cost information.
     @raise Invalid_argument if the list omits needed variables. *)
 
+val of_steps_unchecked : Semantics.Query.t -> step array -> t
+(** Assembles a plan from raw steps with {e no} invariant checking — for
+    the static analyzer's tests (hand-corrupted plans) only. Executing
+    an invalid plan produces wrong answers; run
+    [Analysis.Plan_check.check] (or {!validate}) first. *)
+
+val of_pivot_order_unchecked : Semantics.Query.t -> int list -> t
+(** The {e literal} reading of a pivot order: pivots are applied exactly
+    in the given sequence (skipping variables with no unmatched adjacent
+    edges), the first step is the only leapfrog root, and edges left
+    unmatched when the order runs out stay unmatched. Unlike
+    {!of_pivot_order} there is no bound-first repair or fallback, so a
+    bad order yields an {e invalid} plan — which is the point: it is the
+    CLI/test vehicle for exercising plan diagnostics ([tcsq lint
+    --pivot-order]). *)
+
 val validate : t -> (unit, string) result
 (** Checks plan invariants: every query edge matched exactly once, and
     every non-root pivot bound by an earlier step. *)

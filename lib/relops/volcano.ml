@@ -1,6 +1,6 @@
 let batch_size = 1024
 
-type t = { mutable pull : unit -> Tuple.t array option }
+type t = { pull : unit -> Tuple.t array option }
 
 let of_producer pull = { pull }
 

@@ -16,6 +16,14 @@ let escape_string s =
   Buffer.add_char buf '"';
   Buffer.contents buf
 
+let obj fields =
+  "{"
+  ^ String.concat ", "
+      (List.map (fun (k, v) -> escape_string k ^ ": " ^ v) fields)
+  ^ "}"
+
+let arr items = "[" ^ String.concat ", " items ^ "]"
+
 let edge_to_json g id =
   let e = Tgraph.Graph.edge g id in
   Printf.sprintf "{\"id\": %d, \"src\": %d, \"dst\": %d, \"label\": %s, \"ts\": %d, \"te\": %d}"

@@ -13,6 +13,13 @@
 val escape_string : string -> string
 (** JSON string escaping (quotes included). *)
 
+val obj : (string * string) list -> string
+(** [obj [(key, rendered_value); ...]] is a JSON object; keys are
+    escaped, values are emitted verbatim (callers render them). *)
+
+val arr : string list -> string
+(** A JSON array of already-rendered values. *)
+
 val match_to_json : Tgraph.Graph.t -> Match_result.t -> string
 
 val matches_to_json : Tgraph.Graph.t -> Match_result.t list -> string

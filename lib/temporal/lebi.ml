@@ -4,7 +4,7 @@
 module Active_set = struct
   type t = {
     items : Span_item.t Vec.t;
-    mutable slots : int array; (* seq -> position in items, or -1 *)
+    slots : int array; (* seq -> position in items, or -1 *)
     seqs : int Vec.t; (* position -> seq *)
   }
 

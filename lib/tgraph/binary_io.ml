@@ -1,5 +1,9 @@
 let magic = "TCSQGR\x01\n"
 
+(* all decode-time corruption reports go through the shared typed
+   load error of the codecs *)
+let malformed fmt = Printf.ksprintf (fun msg -> raise (Io.Malformed msg)) fmt
+
 (* ---- varint (LEB128, zig-zag for signed deltas) ---- *)
 
 let write_uvarint buf v =
@@ -23,15 +27,14 @@ type reader = { data : bytes; mutable pos : int }
 
 let read_byte r =
   if r.pos >= Bytes.length r.data then
-    failwith
-      (Printf.sprintf "Binary_io: truncated input at byte %d" r.pos);
+    malformed "Binary_io: truncated input at byte %d" r.pos;
   let b = Char.code (Bytes.get r.data r.pos) in
   r.pos <- r.pos + 1;
   b
 
 let read_uvarint r =
   let rec go shift acc =
-    if shift > 62 then failwith "Binary_io: varint too long";
+    if shift > 62 then malformed "Binary_io: varint too long";
     let b = read_byte r in
     let acc = acc lor ((b land 0x7f) lsl shift) in
     if b land 0x80 = 0 then acc else go (shift + 7) acc
@@ -75,13 +78,13 @@ let of_bytes data =
   let m = Bytes.create (String.length magic) in
   String.iteri (fun i _ -> Bytes.set m i (Char.chr (read_byte r))) magic;
   if Bytes.to_string m <> magic then
-    failwith "Binary_io: bad magic (not a tcsq graph file, or wrong version)";
+    malformed "Binary_io: bad magic (not a tcsq graph file, or wrong version)";
   let n_labels = read_uvarint r in
-  if n_labels > 1_000_000 then failwith "Binary_io: implausible label count";
+  if n_labels > 1_000_000 then malformed "Binary_io: implausible label count";
   let names =
     Array.init n_labels (fun _ ->
         let len = read_uvarint r in
-        if len > 4096 then failwith "Binary_io: implausible label length";
+        if len > 4096 then malformed "Binary_io: implausible label length";
         String.init len (fun _ -> Char.chr (read_byte r)))
   in
   let labels = Label.of_names names in
@@ -96,14 +99,14 @@ let of_bytes data =
     let ts = !prev_ts + read_svarint r in
     let len = read_uvarint r in
     if src >= n_vertices || dst >= n_vertices then
-      failwith (Printf.sprintf "Binary_io: edge %d endpoint out of range" i);
+      malformed "Binary_io: edge %d endpoint out of range" i;
     if lbl >= n_labels then
-      failwith (Printf.sprintf "Binary_io: edge %d label out of range" i);
+      malformed "Binary_io: edge %d label out of range" i;
     prev_ts := ts;
     ignore (Graph.Builder.add_edge b ~src ~dst ~lbl ~ts ~te:(ts + len))
   done;
   if r.pos <> Bytes.length data then
-    failwith "Binary_io: trailing bytes after the edge table";
+    malformed "Binary_io: trailing bytes after the edge table";
   Graph.Builder.finish b
 
 let save g path =

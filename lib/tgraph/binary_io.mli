@@ -7,12 +7,15 @@
     faster than CSV and is typically several times smaller.
 
     The format is self-describing and versioned; {!load} validates the
-    magic, version and every bound, failing with a located message on
-    corruption. *)
+    magic, version and every bound, raising {!Io.Malformed} with a
+    located message on corruption. *)
 
 val save : Graph.t -> string -> unit
+
 val load : string -> Graph.t
+(** @raise Io.Malformed on corrupt input. *)
 
 val to_bytes : Graph.t -> bytes
+
 val of_bytes : bytes -> Graph.t
-(** @raise Failure on malformed input. *)
+(** @raise Io.Malformed on corrupt input. *)

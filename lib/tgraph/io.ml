@@ -1,3 +1,7 @@
+exception Malformed of string
+
+let malformed fmt = Printf.ksprintf (fun msg -> raise (Malformed msg)) fmt
+
 let to_channel g oc =
   let labels = Graph.labels g in
   output_string oc "# src,dst,label,ts,te\n";
@@ -24,18 +28,20 @@ let parse_line ~source ~line_no b line =
             int_of_string_opt (String.trim ts),
             int_of_string_opt (String.trim te) )
         with
-        | Some src, Some dst, Some ts, Some te ->
-            ignore
-              (Graph.Builder.add_edge_named b ~src ~dst ~lbl:(String.trim lbl)
-                 ~ts ~te)
+        | Some src, Some dst, Some ts, Some te -> (
+            try
+              ignore
+                (Graph.Builder.add_edge_named b ~src ~dst
+                   ~lbl:(String.trim lbl) ~ts ~te)
+            with Invalid_argument msg ->
+              malformed "%s:%d: invalid edge in %S (%s)" source line_no line
+                msg)
         | None, _, _, _ | _, None, _, _ | _, _, None, _ | _, _, _, None ->
-            failwith
-              (Printf.sprintf "%s:%d: malformed integer field in %S" source
-                 line_no line))
+            malformed "%s:%d: malformed integer field in %S" source line_no
+              line)
     | _ ->
-        failwith
-          (Printf.sprintf "%s:%d: expected 5 comma-separated fields in %S"
-             source line_no line)
+        malformed "%s:%d: expected 5 comma-separated fields in %S" source
+          line_no line
 
 let of_channel ?(source = "<channel>") ic =
   let b = Graph.Builder.create () in
@@ -80,20 +86,21 @@ let load_contacts ?(label = "contact") ~duration path =
                      int_of_string_opt dst,
                      int_of_string_opt ts )
                  with
-                 | Some src, Some dst, Some ts ->
-                     ignore
-                       (Graph.Builder.add_edge_named b ~src ~dst ~lbl:label
-                          ~ts
-                          ~te:(ts + duration - 1))
+                 | Some src, Some dst, Some ts -> (
+                     try
+                       ignore
+                         (Graph.Builder.add_edge_named b ~src ~dst ~lbl:label
+                            ~ts
+                            ~te:(ts + duration - 1))
+                     with Invalid_argument msg ->
+                       malformed "%s:%d: invalid contact in %S (%s)" path
+                         !line_no line msg)
                  | _ ->
-                     failwith
-                       (Printf.sprintf "%s:%d: malformed contact line %S" path
-                          !line_no line))
+                     malformed "%s:%d: malformed contact line %S" path
+                       !line_no line)
              | _ ->
-                 failwith
-                   (Printf.sprintf
-                      "%s:%d: expected 'src dst timestamp', got %S" path
-                      !line_no line)
+                 malformed "%s:%d: expected 'src dst timestamp', got %S" path
+                   !line_no line
            end
          done
        with End_of_file -> ());

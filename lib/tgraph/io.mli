@@ -7,12 +7,21 @@
 
     where [label] is the label string (interned on load). *)
 
+exception Malformed of string
+(** The single load-time error of both graph codecs ({!Io} and
+    {!Binary_io}): malformed user input — bad field counts, unparsable
+    integers, inverted intervals, corrupt binary framing — raises
+    [Malformed] with a located, human-readable message. I/O-level
+    failures (missing file, permissions) keep raising [Sys_error].
+    Programming errors (bad arguments to the API itself) keep raising
+    [Invalid_argument]. *)
+
 val save : Graph.t -> string -> unit
 (** [save g path] writes [g] to [path]. *)
 
 val load : string -> Graph.t
 (** [load path] reads a graph.
-    @raise Failure with a line-numbered message on malformed input. *)
+    @raise Malformed with a line-numbered message on malformed input. *)
 
 val to_channel : Graph.t -> out_channel -> unit
 val of_channel : ?source:string -> in_channel -> Graph.t
@@ -24,5 +33,5 @@ val load_contacts : ?label:string -> duration:int -> string -> Graph.t
     contact time, labeled [label] (default ["contact"]). This is how
     public temporal datasets (e.g. SNAP's email/CollegeMsg networks)
     map onto the interval model.
-    @raise Failure with a line-numbered message on malformed input.
+    @raise Malformed with a line-numbered message on malformed input.
     @raise Invalid_argument when [duration < 1]. *)

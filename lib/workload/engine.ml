@@ -22,6 +22,7 @@ type t = {
   cost : Tcsq_core.Plan.cost_model;
   adjacency : Triejoin.Adjacency.t;
   sti_index : Relops.Sti_index.t;
+  qenv : Analysis.Query_check.env;
 }
 
 let prepare graph =
@@ -32,6 +33,7 @@ let prepare graph =
     cost = Tcsq_core.Plan.cost_model tai;
     adjacency = Triejoin.Adjacency.build graph;
     sti_index = Relops.Sti_index.build graph;
+    qenv = Analysis.Query_check.env_of_graph graph;
   }
 
 let graph t = t.graph
@@ -42,8 +44,13 @@ let sti_index t = t.sti_index
 let run ?stats ?tsrjoin_config t method_ q ~emit =
   match method_ with
   | Tsrjoin ->
-      Tcsq_core.Tsrjoin.run ?stats ?config:tsrjoin_config ~cost:t.cost t.tai q
-        ~emit
+      (* plan invariant analysis guards the hot path: a planner bug
+         surfaces as a diagnostic here instead of as wrong answers *)
+      let plan = Tcsq_core.Plan.build ~cost:t.cost t.tai q in
+      (match Analysis.Plan_check.check_result plan with
+      | Ok () -> ()
+      | Error msg -> invalid_arg ("Engine.run: invalid plan: " ^ msg));
+      Tcsq_core.Tsrjoin.run ?stats ?config:tsrjoin_config ~plan t.tai q ~emit
   | Binary -> Relops.Binary.run ?stats t.adjacency q ~emit
   | Hybrid -> Relops.Hybrid.run ?stats t.adjacency q ~emit
   | Time -> Relops.Time_pipeline.run ?stats t.sti_index q ~emit
@@ -57,6 +64,43 @@ let count ?stats ?tsrjoin_config t method_ q =
   let n = ref 0 in
   run ?stats ?tsrjoin_config t method_ q ~emit:(fun _ -> incr n);
   !n
+
+(* ---- statically checked execution ---- *)
+
+let analyze t method_ q =
+  let ds = Analysis.Query_check.check ~env:t.qenv q in
+  if Analysis.Diagnostic.has_errors ds then ds
+  else
+    match method_ with
+    | Tsrjoin ->
+        ds
+        @ Analysis.Plan_check.check (Tcsq_core.Plan.build ~cost:t.cost t.tai q)
+    | Binary | Hybrid | Time -> ds
+
+let run_checked ?stats ?tsrjoin_config t method_ q ~emit =
+  let ds = analyze t method_ q in
+  if Analysis.Diagnostic.has_errors ds then Error ds
+  else if Analysis.Diagnostic.proves_empty ds then Ok ds
+  else begin
+    run ?stats ?tsrjoin_config t method_ q ~emit;
+    Ok ds
+  end
+
+let evaluate_checked ?stats ?tsrjoin_config t method_ q =
+  let acc = ref [] in
+  match
+    run_checked ?stats ?tsrjoin_config t method_ q ~emit:(fun m ->
+        acc := m :: !acc)
+  with
+  | Ok ds -> Ok (List.rev !acc, ds)
+  | Error ds -> Error ds
+
+let count_checked ?stats ?tsrjoin_config t method_ q =
+  let n = ref 0 in
+  match run_checked ?stats ?tsrjoin_config t method_ q ~emit:(fun _ -> incr n)
+  with
+  | Ok ds -> Ok (!n, ds)
+  | Error ds -> Error ds
 
 module Match_gen = Temporal.Push_pull.Make (struct
   type t = Semantics.Match_result.t

@@ -29,7 +29,52 @@ val run :
   Semantics.Query.t ->
   emit:(Semantics.Match_result.t -> unit) ->
   unit
-(** May raise {!Semantics.Run_stats.Limit_exceeded} under budgets. *)
+(** May raise {!Semantics.Run_stats.Limit_exceeded} under budgets. For
+    {!Tsrjoin} the freshly built plan is passed through
+    [Analysis.Plan_check] first; a planner bug raises
+    [Invalid_argument] instead of executing an invalid plan. *)
+
+(** {2 Statically checked execution}
+
+    The [_checked] variants run the static analyzer before executing:
+    [Error]-level diagnostics reject the query without executing it
+    (the typed result carries them), and queries the analyzer proves
+    empty (e.g. a window disjoint from the graph's time span) return
+    their trivial result without touching the indexes. The [Ok]
+    diagnostics list carries any surviving warnings/hints. *)
+
+val analyze :
+  t -> method_ -> Semantics.Query.t -> Analysis.Diagnostic.t list
+(** Query semantic analysis against this engine's graph; for {!Tsrjoin}
+    also plan invariant analysis of the cost-model plan (skipped when
+    the query itself has errors). *)
+
+val run_checked :
+  ?stats:Semantics.Run_stats.t ->
+  ?tsrjoin_config:Tcsq_core.Tsrjoin.config ->
+  t ->
+  method_ ->
+  Semantics.Query.t ->
+  emit:(Semantics.Match_result.t -> unit) ->
+  (Analysis.Diagnostic.t list, Analysis.Diagnostic.t list) result
+
+val evaluate_checked :
+  ?stats:Semantics.Run_stats.t ->
+  ?tsrjoin_config:Tcsq_core.Tsrjoin.config ->
+  t ->
+  method_ ->
+  Semantics.Query.t ->
+  ( Semantics.Match_result.t list * Analysis.Diagnostic.t list,
+    Analysis.Diagnostic.t list )
+  result
+
+val count_checked :
+  ?stats:Semantics.Run_stats.t ->
+  ?tsrjoin_config:Tcsq_core.Tsrjoin.config ->
+  t ->
+  method_ ->
+  Semantics.Query.t ->
+  (int * Analysis.Diagnostic.t list, Analysis.Diagnostic.t list) result
 
 val evaluate :
   ?stats:Semantics.Run_stats.t ->

@@ -1,0 +1,423 @@
+(* The static analyzer: table-driven diagnostics cases per code,
+   hand-corrupted plans per plan code, planner conformance, the engine's
+   checked execution path, and property tests tying analyzer verdicts to
+   ground truth (clean queries run, provably-empty queries have zero
+   naive matches). *)
+
+open Semantics
+open Analysis
+
+let window a b = Temporal.Interval.make a b
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+(* labels l0, l1 with edges; span [0, 20] *)
+let small_graph () =
+  Tgraph.Graph.of_edge_list
+    [ (0, 1, 0, 0, 10); (1, 2, 1, 5, 15); (2, 0, 0, 10, 20) ]
+
+let q ?(n_vars = 3) ?(w = window 0 20) edges = Query.make ~n_vars ~edges ~window:w
+
+let codes ds = List.map (fun d -> d.Diagnostic.code) ds
+
+let find code ds =
+  match List.find_opt (fun d -> d.Diagnostic.code = code) ds with
+  | Some d -> d
+  | None ->
+      Alcotest.failf "expected diagnostic %s, got [%s]" code
+        (String.concat "; " (codes ds))
+
+let check_with g query = Query_check.check ~env:(Query_check.env_of_graph g) query
+
+(* ---------- query diagnostics, one case per code ---------- *)
+
+let test_q001_inverted_window () =
+  let ds = Query_check.check_raw_window ~ws:10 ~we:5 in
+  let d = find "Q001" ds in
+  Alcotest.check Alcotest.bool "error" true (d.Diagnostic.severity = Error);
+  Alcotest.check Alcotest.bool "at window" true (d.Diagnostic.location = Window);
+  Alcotest.(check (list string))
+    "clean when ordered" []
+    (codes (Query_check.check_raw_window ~ws:5 ~we:10))
+
+let test_q002_disjoint_window () =
+  let g = small_graph () in
+  let query = q ~w:(window 100 200) [ (0, 0, 1); (1, 1, 2) ] in
+  let d = find "Q002" (check_with g query) in
+  Alcotest.check Alcotest.bool "warning" true (d.Diagnostic.severity = Warning);
+  Alcotest.check Alcotest.bool "proves empty" true d.Diagnostic.proves_empty;
+  Alcotest.(check int) "naive agrees" 0 (Naive.count g query)
+
+let test_q003_unknown_label () =
+  let g = small_graph () in
+  let query = q [ (5, 0, 1) ] in
+  let d = find "Q003" (check_with g query) in
+  Alcotest.check Alcotest.bool "error" true (d.Diagnostic.severity = Error);
+  Alcotest.check Alcotest.bool "proves empty" true d.Diagnostic.proves_empty;
+  Alcotest.check Alcotest.bool "names the edge" true
+    (d.Diagnostic.location = Edge 0);
+  Alcotest.(check int) "naive agrees" 0 (Naive.count g query)
+
+let test_q004_orphan_variable () =
+  let g = small_graph () in
+  let query = q ~n_vars:4 [ (0, 0, 1); (1, 1, 2) ] in
+  let d = find "Q004" (check_with g query) in
+  Alcotest.check Alcotest.bool "names x3" true (d.Diagnostic.location = Var 3)
+
+let test_q005_duplicate_edge () =
+  let g = small_graph () in
+  let query = q [ (0, 0, 1); (0, 0, 1) ] in
+  let d = find "Q005" (check_with g query) in
+  Alcotest.check Alcotest.bool "second edge blamed" true
+    (d.Diagnostic.location = Edge 1)
+
+let test_q006_disconnected () =
+  let g = small_graph () in
+  let query = q ~n_vars:4 [ (0, 0, 1); (1, 2, 3) ] in
+  ignore (find "Q006" (check_with g query));
+  (* connected pattern: no Q006 *)
+  let connected = q [ (0, 0, 1); (1, 1, 2) ] in
+  Alcotest.check Alcotest.bool "connected is clean" false
+    (List.mem "Q006" (codes (check_with g connected)))
+
+let test_q007_self_loop () =
+  let g = small_graph () in
+  let query = q [ (0, 0, 0) ] in
+  let d = find "Q007" (check_with g query) in
+  Alcotest.check Alcotest.bool "hint" true (d.Diagnostic.severity = Hint)
+
+let test_q008_label_without_edges () =
+  let labels = Tgraph.Label.of_names [| "a"; "b" |] in
+  let g =
+    Tgraph.Graph.of_edge_list ~labels [ (0, 1, 0, 0, 10); (1, 2, 0, 5, 15) ]
+  in
+  let query = q [ (1, 0, 1) ] in
+  let d = find "Q008" (check_with g query) in
+  Alcotest.check Alcotest.bool "proves empty" true d.Diagnostic.proves_empty;
+  Alcotest.(check int) "naive agrees" 0 (Naive.count g query)
+
+let test_q009_empty_graph () =
+  let labels = Tgraph.Label.of_names [| "a" |] in
+  let g = Tgraph.Graph.of_edge_list ~labels [] in
+  let query = q [ (0, 0, 1) ] in
+  let d = find "Q009" (check_with g query) in
+  Alcotest.check Alcotest.bool "proves empty" true d.Diagnostic.proves_empty;
+  Alcotest.(check int) "naive agrees" 0 (Naive.count g query)
+
+let test_q010_undurable () =
+  let g = small_graph () in
+  (* longest edge interval is 11 ticks *)
+  let query = Query.with_min_duration (q [ (0, 0, 1) ]) 50 in
+  let d = find "Q010" (check_with g query) in
+  Alcotest.check Alcotest.bool "proves empty" true d.Diagnostic.proves_empty;
+  Alcotest.(check int) "naive agrees" 0 (Naive.count g query);
+  let fine = Query.with_min_duration (q [ (0, 0, 1) ]) 3 in
+  Alcotest.check Alcotest.bool "modest LASTING is clean" false
+    (List.mem "Q010" (codes (check_with g fine)))
+
+(* ---------- plan diagnostics, hand-corrupted plans ---------- *)
+
+let chain_query () = q [ (0, 0, 1); (1, 1, 2) ]
+
+let step pivot edges produce_binding =
+  { Tcsq_core.Plan.pivot; edges = Array.of_list edges; produce_binding }
+
+let plan_codes query steps =
+  codes (Plan_check.check (Tcsq_core.Plan.of_steps_unchecked query (Array.of_list steps)))
+
+let test_p001_empty_step () =
+  let query = chain_query () in
+  let cs =
+    plan_codes query
+      [ step 1 [ Query.edge query 0; Query.edge query 1 ] true; step 2 [] false ]
+  in
+  Alcotest.check Alcotest.bool "P001" true (List.mem "P001" cs)
+
+let test_p002_unbound_pivot () =
+  let query = chain_query () in
+  let cs =
+    plan_codes query
+      [ step 0 [ Query.edge query 0 ] true; step 2 [ Query.edge query 1 ] false ]
+  in
+  Alcotest.check Alcotest.bool "P002" true (List.mem "P002" cs)
+
+let test_p003_rebound_root () =
+  let query = chain_query () in
+  let cs =
+    plan_codes query
+      [ step 0 [ Query.edge query 0 ] true; step 1 [ Query.edge query 1 ] true ]
+  in
+  Alcotest.check Alcotest.bool "P003" true (List.mem "P003" cs)
+
+let test_p004_unmatched_edge () =
+  let query = chain_query () in
+  let cs = plan_codes query [ step 0 [ Query.edge query 0 ] true ] in
+  Alcotest.check Alcotest.bool "P004" true (List.mem "P004" cs)
+
+let test_p005_rematched_edge () =
+  let query = chain_query () in
+  let cs =
+    plan_codes query
+      [
+        step 1 [ Query.edge query 0; Query.edge query 1 ] true;
+        step 1 [ Query.edge query 0 ] false;
+      ]
+  in
+  Alcotest.check Alcotest.bool "P005" true (List.mem "P005" cs)
+
+let test_p006_nonincident_edge () =
+  let query = chain_query () in
+  let cs =
+    plan_codes query
+      [ step 0 [ Query.edge query 0; Query.edge query 1 ] true ]
+  in
+  Alcotest.check Alcotest.bool "P006" true (List.mem "P006" cs)
+
+let test_p007_edge_table_mismatch () =
+  let query = chain_query () in
+  let forged = { (Query.edge query 0) with Query.lbl = 9 } in
+  let cs =
+    plan_codes query
+      [ step 0 [ forged ] true; step 1 [ Query.edge query 1 ] false ]
+  in
+  Alcotest.check Alcotest.bool "P007" true (List.mem "P007" cs)
+
+(* ---------- planner conformance + pivot-order regression ---------- *)
+
+let test_planners_produce_clean_plans () =
+  let g =
+    Testkit.random_graph ~seed:7 ~n_vertices:6 ~n_edges:60 ~n_labels:3
+      ~domain:40 ~max_len:10 ()
+  in
+  let tai = Tcsq_core.Tai.build g in
+  let cost = Tcsq_core.Plan.cost_model tai in
+  List.iter
+    (fun query ->
+      let plans =
+        [
+          ("build", Tcsq_core.Plan.build ~cost tai query);
+          ("adaptive", Tcsq_core.Plan.build_adaptive ~cost tai query);
+          ( "pivot order",
+            Tcsq_core.Plan.of_pivot_order query
+              (List.init (Query.n_vars query) Fun.id) );
+        ]
+      in
+      List.iter
+        (fun (name, plan) ->
+          (match Plan_check.check plan with
+          | [] -> ()
+          | ds ->
+              Alcotest.failf "%s: unexpected diagnostics [%s]" name
+                (String.concat "; " (codes ds)));
+          match Tcsq_core.Plan.validate plan with
+          | Ok () -> ()
+          | Error msg -> Alcotest.failf "%s: validate rejected: %s" name msg)
+        plans)
+    (Testkit.query_pool ~n_labels:3 ~window:(window 0 39))
+
+let test_corrupted_pivot_order_rejected () =
+  let query = chain_query () in
+  (* order [0] leaves e1 unmatched; order [0; 2] uses x2 unbound *)
+  let p1 = Tcsq_core.Plan.of_pivot_order_unchecked query [ 0 ] in
+  let d = find "P004" (Plan_check.check p1) in
+  Alcotest.check Alcotest.bool "names the edge" true
+    (d.Diagnostic.location = Edge 1);
+  (match Tcsq_core.Plan.validate p1 with
+  | Ok () -> Alcotest.fail "validate accepted an incomplete plan"
+  | Error msg ->
+      Alcotest.check Alcotest.bool "useful message" true
+        (String.length msg > 0));
+  let p2 = Tcsq_core.Plan.of_pivot_order_unchecked query [ 0; 2 ] in
+  let d = find "P002" (Plan_check.check p2) in
+  Alcotest.check Alcotest.bool "names pivot x2" true
+    (d.Diagnostic.location = Step 1
+    && contains ~sub:"pivot x2" d.Diagnostic.message)
+
+(* ---------- engine checked execution ---------- *)
+
+let test_engine_rejects_errors () =
+  let engine = Workload.Engine.prepare (small_graph ()) in
+  let bad = q [ (7, 0, 1) ] in
+  Array.iter
+    (fun m ->
+      match Workload.Engine.count_checked engine m bad with
+      | Ok _ ->
+          Alcotest.failf "%s executed an error-level query"
+            (Workload.Engine.method_name m)
+      | Error ds ->
+          Alcotest.check Alcotest.bool "has errors" true
+            (Diagnostic.has_errors ds))
+    Workload.Engine.all_methods
+
+let test_engine_short_circuits_empty () =
+  let g = small_graph () in
+  let engine = Workload.Engine.prepare g in
+  let futile = q ~w:(window 500 600) [ (0, 0, 1) ] in
+  match Workload.Engine.count_checked engine Workload.Engine.Tsrjoin futile with
+  | Error ds ->
+      Alcotest.failf "rejected a warning-level query: %s"
+        (String.concat "; " (codes ds))
+  | Ok (n, ds) ->
+      Alcotest.(check int) "zero matches" 0 n;
+      Alcotest.check Alcotest.bool "flagged provably empty" true
+        (Diagnostic.proves_empty ds)
+
+let test_engine_runs_clean_queries () =
+  let g = small_graph () in
+  let engine = Workload.Engine.prepare g in
+  let query = q [ (0, 0, 1); (1, 1, 2) ] in
+  match
+    Workload.Engine.evaluate_checked engine Workload.Engine.Tsrjoin query
+  with
+  | Error ds -> Alcotest.failf "rejected: %s" (String.concat "; " (codes ds))
+  | Ok (ms, _) ->
+      Test_util.check_same_results ~msg:"checked = naive"
+        (Naive.evaluate g query) ms
+
+(* ---------- rendering ---------- *)
+
+let test_exit_codes_and_json () =
+  let e = Diagnostic.make ~code:"Q003" ~severity:Error ~location:(Edge 2) "boom" in
+  let w = Diagnostic.make ~code:"Q006" ~severity:Warning ~location:Queryloc "meh" in
+  let h = Diagnostic.make ~code:"Q007" ~severity:Hint ~location:(Edge 0) "fyi" in
+  Alcotest.(check int) "clean" 0 (Diagnostic.exit_code []);
+  Alcotest.(check int) "hints" 0 (Diagnostic.exit_code [ h ]);
+  Alcotest.(check int) "warnings" 1 (Diagnostic.exit_code [ h; w ]);
+  Alcotest.(check int) "errors" 2 (Diagnostic.exit_code [ w; e ]);
+  let js = Diagnostic.to_json e in
+  List.iter
+    (fun sub ->
+      Alcotest.check Alcotest.bool sub true (contains ~sub js))
+    [ "\"code\": \"Q003\""; "\"severity\": \"error\""; "\"kind\": \"edge\"";
+      "\"index\": 2" ];
+  Alcotest.(check string) "pp" "error[Q003] at edge 2: boom"
+    (Diagnostic.to_string e)
+
+(* ---------- properties ---------- *)
+
+let prop_clean_queries_run_and_empty_verdicts_hold =
+  QCheck.Test.make ~name:"analyzer verdicts agree with execution" ~count:40
+    QCheck.(pair (int_range 0 10_000) (int_range 0 30))
+    (fun (seed, ws) ->
+      let g =
+        Testkit.random_graph ~seed ~n_vertices:5 ~n_edges:40 ~n_labels:3
+          ~domain:40 ~max_len:8 ()
+      in
+      let engine = Workload.Engine.prepare g in
+      let env = Query_check.env_of_graph g in
+      let w = window ws (ws + 6) in
+      let queries =
+        Testkit.query_pool ~n_labels:3 ~window:w
+        @ List.init 3 (fun j ->
+              Testkit.random_query ~seed:(seed * 31 + j) ~n_labels:3
+                ~max_edges:4 ~window:w)
+      in
+      List.for_all
+        (fun query ->
+          let ds = Query_check.check ~env query in
+          if Diagnostic.has_errors ds then
+            QCheck.Test.fail_reportf
+              "analyzer errored on a generated query: %s"
+              (String.concat "; " (codes ds));
+          let naive = Naive.count g query in
+          if Diagnostic.proves_empty ds && naive <> 0 then
+            QCheck.Test.fail_reportf
+              "proves-empty verdict vs %d naive matches" naive;
+          (* clean or warning-level queries must execute, and agree *)
+          match
+            Workload.Engine.count_checked engine Workload.Engine.Tsrjoin query
+          with
+          | Ok (n, _) -> n = naive
+          | Error ds ->
+              QCheck.Test.fail_reportf "rejected: %s"
+                (String.concat "; " (codes ds)))
+        queries)
+
+let prop_query_gen_output_is_analyzer_clean =
+  QCheck.Test.make ~name:"Query_gen output is analyzer-clean and runs"
+    ~count:10
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let g =
+        Testkit.random_graph ~seed ~n_vertices:8 ~n_edges:120 ~n_labels:4
+          ~domain:60 ~max_len:12 ()
+      in
+      let engine = Workload.Engine.prepare g in
+      let cfg =
+        {
+          (Workload.Query_gen.default ~shape:(Pattern.Star 2)) with
+          Workload.Query_gen.n_queries = 5;
+          seed;
+          max_attempts = 200;
+        }
+      in
+      List.for_all
+        (fun info ->
+          let query = info.Workload.Query_gen.query in
+          let ds = Workload.Engine.analyze engine Workload.Engine.Tsrjoin query in
+          (not (Diagnostic.has_errors ds))
+          && (not (Diagnostic.proves_empty ds))
+          &&
+          match
+            Workload.Engine.count_checked engine Workload.Engine.Tsrjoin query
+          with
+          | Ok (n, _) -> n = info.Workload.Query_gen.result_size
+          | Error _ -> false)
+        (Workload.Query_gen.generate engine cfg))
+
+let () =
+  Alcotest.run "analysis"
+    [
+      ( "query diagnostics",
+        [
+          Alcotest.test_case "Q001 inverted window" `Quick test_q001_inverted_window;
+          Alcotest.test_case "Q002 disjoint window" `Quick test_q002_disjoint_window;
+          Alcotest.test_case "Q003 unknown label" `Quick test_q003_unknown_label;
+          Alcotest.test_case "Q004 orphan variable" `Quick test_q004_orphan_variable;
+          Alcotest.test_case "Q005 duplicate edge" `Quick test_q005_duplicate_edge;
+          Alcotest.test_case "Q006 disconnected" `Quick test_q006_disconnected;
+          Alcotest.test_case "Q007 self loop" `Quick test_q007_self_loop;
+          Alcotest.test_case "Q008 label without edges" `Quick test_q008_label_without_edges;
+          Alcotest.test_case "Q009 empty graph" `Quick test_q009_empty_graph;
+          Alcotest.test_case "Q010 undurable LASTING" `Quick test_q010_undurable;
+        ] );
+      ( "plan diagnostics",
+        [
+          Alcotest.test_case "P001 empty step" `Quick test_p001_empty_step;
+          Alcotest.test_case "P002 unbound pivot" `Quick test_p002_unbound_pivot;
+          Alcotest.test_case "P003 rebound root" `Quick test_p003_rebound_root;
+          Alcotest.test_case "P004 unmatched edge" `Quick test_p004_unmatched_edge;
+          Alcotest.test_case "P005 rematched edge" `Quick test_p005_rematched_edge;
+          Alcotest.test_case "P006 non-incident edge" `Quick test_p006_nonincident_edge;
+          Alcotest.test_case "P007 edge table mismatch" `Quick test_p007_edge_table_mismatch;
+        ] );
+      ( "planners",
+        [
+          Alcotest.test_case "all planners produce clean plans" `Quick
+            test_planners_produce_clean_plans;
+          Alcotest.test_case "corrupted pivot order rejected" `Quick
+            test_corrupted_pivot_order_rejected;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "rejects error-level queries" `Quick
+            test_engine_rejects_errors;
+          Alcotest.test_case "short-circuits provably-empty" `Quick
+            test_engine_short_circuits_empty;
+          Alcotest.test_case "runs clean queries" `Quick
+            test_engine_runs_clean_queries;
+        ] );
+      ( "rendering",
+        [
+          Alcotest.test_case "exit codes and JSON" `Quick
+            test_exit_codes_and_json;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_clean_queries_run_and_empty_verdicts_hold;
+          QCheck_alcotest.to_alcotest prop_query_gen_output_is_analyzer_clean;
+        ] );
+    ]

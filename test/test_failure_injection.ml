@@ -148,9 +148,9 @@ let test_io_failures () =
   Fun.protect
     ~finally:(fun () -> Sys.remove path)
     (fun () ->
-      Alcotest.check_raises "empty binary" (Failure "") (fun () ->
+      Alcotest.check_raises "empty binary" (Tgraph.Io.Malformed "") (fun () ->
           try ignore (Tgraph.Binary_io.load path)
-          with Failure _ -> raise (Failure ""));
+          with Tgraph.Io.Malformed _ -> raise (Tgraph.Io.Malformed ""));
       let g = Tgraph.Io.load path in
       Alcotest.(check int) "empty csv loads empty graph" 0 (Tgraph.Graph.n_edges g))
 

@@ -110,8 +110,10 @@ let test_io_rejects_garbage () =
       let oc = open_out path in
       output_string oc "1,2,a,0\n";
       close_out oc;
-      Alcotest.check_raises "malformed line" (Failure "")
-        (fun () -> try ignore (Io.load path) with Failure _ -> raise (Failure "")))
+      Alcotest.check_raises "malformed line" (Io.Malformed "")
+        (fun () ->
+          try ignore (Io.load path)
+          with Io.Malformed _ -> raise (Io.Malformed "")))
 
 (* ---------- contact-sequence import ---------- *)
 
@@ -144,9 +146,9 @@ let test_load_contacts_rejects () =
       let oc = open_out path in
       output_string oc "0 1\n";
       close_out oc;
-      Alcotest.check_raises "two fields" (Failure "") (fun () ->
+      Alcotest.check_raises "two fields" (Io.Malformed "") (fun () ->
           try ignore (Io.load_contacts ~duration:5 path)
-          with Failure _ -> raise (Failure "")));
+          with Io.Malformed _ -> raise (Io.Malformed "")));
   Alcotest.check_raises "bad duration" (Invalid_argument "") (fun () ->
       try ignore (Io.load_contacts ~duration:0 "/dev/null")
       with Invalid_argument _ -> raise (Invalid_argument ""))
@@ -198,9 +200,9 @@ let test_binary_rejects_corruption () =
   let g = small_graph () in
   let bytes = Binary_io.to_bytes g in
   let expect_failure name data =
-    Alcotest.check_raises name (Failure "") (fun () ->
+    Alcotest.check_raises name (Io.Malformed "") (fun () ->
         try ignore (Binary_io.of_bytes data)
-        with Failure _ -> raise (Failure ""))
+        with Io.Malformed _ -> raise (Io.Malformed ""))
   in
   (* bad magic *)
   let bad = Bytes.copy bytes in
