@@ -5,6 +5,7 @@
      dune exec bench/main.exe                 -- run everything
      dune exec bench/main.exe -- table3 fig9  -- run selected experiments
      dune exec bench/main.exe -- --scale 0.3 fig9
+     dune exec bench/main.exe -- --json BENCH_tsrjoin.json fig9 fig10
      dune exec bench/main.exe -- bechamel     -- Bechamel kernel suite
 
    Absolute numbers differ from the paper (laptop-scale synthetic data,
@@ -20,6 +21,8 @@ let scale = ref 1.0
 let n_queries = ref 6
 let csv_path : string option ref = ref None
 let csv_rows : string list ref = ref []
+let json_path : string option ref = ref None
+let json_rows : string list ref = ref []
 let fmt = Format.std_formatter
 
 let csv_record ~tag meas =
@@ -35,6 +38,35 @@ let csv_flush () =
       List.iter (fun row -> output_string oc (row ^ "\n")) (List.rev !csv_rows);
       close_out oc;
       Format.fprintf fmt "wrote %d CSV rows to %s@." (List.length !csv_rows) path
+
+(* --json OUT: one measurement record per (experiment, dataset, pattern,
+   method); schema "tcsq-bench/v1", documented in EXPERIMENTS.md *)
+let json_record ~experiment ~dataset ~pattern meas =
+  if !json_path <> None then
+    json_rows :=
+      Workload.Runner.measurement_to_json
+        ~extra:
+          [
+            ("experiment", experiment); ("dataset", dataset);
+            ("pattern", pattern);
+          ]
+        meas
+      :: !json_rows
+
+let json_flush () =
+  match !json_path with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      output_string oc
+        (Printf.sprintf
+           "{\"schema\": \"tcsq-bench/v1\", \"scale\": %g, \"n_queries\": %d, \
+            \"measurements\": [" !scale !n_queries);
+      output_string oc (String.concat ", " (List.rev !json_rows));
+      output_string oc "]}\n";
+      close_out oc;
+      Format.fprintf fmt "wrote %d JSON measurements to %s@."
+        (List.length !json_rows) path
 
 let section title =
   Format.fprintf fmt "@.=== %s ===@." title
@@ -182,6 +214,9 @@ let run_fig9 () =
                   (Printf.sprintf "fig9,%s,%s" (Tgraph.Dataset.to_string ds)
                      (Pattern.to_string shape))
                 meas;
+              json_record ~experiment:"fig9"
+                ~dataset:(Tgraph.Dataset.to_string ds)
+                ~pattern:(Pattern.to_string shape) meas;
               Format.fprintf fmt " %10.2f%s"
                 (meas.Runner.mean_seconds *. 1000.0)
                 (if meas.Runner.n_truncated > 0 then "*" else " "))
@@ -209,6 +244,8 @@ let run_fig10 () =
       Array.iter
         (fun m ->
           let meas = Runner.run_method ~budget engine m queries in
+          json_record ~experiment:"fig10" ~dataset:"yellow"
+            ~pattern:(Pattern.to_string shape) meas;
           Format.fprintf fmt " %13d%s" meas.Runner.total_intermediate
             (if meas.Runner.n_truncated > 0 then "*" else " "))
         Engine.all_methods;
@@ -764,6 +801,9 @@ let () =
     | "--csv" :: v :: rest ->
         csv_path := Some v;
         parse rest
+    | "--json" :: v :: rest ->
+        json_path := Some v;
+        parse rest
     | name :: rest ->
         selected := name :: !selected;
         parse rest
@@ -788,4 +828,5 @@ let () =
     !n_queries;
   List.iter (fun (_, f) -> f ()) to_run;
   csv_flush ();
+  json_flush ();
   Format.fprintf fmt "@.done.@."

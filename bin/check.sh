@@ -1,12 +1,14 @@
 #!/bin/sh
 # Full pre-merge check: build everything under the strict dev profile
-# (warnings are errors), run the test suite, and lint every example
+# (warnings are errors), run the test suite, lint every example
 # workload with the static analyzer (`dune build @lint` fails if any
-# query in examples/queries/ draws a warning or error).
+# query in examples/queries/ draws a warning or error), and smoke-test
+# the query server over a real socket (`dune build @server-smoke`).
 set -eu
 cd "$(dirname "$0")/.."
 
 dune build
 dune runtest
 dune build @lint
-echo "check.sh: build, tests and lint all clean"
+dune build @server-smoke
+echo "check.sh: build, tests, lint and server smoke all clean"

@@ -1,0 +1,94 @@
+#!/bin/sh
+# End-to-end smoke test for `tcsq serve`: start a server on a throwaway
+# socket, answer a few queries over the wire, cross-check every count
+# against the one-shot `tcsq query` evaluator, verify the metrics
+# snapshot saw the work, and shut down cleanly through the protocol.
+# Exits nonzero on any mismatch, transport error, or unclean shutdown.
+set -eu
+
+# works both from the source tree (bin/server_smoke.sh, binary under
+# _build) and as a dune rule (sandbox copies tcsq.exe next to the script)
+HERE=$(cd "$(dirname "$0")" && pwd)
+if [ -z "${TCSQ:-}" ]; then
+    if [ -x "$HERE/tcsq.exe" ]; then
+        TCSQ=$HERE/tcsq.exe
+    else
+        TCSQ=$HERE/../_build/default/bin/tcsq.exe
+    fi
+fi
+DATASET=yellow
+SCALE=0.05
+SOCK=$(mktemp -u "${TMPDIR:-/tmp}/tcsq-smoke-XXXXXX.sock")
+SRV_LOG=$(mktemp "${TMPDIR:-/tmp}/tcsq-smoke-log-XXXXXX")
+SRV_PID=
+
+cleanup() {
+    [ -n "$SRV_PID" ] && kill "$SRV_PID" 2>/dev/null || true
+    rm -f "$SOCK" "$SRV_LOG"
+}
+trap cleanup EXIT INT TERM
+
+fail() {
+    echo "server_smoke: FAIL: $*" >&2
+    echo "--- server log ---" >&2
+    cat "$SRV_LOG" >&2 || true
+    exit 1
+}
+
+"$TCSQ" serve --dataset "$DATASET" --scale "$SCALE" --socket "$SOCK" \
+    >"$SRV_LOG" 2>&1 &
+SRV_PID=$!
+
+# wait for the socket to appear
+i=0
+while [ ! -S "$SOCK" ]; do
+    i=$((i + 1))
+    [ "$i" -gt 100 ] && fail "socket $SOCK never appeared"
+    kill -0 "$SRV_PID" 2>/dev/null || fail "server died during startup"
+    sleep 0.1
+done
+
+# count via the server, count via the one-shot evaluator; both are the
+# same engine so the numbers must agree exactly
+check_query() {
+    q=$1
+    response=$("$TCSQ" client --socket "$SOCK" --match "$q" --count) \
+        || fail "client error for: $q"
+    server_count=$(printf '%s\n' "$response" \
+        | sed -n 's/.*"count": \([0-9][0-9]*\).*/\1/p')
+    [ -n "$server_count" ] || fail "no count in response: $response"
+    oneshot_count=$("$TCSQ" query --dataset "$DATASET" --scale "$SCALE" \
+        --match "$q" --count | sed -n 's/^\([0-9][0-9]*\) matches.*/\1/p')
+    [ -n "$oneshot_count" ] || fail "no count from one-shot query: $q"
+    if [ "$server_count" != "$oneshot_count" ]; then
+        fail "count mismatch for '$q': server=$server_count one-shot=$oneshot_count"
+    fi
+    echo "server_smoke: '$q' -> $server_count matches (server == one-shot)"
+}
+
+check_query 'MATCH (x)-[a]->(y) IN [0, 50000]'
+check_query 'MATCH (x)-[a]->(y)-[b]->(z) IN [0, 20000]'
+check_query 'MATCH (x)-[*]->(y) IN [10000, 30000]'
+
+# the snapshot must have counted exactly those three completed queries
+metrics=$("$TCSQ" client --socket "$SOCK" --metrics) \
+    || fail "metrics request failed"
+case "$metrics" in
+*'"completed": 3'*) ;;
+*) fail "metrics did not report 3 completed queries: $metrics" ;;
+esac
+
+# protocol shutdown; the server process must exit on its own
+"$TCSQ" client --socket "$SOCK" --shutdown >/dev/null \
+    || fail "shutdown request failed"
+i=0
+while kill -0 "$SRV_PID" 2>/dev/null; do
+    i=$((i + 1))
+    [ "$i" -gt 100 ] && fail "server still running after shutdown"
+    sleep 0.1
+done
+wait "$SRV_PID" 2>/dev/null || fail "server exited with an error"
+SRV_PID=
+[ -S "$SOCK" ] && fail "socket not removed on shutdown"
+
+echo "server_smoke: serve/query/metrics/shutdown all clean"

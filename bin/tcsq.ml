@@ -7,13 +7,18 @@
      query      evaluate one temporal-clique query
      explain    show the TSRJoin plan for a query
      compare    run one query under all four methods
+     serve      resident query server over a Unix-domain socket
+     client     talk to a running server
 
    Examples:
      tcsq generate --dataset yellow --scale 0.1 -o yellow.csv
      tcsq stats yellow.csv
      tcsq query yellow.csv --pattern 3-star --labels a,b,c --window 0:10000
      tcsq compare --dataset bike --pattern triangle --labels a,b,c \
-         --window-frac 0.1 *)
+         --window-frac 0.1
+     tcsq serve --dataset yellow --socket /tmp/tcsq.sock
+     tcsq client --socket /tmp/tcsq.sock \
+         --match 'MATCH (x)-[a]->(y) IN [0, 10000]' *)
 
 open Cmdliner
 
@@ -609,12 +614,186 @@ let lint_cmd =
       $ pattern_arg $ labels_arg $ window_arg $ window_frac_arg $ lasting_arg
       $ queries_arg $ pivot_order_arg $ json_arg)
 
+let socket_arg =
+  let doc = "Unix-domain socket path of the query server." in
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "socket"; "s" ] ~docv:"PATH" ~doc)
+
+let serve_cmd =
+  let workers_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "workers" ] ~docv:"N" ~doc:"Worker domains executing queries.")
+  in
+  let queue_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "queue" ] ~docv:"N"
+          ~doc:
+            "Admission queue capacity; requests beyond it are answered \
+             with a typed 'overloaded' response instead of queuing.")
+  in
+  let deadline_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:
+            "Default per-request wall-clock deadline; deadline-capped \
+             requests answer with a typed truncation.")
+  in
+  let serve_limit_arg =
+    Arg.(
+      value & opt int 100
+      & info [ "limit" ] ~docv:"N"
+          ~doc:"Default maximum matches echoed back per response.")
+  in
+  let run file dataset scale socket workers queue deadline_ms limit =
+    let g = or_die (load_graph file dataset scale) in
+    let engine = Workload.Engine.prepare g in
+    let config =
+      {
+        (Tcsq_server.Server.default_config ~socket_path:socket) with
+        Tcsq_server.Server.workers;
+        queue_depth = queue;
+        default_deadline_ms = deadline_ms;
+        default_limit = limit;
+      }
+    in
+    let srv =
+      try Tcsq_server.Server.start config engine
+      with Unix.Unix_error (e, _, arg) ->
+        or_die
+          (Error
+             (Printf.sprintf "cannot listen on %s: %s %s" socket
+                (Unix.error_message e) arg))
+    in
+    Format.printf "tcsq: serving %a on %s (workers %d, queue %d)@."
+      Tgraph.Graph.pp_summary g socket workers queue;
+    Tcsq_server.Server.wait srv;
+    Format.printf "tcsq: server stopped@."
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run a resident query server on a Unix-domain socket: the graph \
+          and its indexes are built once, then newline-delimited JSON \
+          requests are answered until a shutdown request arrives.")
+    Term.(
+      const run $ graph_file_arg $ dataset_arg $ scale_arg $ socket_arg
+      $ workers_arg $ queue_arg $ deadline_arg $ serve_limit_arg)
+
+let client_cmd =
+  let metrics_flag =
+    Arg.(
+      value & flag
+      & info [ "metrics" ] ~doc:"Fetch and print the metrics snapshot.")
+  in
+  let ping_flag =
+    Arg.(value & flag & info [ "ping" ] ~doc:"Check server liveness.")
+  in
+  let shutdown_flag =
+    Arg.(
+      value & flag
+      & info [ "shutdown" ] ~doc:"Ask the server to shut down (sent last).")
+  in
+  let stdin_flag =
+    Arg.(
+      value & flag
+      & info [ "stdin" ]
+          ~doc:
+            "Relay raw JSON request lines from standard input and print \
+             one response line each.")
+  in
+  let deadline_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline-ms" ] ~docv:"MS" ~doc:"Per-request deadline.")
+  in
+  let count_flag =
+    Arg.(
+      value & flag
+      & info [ "count" ] ~doc:"Do not echo matches, just the count.")
+  in
+  let run socket match_ method_ deadline_ms limit count_only metrics ping
+      shutdown stdin_mode =
+    let m =
+      or_die
+        (match Workload.Engine.method_of_string method_ with
+        | Some m -> Ok m
+        | None -> Error (Printf.sprintf "unknown method %S" method_))
+    in
+    let client =
+      try Tcsq_server.Client.connect socket
+      with Unix.Unix_error (e, _, _) ->
+        or_die
+          (Error
+             (Printf.sprintf "cannot connect to %s: %s" socket
+                (Unix.error_message e)))
+    in
+    let failures = ref 0 in
+    (* print the server's response verbatim; remember failures for the
+       exit code *)
+    let roundtrip line =
+      Tcsq_server.Client.send_raw client line;
+      match Tcsq_server.Client.recv_raw client with
+      | Error msg -> or_die (Error msg)
+      | Ok response -> (
+          print_endline response;
+          match Tcsq_server.Protocol.parse_response response with
+          | Ok r
+            when r.Tcsq_server.Protocol.status = "ok"
+                 || r.Tcsq_server.Protocol.status = "truncated" ->
+              ()
+          | Ok _ | Error _ -> incr failures)
+    in
+    if ping then
+      roundtrip (Tcsq_server.Json.to_string (Tcsq_server.Client.op_json "ping"));
+    (match match_ with
+    | Some text ->
+        roundtrip
+          (Tcsq_server.Json.to_string
+             (Tcsq_server.Client.query_json ~method_:m ?deadline_ms ~limit
+                ~count_only text))
+    | None -> ());
+    if stdin_mode then begin
+      try
+        while true do
+          let line = input_line stdin in
+          if String.trim line <> "" then roundtrip line
+        done
+      with End_of_file -> ()
+    end;
+    if metrics then
+      roundtrip
+        (Tcsq_server.Json.to_string (Tcsq_server.Client.op_json "metrics"));
+    if shutdown then
+      roundtrip
+        (Tcsq_server.Json.to_string (Tcsq_server.Client.op_json "shutdown"));
+    Tcsq_server.Client.close client;
+    if !failures > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Send requests to a running tcsq server and print each JSON \
+          response line; exits nonzero if any response is an error or \
+          an overload shed.")
+    Term.(
+      const run $ socket_arg $ match_arg $ method_arg $ deadline_arg
+      $ limit_arg $ count_flag $ metrics_flag $ ping_flag $ shutdown_flag
+      $ stdin_flag)
+
 let main =
   let doc = "temporal-clique subgraph query processing (TSRJoin)" in
   Cmd.group (Cmd.info "tcsq" ~version:"1.0.0" ~doc)
     [
       datasets_cmd; generate_cmd; stats_cmd; query_cmd; explain_cmd;
-      compare_cmd; topk_cmd; reach_cmd; suite_cmd; lint_cmd;
+      compare_cmd; topk_cmd; reach_cmd; suite_cmd; lint_cmd; serve_cmd;
+      client_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -4,6 +4,12 @@ let no_limits = { max_results = max_int; max_intermediate = max_int }
 let with_max_results n = { no_limits with max_results = n }
 
 exception Limit_exceeded of string
+exception Deadline_exceeded
+
+(* A wall-clock budget. The clock is injected rather than read from
+   Unix so this library keeps its dependency-free core and so tests can
+   drive time deterministically. *)
+type deadline = { expires_at : float; now : unit -> float }
 
 type t = {
   mutable results : int;
@@ -12,26 +18,63 @@ type t = {
   mutable bindings : int;
   mutable enum_steps : int;
   limits : limits;
+  mutable deadline : deadline option;
+  (* ticks remaining until the next clock read; reading the clock on
+     every tick would dominate tight sweep loops *)
+  mutable until_check : int;
 }
 
-let create ?(limits = no_limits) () =
+let deadline_check_interval = 256
+
+let until_check_of = function None -> max_int | Some _ -> 1
+
+let create ?(limits = no_limits) ?deadline () =
   { results = 0; intermediate = 0; scanned = 0; bindings = 0; enum_steps = 0;
-    limits }
+    limits; deadline; until_check = until_check_of deadline }
+
+let set_deadline s deadline =
+  s.deadline <- deadline;
+  s.until_check <- until_check_of deadline
+
+let check_deadline s =
+  match s.deadline with
+  | None -> s.until_check <- max_int
+  | Some d ->
+      s.until_check <- deadline_check_interval;
+      if d.now () >= d.expires_at then raise Deadline_exceeded
+
+(* every counter update passes through here, so a sweep that produces no
+   results still notices an expired deadline within [deadline_check_interval]
+   scanned edges *)
+let touch s =
+  s.until_check <- s.until_check - 1;
+  if s.until_check <= 0 then check_deadline s
 
 let tick_result s =
+  touch s;
   s.results <- s.results + 1;
   if s.results > s.limits.max_results then
     raise (Limit_exceeded "result budget exhausted")
 
 let add_intermediate s n =
+  touch s;
   s.intermediate <- s.intermediate + n;
   if s.intermediate > s.limits.max_intermediate then
     raise (Limit_exceeded "intermediate-tuple budget exhausted")
 
 let tick_intermediate s = add_intermediate s 1
-let tick_scanned s = s.scanned <- s.scanned + 1
-let tick_binding s = s.bindings <- s.bindings + 1
-let add_enum_steps s n = s.enum_steps <- s.enum_steps + n
+
+let tick_scanned s =
+  touch s;
+  s.scanned <- s.scanned + 1
+
+let tick_binding s =
+  touch s;
+  s.bindings <- s.bindings + 1
+
+let add_enum_steps s n =
+  touch s;
+  s.enum_steps <- s.enum_steps + n
 
 let merge_into dst src =
   dst.results <- dst.results + src.results;

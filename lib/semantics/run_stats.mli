@@ -17,6 +17,16 @@ exception Limit_exceeded of string
 (** Raised by the tick functions when a budget is exhausted. Pipelines
     let it escape; runners catch it and record a truncated outcome. *)
 
+exception Deadline_exceeded
+(** Raised by the tick functions when a wall-clock deadline has passed.
+    Like {!Limit_exceeded}, pipelines let it escape; the server catches
+    it and answers with a typed truncation. *)
+
+type deadline = { expires_at : float; now : unit -> float }
+(** A wall-clock budget: [now () >= expires_at] aborts execution. The
+    clock is injected (e.g. [Unix.gettimeofday]) so this library stays
+    dependency-free and tests can drive time deterministically. *)
+
 type t = {
   mutable results : int;
   mutable intermediate : int;
@@ -25,9 +35,21 @@ type t = {
   mutable enum_steps : int;  (** active-list elements visited during
                                  enumeration *)
   limits : limits;
+  mutable deadline : deadline option;
+  mutable until_check : int;
+      (** ticks until the next deadline clock read; managed internally *)
 }
 
-val create : ?limits:limits -> unit -> t
+val deadline_check_interval : int
+(** The clock is read at most once per this many counter ticks, so a
+    sweep overshoots an expired deadline by a bounded (and tiny) amount
+    of work. *)
+
+val create : ?limits:limits -> ?deadline:deadline -> unit -> t
+
+val set_deadline : t -> deadline option -> unit
+(** Replace (or clear) the deadline on live stats. *)
+
 val tick_result : t -> unit
 val tick_intermediate : t -> unit
 val add_intermediate : t -> int -> unit

@@ -1,0 +1,73 @@
+(* Client side of the wire protocol: connect, send one JSON line per
+   request, read one JSON line per response. [send]/[recv] are exposed
+   separately so callers (and tests) can pipeline requests. *)
+
+type t = { fd : Unix.file_descr; reader : Wire.reader }
+
+let connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX path)
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  { fd; reader = Wire.reader fd }
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let send_raw t line = Wire.write_line t.fd line
+
+let recv_raw t =
+  match Wire.read_line t.reader with
+  | Some line -> Ok line
+  | None -> Error "connection closed by server"
+
+let recv t = Result.bind (recv_raw t) Protocol.parse_response
+
+let request_raw t line =
+  match send_raw t line with
+  | () -> recv t
+  | exception Unix.Unix_error (e, _, _) ->
+      Error (Printf.sprintf "send failed: %s" (Unix.error_message e))
+
+let query_json ?id ?(method_ = Workload.Engine.Tsrjoin) ?deadline_ms ?limit
+    ?(count_only = false) ?max_results ?max_intermediate text =
+  let opt name f v = match v with None -> [] | Some v -> [ (name, f v) ] in
+  Json.Obj
+    (opt "id" (fun s -> Json.String s) id
+    @ [
+        ("op", Json.String "query");
+        ("query", Json.String text);
+        ("method", Json.String (Workload.Engine.method_name method_));
+      ]
+    @ opt "deadline_ms" (fun f -> Json.Float f) deadline_ms
+    @ opt "limit" (fun i -> Json.Int i) limit
+    @ (if count_only then [ ("count_only", Json.Bool true) ] else [])
+    @ opt "max_results" (fun i -> Json.Int i) max_results
+    @ opt "max_intermediate" (fun i -> Json.Int i) max_intermediate)
+
+let query ?id ?method_ ?deadline_ms ?limit ?count_only ?max_results
+    ?max_intermediate t text =
+  request_raw t
+    (Json.to_string
+       (query_json ?id ?method_ ?deadline_ms ?limit ?count_only ?max_results
+          ?max_intermediate text))
+
+let op_json ?id op =
+  Json.Obj
+    ((match id with None -> [] | Some s -> [ ("id", Json.String s) ])
+    @ [ ("op", Json.String op) ])
+
+let metrics t =
+  match request_raw t (Json.to_string (op_json "metrics")) with
+  | Error _ as e -> e
+  | Ok r -> (
+      match Json.member "metrics" r.Protocol.json with
+      | Some m -> Ok m
+      | None -> Error "response carried no metrics")
+
+let ping t =
+  match request_raw t (Json.to_string (op_json "ping")) with
+  | Ok r -> r.Protocol.status = "ok"
+  | Error _ -> false
+
+let shutdown t = request_raw t (Json.to_string (op_json "shutdown"))

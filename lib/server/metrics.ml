@@ -1,0 +1,127 @@
+(* Thread-safe metrics registry for a running server. Workers record
+   per-request outcomes; any connection can ask for a JSON snapshot.
+   Counter totals are the merge of every request's [Run_stats], so the
+   observability layer reports exactly what execution counted. *)
+
+open Semantics
+
+type outcome = Completed | Truncated_budget | Truncated_deadline
+
+(* per-method latency reservoir; recording stops at [max_latencies] but
+   the count keeps going *)
+type method_metrics = {
+  mutable count : int;
+  mutable latencies : float list;
+  mutable n_latencies : int;
+}
+
+let max_latencies = 100_000
+
+type t = {
+  mutex : Mutex.t;
+  started_at : float;
+  totals : Run_stats.t;
+  mutable completed : int;
+  mutable truncated_budget : int;
+  mutable truncated_deadline : int;
+  mutable rejected : int;
+  mutable parse_errors : int;
+  mutable overloaded : int;
+  mutable internal_errors : int;
+  per_method : (string, method_metrics) Hashtbl.t;
+}
+
+let create () =
+  {
+    mutex = Mutex.create ();
+    started_at = Unix.gettimeofday ();
+    totals = Run_stats.create ();
+    completed = 0;
+    truncated_budget = 0;
+    truncated_deadline = 0;
+    rejected = 0;
+    parse_errors = 0;
+    overloaded = 0;
+    internal_errors = 0;
+    per_method = Hashtbl.create 8;
+  }
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let method_slot t name =
+  match Hashtbl.find_opt t.per_method name with
+  | Some mm -> mm
+  | None ->
+      let mm = { count = 0; latencies = []; n_latencies = 0 } in
+      Hashtbl.add t.per_method name mm;
+      mm
+
+let record_query t ~method_ ~outcome ~stats ~seconds =
+  locked t (fun () ->
+      (match outcome with
+      | Completed -> t.completed <- t.completed + 1
+      | Truncated_budget -> t.truncated_budget <- t.truncated_budget + 1
+      | Truncated_deadline -> t.truncated_deadline <- t.truncated_deadline + 1);
+      Run_stats.merge_into t.totals stats;
+      let mm = method_slot t (Workload.Engine.method_name method_) in
+      mm.count <- mm.count + 1;
+      if mm.n_latencies < max_latencies then begin
+        mm.latencies <- seconds :: mm.latencies;
+        mm.n_latencies <- mm.n_latencies + 1
+      end)
+
+let record_rejected t = locked t (fun () -> t.rejected <- t.rejected + 1)
+
+let record_parse_error t =
+  locked t (fun () -> t.parse_errors <- t.parse_errors + 1)
+
+let record_overloaded t =
+  locked t (fun () -> t.overloaded <- t.overloaded + 1)
+
+let record_internal_error t =
+  locked t (fun () -> t.internal_errors <- t.internal_errors + 1)
+
+let method_json mm =
+  let sorted = Array.of_list mm.latencies in
+  Array.sort Float.compare sorted;
+  let total = Array.fold_left ( +. ) 0.0 sorted in
+  let mean =
+    if Array.length sorted = 0 then 0.0
+    else total /. float_of_int (Array.length sorted)
+  in
+  let ms s = s *. 1000.0 in
+  Json.Obj
+    [
+      ("count", Json.Int mm.count);
+      ("mean_ms", Json.Float (ms mean));
+      ("p50_ms", Json.Float (ms (Workload.Runner.percentile sorted 0.5)));
+      ("p95_ms", Json.Float (ms (Workload.Runner.percentile sorted 0.95)));
+    ]
+
+let snapshot_json t ~queue_depth =
+  locked t (fun () ->
+      let methods =
+        Hashtbl.fold (fun name mm acc -> (name, method_json mm) :: acc)
+          t.per_method []
+        |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+      in
+      Json.Obj
+        [
+          ("uptime_s", Json.Float (Unix.gettimeofday () -. t.started_at));
+          ("queue_depth", Json.Int queue_depth);
+          ( "requests",
+            Json.Obj
+              [
+                ("completed", Json.Int t.completed);
+                ("truncated_budget", Json.Int t.truncated_budget);
+                ("truncated_deadline", Json.Int t.truncated_deadline);
+                ("rejected", Json.Int t.rejected);
+                ("parse_errors", Json.Int t.parse_errors);
+                ("overloaded", Json.Int t.overloaded);
+                ("internal_errors", Json.Int t.internal_errors);
+              ] );
+          ("totals", Protocol.stats_json t.totals);
+          ("methods", Json.Obj methods);
+        ])

@@ -1,0 +1,74 @@
+(* Bounded worker pool on the same domain machinery as
+   [Tsrjoin.run_parallel]: a fixed set of worker domains drains a
+   mutex-protected admission queue. [submit] never blocks — when the
+   queue is at capacity the job is shed and the caller answers
+   "overloaded" instead of stalling the connection. *)
+
+type job = unit -> unit
+
+type t = {
+  jobs : job Queue.t;
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  max_depth : int;
+  mutable stopping : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let rec worker_loop t =
+  Mutex.lock t.mutex;
+  while Queue.is_empty t.jobs && not t.stopping do
+    Condition.wait t.nonempty t.mutex
+  done;
+  if Queue.is_empty t.jobs then Mutex.unlock t.mutex (* stopping, drained *)
+  else begin
+    let job = Queue.pop t.jobs in
+    Mutex.unlock t.mutex;
+    (* jobs do their own error handling; this is the backstop that keeps
+       a worker alive no matter what a job raises *)
+    (try job () with _ -> ());
+    worker_loop t
+  end
+
+let create ~workers ~max_depth =
+  if workers < 1 then invalid_arg "Pool.create: need >= 1 worker";
+  if max_depth < 1 then invalid_arg "Pool.create: need >= 1 queue slot";
+  let t =
+    {
+      jobs = Queue.create ();
+      mutex = Mutex.create ();
+      nonempty = Condition.create ();
+      max_depth;
+      stopping = false;
+      workers = [];
+    }
+  in
+  t.workers <- List.init workers (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+(* [true] if accepted; [false] if shed (queue full or shutting down) *)
+let submit t job =
+  Mutex.lock t.mutex;
+  let accepted = (not t.stopping) && Queue.length t.jobs < t.max_depth in
+  if accepted then begin
+    Queue.push job t.jobs;
+    Condition.signal t.nonempty
+  end;
+  Mutex.unlock t.mutex;
+  accepted
+
+let depth t =
+  Mutex.lock t.mutex;
+  let n = Queue.length t.jobs in
+  Mutex.unlock t.mutex;
+  n
+
+(* Stops admission, lets the workers drain what was already accepted,
+   and joins them. Idempotent. *)
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.stopping <- true;
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.mutex;
+  List.iter Domain.join t.workers;
+  t.workers <- []

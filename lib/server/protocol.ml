@@ -1,0 +1,235 @@
+(* The wire protocol: one JSON object per line in each direction.
+
+   Requests:
+     {"op": "query", "query": "MATCH ... IN [a, b]", "method": "tsrjoin",
+      "deadline_ms": 500, "limit": 100, "count_only": false,
+      "max_results": N, "max_intermediate": N, "id": "optional tag"}
+     {"op": "metrics"}   {"op": "ping"}   {"op": "shutdown"}
+
+   Responses always carry a "status":
+     ok         completed (query / metrics / ping / shutdown ack)
+     truncated  partial answer; "reason" is "deadline" or "budget"
+     error      request never executed; "kind" is "parse" (bad JSON),
+                "query" (query-language rejection), "lint" (analyzer
+                error, with "diagnostics"), or "internal"
+     overloaded admission queue full; retry later *)
+
+open Semantics
+
+type query_request = {
+  id : string option;
+  text : string;
+  method_ : Workload.Engine.method_;
+  deadline_ms : float option;
+  limit : int option;
+  count_only : bool;
+  max_results : int option;
+  max_intermediate : int option;
+}
+
+type request =
+  | Query of query_request
+  | Metrics of string option
+  | Ping of string option
+  | Shutdown of string option
+
+let parse_request line =
+  match Json.parse line with
+  | Error msg -> Error (Printf.sprintf "bad JSON: %s" msg)
+  | Ok j -> (
+      let id = Json.mem_string "id" j in
+      match Json.mem_string "op" j with
+      | None -> Error "missing \"op\" field"
+      | Some "metrics" -> Ok (Metrics id)
+      | Some "ping" -> Ok (Ping id)
+      | Some "shutdown" -> Ok (Shutdown id)
+      | Some "query" -> (
+          match Json.mem_string "query" j with
+          | None -> Error "missing \"query\" field"
+          | Some text -> (
+              let method_name =
+                Option.value (Json.mem_string "method" j) ~default:"tsrjoin"
+              in
+              match Workload.Engine.method_of_string method_name with
+              | None -> Error (Printf.sprintf "unknown method %S" method_name)
+              | Some method_ ->
+                  Ok
+                    (Query
+                       {
+                         id;
+                         text;
+                         method_;
+                         deadline_ms = Json.mem_float "deadline_ms" j;
+                         limit = Json.mem_int "limit" j;
+                         count_only =
+                           Option.value
+                             (Json.mem_bool "count_only" j)
+                             ~default:false;
+                         max_results = Json.mem_int "max_results" j;
+                         max_intermediate = Json.mem_int "max_intermediate" j;
+                       })))
+      | Some op -> Error (Printf.sprintf "unknown op %S" op))
+
+(* ---- server-side response rendering ---- *)
+
+let id_field = function None -> [] | Some id -> [ ("id", Json.String id) ]
+
+let stats_json (s : Run_stats.t) =
+  Json.Obj
+    [
+      ("results", Json.Int s.Run_stats.results);
+      ("intermediate", Json.Int s.Run_stats.intermediate);
+      ("scanned", Json.Int s.Run_stats.scanned);
+      ("bindings", Json.Int s.Run_stats.bindings);
+      ("enum_steps", Json.Int s.Run_stats.enum_steps);
+    ]
+
+let match_json g (m : Match_result.t) =
+  let edge id =
+    let e = Tgraph.Graph.edge g id in
+    Json.Obj
+      [
+        ("id", Json.Int id);
+        ("src", Json.Int (Tgraph.Edge.src e));
+        ("dst", Json.Int (Tgraph.Edge.dst e));
+        ( "label",
+          Json.String
+            (Tgraph.Label.name (Tgraph.Graph.labels g) (Tgraph.Edge.lbl e)) );
+        ("ts", Json.Int (Tgraph.Edge.ts e));
+        ("te", Json.Int (Tgraph.Edge.te e));
+      ]
+  in
+  Json.Obj
+    [
+      ( "edges",
+        Json.List (Array.to_list (Array.map edge m.Match_result.edges)) );
+      ( "lifespan",
+        Json.Obj
+          [
+            ("ts", Json.Int (Temporal.Interval.ts m.Match_result.life));
+            ("te", Json.Int (Temporal.Interval.te m.Match_result.life));
+          ] );
+    ]
+
+type truncation = Budget | Deadline
+
+let truncation_name = function Budget -> "budget" | Deadline -> "deadline"
+
+let result_response ?id ~graph ~truncated ~count ~matches ~stats ~elapsed_ms ()
+    =
+  let status, reason =
+    match truncated with
+    | None -> ("ok", [])
+    | Some tr -> ("truncated", [ ("reason", Json.String (truncation_name tr)) ])
+  in
+  Json.to_string
+    (Json.Obj
+       (id_field id
+       @ [ ("status", Json.String status) ]
+       @ reason
+       @ [
+           ("count", Json.Int count);
+           ("matches", Json.List (List.map (match_json graph) matches));
+           ("stats", stats_json stats);
+           ("elapsed_ms", Json.Float elapsed_ms);
+         ]))
+
+let error_response ?id ~kind ?(diagnostics = []) message =
+  let diag_fields =
+    if diagnostics = [] then []
+    else
+      match Json.parse (Analysis.Diagnostic.list_to_json diagnostics) with
+      | Ok j -> [ ("diagnostics", j) ]
+      | Error _ -> []
+  in
+  Json.to_string
+    (Json.Obj
+       (id_field id
+       @ [
+           ("status", Json.String "error");
+           ("kind", Json.String kind);
+           ("message", Json.String message);
+         ]
+       @ diag_fields))
+
+let overloaded_response ?id ~queue_depth () =
+  Json.to_string
+    (Json.Obj
+       (id_field id
+       @ [
+           ("status", Json.String "overloaded");
+           ("queue_depth", Json.Int queue_depth);
+         ]))
+
+let pong_response ?id () =
+  Json.to_string
+    (Json.Obj
+       (id_field id @ [ ("status", Json.String "ok"); ("pong", Json.Bool true) ]))
+
+let metrics_response ?id snapshot =
+  Json.to_string
+    (Json.Obj
+       (id_field id
+       @ [ ("status", Json.String "ok"); ("metrics", snapshot) ]))
+
+let shutdown_response ?id () =
+  Json.to_string
+    (Json.Obj
+       (id_field id
+       @ [ ("status", Json.String "ok"); ("stopping", Json.Bool true) ]))
+
+(* ---- client-side response view ---- *)
+
+type response = {
+  id : string option;
+  status : string;
+  reason : string option;
+  kind : string option;
+  message : string option;
+  count : int option;
+  matches : Match_result.t list;
+  elapsed_ms : float option;
+  json : Json.t;
+}
+
+let match_of_json j =
+  let edges =
+    match Json.mem_list "edges" j with
+    | None -> None
+    | Some es ->
+        let ids = List.filter_map (Json.mem_int "id") es in
+        if List.length ids = List.length es then Some (Array.of_list ids)
+        else None
+  in
+  let life =
+    match Json.member "lifespan" j with
+    | None -> None
+    | Some l -> (
+        match (Json.mem_int "ts" l, Json.mem_int "te" l) with
+        | Some ts, Some te when ts <= te -> Some (Temporal.Interval.make ts te)
+        | _ -> None)
+  in
+  match (edges, life) with
+  | Some edges, Some life -> Some (Match_result.make edges life)
+  | _ -> None
+
+let response_of_json j =
+  {
+    id = Json.mem_string "id" j;
+    status = Option.value (Json.mem_string "status" j) ~default:"invalid";
+    reason = Json.mem_string "reason" j;
+    kind = Json.mem_string "kind" j;
+    message = Json.mem_string "message" j;
+    count = Json.mem_int "count" j;
+    matches =
+      (match Json.mem_list "matches" j with
+      | None -> []
+      | Some ms -> List.filter_map match_of_json ms);
+    elapsed_ms = Json.mem_float "elapsed_ms" j;
+    json = j;
+  }
+
+let parse_response line =
+  match Json.parse line with
+  | Error msg -> Error (Printf.sprintf "bad response JSON: %s" msg)
+  | Ok j -> Ok (response_of_json j)

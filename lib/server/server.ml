@@ -1,0 +1,316 @@
+(* A resident query service over a Unix-domain socket.
+
+   The graph is loaded and indexed once ([Workload.Engine.prepare]), then
+   every request rides the warm TAI/planner state. Request lifecycle:
+
+     lint -> admit -> execute-with-deadline -> respond
+
+   - lint: the query text is compiled and run through the static
+     analyzer on the connection thread; error-level queries are rejected
+     before they cost anything, provably-empty ones skip execution.
+   - admit: accepted queries enter a bounded queue drained by a fixed
+     pool of worker domains; a full queue answers "overloaded" instead
+     of stalling the connection.
+   - execute: workers run the engine under the request's Run_stats
+     budgets plus a wall-clock deadline checked on the counter tick
+     path, so even result-free sweeps abort promptly.
+   - respond: one JSON line per request, written under a per-connection
+     lock (workers finish out of submission order). *)
+
+open Semantics
+
+type config = {
+  socket_path : string;
+  workers : int;
+  queue_depth : int;
+  default_deadline_ms : float option;
+  default_limit : int;
+  default_max_results : int;
+  default_max_intermediate : int;
+}
+
+let default_config ~socket_path =
+  {
+    socket_path;
+    workers = 4;
+    queue_depth = 64;
+    default_deadline_ms = None;
+    default_limit = 100;
+    default_max_results =
+      Workload.Runner.default_budget.Workload.Runner.max_results_per_query;
+    default_max_intermediate =
+      Workload.Runner.default_budget.Workload.Runner.max_intermediate_per_query;
+  }
+
+type t = {
+  config : config;
+  engine : Workload.Engine.t;
+  pool : Pool.t;
+  metrics : Metrics.t;
+  listener : Unix.file_descr;
+  state_mutex : Mutex.t;
+  stop_requested : Condition.t;
+  mutable stopping : bool;
+  mutable finished : bool;
+  mutable conns : Unix.file_descr list;
+  mutable threads : Thread.t list;
+  mutable accept_domain : unit Domain.t option;
+}
+
+let is_stopping t =
+  Mutex.lock t.state_mutex;
+  let s = t.stopping in
+  Mutex.unlock t.state_mutex;
+  s
+
+(* Idempotent. [shutdown] (not [close]) on the listener: on Linux,
+   closing a socket another thread is blocked in [accept] on leaves
+   that thread blocked forever, while shutting it down wakes the accept
+   with an error. The fd itself is closed in [finish], after the accept
+   domain has been joined. Actual teardown happens in [finish] (from
+   [wait]/[stop]), never on a connection thread. *)
+let request_stop t =
+  Mutex.lock t.state_mutex;
+  if not t.stopping then begin
+    t.stopping <- true;
+    (try Unix.shutdown t.listener Unix.SHUTDOWN_ALL
+     with Unix.Unix_error _ -> ())
+  end;
+  Condition.broadcast t.stop_requested;
+  Mutex.unlock t.state_mutex
+
+let metrics t = t.metrics
+let engine t = t.engine
+let queue_depth t = Pool.depth t.pool
+
+(* ---- request execution (worker domain) ---- *)
+
+let execute t send (qr : Protocol.query_request) q ds =
+  let cfg = t.config in
+  let limits =
+    {
+      Run_stats.max_results =
+        Option.value qr.Protocol.max_results ~default:cfg.default_max_results;
+      max_intermediate =
+        Option.value qr.Protocol.max_intermediate
+          ~default:cfg.default_max_intermediate;
+    }
+  in
+  let deadline_ms =
+    match qr.Protocol.deadline_ms with
+    | Some ms -> Some ms
+    | None -> cfg.default_deadline_ms
+  in
+  let deadline =
+    Option.map
+      (fun ms ->
+        {
+          Run_stats.expires_at = Unix.gettimeofday () +. (ms /. 1000.0);
+          now = Unix.gettimeofday;
+        })
+      deadline_ms
+  in
+  let stats = Run_stats.create ~limits ?deadline () in
+  let limit = Option.value qr.Protocol.limit ~default:cfg.default_limit in
+  let kept = ref [] in
+  let n_kept = ref 0 in
+  let total = ref 0 in
+  let emit m =
+    incr total;
+    if (not qr.Protocol.count_only) && !n_kept < limit then begin
+      incr n_kept;
+      kept := m :: !kept
+    end
+  in
+  let t0 = Unix.gettimeofday () in
+  let outcome =
+    if Analysis.Diagnostic.proves_empty ds then Ok None
+    else
+      match Workload.Engine.run ~stats t.engine qr.Protocol.method_ q ~emit with
+      | () -> Ok None
+      | exception Run_stats.Limit_exceeded _ -> Ok (Some Protocol.Budget)
+      | exception Run_stats.Deadline_exceeded -> Ok (Some Protocol.Deadline)
+      | exception e -> Error (Printexc.to_string e)
+  in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  match outcome with
+  | Ok truncated ->
+      let metric_outcome =
+        match truncated with
+        | None -> Metrics.Completed
+        | Some Protocol.Budget -> Metrics.Truncated_budget
+        | Some Protocol.Deadline -> Metrics.Truncated_deadline
+      in
+      Metrics.record_query t.metrics ~method_:qr.Protocol.method_
+        ~outcome:metric_outcome ~stats ~seconds:elapsed;
+      send
+        (Protocol.result_response ?id:qr.Protocol.id
+           ~graph:(Workload.Engine.graph t.engine)
+           ~truncated ~count:!total ~matches:(List.rev !kept) ~stats
+           ~elapsed_ms:(elapsed *. 1000.0) ())
+  | Error msg ->
+      Metrics.record_internal_error t.metrics;
+      send (Protocol.error_response ?id:qr.Protocol.id ~kind:"internal" msg)
+
+(* ---- request dispatch (connection thread) ---- *)
+
+let handle_query t send (qr : Protocol.query_request) =
+  let g = Workload.Engine.graph t.engine in
+  match Qlang.parse_and_compile g qr.Protocol.text with
+  | Error msg ->
+      Metrics.record_rejected t.metrics;
+      send (Protocol.error_response ?id:qr.Protocol.id ~kind:"query" msg)
+  | Ok q ->
+      let ds = Workload.Engine.analyze t.engine qr.Protocol.method_ q in
+      if Analysis.Diagnostic.has_errors ds then begin
+        Metrics.record_rejected t.metrics;
+        send
+          (Protocol.error_response ?id:qr.Protocol.id ~kind:"lint"
+             ~diagnostics:ds "query rejected by static analysis")
+      end
+      else if not (Pool.submit t.pool (fun () -> execute t send qr q ds)) then begin
+        Metrics.record_overloaded t.metrics;
+        send
+          (Protocol.overloaded_response ?id:qr.Protocol.id
+             ~queue_depth:(Pool.depth t.pool) ())
+      end
+
+let handle_request t send line =
+  match Protocol.parse_request line with
+  | Error msg ->
+      Metrics.record_parse_error t.metrics;
+      send (Protocol.error_response ~kind:"parse" msg)
+  | Ok (Protocol.Ping id) -> send (Protocol.pong_response ?id ())
+  | Ok (Protocol.Metrics id) ->
+      send
+        (Protocol.metrics_response ?id
+           (Metrics.snapshot_json t.metrics ~queue_depth:(Pool.depth t.pool)))
+  | Ok (Protocol.Shutdown id) ->
+      send (Protocol.shutdown_response ?id ());
+      request_stop t
+  | Ok (Protocol.Query qr) -> handle_query t send qr
+
+let unregister t fd =
+  Mutex.lock t.state_mutex;
+  t.conns <- List.filter (fun fd' -> fd' <> fd) t.conns;
+  Mutex.unlock t.state_mutex
+
+let handle_conn t fd =
+  (* workers answer out of order, so every response line is written
+     under this lock; a vanished client just drops the write *)
+  let wlock = Mutex.create () in
+  let send line =
+    Mutex.lock wlock;
+    (try Wire.write_line fd line
+     with Unix.Unix_error _ | Sys_error _ -> ());
+    Mutex.unlock wlock
+  in
+  let reader = Wire.reader fd in
+  let rec loop () =
+    match Wire.read_line reader with
+    | None -> ()
+    | Some line ->
+        let line = String.trim line in
+        if line <> "" then handle_request t send line;
+        loop ()
+  in
+  (try loop () with _ -> ());
+  unregister t fd;
+  (try Unix.close fd with Unix.Unix_error _ -> ())
+
+let accept_loop t () =
+  let rec loop () =
+    match Unix.accept t.listener with
+    | fd, _ ->
+        Mutex.lock t.state_mutex;
+        if t.stopping then begin
+          Mutex.unlock t.state_mutex;
+          (try Unix.close fd with Unix.Unix_error _ -> ())
+        end
+        else begin
+          t.conns <- fd :: t.conns;
+          let thread = Thread.create (fun () -> handle_conn t fd) () in
+          t.threads <- thread :: t.threads;
+          Mutex.unlock t.state_mutex;
+          loop ()
+        end
+    | exception Unix.Unix_error _ -> if not (is_stopping t) then loop ()
+  in
+  loop ()
+
+(* ---- lifecycle ---- *)
+
+let start config engine =
+  if config.workers < 1 then invalid_arg "Server.start: need >= 1 worker";
+  (* a worker writing to a client that already hung up must not kill the
+     process *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  if Sys.file_exists config.socket_path then
+    (try Unix.unlink config.socket_path with Unix.Unix_error _ -> ());
+  let listener = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try
+     Unix.bind listener (Unix.ADDR_UNIX config.socket_path);
+     Unix.listen listener 64
+   with e ->
+     (try Unix.close listener with Unix.Unix_error _ -> ());
+     raise e);
+  let t =
+    {
+      config;
+      engine;
+      pool = Pool.create ~workers:config.workers ~max_depth:config.queue_depth;
+      metrics = Metrics.create ();
+      listener;
+      state_mutex = Mutex.create ();
+      stop_requested = Condition.create ();
+      stopping = false;
+      finished = false;
+      conns = [];
+      threads = [];
+      accept_domain = None;
+    }
+  in
+  t.accept_domain <- Some (Domain.spawn (accept_loop t));
+  t
+
+let finish t =
+  Mutex.lock t.state_mutex;
+  let already = t.finished in
+  t.finished <- true;
+  Mutex.unlock t.state_mutex;
+  if not already then begin
+    (match t.accept_domain with
+    | Some d ->
+        Domain.join d;
+        t.accept_domain <- None
+    | None -> ());
+    (try Unix.close t.listener with Unix.Unix_error _ -> ());
+    (* drain accepted work so every admitted request gets its response *)
+    Pool.shutdown t.pool;
+    (* then wake connection readers still blocked on open sockets *)
+    Mutex.lock t.state_mutex;
+    List.iter
+      (fun fd ->
+        try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+      t.conns;
+    let threads = t.threads in
+    Mutex.unlock t.state_mutex;
+    List.iter Thread.join threads;
+    (try Unix.unlink t.config.socket_path with Unix.Unix_error _ -> ())
+  end
+
+(* Blocks until a shutdown request arrives (protocol or [request_stop]),
+   then tears everything down. *)
+let wait t =
+  Mutex.lock t.state_mutex;
+  while not t.stopping do
+    Condition.wait t.stop_requested t.state_mutex
+  done;
+  Mutex.unlock t.state_mutex;
+  finish t
+
+(* Immediate shutdown from the owning thread. *)
+let stop t =
+  request_stop t;
+  finish t

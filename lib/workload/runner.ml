@@ -86,6 +86,22 @@ let to_csv_row ?tag m =
     (m.p95_seconds *. 1000.0)
     m.total_seconds m.total_results m.total_intermediate m.total_scanned
 
+let measurement_to_json ?(extra = []) m =
+  Json_out.obj
+    (List.map (fun (k, v) -> (k, Json_out.escape_string v)) extra
+    @ [
+        ("method", Json_out.escape_string (Engine.method_name m.method_));
+        ("n_queries", string_of_int m.n_queries);
+        ("n_truncated", string_of_int m.n_truncated);
+        ("total_s", Printf.sprintf "%.6f" m.total_seconds);
+        ("mean_s", Printf.sprintf "%.6f" m.mean_seconds);
+        ("p50_s", Printf.sprintf "%.6f" m.p50_seconds);
+        ("p95_s", Printf.sprintf "%.6f" m.p95_seconds);
+        ("results", string_of_int m.total_results);
+        ("intermediate", string_of_int m.total_intermediate);
+        ("scanned", string_of_int m.total_scanned);
+      ])
+
 let pp_measurement fmt m =
   Format.fprintf fmt "%-8s %8d %6d %12.3f %12.3f %14d %14d"
     (Engine.method_name m.method_)

@@ -39,6 +39,11 @@ val run_all :
   Semantics.Query.t list ->
   measurement list
 
+val percentile : float array -> float -> float
+(** [percentile sorted p] over an ascending array ([0.] when empty);
+    the p50/p95 estimator shared by measurements and the server's
+    latency snapshots. *)
+
 val pp_measurement : Format.formatter -> measurement -> unit
 val pp_header : Format.formatter -> unit -> unit
 
@@ -48,3 +53,8 @@ val csv_header : string
 val to_csv_row : ?tag:string -> measurement -> string
 (** One comma-separated row (prefixed by [tag] when given), for external
     plotting. *)
+
+val measurement_to_json : ?extra:(string * string) list -> measurement -> string
+(** One JSON object per measurement ([extra] string fields first, e.g.
+    experiment/dataset/pattern tags); the record format behind
+    [bench --json]. Schema documented in EXPERIMENTS.md. *)

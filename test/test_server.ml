@@ -1,0 +1,482 @@
+(* End-to-end tests for the query server: an in-process server on a
+   Unix-domain socket, exercised by real client connections.
+
+   - differential: concurrent clients on separate domains, one per
+     processing method, each running the shared query pool; every
+     response's match set must equal the naive oracle's.
+   - fault injection: a non-selective query under a wall-clock deadline
+     must come back as a typed truncation quickly, and the server must
+     stay healthy afterwards.
+   - golden metrics: the server's aggregate counters must equal the
+     sums that Workload.Runner measures for the same workload.
+   - admission control: a 1-worker/1-slot server pipelined six slow
+     queries must shed most of them with typed "overloaded" responses.
+   - protocol errors: malformed JSON, unknown labels, provably-empty
+     windows, ping. *)
+
+open Semantics
+open Tcsq_server
+
+let window a b = Temporal.Interval.make a b
+
+(* ---- server harness ---- *)
+
+let fresh_socket_path =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "tcsq-test-%d-%d.sock" (Unix.getpid ()) !n)
+
+let with_server ?(workers = 2) ?(queue_depth = 16) ?default_deadline_ms g f =
+  let engine = Workload.Engine.prepare g in
+  let socket_path = fresh_socket_path () in
+  let config =
+    {
+      (Server.default_config ~socket_path) with
+      Server.workers;
+      queue_depth;
+      default_deadline_ms;
+    }
+  in
+  let srv = Server.start config engine in
+  Fun.protect
+    ~finally:(fun () -> Server.stop srv)
+    (fun () -> f srv engine socket_path)
+
+let ok_query ?method_ ?deadline_ms ?limit ?count_only ?max_results
+    ?max_intermediate client text =
+  match
+    Client.query ?method_ ?deadline_ms ?limit ?count_only ?max_results
+      ?max_intermediate client text
+  with
+  | Error msg -> Alcotest.failf "transport error for %S: %s" text msg
+  | Ok r -> r
+
+(* ---- Json unit tests ---- *)
+
+let test_json_roundtrip () =
+  let roundtrip s =
+    match Json.parse s with
+    | Error msg -> Alcotest.failf "parse %S: %s" s msg
+    | Ok j -> (
+        let printed = Json.to_string j in
+        match Json.parse printed with
+        | Error msg -> Alcotest.failf "reparse %S: %s" printed msg
+        | Ok j' ->
+            Alcotest.(check string)
+              (Printf.sprintf "stable print of %S" s)
+              printed (Json.to_string j'))
+  in
+  List.iter roundtrip
+    [
+      "null";
+      "true";
+      "[]";
+      "{}";
+      "-42";
+      "3.5";
+      "[1, [2, {\"a\": null}], \"x\"]";
+      "{\"a\": 1, \"b\": [true, false], \"c\": {\"d\": \"e\"}}";
+      "\"quote \\\" backslash \\\\ newline \\n tab \\t\"";
+      "\"unicode \\u00e9 \\u20ac pair \\ud83d\\ude00\"";
+      "1e3";
+      "-0.25";
+    ];
+  (match Json.parse "{\"a\": 1}" with
+  | Ok j ->
+      Alcotest.(check (option int)) "member" (Some 1) (Json.mem_int "a" j);
+      Alcotest.(check (option int)) "missing" None (Json.mem_int "b" j)
+  | Error msg -> Alcotest.failf "object parse: %s" msg);
+  List.iter
+    (fun s ->
+      match Json.parse s with
+      | Ok _ -> Alcotest.failf "expected parse failure for %S" s
+      | Error _ -> ())
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "tru"; "\"unterminated"; "1 2"; "{'a':1}" ]
+
+(* ---- Run_stats deadline unit test (fake clock) ---- *)
+
+let test_deadline_fake_clock () =
+  (* a clock that advances one unit per read: the deadline must fire on
+     the first check after it expires, i.e. within one check interval *)
+  let clock = ref 0.0 in
+  let now () =
+    clock := !clock +. 1.0;
+    !clock
+  in
+  let stats =
+    Run_stats.create ~deadline:{ Run_stats.expires_at = 3.0; now } ()
+  in
+  let ticks = ref 0 in
+  (try
+     while !ticks < 100 * Run_stats.deadline_check_interval do
+       incr ticks;
+       Run_stats.tick_scanned stats
+     done;
+     Alcotest.fail "deadline never fired"
+   with Run_stats.Deadline_exceeded -> ());
+  (* the first tick reads the clock (so an already-expired deadline
+     fires immediately), then every [deadline_check_interval] ticks:
+     reads land on ticks 1, interval+1, 2*interval+1, ... and the third
+     read is the first at/after expiry *)
+  Alcotest.(check int)
+    "fired on the first check past expiry"
+    ((2 * Run_stats.deadline_check_interval) + 1)
+    !ticks;
+  (* without a deadline nothing fires *)
+  let free = Run_stats.create () in
+  for _ = 1 to 10 * Run_stats.deadline_check_interval do
+    Run_stats.tick_scanned free
+  done
+
+(* ---- differential: concurrent clients vs the naive oracle ---- *)
+
+let test_concurrent_differential () =
+  let g =
+    Test_util.random_graph ~seed:11 ~n_vertices:6 ~n_edges:80 ~n_labels:3
+      ~domain:40 ~max_len:10 ()
+  in
+  let queries = Test_util.query_pool ~n_labels:3 ~window:(window 8 30) in
+  with_server ~workers:4 g (fun _srv _engine path ->
+      let methods =
+        [|
+          Workload.Engine.Tsrjoin; Workload.Engine.Binary;
+          Workload.Engine.Hybrid; Workload.Engine.Time;
+        |]
+      in
+      (* one domain per method, each with its own connection, all hitting
+         the server at once *)
+      let run_method method_ =
+        let client = Client.connect path in
+        Fun.protect
+          ~finally:(fun () -> Client.close client)
+          (fun () ->
+            List.map
+              (fun q ->
+                let text = Qlang.render g q in
+                let r = ok_query ~method_ ~limit:1_000_000 client text in
+                (text, r))
+              queries)
+      in
+      let domains =
+        Array.map (fun m -> Domain.spawn (fun () -> run_method m)) methods
+      in
+      let per_method = Array.map Domain.join domains in
+      Array.iteri
+        (fun i responses ->
+          let mname = Workload.Engine.method_name methods.(i) in
+          List.iter2
+            (fun q (text, (r : Protocol.response)) ->
+              Alcotest.(check string)
+                (Printf.sprintf "%s status for %s" mname text)
+                "ok" r.Protocol.status;
+              let expected = Naive.evaluate g q in
+              Alcotest.(check (option int))
+                (Printf.sprintf "%s count for %s" mname text)
+                (Some (List.length expected))
+                r.Protocol.count;
+              Test_util.check_same_results
+                ~msg:(Printf.sprintf "%s vs naive for %s" mname text)
+                expected r.Protocol.matches)
+            queries responses)
+        per_method)
+
+(* ---- fault injection: wall-clock deadlines ---- *)
+
+(* 5 vertices, thousands of parallel edges, one label: a wildcard
+   triangle over the full window enumerates forever unless stopped. *)
+let dense_graph () =
+  Test_util.random_graph ~seed:3 ~n_vertices:5 ~n_edges:4000 ~n_labels:1
+    ~domain:10_000 ~max_len:5_000 ()
+
+let non_selective = "MATCH (x)-[*]->(y)-[*]->(z)-[*]->(x) IN [0, 10000]"
+
+let assert_healthy client path =
+  Alcotest.(check bool) "ping after fault" true (Client.ping client);
+  let r = ok_query ~count_only:true client "MATCH (x)-[l0]->(y) IN [0, 100]" in
+  Alcotest.(check string) "query after fault" "ok" r.Protocol.status;
+  let fresh = Client.connect path in
+  Fun.protect
+    ~finally:(fun () -> Client.close fresh)
+    (fun () ->
+      let r = ok_query ~count_only:true fresh "MATCH (x)-[l0]->(y) IN [0, 100]" in
+      Alcotest.(check string) "fresh connection after fault" "ok"
+        r.Protocol.status)
+
+let test_deadline_truncation () =
+  let g = dense_graph () in
+  with_server g (fun _srv _engine path ->
+      let client = Client.connect path in
+      Fun.protect
+        ~finally:(fun () -> Client.close client)
+        (fun () ->
+          let deadline_ms = 400.0 in
+          let t0 = Unix.gettimeofday () in
+          let r =
+            ok_query ~deadline_ms ~count_only:true ~max_results:max_int
+              ~max_intermediate:max_int client non_selective
+          in
+          let elapsed_ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+          Alcotest.(check string) "status" "truncated" r.Protocol.status;
+          Alcotest.(check (option string))
+            "reason" (Some "deadline") r.Protocol.reason;
+          if elapsed_ms > 2.0 *. deadline_ms then
+            Alcotest.failf "deadline overshoot: %.0fms for a %.0fms deadline"
+              elapsed_ms deadline_ms;
+          assert_healthy client path))
+
+let test_budget_truncation () =
+  let g = dense_graph () in
+  with_server g (fun _srv _engine path ->
+      let client = Client.connect path in
+      Fun.protect
+        ~finally:(fun () -> Client.close client)
+        (fun () ->
+          let r =
+            ok_query ~count_only:true ~max_results:50 ~max_intermediate:max_int
+              client non_selective
+          in
+          Alcotest.(check string) "status" "truncated" r.Protocol.status;
+          Alcotest.(check (option string))
+            "reason" (Some "budget") r.Protocol.reason;
+          assert_healthy client path))
+
+(* ---- golden metrics ---- *)
+
+let metrics_int snapshot names =
+  let rec dig j = function
+    | [] -> Json.int_opt j
+    | name :: rest -> (
+        match Json.member name j with None -> None | Some j' -> dig j' rest)
+  in
+  match dig snapshot names with
+  | Some v -> v
+  | None ->
+      Alcotest.failf "metrics field %s missing" (String.concat "." names)
+
+let test_golden_metrics () =
+  let g =
+    Test_util.random_graph ~seed:11 ~n_vertices:6 ~n_edges:80 ~n_labels:3
+      ~domain:40 ~max_len:10 ()
+  in
+  let queries = Test_util.query_pool ~n_labels:3 ~window:(window 8 30) in
+  let methods = [ Workload.Engine.Tsrjoin; Workload.Engine.Binary ] in
+  with_server g (fun _srv engine path ->
+      (* the reference measurements, under the same default budgets the
+         server applies when a request names none *)
+      let measurements =
+        List.map (fun m -> Workload.Runner.run_method engine m queries) methods
+      in
+      List.iter
+        (fun (m : Workload.Runner.measurement) ->
+          Alcotest.(check int)
+            "reference workload untruncated" 0 m.Workload.Runner.n_truncated)
+        measurements;
+      let client = Client.connect path in
+      Fun.protect
+        ~finally:(fun () -> Client.close client)
+        (fun () ->
+          List.iter
+            (fun method_ ->
+              List.iter
+                (fun q ->
+                  let r =
+                    ok_query ~method_ ~count_only:true client (Qlang.render g q)
+                  in
+                  Alcotest.(check string)
+                    "workload query" "ok" r.Protocol.status)
+                queries)
+            methods;
+          let snapshot =
+            match Client.metrics client with
+            | Ok s -> s
+            | Error msg -> Alcotest.failf "metrics: %s" msg
+          in
+          let sum f = List.fold_left (fun acc m -> acc + f m) 0 measurements in
+          let n = List.length queries in
+          Alcotest.(check int)
+            "completed" (n * List.length methods)
+            (metrics_int snapshot [ "requests"; "completed" ]);
+          Alcotest.(check int)
+            "total results"
+            (sum (fun m -> m.Workload.Runner.total_results))
+            (metrics_int snapshot [ "totals"; "results" ]);
+          Alcotest.(check int)
+            "total intermediate"
+            (sum (fun m -> m.Workload.Runner.total_intermediate))
+            (metrics_int snapshot [ "totals"; "intermediate" ]);
+          Alcotest.(check int)
+            "total scanned"
+            (sum (fun m -> m.Workload.Runner.total_scanned))
+            (metrics_int snapshot [ "totals"; "scanned" ]);
+          List.iter
+            (fun method_ ->
+              Alcotest.(check int)
+                (Workload.Engine.method_name method_ ^ " count")
+                n
+                (metrics_int snapshot
+                   [ "methods"; Workload.Engine.method_name method_; "count" ]))
+            methods))
+
+(* ---- admission control ---- *)
+
+let test_admission_shedding () =
+  let g = dense_graph () in
+  with_server ~workers:1 ~queue_depth:1 ~default_deadline_ms:300.0 g
+    (fun _srv _engine path ->
+      let client = Client.connect path in
+      Fun.protect
+        ~finally:(fun () -> Client.close client)
+        (fun () ->
+          let n = 6 in
+          (* pipeline: all requests written before any response is read,
+             so the single worker is still busy when the later ones
+             arrive *)
+          for i = 1 to n do
+            Client.send_raw client
+              (Json.to_string
+                 (Client.query_json ~id:(string_of_int i) ~count_only:true
+                    ~max_results:max_int ~max_intermediate:max_int
+                    non_selective))
+          done;
+          let statuses = Hashtbl.create 8 in
+          let ids = ref [] in
+          for _ = 1 to n do
+            match Client.recv client with
+            | Error msg -> Alcotest.failf "response: %s" msg
+            | Ok r ->
+                (match r.Protocol.id with
+                | Some id -> ids := id :: !ids
+                | None -> Alcotest.fail "response lost its id");
+                Hashtbl.replace statuses r.Protocol.status
+                  (1
+                  + Option.value
+                      (Hashtbl.find_opt statuses r.Protocol.status)
+                      ~default:0)
+          done;
+          let count s =
+            Option.value (Hashtbl.find_opt statuses s) ~default:0
+          in
+          Alcotest.(check (list string))
+            "every request answered exactly once"
+            (List.init n (fun i -> string_of_int (i + 1)))
+            (List.sort compare !ids);
+          if count "overloaded" < 3 then
+            Alcotest.failf
+              "expected >= 3 shed requests, got %d (ok %d, truncated %d)"
+              (count "overloaded") (count "ok") (count "truncated");
+          if count "ok" + count "truncated" < 1 then
+            Alcotest.fail "expected at least one executed request";
+          assert_healthy client path))
+
+(* ---- protocol error paths ---- *)
+
+let test_error_paths () =
+  let g =
+    Test_util.random_graph ~seed:11 ~n_vertices:6 ~n_edges:80 ~n_labels:3
+      ~domain:40 ~max_len:10 ()
+  in
+  with_server g (fun _srv _engine path ->
+      let client = Client.connect path in
+      Fun.protect
+        ~finally:(fun () -> Client.close client)
+        (fun () ->
+          (* malformed JSON *)
+          Client.send_raw client "{nope";
+          (match Client.recv client with
+          | Error msg -> Alcotest.failf "parse-error response: %s" msg
+          | Ok r ->
+              Alcotest.(check string) "parse status" "error" r.Protocol.status;
+              Alcotest.(check (option string))
+                "parse kind" (Some "parse") r.Protocol.kind);
+          (* unknown op *)
+          Client.send_raw client "{\"op\": \"dance\"}";
+          (match Client.recv client with
+          | Error msg -> Alcotest.failf "unknown-op response: %s" msg
+          | Ok r ->
+              Alcotest.(check string) "op status" "error" r.Protocol.status);
+          (* unknown label: rejected at compile time, never executed *)
+          let r = ok_query client "MATCH (x)-[nosuchlabel]->(y) IN [0, 40]" in
+          Alcotest.(check string) "label status" "error" r.Protocol.status;
+          Alcotest.(check (option string))
+            "label kind" (Some "query") r.Protocol.kind;
+          (* provably-empty window: answered "ok, zero" without running *)
+          let r =
+            ok_query client "MATCH (x)-[l0]->(y) IN [100000, 200000]"
+          in
+          Alcotest.(check string) "empty status" "ok" r.Protocol.status;
+          Alcotest.(check (option int)) "empty count" (Some 0) r.Protocol.count;
+          (* still alive *)
+          Alcotest.(check bool) "ping" true (Client.ping client);
+          (* the failures above are all visible in the snapshot *)
+          let snapshot =
+            match Client.metrics client with
+            | Ok s -> s
+            | Error msg -> Alcotest.failf "metrics: %s" msg
+          in
+          Alcotest.(check int)
+            "parse errors counted" 2
+            (metrics_int snapshot [ "requests"; "parse_errors" ]);
+          Alcotest.(check int)
+            "rejections counted" 1
+            (metrics_int snapshot [ "requests"; "rejected" ])))
+
+(* ---- result limit ---- *)
+
+let test_match_limit () =
+  let g =
+    Test_util.random_graph ~seed:11 ~n_vertices:6 ~n_edges:80 ~n_labels:3
+      ~domain:40 ~max_len:10 ()
+  in
+  with_server g (fun _srv engine path ->
+      let client = Client.connect path in
+      Fun.protect
+        ~finally:(fun () -> Client.close client)
+        (fun () ->
+          let text = "MATCH (x)-[*]->(y) IN [0, 40]" in
+          let q =
+            match Qlang.parse_and_compile g text with
+            | Ok q -> q
+            | Error msg -> Alcotest.failf "compile: %s" msg
+          in
+          let total =
+            List.length (Workload.Engine.evaluate engine Workload.Engine.Tsrjoin q)
+          in
+          Alcotest.(check bool) "graph busy enough" true (total > 3);
+          let r = ok_query ~limit:3 client text in
+          Alcotest.(check string) "status" "ok" r.Protocol.status;
+          Alcotest.(check (option int))
+            "count reports the full cardinality" (Some total) r.Protocol.count;
+          Alcotest.(check int)
+            "matches capped at the limit" 3
+            (List.length r.Protocol.matches)))
+
+let () =
+  Alcotest.run "server"
+    [
+      ( "json",
+        [ Alcotest.test_case "parse/print roundtrip" `Quick test_json_roundtrip ]
+      );
+      ( "deadline",
+        [
+          Alcotest.test_case "fake clock unit" `Quick test_deadline_fake_clock;
+          Alcotest.test_case "wall-clock truncation" `Quick
+            test_deadline_truncation;
+          Alcotest.test_case "budget truncation" `Quick test_budget_truncation;
+        ] );
+      ( "differential",
+        [
+          Alcotest.test_case "four methods, four domains" `Quick
+            test_concurrent_differential;
+          Alcotest.test_case "match limit vs count" `Quick test_match_limit;
+        ] );
+      ( "metrics",
+        [ Alcotest.test_case "golden totals" `Quick test_golden_metrics ] );
+      ( "admission",
+        [ Alcotest.test_case "shedding under load" `Quick test_admission_shedding ]
+      );
+      ( "protocol",
+        [ Alcotest.test_case "error paths" `Quick test_error_paths ] );
+    ]
