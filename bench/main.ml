@@ -40,11 +40,13 @@ let csv_flush () =
       Format.fprintf fmt "wrote %d CSV rows to %s@." (List.length !csv_rows) path
 
 (* --json OUT: one measurement record per (experiment, dataset, pattern,
-   method); schema "tcsq-bench/v1", documented in EXPERIMENTS.md *)
-let json_record ~experiment ~dataset ~pattern meas =
+   method); schema "tcsq-bench/v1", documented in EXPERIMENTS.md. When a
+   sink was active for the measurement its per-phase totals ride along
+   as a "phases" object. *)
+let json_record ?obs ~experiment ~dataset ~pattern meas =
   if !json_path <> None then
     json_rows :=
-      Workload.Runner.measurement_to_json
+      Workload.Runner.measurement_to_json ?obs
         ~extra:
           [
             ("experiment", experiment); ("dataset", dataset);
@@ -52,6 +54,12 @@ let json_record ~experiment ~dataset ~pattern meas =
           ]
         meas
       :: !json_rows
+
+(* per-phase attribution costs a clock read per span, so only trace the
+   measurement when the record actually lands in a --json file *)
+let bench_sink () =
+  if !json_path <> None then Obs.Sink.create ~clock:Unix.gettimeofday ()
+  else Obs.Sink.null
 
 let json_flush () =
   match !json_path with
@@ -208,13 +216,14 @@ let run_fig9 () =
           Format.fprintf fmt "%-10s" (Pattern.to_string shape);
           Array.iter
             (fun m ->
-              let meas = Runner.run_method ~budget engine m queries in
+              let obs = bench_sink () in
+              let meas = Runner.run_method ~budget ~obs engine m queries in
               csv_record
                 ~tag:
                   (Printf.sprintf "fig9,%s,%s" (Tgraph.Dataset.to_string ds)
                      (Pattern.to_string shape))
                 meas;
-              json_record ~experiment:"fig9"
+              json_record ~obs ~experiment:"fig9"
                 ~dataset:(Tgraph.Dataset.to_string ds)
                 ~pattern:(Pattern.to_string shape) meas;
               Format.fprintf fmt " %10.2f%s"
@@ -243,8 +252,9 @@ let run_fig10 () =
       Format.fprintf fmt "%-10s" (Pattern.to_string shape);
       Array.iter
         (fun m ->
-          let meas = Runner.run_method ~budget engine m queries in
-          json_record ~experiment:"fig10" ~dataset:"yellow"
+          let obs = bench_sink () in
+          let meas = Runner.run_method ~budget ~obs engine m queries in
+          json_record ~obs ~experiment:"fig10" ~dataset:"yellow"
             ~pattern:(Pattern.to_string shape) meas;
           Format.fprintf fmt " %13d%s" meas.Runner.total_intermediate
             (if meas.Runner.n_truncated > 0 then "*" else " "))

@@ -1,0 +1,38 @@
+#!/bin/sh
+# Smoke test for the bench harness's JSON export: run a tiny fixed-seed
+# fig10 workload with --json, then check that the records carry the
+# tcsq-bench/v1 schema, the seeks counter, and per-phase attribution.
+# Exits nonzero if the harness fails or the schema regresses.
+set -eu
+
+# works both from the source tree (bin/bench_smoke.sh, binary under
+# _build) and as a dune rule (run from _build/default, where the bench
+# binary sits at ../bench/main.exe relative to this script)
+HERE=$(cd "$(dirname "$0")" && pwd)
+if [ -z "${BENCH:-}" ]; then
+    if [ -x "$HERE/../bench/main.exe" ]; then
+        BENCH=$HERE/../bench/main.exe
+    else
+        BENCH=$HERE/../_build/default/bench/main.exe
+    fi
+fi
+OUT=$(mktemp "${TMPDIR:-/tmp}/tcsq-bench-smoke-XXXXXX.json")
+trap 'rm -f "$OUT"' EXIT INT TERM
+
+fail() {
+    echo "bench_smoke: FAIL: $*" >&2
+    echo "--- bench json ---" >&2
+    cat "$OUT" >&2 || true
+    exit 1
+}
+
+"$BENCH" --scale 0.05 --queries 2 --json "$OUT" fig10 >/dev/null \
+    || fail "bench run failed"
+
+grep -q '"schema": "tcsq-bench/v1"' "$OUT" || fail "missing tcsq-bench/v1 schema"
+grep -q '"method": "tsrjoin"' "$OUT" || fail "no tsrjoin measurement"
+grep -q '"seeks":' "$OUT" || fail "records carry no seeks counter"
+grep -q '"phases"' "$OUT" || fail "records carry no phase attribution"
+grep -q '"leapfrog_seek"' "$OUT" || fail "phase attribution lost leapfrog_seek"
+
+echo "bench_smoke: tcsq-bench/v1 records carry seeks + per-phase totals"

@@ -2,8 +2,9 @@
 # Full pre-merge check: build everything under the strict dev profile
 # (warnings are errors), run the test suite, lint every example
 # workload with the static analyzer (`dune build @lint` fails if any
-# query in examples/queries/ draws a warning or error), and smoke-test
-# the query server over a real socket (`dune build @server-smoke`).
+# query in examples/queries/ draws a warning or error), smoke-test the
+# query server over a real socket (`dune build @server-smoke`), and
+# smoke-test the bench harness's JSON export (`dune build @bench-smoke`).
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -11,4 +12,5 @@ dune build
 dune runtest
 dune build @lint
 dune build @server-smoke
-echo "check.sh: build, tests, lint and server smoke all clean"
+dune build @bench-smoke
+echo "check.sh: build, tests, lint, server smoke and bench smoke all clean"

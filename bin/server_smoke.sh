@@ -2,8 +2,10 @@
 # End-to-end smoke test for `tcsq serve`: start a server on a throwaway
 # socket, answer a few queries over the wire, cross-check every count
 # against the one-shot `tcsq query` evaluator, verify the metrics
-# snapshot saw the work, and shut down cleanly through the protocol.
-# Exits nonzero on any mismatch, transport error, or unclean shutdown.
+# snapshot and the Prometheus exposition saw the work, check that
+# --trace-dir produced per-request Chrome traces, and shut down cleanly
+# through the protocol. Exits nonzero on any mismatch, transport error,
+# or unclean shutdown.
 set -eu
 
 # works both from the source tree (bin/server_smoke.sh, binary under
@@ -20,11 +22,13 @@ DATASET=yellow
 SCALE=0.05
 SOCK=$(mktemp -u "${TMPDIR:-/tmp}/tcsq-smoke-XXXXXX.sock")
 SRV_LOG=$(mktemp "${TMPDIR:-/tmp}/tcsq-smoke-log-XXXXXX")
+TRACE_DIR=$(mktemp -d "${TMPDIR:-/tmp}/tcsq-smoke-traces-XXXXXX")
 SRV_PID=
 
 cleanup() {
     [ -n "$SRV_PID" ] && kill "$SRV_PID" 2>/dev/null || true
     rm -f "$SOCK" "$SRV_LOG"
+    rm -rf "$TRACE_DIR"
 }
 trap cleanup EXIT INT TERM
 
@@ -36,7 +40,7 @@ fail() {
 }
 
 "$TCSQ" serve --dataset "$DATASET" --scale "$SCALE" --socket "$SOCK" \
-    >"$SRV_LOG" 2>&1 &
+    --trace-dir "$TRACE_DIR" >"$SRV_LOG" 2>&1 &
 SRV_PID=$!
 
 # wait for the socket to appear
@@ -78,6 +82,32 @@ case "$metrics" in
 *) fail "metrics did not report 3 completed queries: $metrics" ;;
 esac
 
+# the Prometheus exposition must carry the same three completed
+# requests, plus the engine's run-stat counters
+prom=$("$TCSQ" client --socket "$SOCK" --prom) \
+    || fail "metrics_prom request failed"
+case "$prom" in
+*'tcsq_requests_total{outcome="completed"} 3'*) ;;
+*) fail "prometheus exposition missing completed=3: $prom" ;;
+esac
+case "$prom" in
+*'tcsq_run_stats_total{counter="seeks"}'*) ;;
+*) fail "prometheus exposition missing seeks counter: $prom" ;;
+esac
+case "$prom" in
+*'tcsq_request_duration_seconds_bucket'*) ;;
+*) fail "prometheus exposition missing latency histogram: $prom" ;;
+esac
+
+# --trace-dir (default sample rate 1) must have written one Chrome
+# trace per query request, each carrying the trace/v1 schema
+n_traces=$(ls "$TRACE_DIR"/req-*.json 2>/dev/null | wc -l)
+[ "$n_traces" -ge 3 ] || fail "expected >=3 trace files, found $n_traces"
+for t in "$TRACE_DIR"/req-*.json; do
+    grep -q '"schema": "trace/v1"' "$t" || fail "$t missing trace/v1 schema"
+    grep -q '"name": "request"' "$t" || fail "$t missing request span"
+done
+
 # protocol shutdown; the server process must exit on its own
 "$TCSQ" client --socket "$SOCK" --shutdown >/dev/null \
     || fail "shutdown request failed"
@@ -91,4 +121,4 @@ wait "$SRV_PID" 2>/dev/null || fail "server exited with an error"
 SRV_PID=
 [ -S "$SOCK" ] && fail "socket not removed on shutdown"
 
-echo "server_smoke: serve/query/metrics/shutdown all clean"
+echo "server_smoke: serve/query/metrics/prometheus/traces/shutdown all clean"

@@ -266,6 +266,59 @@ let query_cmd =
       $ pattern_arg $ labels_arg $ window_arg $ window_frac_arg $ lasting_arg
       $ method_arg $ limit_arg $ count_only $ format_arg)
 
+let profile_cmd =
+  let trace_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Write the run's spans as Chrome trace-event JSON (schema \
+             trace/v1), loadable in chrome://tracing or Perfetto.")
+  in
+  let run file dataset scale match_ pattern labels window window_frac lasting
+      method_ trace_out =
+    let g = or_die (load_graph file dataset scale) in
+    let q =
+      apply_lasting lasting
+        (or_die (parse_query_or_match g match_ pattern labels window window_frac))
+    in
+    let m =
+      or_die
+        (match Workload.Engine.method_of_string method_ with
+        | Some m -> Ok m
+        | None -> Error (Printf.sprintf "unknown method %S" method_))
+    in
+    let engine = Workload.Engine.prepare g in
+    let stats = Semantics.Run_stats.create () in
+    let obs = Obs.Sink.create ~clock:Unix.gettimeofday () in
+    let total = ref 0 in
+    let t0 = Unix.gettimeofday () in
+    Workload.Engine.run ~stats ~obs engine m q ~emit:(fun _ -> incr total);
+    let dt = Unix.gettimeofday () -. t0 in
+    Format.printf "%d matches in %.1f ms (%a)@.@." !total (dt *. 1000.0)
+      Semantics.Run_stats.pp stats;
+    Format.printf "%a" Obs.Trace.pp_summary obs;
+    match trace_out with
+    | None -> ()
+    | Some path ->
+        let oc = open_out path in
+        output_string oc (Obs.Trace.to_chrome_json ~process_name:"tcsq" obs);
+        close_out oc;
+        Format.printf "wrote %d trace events to %s@." (Obs.Sink.n_events obs)
+          path
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Evaluate a query with phase-attributed tracing: prints a \
+          per-phase time table (count, total, self, share of the run) \
+          and optionally exports a Chrome trace.")
+    Term.(
+      const run $ graph_file_arg $ dataset_arg $ scale_arg $ match_arg
+      $ pattern_arg $ labels_arg $ window_arg $ window_frac_arg $ lasting_arg
+      $ method_arg $ trace_arg)
+
 let explain_cmd =
   let analyze =
     Arg.(
@@ -650,7 +703,23 @@ let serve_cmd =
       & info [ "limit" ] ~docv:"N"
           ~doc:"Default maximum matches echoed back per response.")
   in
-  let run file dataset scale socket workers queue deadline_ms limit =
+  let trace_dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-dir" ] ~docv:"DIR"
+          ~doc:
+            "Write one Chrome trace-event JSON file (req-<seq>.json, \
+             schema trace/v1) per sampled query request into DIR.")
+  in
+  let trace_sample_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "trace-sample" ] ~docv:"N"
+          ~doc:"With --trace-dir: trace every Nth query request.")
+  in
+  let run file dataset scale socket workers queue deadline_ms limit trace_dir
+      trace_sample =
     let g = or_die (load_graph file dataset scale) in
     let engine = Workload.Engine.prepare g in
     let config =
@@ -660,6 +729,8 @@ let serve_cmd =
         queue_depth = queue;
         default_deadline_ms = deadline_ms;
         default_limit = limit;
+        trace_dir;
+        trace_sample;
       }
     in
     let srv =
@@ -683,13 +754,22 @@ let serve_cmd =
           requests are answered until a shutdown request arrives.")
     Term.(
       const run $ graph_file_arg $ dataset_arg $ scale_arg $ socket_arg
-      $ workers_arg $ queue_arg $ deadline_arg $ serve_limit_arg)
+      $ workers_arg $ queue_arg $ deadline_arg $ serve_limit_arg
+      $ trace_dir_arg $ trace_sample_arg)
 
 let client_cmd =
   let metrics_flag =
     Arg.(
       value & flag
       & info [ "metrics" ] ~doc:"Fetch and print the metrics snapshot.")
+  in
+  let prom_flag =
+    Arg.(
+      value & flag
+      & info [ "prom" ]
+          ~doc:
+            "Fetch the metrics in Prometheus text exposition format and \
+             print them verbatim (not as a JSON line).")
   in
   let ping_flag =
     Arg.(value & flag & info [ "ping" ] ~doc:"Check server liveness.")
@@ -718,7 +798,7 @@ let client_cmd =
       value & flag
       & info [ "count" ] ~doc:"Do not echo matches, just the count.")
   in
-  let run socket match_ method_ deadline_ms limit count_only metrics ping
+  let run socket match_ method_ deadline_ms limit count_only metrics prom ping
       shutdown stdin_mode =
     let m =
       or_die
@@ -770,6 +850,12 @@ let client_cmd =
     if metrics then
       roundtrip
         (Tcsq_server.Json.to_string (Tcsq_server.Client.op_json "metrics"));
+    if prom then (
+      match Tcsq_server.Client.metrics_prom client with
+      | Ok text -> print_string text
+      | Error msg ->
+          Printf.eprintf "tcsq: metrics_prom failed: %s\n%!" msg;
+          incr failures);
     if shutdown then
       roundtrip
         (Tcsq_server.Json.to_string (Tcsq_server.Client.op_json "shutdown"));
@@ -784,16 +870,16 @@ let client_cmd =
           an overload shed.")
     Term.(
       const run $ socket_arg $ match_arg $ method_arg $ deadline_arg
-      $ limit_arg $ count_flag $ metrics_flag $ ping_flag $ shutdown_flag
-      $ stdin_flag)
+      $ limit_arg $ count_flag $ metrics_flag $ prom_flag $ ping_flag
+      $ shutdown_flag $ stdin_flag)
 
 let main =
   let doc = "temporal-clique subgraph query processing (TSRJoin)" in
   Cmd.group (Cmd.info "tcsq" ~version:"1.0.0" ~doc)
     [
-      datasets_cmd; generate_cmd; stats_cmd; query_cmd; explain_cmd;
-      compare_cmd; topk_cmd; reach_cmd; suite_cmd; lint_cmd; serve_cmd;
-      client_cmd;
+      datasets_cmd; generate_cmd; stats_cmd; query_cmd; profile_cmd;
+      explain_cmd; compare_cmd; topk_cmd; reach_cmd; suite_cmd; lint_cmd;
+      serve_cmd; client_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -47,7 +47,7 @@ module Active = struct
   let length = Temporal.Vec.length
 end
 
-let run ?stats ?trace ~tsrs ~ws ~we ~emit () =
+let run ?stats ?(obs = Obs.Sink.null) ?trace ~tsrs ~ws ~we ~emit () =
   let tracing = Option.is_some trace in
   let trace ev = match trace with Some f -> f ev | None -> () in
   let k = Array.length tsrs in
@@ -66,7 +66,10 @@ let run ?stats ?trace ~tsrs ~ws ~we ~emit () =
   (* Scanners: Scan_cur starts at the first edge; Scan_end just after the
      last edge starting within the window. *)
   let cur = Array.make k 0 in
-  let stop = Array.init k (fun i -> Tsr.upper_bound_start tsrs.(i) we) in
+  let stop =
+    Obs.Sink.span obs Obs.Phase.Tsr_slice (fun () ->
+        Array.init k (fun i -> Tsr.upper_bound_start tsrs.(i) we))
+  in
   let active = Array.init k (fun _ -> Active.create ()) in
   let members =
     Array.make k (Edge.make ~id:0 ~src:0 ~dst:0 ~lbl:0 (Temporal.Interval.point 0))
@@ -110,23 +113,24 @@ let run ?stats ?trace ~tsrs ~ws ~we ~emit () =
     done;
     !best
   in
-  while any_open () do
-    let i = next_scanner () in
-    let e = Tsr.get tsrs.(i) cur.(i) in
-    tick_scanned ();
-    trace (Scanned (i, e));
-    if Temporal.Interval.overlaps_window (Edge.ivl e) ~ws ~we then begin
-      Array.iter
-        (fun a ->
-          Active.expire a (Edge.ts e) ~tracing ~on_expired:(fun es ->
-              trace (Expired es)))
-        active;
-      enumerate i e;
-      Active.insert active.(i) e;
-      trace (Inserted (i, e))
-    end
-    else trace (Window_filtered (i, e));
-    cur.(i) <- cur.(i) + 1;
-    if cur.(i) >= stop.(i) then trace (Scanner_closed i)
-  done;
+  Obs.Sink.span obs Obs.Phase.Interval_sweep (fun () ->
+      while any_open () do
+        let i = next_scanner () in
+        let e = Tsr.get tsrs.(i) cur.(i) in
+        tick_scanned ();
+        trace (Scanned (i, e));
+        if Temporal.Interval.overlaps_window (Edge.ivl e) ~ws ~we then begin
+          Array.iter
+            (fun a ->
+              Active.expire a (Edge.ts e) ~tracing ~on_expired:(fun es ->
+                  trace (Expired es)))
+            active;
+          enumerate i e;
+          Active.insert active.(i) e;
+          trace (Inserted (i, e))
+        end
+        else trace (Window_filtered (i, e));
+        cur.(i) <- cur.(i) + 1;
+        if cur.(i) >= stop.(i) then trace (Scanner_closed i)
+      done);
   ignore (Active.length active.(0))

@@ -23,6 +23,7 @@ type trace_event =
 
 val run :
   ?stats:Semantics.Run_stats.t ->
+  ?obs:Obs.Sink.t ->
   ?trace:(trace_event -> unit) ->
   tsrs:Tsr.t array ->
   ws:int ->

@@ -133,7 +133,8 @@ let optimize_start_point_into ctx tsrs ~ws =
     loop ws
   end
 
-let run ?stats ?trace ?ctx ~config ~tsrs ~ws ~we ~emit () =
+let run ?stats ?(obs = Obs.Sink.null) ?trace ?ctx ~config ~tsrs ~ws ~we ~emit
+    () =
   let tracing = Option.is_some trace in
   let trace ev = match trace with Some f -> f ev | None -> () in
   let k = Array.length tsrs in
@@ -153,7 +154,10 @@ let run ?stats ?trace ?ctx ~config ~tsrs ~ws ~we ~emit () =
   ensure_capacity ctx k
     (Edge.make ~id:0 ~src:0 ~dst:0 ~lbl:0 (Temporal.Interval.point 0));
   let feasible =
-    if config.use_eci then optimize_start_point_into ctx tsrs ~ws
+    if config.use_eci then
+      (* ECI coverage probes are index lookups, kin to the TAI descents *)
+      Obs.Sink.span obs Obs.Phase.Tai_probe (fun () ->
+          optimize_start_point_into ctx tsrs ~ws)
     else begin
       Array.fill ctx.starts 0 k min_int;
       true
@@ -163,15 +167,16 @@ let run ?stats ?trace ?ctx ~config ~tsrs ~ws ~we ~emit () =
   else begin
       let starts = ctx.starts in
       let cur = ctx.cur in
-      for i = 0 to k - 1 do
-        cur.(i) <-
-          (if starts.(i) = min_int then 0
-           else Tsr.lower_bound_start tsrs.(i) starts.(i))
-      done;
       let stop = ctx.stop in
-      for i = 0 to k - 1 do
-        stop.(i) <- Tsr.upper_bound_start tsrs.(i) we
-      done;
+      Obs.Sink.span obs Obs.Phase.Tsr_slice (fun () ->
+          for i = 0 to k - 1 do
+            cur.(i) <-
+              (if starts.(i) = min_int then 0
+               else Tsr.lower_bound_start tsrs.(i) starts.(i))
+          done;
+          for i = 0 to k - 1 do
+            stop.(i) <- Tsr.upper_bound_start tsrs.(i) we
+          done);
       let active = ctx.active in
       let cmp_end a b =
         let c = Int.compare (Edge.te a) (Edge.te b) in
@@ -283,6 +288,7 @@ let run ?stats ?trace ?ctx ~config ~tsrs ~ws ~we ~emit () =
         !best
       in
       (try
+         Obs.Sink.span obs Obs.Phase.Interval_sweep @@ fun () ->
          while any_open () do
            let i = next_scanner () in
            let e = Tsr.get tsrs.(i) cur.(i) in

@@ -36,6 +36,7 @@ val optimize_start_point : Tsr.t array -> ws:int -> int array option
 
 val run :
   ?stats:Semantics.Run_stats.t ->
+  ?obs:Obs.Sink.t ->
   ?trace:(Lfto.trace_event -> unit) ->
   ?ctx:context ->
   config:config ->

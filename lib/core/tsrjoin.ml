@@ -8,8 +8,8 @@ type config = { mode : lfto_mode }
 let default_config = { mode = Optimized Lfto_opt.all_on }
 let basic_config = { mode = Basic }
 
-let run ?stats ?per_step ?root_slice ?(config = default_config) ?plan ?cost
-    tai q ~emit =
+let run ?stats ?(obs = Obs.Sink.null) ?per_step ?root_slice
+    ?(config = default_config) ?plan ?cost tai q ~emit =
   let min_duration = Query.min_duration q in
   let plan = match plan with Some p -> p | None -> Plan.build ?cost tai q in
   (match Plan.validate plan with
@@ -36,6 +36,18 @@ let run ?stats ?per_step ?root_slice ?(config = default_config) ?plan ?cost
   let tick_result () =
     match stats with Some s -> Run_stats.tick_result s | None -> ()
   in
+  (* seeks are global-only: step_profile keeps its original columns *)
+  let tick_seek () =
+    match stats with Some s -> Run_stats.tick_seek s | None -> ()
+  in
+  let on_seek () =
+    tick_seek ();
+    Obs.Sink.incr obs Obs.Phase.Leapfrog_seek
+  in
+  let on_next () =
+    tick_seek ();
+    Obs.Sink.incr obs Obs.Phase.Leapfrog_next
+  in
   (* one scratch context per plan depth: an outer sweep is suspended
      (mid-emit) while inner steps run their own LFTO, so contexts must
      not be shared across depths; within a depth, calls are sequential *)
@@ -52,10 +64,11 @@ let run ?stats ?per_step ?root_slice ?(config = default_config) ?plan ?cost
       | _ -> (0, 0)
     in
     (match config.mode with
-    | Basic -> Lfto.run ?stats:lfto_stats ~tsrs ~ws ~we ~emit:emit_combo ()
+    | Basic ->
+        Lfto.run ?stats:lfto_stats ~obs ~tsrs ~ws ~we ~emit:emit_combo ()
     | Optimized cfg ->
-        Lfto_opt.run ?stats:lfto_stats ~ctx:lfto_ctxs.(step_i) ~config:cfg
-          ~tsrs ~ws ~we ~emit:emit_combo ());
+        Lfto_opt.run ?stats:lfto_stats ~obs ~ctx:lfto_ctxs.(step_i)
+          ~config:cfg ~tsrs ~ws ~we ~emit:emit_combo ());
     match (per_step, stats, lfto_stats) with
     | Some _, Some g, Some s ->
         g.Run_stats.scanned <-
@@ -89,7 +102,14 @@ let run ?stats ?per_step ?root_slice ?(config = default_config) ?plan ?cost
            explicitly. *)
         let pivot_was = bindings.(pivot) in
         bindings.(pivot) <- vb;
-        let tsrs = Array.map tsr_for_edge step_edges in
+        let tsrs =
+          Obs.Sink.span obs Obs.Phase.Tai_probe (fun () ->
+              Array.map
+                (fun e ->
+                  tick_seek ();
+                  tsr_for_edge e)
+                step_edges)
+        in
         if Array.exists Tsr.is_empty tsrs then bindings.(pivot) <- pivot_was
         else begin
           let emit_combo members combo_life =
@@ -179,7 +199,10 @@ let run ?stats ?per_step ?root_slice ?(config = default_config) ?plan ?cost
           Array.of_list
             (List.map Triejoin.Key_iter.of_sorted_array_unchecked key_sets)
         in
-        let lf = Triejoin.Leapfrog.create iters in
+        let lf =
+          Obs.Sink.span obs Obs.Phase.Leapfrog_open (fun () ->
+              Triejoin.Leapfrog.create ~on_seek ~on_next iters)
+        in
         Triejoin.Leapfrog.iter
           (fun vb -> if keep () then handle_binding vb)
           lf
@@ -193,14 +216,14 @@ let run ?stats ?per_step ?root_slice ?(config = default_config) ?plan ?cost
   in
   exec 0 (Temporal.Interval.make min_int max_int) qw
 
-let evaluate ?stats ?config ?plan ?cost tai q =
+let evaluate ?stats ?obs ?config ?plan ?cost tai q =
   let acc = ref [] in
-  run ?stats ?config ?plan ?cost tai q ~emit:(fun m -> acc := m :: !acc);
+  run ?stats ?obs ?config ?plan ?cost tai q ~emit:(fun m -> acc := m :: !acc);
   List.rev !acc
 
-let count ?stats ?config ?plan ?cost tai q =
+let count ?stats ?obs ?config ?plan ?cost tai q =
   let n = ref 0 in
-  run ?stats ?config ?plan ?cost tai q ~emit:(fun _ -> incr n);
+  run ?stats ?obs ?config ?plan ?cost tai q ~emit:(fun _ -> incr n);
   !n
 
 type step_profile = {

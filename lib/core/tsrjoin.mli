@@ -22,6 +22,7 @@ val basic_config : config
 
 val run :
   ?stats:Semantics.Run_stats.t ->
+  ?obs:Obs.Sink.t ->
   ?per_step:Semantics.Run_stats.t array ->
   ?root_slice:int * int ->
   ?config:config ->
@@ -40,6 +41,7 @@ val run :
 
 val evaluate :
   ?stats:Semantics.Run_stats.t ->
+  ?obs:Obs.Sink.t ->
   ?config:config ->
   ?plan:Plan.t ->
   ?cost:Plan.cost_model ->
@@ -49,6 +51,7 @@ val evaluate :
 
 val count :
   ?stats:Semantics.Run_stats.t ->
+  ?obs:Obs.Sink.t ->
   ?config:config ->
   ?plan:Plan.t ->
   ?cost:Plan.cost_model ->

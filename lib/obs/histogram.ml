@@ -1,0 +1,103 @@
+(* Fixed-size log-bucketed latency histogram. 9 decades (1e-6 s .. 1e3 s)
+   at 25 sub-buckets per decade — growth factor 10^(1/25) ≈ 1.0965 — plus
+   an underflow and an overflow counter: 227 ints total, O(1) record,
+   O(1) memory regardless of sample count (replacing the server's
+   unbounded latency list).
+
+   Quantiles walk the cumulative counts to the target rank and report the
+   geometric midpoint of the landing bucket: the reported value is within
+   a factor sqrt(10^(1/25)) ≈ 1.047 of the true sample, i.e. a relative
+   error below 5% (we document and test ≤ 10%) for samples inside the
+   bucketed range. Count, sum and mean are exact. *)
+
+let decades = 9
+let sub = 25
+let n_buckets = decades * sub (* 225 *)
+let lo_exp = -6 (* smallest edge: 1e-6 s *)
+
+(* bucket edges; bucket b covers [edges.(b), edges.(b+1)) *)
+let edges =
+  Array.init (n_buckets + 1) (fun i ->
+      10.0 ** (float_of_int lo_exp +. (float_of_int i /. float_of_int sub)))
+
+type t = {
+  buckets : int array;  (* n_buckets + 2: [0] underflow, [last] overflow *)
+  mutable count : int;
+  mutable sum : float;
+}
+
+let create () = { buckets = Array.make (n_buckets + 2) 0; count = 0; sum = 0.0 }
+
+(* slot in [buckets]: 0 = underflow, 1..n_buckets = in range, last =
+   overflow. Binary search on edges (exact; no log-rounding at edges). *)
+let slot_of v =
+  if not (v >= edges.(0)) then 0 (* also catches NaN *)
+  else if v >= edges.(n_buckets) then n_buckets + 1
+  else begin
+    (* largest b with edges.(b) <= v *)
+    let lo = ref 0 and hi = ref n_buckets in
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if edges.(mid) <= v then lo := mid else hi := mid
+    done;
+    !lo + 1
+  end
+
+let record t v =
+  t.count <- t.count + 1;
+  t.sum <- t.sum +. v;
+  let s = slot_of v in
+  t.buckets.(s) <- t.buckets.(s) + 1
+
+let count t = t.count
+let sum t = t.sum
+let mean t = if t.count = 0 then 0.0 else t.sum /. float_of_int t.count
+
+(* representative value for a slot: geometric bucket midpoint *)
+let representative s =
+  if s = 0 then edges.(0)
+  else if s = n_buckets + 1 then edges.(n_buckets)
+  else sqrt (edges.(s - 1) *. edges.(s))
+
+let quantile t q =
+  if t.count = 0 then 0.0
+  else begin
+    let q = Float.max 0.0 (Float.min 1.0 q) in
+    (* same rank convention as Workload.Runner.percentile on a sorted
+       array: index floor(q * (n-1)) *)
+    let rank = int_of_float (float_of_int (t.count - 1) *. q) in
+    let s = ref 0 and cum = ref 0 in
+    (try
+       for i = 0 to n_buckets + 1 do
+         cum := !cum + t.buckets.(i);
+         if !cum > rank then begin
+           s := i;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    representative !s
+  end
+
+let cumulative t ~le =
+  if Float.is_nan le then 0
+  else begin
+    (* samples known to be <= le: every slot whose upper edge is <= le *)
+    let acc = ref 0 in
+    let i = ref 0 in
+    while !i <= n_buckets && edges.(!i) <= le do
+      acc := !acc + t.buckets.(!i);
+      incr i
+    done;
+    if le >= infinity then acc := t.count;
+    !acc
+  end
+
+(* decade edges 1e-6 .. 1e3 — the Prometheus "le" ladder (exact bucket
+   edges, so [cumulative] is exact at these points) *)
+let le_edges = Array.init (decades + 1) (fun d -> edges.(d * sub))
+
+let merge_into ~into t =
+  Array.iteri (fun i c -> into.buckets.(i) <- into.buckets.(i) + c) t.buckets;
+  into.count <- into.count + t.count;
+  into.sum <- into.sum +. t.sum

@@ -1,0 +1,40 @@
+(** Fixed-size log-bucketed latency histogram (seconds).
+
+    227 counters: 9 decades from 1e-6 s to 1e3 s at 25 sub-buckets per
+    decade (growth 10^(1/25) ≈ 1.0965) plus underflow and overflow.
+    O(1) record and O(1) memory — the bounded replacement for keeping
+    raw latency lists.
+
+    {!quantile} reports the geometric midpoint of the bucket holding the
+    target rank; for samples within the bucketed range the result is
+    within a factor sqrt(10^(1/25)) ≈ 1.047 of an exact sample quantile
+    — documented bound: relative error ≤ 10%. {!count}, {!sum} and
+    {!mean} are exact. *)
+
+type t
+
+val create : unit -> t
+
+val record : t -> float -> unit
+(** Record one sample in seconds. Out-of-range samples land in the
+    underflow/overflow counters (still exact in count/sum). *)
+
+val count : t -> int
+val sum : t -> float
+val mean : t -> float
+
+val quantile : t -> float -> float
+(** [quantile t q] for [q] in [0, 1] (clamped); 0. when empty. Uses the
+    same rank convention as [Workload.Runner.percentile] (index
+    [floor (q * (n-1))] of the sorted samples). *)
+
+val cumulative : t -> le:float -> int
+(** Number of samples known to be [<= le] — the Prometheus cumulative
+    bucket value. Exact when [le] is a bucket edge (in particular every
+    entry of {!le_edges}); [le = infinity] returns {!count}. *)
+
+val le_edges : float array
+(** The decade edges 1e-6 .. 1e3 — the "le" ladder used for Prometheus
+    exposition, each an exact bucket edge. *)
+
+val merge_into : into:t -> t -> unit

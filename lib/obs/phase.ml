@@ -1,0 +1,62 @@
+type t =
+  | Run
+  | Plan_select
+  | Tsr_slice
+  | Tai_probe
+  | Leapfrog_open
+  | Leapfrog_seek
+  | Leapfrog_next
+  | Interval_sweep
+  | Request
+  | Parse
+  | Lint
+  | Admit
+  | Execute
+  | Respond
+
+(* [index] doubles as the array slot in sinks; keep [all] in the same
+   order so [of_index (index p) = p]. *)
+let all =
+  [|
+    Run; Plan_select; Tsr_slice; Tai_probe; Leapfrog_open; Leapfrog_seek;
+    Leapfrog_next; Interval_sweep; Request; Parse; Lint; Admit; Execute;
+    Respond;
+  |]
+
+let n = Array.length all
+
+let index = function
+  | Run -> 0
+  | Plan_select -> 1
+  | Tsr_slice -> 2
+  | Tai_probe -> 3
+  | Leapfrog_open -> 4
+  | Leapfrog_seek -> 5
+  | Leapfrog_next -> 6
+  | Interval_sweep -> 7
+  | Request -> 8
+  | Parse -> 9
+  | Lint -> 10
+  | Admit -> 11
+  | Execute -> 12
+  | Respond -> 13
+
+let of_index i =
+  if i < 0 || i >= n then invalid_arg "Phase.of_index";
+  all.(i)
+
+let name = function
+  | Run -> "run"
+  | Plan_select -> "plan_select"
+  | Tsr_slice -> "tsr_slice"
+  | Tai_probe -> "tai_probe"
+  | Leapfrog_open -> "leapfrog_open"
+  | Leapfrog_seek -> "leapfrog_seek"
+  | Leapfrog_next -> "leapfrog_next"
+  | Interval_sweep -> "interval_sweep"
+  | Request -> "request"
+  | Parse -> "parse"
+  | Lint -> "lint"
+  | Admit -> "admit"
+  | Execute -> "execute"
+  | Respond -> "respond"

@@ -1,0 +1,39 @@
+(** Named execution phases, the attribution unit of every span and
+    counter in this library.
+
+    The engine phases mirror the paper's cost split: temporal selection
+    ({!Tsr_slice}, {!Tai_probe}, {!Interval_sweep}) versus topological
+    selection ({!Leapfrog_open}/{!Leapfrog_seek}/{!Leapfrog_next}), with
+    {!Plan_select} for planning and {!Run} as the per-query root. The
+    request phases ({!Parse} → {!Lint} → {!Admit} → {!Execute} →
+    {!Respond}, under {!Request}) cover the server lifecycle. *)
+
+type t =
+  | Run  (** whole-query root span *)
+  | Plan_select  (** TSRJoin plan construction + invariant check *)
+  | Tsr_slice  (** scanner-range slicing of TSRs to the valid window *)
+  | Tai_probe  (** TAI trie descents and ECI coverage probes *)
+  | Leapfrog_open  (** leapfrog-init over the pivot's key sets *)
+  | Leapfrog_seek  (** leapfrog-search seeks (count-only, no timing) *)
+  | Leapfrog_next  (** leapfrog-next advances (count-only, no timing) *)
+  | Interval_sweep  (** one LFTO / interval-join plane sweep *)
+  | Request  (** whole-request root span (server) *)
+  | Parse
+  | Lint
+  | Admit
+  | Execute
+  | Respond
+
+val all : t array
+(** Every phase, in [index] order. *)
+
+val n : int
+
+val index : t -> int
+(** Dense [0 .. n-1] numbering, the sink's array slot. *)
+
+val of_index : int -> t
+(** Inverse of {!index}. @raise Invalid_argument out of range. *)
+
+val name : t -> string
+(** Stable lowercase name used by both exporters. *)

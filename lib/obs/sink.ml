@@ -1,0 +1,115 @@
+(* The recorder behind every span. [Null] is a distinct constructor (not
+   a disabled record) so instrumentation compiles down to one pattern
+   match on the hot path — no clock read, no allocation, no write. The
+   clock is injected (same pattern as Run_stats.deadline) to keep this
+   library dependency-free and tests deterministic. *)
+
+type active = {
+  clock : unit -> float;
+  origin : float;  (* clock at creation; event starts are relative *)
+  counts : int array;  (* per phase: completed spans + count-only ticks *)
+  totals : float array;  (* per phase: inclusive seconds (spans only) *)
+  max_events : int;
+  mutable ev_phase : int array;
+  mutable ev_start : float array;  (* seconds since [origin] *)
+  mutable ev_dur : float array;
+  mutable n_events : int;
+  mutable dropped : int;
+}
+
+type t = Null | Active of active
+
+let null = Null
+
+let create ?(max_events = 262_144) ~clock () =
+  if max_events < 0 then invalid_arg "Sink.create: negative max_events";
+  let cap = min 1024 max_events in
+  Active
+    {
+      clock;
+      origin = clock ();
+      counts = Array.make Phase.n 0;
+      totals = Array.make Phase.n 0.0;
+      max_events;
+      ev_phase = Array.make cap 0;
+      ev_start = Array.make cap 0.0;
+      ev_dur = Array.make cap 0.0;
+      n_events = 0;
+      dropped = 0;
+    }
+
+let enabled = function Null -> false | Active _ -> true
+
+let now = function Null -> 0.0 | Active a -> a.clock ()
+
+let grow a =
+  let cap = Array.length a.ev_phase in
+  let cap' = min a.max_events (max 1 (2 * cap)) in
+  if cap' > cap then begin
+    let extend mk arr =
+      let arr' = mk cap' in
+      Array.blit arr 0 arr' 0 cap;
+      arr'
+    in
+    a.ev_phase <- extend (fun n -> Array.make n 0) a.ev_phase;
+    a.ev_start <- extend (fun n -> Array.make n 0.0) a.ev_start;
+    a.ev_dur <- extend (fun n -> Array.make n 0.0) a.ev_dur
+  end
+
+let record a phase start dur =
+  let i = Phase.index phase in
+  a.counts.(i) <- a.counts.(i) + 1;
+  a.totals.(i) <- a.totals.(i) +. dur;
+  if a.n_events >= Array.length a.ev_phase then grow a;
+  if a.n_events < Array.length a.ev_phase then begin
+    a.ev_phase.(a.n_events) <- i;
+    a.ev_start.(a.n_events) <- start;
+    a.ev_dur.(a.n_events) <- dur;
+    a.n_events <- a.n_events + 1
+  end
+  else a.dropped <- a.dropped + 1
+
+let record_span t phase ~t0 =
+  match t with
+  | Null -> ()
+  | Active a -> record a phase (t0 -. a.origin) (a.clock () -. t0)
+
+let span t phase f =
+  match t with
+  | Null -> f ()
+  | Active a -> (
+      let t0 = a.clock () in
+      match f () with
+      | v ->
+          record a phase (t0 -. a.origin) (a.clock () -. t0);
+          v
+      | exception e ->
+          (* budget/deadline aborts escape through spans; close them so
+             partial runs still export a consistent trace *)
+          record a phase (t0 -. a.origin) (a.clock () -. t0);
+          raise e)
+
+let incr t phase =
+  match t with
+  | Null -> ()
+  | Active a ->
+      let i = Phase.index phase in
+      a.counts.(i) <- a.counts.(i) + 1
+
+let count t phase =
+  match t with Null -> 0 | Active a -> a.counts.(Phase.index phase)
+
+let total t phase =
+  match t with Null -> 0.0 | Active a -> a.totals.(Phase.index phase)
+
+let n_events = function Null -> 0 | Active a -> a.n_events
+let dropped = function Null -> 0 | Active a -> a.dropped
+
+let iter_events t f =
+  match t with
+  | Null -> ()
+  | Active a ->
+      for i = 0 to a.n_events - 1 do
+        f ~phase:(Phase.of_index a.ev_phase.(i)) ~start_s:a.ev_start.(i)
+          ~dur_s:a.ev_dur.(i)
+      done

@@ -1,0 +1,62 @@
+(** Span sinks: per-run recorders of phase-attributed timings.
+
+    A sink is single-owner state — one per run and per domain, never
+    shared (the lock-free-per-domain discipline; parallel runs merge
+    afterwards). {!null} is a separate constructor, so with tracing
+    disabled every instrumentation site is a single pattern match: no
+    clock read, no allocation, no buffer write. Differential tests pin
+    down that traced and untraced runs produce identical results and
+    counters.
+
+    Spans record into two places: fixed per-phase aggregates (count,
+    inclusive total — never dropped) and a bounded event buffer for the
+    Chrome trace (capacity [max_events]; overflow increments {!dropped}
+    while aggregates keep counting). *)
+
+type t
+
+val null : t
+(** The no-op sink. *)
+
+val create : ?max_events:int -> clock:(unit -> float) -> unit -> t
+(** A live sink. [clock] is the injected monotonic time source in
+    seconds (e.g. [Unix.gettimeofday]); it is read once at creation to
+    anchor the trace origin. [max_events] (default 262144) bounds the
+    event buffer. *)
+
+val enabled : t -> bool
+
+val now : t -> float
+(** A clock read ([0.] on {!null}) — for callers that must open and
+    close a span across scopes; pair with {!record_span}. *)
+
+val span : t -> Phase.t -> (unit -> 'a) -> 'a
+(** [span t phase f] runs [f], attributing its wall time to [phase].
+    The span is recorded even when [f] raises (budget and deadline
+    aborts must still export consistent traces). On {!null} this is
+    exactly [f ()]. *)
+
+val record_span : t -> Phase.t -> t0:float -> unit
+(** Close a span opened at absolute clock time [t0] (from {!now}),
+    ending now. For spans that cannot wrap a single closure, e.g. a
+    request span crossing from a connection thread to a worker. *)
+
+val incr : t -> Phase.t -> unit
+(** Count-only tick (no clock read, no event) — for per-seek/per-next
+    hot paths where even one clock read per tick would distort the
+    measurement. *)
+
+val count : t -> Phase.t -> int
+(** Completed spans plus {!incr} ticks for the phase. *)
+
+val total : t -> Phase.t -> float
+(** Inclusive seconds attributed to the phase (nested child spans are
+    not subtracted; {!Trace.summary} computes self time). *)
+
+val n_events : t -> int
+val dropped : t -> int
+
+val iter_events :
+  t -> (phase:Phase.t -> start_s:float -> dur_s:float -> unit) -> unit
+(** Buffered events in recording (completion) order; [start_s] is
+    relative to the sink's origin. *)

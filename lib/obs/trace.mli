@@ -1,0 +1,30 @@
+(** Exporters over a {!Sink}: Chrome trace-event JSON and a per-phase
+    summary table.
+
+    Schema [trace/v1]: a JSON object with [traceEvents] (Chrome
+    trace-event "complete" events, microsecond [ts]/[dur]), loadable
+    directly in [chrome://tracing] or Perfetto; extra top-level fields
+    ([schema], [droppedEvents]) are ignored by both viewers. Documented
+    in EXPERIMENTS.md. *)
+
+type row = {
+  phase : Phase.t;
+  count : int;  (** spans plus count-only ticks *)
+  total_s : float;  (** inclusive seconds (children counted in) *)
+  self_s : float;  (** exclusive seconds (direct children subtracted) *)
+}
+
+val summary : Sink.t -> row list
+(** One row per phase with activity, sorted by self time descending.
+    Self times come from the event buffer (strictly nested, one
+    domain); aggregate count/total come from the never-dropped per-phase
+    aggregates. *)
+
+val root_seconds : Sink.t -> float
+(** Total duration of top-level (unnested) spans — the denominator of
+    the summary's "% of run" column. *)
+
+val pp_summary : Format.formatter -> Sink.t -> unit
+
+val to_chrome_json : ?process_name:string -> Sink.t -> string
+(** The [trace/v1] document for the sink's buffered events. *)

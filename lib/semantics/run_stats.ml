@@ -17,6 +17,7 @@ type t = {
   mutable scanned : int;
   mutable bindings : int;
   mutable enum_steps : int;
+  mutable seeks : int;
   limits : limits;
   mutable deadline : deadline option;
   (* ticks remaining until the next clock read; reading the clock on
@@ -30,7 +31,7 @@ let until_check_of = function None -> max_int | Some _ -> 1
 
 let create ?(limits = no_limits) ?deadline () =
   { results = 0; intermediate = 0; scanned = 0; bindings = 0; enum_steps = 0;
-    limits; deadline; until_check = until_check_of deadline }
+    seeks = 0; limits; deadline; until_check = until_check_of deadline }
 
 let set_deadline s deadline =
   s.deadline <- deadline;
@@ -76,14 +77,21 @@ let add_enum_steps s n =
   touch s;
   s.enum_steps <- s.enum_steps + n
 
+(* seeks are the leapfrog/TAI-probe hot path: no [touch] — the
+   surrounding binding/scanned ticks already drive deadline checks, and
+   a second decrement per seek would double the bookkeeping cost of the
+   innermost loop *)
+let tick_seek s = s.seeks <- s.seeks + 1
+
 let merge_into dst src =
   dst.results <- dst.results + src.results;
   dst.intermediate <- dst.intermediate + src.intermediate;
   dst.scanned <- dst.scanned + src.scanned;
   dst.bindings <- dst.bindings + src.bindings;
-  dst.enum_steps <- dst.enum_steps + src.enum_steps
+  dst.enum_steps <- dst.enum_steps + src.enum_steps;
+  dst.seeks <- dst.seeks + src.seeks
 
 let pp fmt s =
   Format.fprintf fmt
-    "results=%d intermediate=%d scanned=%d bindings=%d enum_steps=%d" s.results
-    s.intermediate s.scanned s.bindings s.enum_steps
+    "results=%d intermediate=%d scanned=%d bindings=%d enum_steps=%d seeks=%d"
+    s.results s.intermediate s.scanned s.bindings s.enum_steps s.seeks

@@ -34,6 +34,8 @@ type t = {
   mutable bindings : int;  (** vertex bindings produced by leapfrog *)
   mutable enum_steps : int;  (** active-list elements visited during
                                  enumeration *)
+  mutable seeks : int;  (** leapfrog seeks/advances and TAI/ECI index
+                            probes — the topological-selectivity work *)
   limits : limits;
   mutable deadline : deadline option;
   mutable until_check : int;
@@ -56,5 +58,11 @@ val add_intermediate : t -> int -> unit
 val tick_scanned : t -> unit
 val tick_binding : t -> unit
 val add_enum_steps : t -> int -> unit
+
+val tick_seek : t -> unit
+(** Count one index seek/probe. Unlike the other ticks this does not
+    drive the deadline check — seeks always ride alongside binding or
+    scanned ticks that do. *)
+
 val merge_into : t -> t -> unit
 val pp : Format.formatter -> t -> unit

@@ -65,6 +65,14 @@ let metrics t =
       | Some m -> Ok m
       | None -> Error "response carried no metrics")
 
+let metrics_prom t =
+  match request_raw t (Json.to_string (op_json "metrics_prom")) with
+  | Error _ as e -> e
+  | Ok r -> (
+      match Json.mem_string "prometheus" r.Protocol.json with
+      | Some text -> Ok text
+      | None -> Error "response carried no prometheus text")
+
 let ping t =
   match request_raw t (Json.to_string (op_json "ping")) with
   | Ok r -> r.Protocol.status = "ok"

@@ -1,21 +1,20 @@
 (* Thread-safe metrics registry for a running server. Workers record
-   per-request outcomes; any connection can ask for a JSON snapshot.
-   Counter totals are the merge of every request's [Run_stats], so the
-   observability layer reports exactly what execution counted. *)
+   per-request outcomes; any connection can ask for a JSON snapshot or a
+   Prometheus text exposition. Counter totals are the merge of every
+   request's [Run_stats], so the observability layer reports exactly
+   what execution counted.
+
+   Latencies live in fixed-size log-bucketed histograms
+   ([Obs.Histogram]): O(1) memory however many requests arrive, exact
+   count/sum/mean, and p50/p95 within the histogram's documented <= 10%
+   relative error (the snapshot keeps the mean_ms/p50_ms/p95_ms fields
+   of the old unbounded-list implementation). *)
 
 open Semantics
 
 type outcome = Completed | Truncated_budget | Truncated_deadline
 
-(* per-method latency reservoir; recording stops at [max_latencies] but
-   the count keeps going *)
-type method_metrics = {
-  mutable count : int;
-  mutable latencies : float list;
-  mutable n_latencies : int;
-}
-
-let max_latencies = 100_000
+type method_metrics = { mutable count : int; latency : Obs.Histogram.t }
 
 type t = {
   mutex : Mutex.t;
@@ -54,7 +53,7 @@ let method_slot t name =
   match Hashtbl.find_opt t.per_method name with
   | Some mm -> mm
   | None ->
-      let mm = { count = 0; latencies = []; n_latencies = 0 } in
+      let mm = { count = 0; latency = Obs.Histogram.create () } in
       Hashtbl.add t.per_method name mm;
       mm
 
@@ -67,10 +66,7 @@ let record_query t ~method_ ~outcome ~stats ~seconds =
       Run_stats.merge_into t.totals stats;
       let mm = method_slot t (Workload.Engine.method_name method_) in
       mm.count <- mm.count + 1;
-      if mm.n_latencies < max_latencies then begin
-        mm.latencies <- seconds :: mm.latencies;
-        mm.n_latencies <- mm.n_latencies + 1
-      end)
+      Obs.Histogram.record mm.latency seconds)
 
 let record_rejected t = locked t (fun () -> t.rejected <- t.rejected + 1)
 
@@ -84,28 +80,44 @@ let record_internal_error t =
   locked t (fun () -> t.internal_errors <- t.internal_errors + 1)
 
 let method_json mm =
-  let sorted = Array.of_list mm.latencies in
-  Array.sort Float.compare sorted;
-  let total = Array.fold_left ( +. ) 0.0 sorted in
-  let mean =
-    if Array.length sorted = 0 then 0.0
-    else total /. float_of_int (Array.length sorted)
-  in
   let ms s = s *. 1000.0 in
   Json.Obj
     [
       ("count", Json.Int mm.count);
-      ("mean_ms", Json.Float (ms mean));
-      ("p50_ms", Json.Float (ms (Workload.Runner.percentile sorted 0.5)));
-      ("p95_ms", Json.Float (ms (Workload.Runner.percentile sorted 0.95)));
+      ("mean_ms", Json.Float (ms (Obs.Histogram.mean mm.latency)));
+      ("p50_ms", Json.Float (ms (Obs.Histogram.quantile mm.latency 0.5)));
+      ("p95_ms", Json.Float (ms (Obs.Histogram.quantile mm.latency 0.95)));
     ]
+
+let outcome_counts t =
+  [
+    ("completed", t.completed);
+    ("truncated_budget", t.truncated_budget);
+    ("truncated_deadline", t.truncated_deadline);
+    ("rejected", t.rejected);
+    ("parse_errors", t.parse_errors);
+    ("overloaded", t.overloaded);
+    ("internal_errors", t.internal_errors);
+  ]
+
+let run_stat_counts t =
+  [
+    ("results", t.totals.Run_stats.results);
+    ("intermediate", t.totals.Run_stats.intermediate);
+    ("scanned", t.totals.Run_stats.scanned);
+    ("bindings", t.totals.Run_stats.bindings);
+    ("enum_steps", t.totals.Run_stats.enum_steps);
+    ("seeks", t.totals.Run_stats.seeks);
+  ]
+
+let sorted_methods t =
+  Hashtbl.fold (fun name mm acc -> (name, mm) :: acc) t.per_method []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let snapshot_json t ~queue_depth =
   locked t (fun () ->
       let methods =
-        Hashtbl.fold (fun name mm acc -> (name, method_json mm) :: acc)
-          t.per_method []
-        |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+        List.map (fun (name, mm) -> (name, method_json mm)) (sorted_methods t)
       in
       Json.Obj
         [
@@ -113,15 +125,67 @@ let snapshot_json t ~queue_depth =
           ("queue_depth", Json.Int queue_depth);
           ( "requests",
             Json.Obj
-              [
-                ("completed", Json.Int t.completed);
-                ("truncated_budget", Json.Int t.truncated_budget);
-                ("truncated_deadline", Json.Int t.truncated_deadline);
-                ("rejected", Json.Int t.rejected);
-                ("parse_errors", Json.Int t.parse_errors);
-                ("overloaded", Json.Int t.overloaded);
-                ("internal_errors", Json.Int t.internal_errors);
-              ] );
+              (List.map (fun (k, v) -> (k, Json.Int v)) (outcome_counts t)) );
           ("totals", Protocol.stats_json t.totals);
           ("methods", Json.Obj methods);
         ])
+
+(* Prometheus text exposition (version 0.0.4). Families:
+   tcsq_uptime_seconds, tcsq_queue_depth (gauges);
+   tcsq_requests_total{outcome}, tcsq_run_stats_total{counter} (counters);
+   tcsq_request_duration_seconds{method} (histogram whose "le" ladder is
+   the decade edges of [Obs.Histogram] — exact cumulative counts). *)
+let prometheus t ~queue_depth =
+  locked t (fun () ->
+      let buf = Buffer.create 2048 in
+      Printf.bprintf buf
+        "# HELP tcsq_uptime_seconds Seconds since server start.\n\
+         # TYPE tcsq_uptime_seconds gauge\n\
+         tcsq_uptime_seconds %.3f\n"
+        (Unix.gettimeofday () -. t.started_at);
+      Printf.bprintf buf
+        "# HELP tcsq_queue_depth Admission queue depth.\n\
+         # TYPE tcsq_queue_depth gauge\n\
+         tcsq_queue_depth %d\n"
+        queue_depth;
+      Buffer.add_string buf
+        "# HELP tcsq_requests_total Requests by outcome.\n\
+         # TYPE tcsq_requests_total counter\n";
+      List.iter
+        (fun (o, v) ->
+          Printf.bprintf buf "tcsq_requests_total{outcome=\"%s\"} %d\n" o v)
+        (outcome_counts t);
+      Buffer.add_string buf
+        "# HELP tcsq_run_stats_total Execution counters merged over all \
+         queries.\n\
+         # TYPE tcsq_run_stats_total counter\n";
+      List.iter
+        (fun (c, v) ->
+          Printf.bprintf buf "tcsq_run_stats_total{counter=\"%s\"} %d\n" c v)
+        (run_stat_counts t);
+      Buffer.add_string buf
+        "# HELP tcsq_request_duration_seconds Query wall time by method.\n\
+         # TYPE tcsq_request_duration_seconds histogram\n";
+      List.iter
+        (fun (name, mm) ->
+          Array.iter
+            (fun le ->
+              Printf.bprintf buf
+                "tcsq_request_duration_seconds_bucket{method=\"%s\",le=\"%g\"} \
+                 %d\n"
+                name le
+                (Obs.Histogram.cumulative mm.latency ~le))
+            Obs.Histogram.le_edges;
+          Printf.bprintf buf
+            "tcsq_request_duration_seconds_bucket{method=\"%s\",le=\"+Inf\"} \
+             %d\n"
+            name
+            (Obs.Histogram.count mm.latency);
+          Printf.bprintf buf
+            "tcsq_request_duration_seconds_sum{method=\"%s\"} %.6f\n" name
+            (Obs.Histogram.sum mm.latency);
+          Printf.bprintf buf
+            "tcsq_request_duration_seconds_count{method=\"%s\"} %d\n" name
+            (Obs.Histogram.count mm.latency))
+        (sorted_methods t);
+      Buffer.contents buf)

@@ -4,7 +4,8 @@
      {"op": "query", "query": "MATCH ... IN [a, b]", "method": "tsrjoin",
       "deadline_ms": 500, "limit": 100, "count_only": false,
       "max_results": N, "max_intermediate": N, "id": "optional tag"}
-     {"op": "metrics"}   {"op": "ping"}   {"op": "shutdown"}
+     {"op": "metrics"}   {"op": "metrics_prom"}
+     {"op": "ping"}      {"op": "shutdown"}
 
    Responses always carry a "status":
      ok         completed (query / metrics / ping / shutdown ack)
@@ -30,6 +31,7 @@ type query_request = {
 type request =
   | Query of query_request
   | Metrics of string option
+  | Metrics_prom of string option
   | Ping of string option
   | Shutdown of string option
 
@@ -41,6 +43,7 @@ let parse_request line =
       match Json.mem_string "op" j with
       | None -> Error "missing \"op\" field"
       | Some "metrics" -> Ok (Metrics id)
+      | Some "metrics_prom" -> Ok (Metrics_prom id)
       | Some "ping" -> Ok (Ping id)
       | Some "shutdown" -> Ok (Shutdown id)
       | Some "query" -> (
@@ -82,6 +85,7 @@ let stats_json (s : Run_stats.t) =
       ("scanned", Json.Int s.Run_stats.scanned);
       ("bindings", Json.Int s.Run_stats.bindings);
       ("enum_steps", Json.Int s.Run_stats.enum_steps);
+      ("seeks", Json.Int s.Run_stats.seeks);
     ]
 
 let match_json g (m : Match_result.t) =
@@ -171,6 +175,14 @@ let metrics_response ?id snapshot =
     (Json.Obj
        (id_field id
        @ [ ("status", Json.String "ok"); ("metrics", snapshot) ]))
+
+(* the Prometheus text exposition rides the one-line JSON framing as an
+   escaped string; clients unescape and serve/print it verbatim *)
+let metrics_prom_response ?id text =
+  Json.to_string
+    (Json.Obj
+       (id_field id
+       @ [ ("status", Json.String "ok"); ("prometheus", Json.String text) ]))
 
 let shutdown_response ?id () =
   Json.to_string

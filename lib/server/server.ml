@@ -27,6 +27,11 @@ type config = {
   default_limit : int;
   default_max_results : int;
   default_max_intermediate : int;
+  (* when set, every [trace_sample]-th query request is traced through a
+     per-request sink and written as [trace_dir]/req-<seq>.json (Chrome
+     trace-event JSON, schema trace/v1) *)
+  trace_dir : string option;
+  trace_sample : int;
 }
 
 let default_config ~socket_path =
@@ -40,6 +45,8 @@ let default_config ~socket_path =
       Workload.Runner.default_budget.Workload.Runner.max_results_per_query;
     default_max_intermediate =
       Workload.Runner.default_budget.Workload.Runner.max_intermediate_per_query;
+    trace_dir = None;
+    trace_sample = 1;
   }
 
 type t = {
@@ -55,6 +62,7 @@ type t = {
   mutable conns : Unix.file_descr list;
   mutable threads : Thread.t list;
   mutable accept_domain : unit Domain.t option;
+  req_seq : int Atomic.t;  (* query-request counter, drives trace sampling *)
 }
 
 let is_stopping t =
@@ -83,9 +91,41 @@ let metrics t = t.metrics
 let engine t = t.engine
 let queue_depth t = Pool.depth t.pool
 
+(* ---- request tracing ---- *)
+
+(* A fresh sink per sampled query request; the connection thread records
+   parse/lint/admit, the worker domain records execute/respond — a
+   sequential handoff (the conn thread never touches the sink after
+   submission), so single-owner use holds. *)
+let request_sink t =
+  match t.config.trace_dir with
+  | None -> (Obs.Sink.null, 0)
+  | Some _ ->
+      let seq = Atomic.fetch_and_add t.req_seq 1 in
+      if seq mod max 1 t.config.trace_sample = 0 then
+        (Obs.Sink.create ~clock:Unix.gettimeofday (), seq)
+      else (Obs.Sink.null, seq)
+
+(* close the request span and flush the trace file; called exactly once
+   per sampled request, on whichever thread sent the response *)
+let finish_request t obs ~req_t0 ~seq =
+  if Obs.Sink.enabled obs then begin
+    Obs.Sink.record_span obs Obs.Phase.Request ~t0:req_t0;
+    match t.config.trace_dir with
+    | None -> ()
+    | Some dir ->
+        let path = Filename.concat dir (Printf.sprintf "req-%06d.json" seq) in
+        (try
+           let oc = open_out path in
+           output_string oc
+             (Obs.Trace.to_chrome_json ~process_name:"tcsq-serve" obs);
+           close_out oc
+         with Sys_error _ -> ())
+  end
+
 (* ---- request execution (worker domain) ---- *)
 
-let execute t send (qr : Protocol.query_request) q ds =
+let execute t send ~obs (qr : Protocol.query_request) q ds =
   let cfg = t.config in
   let limits =
     {
@@ -126,7 +166,11 @@ let execute t send (qr : Protocol.query_request) q ds =
   let outcome =
     if Analysis.Diagnostic.proves_empty ds then Ok None
     else
-      match Workload.Engine.run ~stats t.engine qr.Protocol.method_ q ~emit with
+      match
+        Obs.Sink.span obs Obs.Phase.Execute (fun () ->
+            Workload.Engine.run ~stats ~obs t.engine qr.Protocol.method_ q
+              ~emit)
+      with
       | () -> Ok None
       | exception Run_stats.Limit_exceeded _ -> Ok (Some Protocol.Budget)
       | exception Run_stats.Deadline_exceeded -> Ok (Some Protocol.Deadline)
@@ -143,36 +187,61 @@ let execute t send (qr : Protocol.query_request) q ds =
       in
       Metrics.record_query t.metrics ~method_:qr.Protocol.method_
         ~outcome:metric_outcome ~stats ~seconds:elapsed;
-      send
-        (Protocol.result_response ?id:qr.Protocol.id
-           ~graph:(Workload.Engine.graph t.engine)
-           ~truncated ~count:!total ~matches:(List.rev !kept) ~stats
-           ~elapsed_ms:(elapsed *. 1000.0) ())
+      Obs.Sink.span obs Obs.Phase.Respond (fun () ->
+          send
+            (Protocol.result_response ?id:qr.Protocol.id
+               ~graph:(Workload.Engine.graph t.engine)
+               ~truncated ~count:!total ~matches:(List.rev !kept) ~stats
+               ~elapsed_ms:(elapsed *. 1000.0) ()))
   | Error msg ->
       Metrics.record_internal_error t.metrics;
-      send (Protocol.error_response ?id:qr.Protocol.id ~kind:"internal" msg)
+      Obs.Sink.span obs Obs.Phase.Respond (fun () ->
+          send (Protocol.error_response ?id:qr.Protocol.id ~kind:"internal" msg))
 
 (* ---- request dispatch (connection thread) ---- *)
 
 let handle_query t send (qr : Protocol.query_request) =
+  let obs, seq = request_sink t in
+  let req_t0 = Obs.Sink.now obs in
+  let finish () = finish_request t obs ~req_t0 ~seq in
   let g = Workload.Engine.graph t.engine in
-  match Qlang.parse_and_compile g qr.Protocol.text with
+  match
+    Obs.Sink.span obs Obs.Phase.Parse (fun () ->
+        Qlang.parse_and_compile g qr.Protocol.text)
+  with
   | Error msg ->
       Metrics.record_rejected t.metrics;
-      send (Protocol.error_response ?id:qr.Protocol.id ~kind:"query" msg)
+      send (Protocol.error_response ?id:qr.Protocol.id ~kind:"query" msg);
+      finish ()
   | Ok q ->
-      let ds = Workload.Engine.analyze t.engine qr.Protocol.method_ q in
+      let ds =
+        Obs.Sink.span obs Obs.Phase.Lint (fun () ->
+            Workload.Engine.analyze t.engine qr.Protocol.method_ q)
+      in
       if Analysis.Diagnostic.has_errors ds then begin
         Metrics.record_rejected t.metrics;
         send
           (Protocol.error_response ?id:qr.Protocol.id ~kind:"lint"
-             ~diagnostics:ds "query rejected by static analysis")
+             ~diagnostics:ds "query rejected by static analysis");
+        finish ()
       end
-      else if not (Pool.submit t.pool (fun () -> execute t send qr q ds)) then begin
-        Metrics.record_overloaded t.metrics;
-        send
-          (Protocol.overloaded_response ?id:qr.Protocol.id
-             ~queue_depth:(Pool.depth t.pool) ())
+      else begin
+        (* the admit span measures queue wait: opened at submission,
+           closed when a worker picks the request up *)
+        let admit_t0 = Obs.Sink.now obs in
+        let job () =
+          Obs.Sink.record_span obs Obs.Phase.Admit ~t0:admit_t0;
+          execute t send ~obs qr q ds;
+          finish ()
+        in
+        if not (Pool.submit t.pool job) then begin
+          Metrics.record_overloaded t.metrics;
+          Obs.Sink.record_span obs Obs.Phase.Admit ~t0:admit_t0;
+          send
+            (Protocol.overloaded_response ?id:qr.Protocol.id
+               ~queue_depth:(Pool.depth t.pool) ());
+          finish ()
+        end
       end
 
 let handle_request t send line =
@@ -185,6 +254,10 @@ let handle_request t send line =
       send
         (Protocol.metrics_response ?id
            (Metrics.snapshot_json t.metrics ~queue_depth:(Pool.depth t.pool)))
+  | Ok (Protocol.Metrics_prom id) ->
+      send
+        (Protocol.metrics_prom_response ?id
+           (Metrics.prometheus t.metrics ~queue_depth:(Pool.depth t.pool)))
   | Ok (Protocol.Shutdown id) ->
       send (Protocol.shutdown_response ?id ());
       request_stop t
@@ -248,6 +321,13 @@ let start config engine =
    with Invalid_argument _ -> ());
   if Sys.file_exists config.socket_path then
     (try Unix.unlink config.socket_path with Unix.Unix_error _ -> ());
+  (match config.trace_dir with
+  | Some dir -> (
+      try Unix.mkdir dir 0o755
+      with
+      | Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+      | Unix.Unix_error _ -> ())
+  | None -> ());
   let listener = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   (try
      Unix.bind listener (Unix.ADDR_UNIX config.socket_path);
@@ -269,6 +349,7 @@ let start config engine =
       conns = [];
       threads = [];
       accept_domain = None;
+      req_seq = Atomic.make 0;
     }
   in
   t.accept_domain <- Some (Domain.spawn (accept_loop t));

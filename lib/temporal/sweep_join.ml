@@ -4,7 +4,8 @@
    overlapping pair (a, b) is emitted exactly once, at the arrival of the
    later-starting member, which is a witness time of their overlap. *)
 
-let join_impl left right ~ws ~we ~f =
+let join_impl ?(obs = Obs.Sink.null) left right ~ws ~we ~f =
+  Obs.Sink.span obs Obs.Phase.Interval_sweep @@ fun () ->
   let count = ref 0 in
   let active_l = Active_list.create () and active_r = Active_list.create () in
   let nl = Relation.length left and nr = Relation.length right in
@@ -46,13 +47,14 @@ let join_impl left right ~ws ~we ~f =
   done;
   !count
 
-let join left right ~f = join_impl left right ~ws:min_int ~we:max_int ~f
+let join ?obs left right ~f =
+  join_impl ?obs left right ~ws:min_int ~we:max_int ~f
 
-let join_window left right ~ws ~we ~f =
+let join_window ?obs left right ~ws ~we ~f =
   (* As in LFTO: an overlapping pair in which both members individually
      overlap the window has max-start <= we and min-end >= ws, hence its
      joint overlap intersects the window. Restricting the scan to items
      starting at or before [we] and filtering per-item suffices. *)
-  join_impl left right ~ws ~we ~f
+  join_impl ?obs left right ~ws ~we ~f
 
 let count left right = join left right ~f:(fun _ _ -> ())

@@ -6,11 +6,17 @@
     must be in {!Relation.t} (start-sorted) form. *)
 
 val join :
-  Relation.t -> Relation.t -> f:(Span_item.t -> Span_item.t -> unit) -> int
+  ?obs:Obs.Sink.t ->
+  Relation.t ->
+  Relation.t ->
+  f:(Span_item.t -> Span_item.t -> unit) ->
+  int
 (** [join left right ~f] calls [f a b] for every overlapping pair and
-    returns the number of pairs. *)
+    returns the number of pairs. The whole sweep is attributed to the
+    [interval_sweep] phase of [obs] when given. *)
 
 val join_window :
+  ?obs:Obs.Sink.t ->
   Relation.t ->
   Relation.t ->
   ws:int ->

@@ -2,7 +2,13 @@ type t = {
   iters : Key_iter.t array;  (* ordered by current key, rotating index p *)
   mutable p : int;
   mutable binding : int option;
+  (* observation hooks (callbacks, not a stats type, so this library
+     stays free of semantics/obs dependencies) *)
+  on_seek : unit -> unit;
+  on_next : unit -> unit;
 }
+
+let nop () = ()
 
 (* leapfrog-search: let max be the key of the iterator just before p in
    rotation order; repeatedly seek iterator p to max. Terminates with all
@@ -17,6 +23,7 @@ let search lf =
       let least = Key_iter.key it in
       if least = !max_key then lf.binding <- Some !max_key
       else begin
+        lf.on_seek ();
         Key_iter.seek it !max_key;
         if Key_iter.at_end it then lf.binding <- None
         else begin
@@ -29,10 +36,10 @@ let search lf =
     loop ()
   end
 
-let create iters =
+let create ?(on_seek = nop) ?(on_next = nop) iters =
   if Array.length iters = 0 then invalid_arg "Leapfrog.create: no iterators";
   Array.iter Key_iter.reset iters;
-  let lf = { iters; p = 0; binding = None } in
+  let lf = { iters; p = 0; binding = None; on_seek; on_next } in
   if Array.exists Key_iter.at_end iters then lf
   else begin
     (* leapfrog-init: order iterators by their first key. *)
@@ -48,6 +55,7 @@ let next lf =
   match lf.binding with
   | None -> ()
   | Some _ ->
+      lf.on_next ();
       let it = lf.iters.(lf.p) in
       Key_iter.next it;
       if Key_iter.at_end it then lf.binding <- None else search lf

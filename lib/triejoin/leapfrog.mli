@@ -8,8 +8,12 @@
 
 type t
 
-val create : Key_iter.t array -> t
-(** Takes ownership of the iterators (they are reset).
+val create :
+  ?on_seek:(unit -> unit) -> ?on_next:(unit -> unit) -> Key_iter.t array -> t
+(** Takes ownership of the iterators (they are reset). [on_seek] fires
+    before every leapfrog-search seek, [on_next] before every
+    leapfrog-next advance — callback hooks so callers can count seeks
+    without this library depending on their stats types.
     @raise Invalid_argument on an empty array. *)
 
 val current : t -> int option

@@ -41,28 +41,34 @@ let tai t = t.tai
 let adjacency t = t.adjacency
 let sti_index t = t.sti_index
 
-let run ?stats ?tsrjoin_config t method_ q ~emit =
+let run ?stats ?(obs = Obs.Sink.null) ?tsrjoin_config t method_ q ~emit =
+  Obs.Sink.span obs Obs.Phase.Run @@ fun () ->
   match method_ with
   | Tsrjoin ->
       (* plan invariant analysis guards the hot path: a planner bug
          surfaces as a diagnostic here instead of as wrong answers *)
-      let plan = Tcsq_core.Plan.build ~cost:t.cost t.tai q in
-      (match Analysis.Plan_check.check_result plan with
-      | Ok () -> ()
-      | Error msg -> invalid_arg ("Engine.run: invalid plan: " ^ msg));
-      Tcsq_core.Tsrjoin.run ?stats ?config:tsrjoin_config ~plan t.tai q ~emit
+      let plan =
+        Obs.Sink.span obs Obs.Phase.Plan_select (fun () ->
+            let plan = Tcsq_core.Plan.build ~cost:t.cost t.tai q in
+            (match Analysis.Plan_check.check_result plan with
+            | Ok () -> ()
+            | Error msg -> invalid_arg ("Engine.run: invalid plan: " ^ msg));
+            plan)
+      in
+      Tcsq_core.Tsrjoin.run ?stats ~obs ?config:tsrjoin_config ~plan t.tai q
+        ~emit
   | Binary -> Relops.Binary.run ?stats t.adjacency q ~emit
   | Hybrid -> Relops.Hybrid.run ?stats t.adjacency q ~emit
   | Time -> Relops.Time_pipeline.run ?stats t.sti_index q ~emit
 
-let evaluate ?stats ?tsrjoin_config t method_ q =
+let evaluate ?stats ?obs ?tsrjoin_config t method_ q =
   let acc = ref [] in
-  run ?stats ?tsrjoin_config t method_ q ~emit:(fun m -> acc := m :: !acc);
+  run ?stats ?obs ?tsrjoin_config t method_ q ~emit:(fun m -> acc := m :: !acc);
   List.rev !acc
 
-let count ?stats ?tsrjoin_config t method_ q =
+let count ?stats ?obs ?tsrjoin_config t method_ q =
   let n = ref 0 in
-  run ?stats ?tsrjoin_config t method_ q ~emit:(fun _ -> incr n);
+  run ?stats ?obs ?tsrjoin_config t method_ q ~emit:(fun _ -> incr n);
   !n
 
 (* ---- statically checked execution ---- *)
@@ -77,12 +83,12 @@ let analyze t method_ q =
         @ Analysis.Plan_check.check (Tcsq_core.Plan.build ~cost:t.cost t.tai q)
     | Binary | Hybrid | Time -> ds
 
-let run_checked ?stats ?tsrjoin_config t method_ q ~emit =
+let run_checked ?stats ?obs ?tsrjoin_config t method_ q ~emit =
   let ds = analyze t method_ q in
   if Analysis.Diagnostic.has_errors ds then Error ds
   else if Analysis.Diagnostic.proves_empty ds then Ok ds
   else begin
-    run ?stats ?tsrjoin_config t method_ q ~emit;
+    run ?stats ?obs ?tsrjoin_config t method_ q ~emit;
     Ok ds
   end
 

@@ -23,6 +23,7 @@ val sti_index : t -> Relops.Sti_index.t
 
 val run :
   ?stats:Semantics.Run_stats.t ->
+  ?obs:Obs.Sink.t ->
   ?tsrjoin_config:Tcsq_core.Tsrjoin.config ->
   t ->
   method_ ->
@@ -32,7 +33,13 @@ val run :
 (** May raise {!Semantics.Run_stats.Limit_exceeded} under budgets. For
     {!Tsrjoin} the freshly built plan is passed through
     [Analysis.Plan_check] first; a planner bug raises
-    [Invalid_argument] instead of executing an invalid plan. *)
+    [Invalid_argument] instead of executing an invalid plan.
+
+    [obs] receives phase-attributed spans: the whole call under [run],
+    plan construction under [plan_select], and — for {!Tsrjoin} — the
+    engine phases (TAI probes, TSR slicing, leapfrog, sweeps) below it.
+    Instrumentation never changes results: with [Obs.Sink.null] (the
+    default) every site is a no-op. *)
 
 (** {2 Statically checked execution}
 
@@ -51,6 +58,7 @@ val analyze :
 
 val run_checked :
   ?stats:Semantics.Run_stats.t ->
+  ?obs:Obs.Sink.t ->
   ?tsrjoin_config:Tcsq_core.Tsrjoin.config ->
   t ->
   method_ ->
@@ -78,6 +86,7 @@ val count_checked :
 
 val evaluate :
   ?stats:Semantics.Run_stats.t ->
+  ?obs:Obs.Sink.t ->
   ?tsrjoin_config:Tcsq_core.Tsrjoin.config ->
   t ->
   method_ ->
@@ -86,6 +95,7 @@ val evaluate :
 
 val count :
   ?stats:Semantics.Run_stats.t ->
+  ?obs:Obs.Sink.t ->
   ?tsrjoin_config:Tcsq_core.Tsrjoin.config ->
   t ->
   method_ ->

@@ -19,6 +19,7 @@ type measurement = {
   total_results : int;
   total_intermediate : int;
   total_scanned : int;
+  total_seeks : int;
 }
 
 let percentile sorted p =
@@ -26,7 +27,8 @@ let percentile sorted p =
   if n = 0 then 0.0
   else sorted.(min (n - 1) (int_of_float (float_of_int (n - 1) *. p)))
 
-let run_method ?(budget = default_budget) ?tsrjoin_config engine method_ queries =
+let run_method ?(budget = default_budget) ?obs ?tsrjoin_config engine method_
+    queries =
   let totals = Run_stats.create () in
   let n_truncated = ref 0 in
   let per_query = ref [] in
@@ -43,7 +45,9 @@ let run_method ?(budget = default_budget) ?tsrjoin_config engine method_ queries
           ()
       in
       let q0 = Unix.gettimeofday () in
-      (try Engine.run ~stats ?tsrjoin_config engine method_ q ~emit:(fun _ -> ())
+      (try
+         Engine.run ~stats ?obs ?tsrjoin_config engine method_ q
+           ~emit:(fun _ -> ())
        with Run_stats.Limit_exceeded _ -> incr n_truncated);
       per_query := (Unix.gettimeofday () -. q0) :: !per_query;
       Run_stats.merge_into totals stats)
@@ -63,6 +67,7 @@ let run_method ?(budget = default_budget) ?tsrjoin_config engine method_ queries
     total_results = totals.Run_stats.results;
     total_intermediate = totals.Run_stats.intermediate;
     total_scanned = totals.Run_stats.scanned;
+    total_seeks = totals.Run_stats.seeks;
   }
 
 let run_all ?budget ?(methods = Engine.all_methods) engine queries =
@@ -74,19 +79,38 @@ let pp_header fmt () =
     "trunc" "mean-ms" "total-s" "intermediate" "scanned"
 
 let csv_header =
-  "method,queries,truncated,mean_ms,p50_ms,p95_ms,total_s,results,intermediate,scanned"
+  "method,queries,truncated,mean_ms,p50_ms,p95_ms,total_s,results,intermediate,scanned,seeks"
 
 let to_csv_row ?tag m =
   let prefix = match tag with Some t -> t ^ "," | None -> "" in
-  Printf.sprintf "%s%s,%d,%d,%.4f,%.4f,%.4f,%.4f,%d,%d,%d" prefix
+  Printf.sprintf "%s%s,%d,%d,%.4f,%.4f,%.4f,%.4f,%d,%d,%d,%d" prefix
     (Engine.method_name m.method_)
     m.n_queries m.n_truncated
     (m.mean_seconds *. 1000.0)
     (m.p50_seconds *. 1000.0)
     (m.p95_seconds *. 1000.0)
     m.total_seconds m.total_results m.total_intermediate m.total_scanned
+    m.total_seeks
 
-let measurement_to_json ?(extra = []) m =
+let measurement_to_json ?(extra = []) ?(obs = Obs.Sink.null) m =
+  let phases =
+    if not (Obs.Sink.enabled obs) then []
+    else
+      [
+        ( "phases",
+          Json_out.obj
+            (List.map
+               (fun (r : Obs.Trace.row) ->
+                 ( Obs.Phase.name r.Obs.Trace.phase,
+                   Json_out.obj
+                     [
+                       ("count", string_of_int r.Obs.Trace.count);
+                       ("total_s", Printf.sprintf "%.6f" r.Obs.Trace.total_s);
+                       ("self_s", Printf.sprintf "%.6f" r.Obs.Trace.self_s);
+                     ] ))
+               (Obs.Trace.summary obs)) );
+      ]
+  in
   Json_out.obj
     (List.map (fun (k, v) -> (k, Json_out.escape_string v)) extra
     @ [
@@ -100,7 +124,9 @@ let measurement_to_json ?(extra = []) m =
         ("results", string_of_int m.total_results);
         ("intermediate", string_of_int m.total_intermediate);
         ("scanned", string_of_int m.total_scanned);
-      ])
+        ("seeks", string_of_int m.total_seeks);
+      ]
+    @ phases)
 
 let pp_measurement fmt m =
   Format.fprintf fmt "%-8s %8d %6d %12.3f %12.3f %14d %14d"

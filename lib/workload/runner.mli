@@ -22,10 +22,12 @@ type measurement = {
   total_results : int;
   total_intermediate : int;
   total_scanned : int;
+  total_seeks : int;  (** leapfrog seeks/advances + TAI probes *)
 }
 
 val run_method :
   ?budget:budget ->
+  ?obs:Obs.Sink.t ->
   ?tsrjoin_config:Tcsq_core.Tsrjoin.config ->
   Engine.t ->
   Engine.method_ ->
@@ -54,7 +56,11 @@ val to_csv_row : ?tag:string -> measurement -> string
 (** One comma-separated row (prefixed by [tag] when given), for external
     plotting. *)
 
-val measurement_to_json : ?extra:(string * string) list -> measurement -> string
+val measurement_to_json :
+  ?extra:(string * string) list -> ?obs:Obs.Sink.t -> measurement -> string
 (** One JSON object per measurement ([extra] string fields first, e.g.
     experiment/dataset/pattern tags); the record format behind
-    [bench --json]. Schema documented in EXPERIMENTS.md. *)
+    [bench --json]. When [obs] is an enabled sink (typically the one
+    passed to {!run_method}), a trailing ["phases"] object carries its
+    per-phase count/total/self times. Schema documented in
+    EXPERIMENTS.md. *)

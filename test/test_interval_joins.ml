@@ -32,7 +32,7 @@ let test_sweep_small () =
   Alcotest.(check (list (pair int int)))
     "pairs"
     [ (0, 10); (1, 10) ]
-    (pairs_of_join Sweep_join.join l r)
+    (pairs_of_join (fun l r ~f -> Sweep_join.join l r ~f) l r)
 
 let test_sweep_empty () =
   Alcotest.(check int) "left empty" 0 (Sweep_join.count Relation.empty (rel [ (0, 1, 2) ]));
@@ -63,7 +63,7 @@ let prop_sweep_matches_brute =
   QCheck.Test.make ~name:"EBI sweep = brute force" ~count:300 arb_two_rels
     (fun (a, b) ->
       let l = mk_rel a and r = mk_rel b in
-      pairs_of_join Sweep_join.join l r = brute_pairs l r)
+      pairs_of_join (fun l r ~f -> Sweep_join.join l r ~f) l r = brute_pairs l r)
 
 let prop_fs_matches_brute =
   QCheck.Test.make ~name:"forward scan = brute force" ~count:300 arb_two_rels

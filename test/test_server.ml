@@ -311,6 +311,10 @@ let test_golden_metrics () =
             "total scanned"
             (sum (fun m -> m.Workload.Runner.total_scanned))
             (metrics_int snapshot [ "totals"; "scanned" ]);
+          Alcotest.(check int)
+            "total seeks"
+            (sum (fun m -> m.Workload.Runner.total_seeks))
+            (metrics_int snapshot [ "totals"; "seeks" ]);
           List.iter
             (fun method_ ->
               Alcotest.(check int)
@@ -318,6 +322,35 @@ let test_golden_metrics () =
                 n
                 (metrics_int snapshot
                    [ "methods"; Workload.Engine.method_name method_; "count" ]))
+            methods;
+          (* the Prometheus exposition reports the same golden totals *)
+          let prom =
+            match Client.metrics_prom client with
+            | Ok text -> text
+            | Error msg -> Alcotest.failf "metrics_prom: %s" msg
+          in
+          let has_line line =
+            List.mem line (String.split_on_char '\n' prom)
+          in
+          let check_line line =
+            Alcotest.(check bool) line true (has_line line)
+          in
+          check_line
+            (Printf.sprintf "tcsq_requests_total{outcome=\"completed\"} %d"
+               (n * List.length methods));
+          check_line
+            (Printf.sprintf "tcsq_run_stats_total{counter=\"seeks\"} %d"
+               (sum (fun m -> m.Workload.Runner.total_seeks)));
+          check_line
+            (Printf.sprintf "tcsq_run_stats_total{counter=\"scanned\"} %d"
+               (sum (fun m -> m.Workload.Runner.total_scanned)));
+          List.iter
+            (fun method_ ->
+              check_line
+                (Printf.sprintf
+                   "tcsq_request_duration_seconds_count{method=\"%s\"} %d"
+                   (Workload.Engine.method_name method_)
+                   n))
             methods))
 
 (* ---- admission control ---- *)

@@ -84,7 +84,7 @@ let test_lebi_small () =
   let r = rel [ (10, 5, 6); (11, 9, 9); (12, 4, 10) ] in
   Alcotest.(check (list (pair int int)))
     "pairs"
-    (pairs Sweep_join.join l r)
+    (pairs (fun l r ~f -> Sweep_join.join l r ~f) l r)
     (pairs Lebi.join l r)
 
 let test_bgfs_small () =
@@ -92,7 +92,7 @@ let test_bgfs_small () =
   let r = rel [ (10, 1, 1); (11, 2, 3); (12, 20, 21) ] in
   Alcotest.(check (list (pair int int)))
     "pairs with tied starts"
-    (pairs Sweep_join.join l r)
+    (pairs (fun l r ~f -> Sweep_join.join l r ~f) l r)
     (pairs Bgfs.join l r)
 
 let test_new_joins_empty () =
@@ -122,13 +122,13 @@ let prop_lebi_matches_sweep =
   QCheck.Test.make ~name:"LEBI = EBI sweep" ~count:300 arb_two_rels
     (fun (a, b) ->
       let l = mk 0 a and r = mk 1 b in
-      pairs Lebi.join l r = pairs Sweep_join.join l r)
+      pairs Lebi.join l r = pairs (fun l r ~f -> Sweep_join.join l r ~f) l r)
 
 let prop_bgfs_matches_sweep =
   QCheck.Test.make ~name:"bgFS = EBI sweep" ~count:300 arb_two_rels
     (fun (a, b) ->
       let l = mk 0 a and r = mk 1 b in
-      pairs Bgfs.join l r = pairs Sweep_join.join l r)
+      pairs Bgfs.join l r = pairs (fun l r ~f -> Sweep_join.join l r ~f) l r)
 
 let prop_all_four_agree_on_counts =
   QCheck.Test.make ~name:"EBI = gFS = LEBI = bgFS (counts)" ~count:200
