@@ -19,6 +19,7 @@ module Query_gen = Workload.Query_gen
 
 let scale = ref 1.0
 let n_queries = ref 6
+let domains_max = ref 8
 let csv_path : string option ref = ref None
 let csv_rows : string list ref = ref []
 let json_path : string option ref = ref None
@@ -43,10 +44,10 @@ let csv_flush () =
    method); schema "tcsq-bench/v1", documented in EXPERIMENTS.md. When a
    sink was active for the measurement its per-phase totals ride along
    as a "phases" object. *)
-let json_record ?obs ~experiment ~dataset ~pattern meas =
+let json_record ?obs ?raw ~experiment ~dataset ~pattern meas =
   if !json_path <> None then
     json_rows :=
-      Workload.Runner.measurement_to_json ?obs
+      Workload.Runner.measurement_to_json ?obs ?raw
         ~extra:
           [
             ("experiment", experiment); ("dataset", dataset);
@@ -596,35 +597,57 @@ let run_multiwindow () =
 
 (* ---------- Parallel scaling ---------- *)
 
+(* Domain-scaling bench: the full engine path (Runner -> Engine ->
+   Exec.Parallel) at 1/2/4/... domains, per workload; every sweep point
+   lands in the --json output tagged experiment="parallel" with raw
+   numeric domains/speedup_vs_1 fields, so future PRs can regress-check
+   parallel efficiency, not just latency. *)
 let run_parallel_bench () =
   section
     (Printf.sprintf
-       "Parallel TSRJoin: domain scaling (Yellow, 4-star workload, %d cores \
-        available)"
+       "Parallel TSRJoin: domain scaling (Yellow, %d core(s) available)"
        (Domain.recommended_domain_count ()));
   let engine = engine_of Tgraph.Dataset.Yellow in
-  let tai = Engine.tai engine in
-  let cost = Tcsq_core.Plan.cost_model tai in
-  let queries =
-    workload_for engine ~shape:(Pattern.Star 4) ~window_frac:0.2
-      ~max_results:100_000 ~seed:171
+  let sweep =
+    (* powers of two up to --domains (default 8) *)
+    let rec up d acc = if d > !domains_max then List.rev acc else up (2 * d) (d :: acc) in
+    up 1 []
   in
-  Format.fprintf fmt "%-8s %12s %10s@." "domains" "total-ms" "speedup";
-  let baseline = ref 0.0 in
   List.iter
-    (fun domains ->
-      let t0 = Unix.gettimeofday () in
+    (fun (shape, window_frac, seed) ->
+      let queries =
+        workload_for engine ~shape ~window_frac ~max_results:100_000 ~seed
+      in
+      Format.fprintf fmt "@.[%s] %d queries@." (Pattern.to_string shape)
+        (List.length queries);
+      Format.fprintf fmt "%-8s %12s %10s@." "domains" "total-ms" "speedup";
+      let baseline = ref 0.0 in
       List.iter
-        (fun q -> ignore (Tcsq_core.Tsrjoin.run_parallel ~domains ~cost tai q))
-        queries;
-      let ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
-      if domains = 1 then baseline := ms;
-      Format.fprintf fmt "%-8d %12.2f %9.2fx@." domains ms (!baseline /. ms))
-    [ 1; 2; 4; 8 ];
+        (fun domains ->
+          let obs = bench_sink () in
+          let meas =
+            Runner.run_method ~budget ~obs ~domains engine Engine.Tsrjoin
+              queries
+          in
+          let ms = meas.Runner.total_seconds *. 1000.0 in
+          if domains = 1 then baseline := ms;
+          let speedup = !baseline /. max ms 1e-9 in
+          json_record ~obs ~experiment:"parallel" ~dataset:"yellow"
+            ~pattern:(Pattern.to_string shape)
+            ~raw:
+              [
+                ("domains", string_of_int domains);
+                ("speedup_vs_1", Printf.sprintf "%.3f" speedup);
+              ]
+            meas;
+          Format.fprintf fmt "%-8d %12.2f %9.2fx@." domains ms speedup)
+        sweep)
+    [ (Pattern.Star 4, 0.2, 171); (Pattern.Chain 4, 0.2, 171) ];
   if Domain.recommended_domain_count () <= 1 then
     Format.fprintf fmt
-      "(single-core host: spawn overhead only; expect near-linear scaling \
-       on multi-core machines)@."
+      "@.(single-core host: the sweep measures scheduling overhead only — \
+       no real speedup is physically possible here; on multi-core \
+       machines expect near-linear scaling on skewed workloads)@."
 
 (* ---------- Interval-join algorithm comparison (related work §III-B) ---------- *)
 
@@ -807,6 +830,9 @@ let () =
         parse rest
     | "--queries" :: v :: rest ->
         n_queries := int_of_string v;
+        parse rest
+    | "--domains" :: v :: rest ->
+        domains_max := int_of_string v;
         parse rest
     | "--csv" :: v :: rest ->
         csv_path := Some v;

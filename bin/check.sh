@@ -13,4 +13,5 @@ dune runtest
 dune build @lint
 dune build @server-smoke
 dune build @bench-smoke
-echo "check.sh: build, tests, lint, server smoke and bench smoke all clean"
+dune build @parallel-smoke
+echo "check.sh: build, tests, lint, server, bench and parallel smoke all clean"

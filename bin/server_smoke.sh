@@ -39,8 +39,10 @@ fail() {
     exit 1
 }
 
+# --domains 2 lets each query fan out onto idle pool workers; counts
+# must still match the sequential one-shot evaluator exactly
 "$TCSQ" serve --dataset "$DATASET" --scale "$SCALE" --socket "$SOCK" \
-    --trace-dir "$TRACE_DIR" >"$SRV_LOG" 2>&1 &
+    --domains 2 --trace-dir "$TRACE_DIR" >"$SRV_LOG" 2>&1 &
 SRV_PID=$!
 
 # wait for the socket to appear

@@ -82,6 +82,14 @@ let limit_arg =
   let doc = "Stop after printing this many matches." in
   Arg.(value & opt int 20 & info [ "limit"; "n" ] ~docv:"N" ~doc)
 
+let domains_arg =
+  let doc =
+    "Execute TSRJoin across this many domains (cores). 1 = sequential; \
+     higher values fan root bindings out over a shared work-stealing \
+     domain pool. Other methods ignore this."
+  in
+  Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N" ~doc)
+
 let parse_window g window window_frac =
   match (window, window_frac) with
   | Some s, None -> (
@@ -217,8 +225,17 @@ let query_cmd =
       & opt (enum [ ("plain", `Plain); ("json", `Json); ("csv", `Csv) ]) `Plain
       & info [ "format" ] ~docv:"FMT" ~doc:"Output format: plain, json or csv.")
   in
+  let budget_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "budget" ] ~docv:"TUPLES"
+          ~doc:
+            "Intermediate-tuple budget; a run that exhausts it stops with \
+             a truncation note instead of an error.")
+  in
   let run file dataset scale match_ pattern labels window window_frac lasting
-      method_ limit count_only format =
+      method_ limit domains budget count_only format =
     let g = or_die (load_graph file dataset scale) in
     let q =
       apply_lasting lasting
@@ -231,24 +248,42 @@ let query_cmd =
         | None -> Error (Printf.sprintf "unknown method %S" method_))
     in
     let engine = Workload.Engine.prepare g in
-    let stats = Semantics.Run_stats.create () in
+    let stats =
+      match budget with
+      | None -> Semantics.Run_stats.create ()
+      | Some b ->
+          Semantics.Run_stats.create
+            ~limits:
+              { Semantics.Run_stats.max_results = max_int;
+                max_intermediate = b }
+            ()
+    in
     let shown = ref 0 in
     let total = ref 0 in
     let kept = ref [] in
     let t0 = Unix.gettimeofday () in
-    Workload.Engine.run ~stats engine m q ~emit:(fun mtch ->
-        incr total;
-        if (not count_only) && !shown < limit then begin
-          incr shown;
-          match format with
-          | `Plain -> Format.printf "%a@." Semantics.Match_result.pp mtch
-          | `Json | `Csv -> kept := mtch :: !kept
-        end);
+    let truncated =
+      match
+        Workload.Engine.run ~stats ~domains engine m q ~emit:(fun mtch ->
+            incr total;
+            if (not count_only) && !shown < limit then begin
+              incr shown;
+              match format with
+              | `Plain -> Format.printf "%a@." Semantics.Match_result.pp mtch
+              | `Json | `Csv -> kept := mtch :: !kept
+            end)
+      with
+      | () -> None
+      | exception Semantics.Run_stats.Limit_exceeded reason -> Some reason
+    in
     let dt = Unix.gettimeofday () -. t0 in
     (match format with
     | `Plain ->
         if (not count_only) && !total > !shown then
           Format.printf "... and %d more@." (!total - !shown);
+        (match truncated with
+        | Some reason -> Format.printf "truncated: %s@." reason
+        | None -> ());
         Format.printf "%d matches in %.1f ms (%a)@." !total (dt *. 1000.0)
           Semantics.Run_stats.pp stats
     | `Json ->
@@ -264,7 +299,8 @@ let query_cmd =
     Term.(
       const run $ graph_file_arg $ dataset_arg $ scale_arg $ match_arg
       $ pattern_arg $ labels_arg $ window_arg $ window_frac_arg $ lasting_arg
-      $ method_arg $ limit_arg $ count_only $ format_arg)
+      $ method_arg $ limit_arg $ domains_arg $ budget_arg $ count_only
+      $ format_arg)
 
 let profile_cmd =
   let trace_arg =
@@ -277,7 +313,7 @@ let profile_cmd =
              trace/v1), loadable in chrome://tracing or Perfetto.")
   in
   let run file dataset scale match_ pattern labels window window_frac lasting
-      method_ trace_out =
+      method_ domains trace_out =
     let g = or_die (load_graph file dataset scale) in
     let q =
       apply_lasting lasting
@@ -294,7 +330,8 @@ let profile_cmd =
     let obs = Obs.Sink.create ~clock:Unix.gettimeofday () in
     let total = ref 0 in
     let t0 = Unix.gettimeofday () in
-    Workload.Engine.run ~stats ~obs engine m q ~emit:(fun _ -> incr total);
+    Workload.Engine.run ~stats ~obs ~domains engine m q ~emit:(fun _ ->
+        incr total);
     let dt = Unix.gettimeofday () -. t0 in
     Format.printf "%d matches in %.1f ms (%a)@.@." !total (dt *. 1000.0)
       Semantics.Run_stats.pp stats;
@@ -317,7 +354,7 @@ let profile_cmd =
     Term.(
       const run $ graph_file_arg $ dataset_arg $ scale_arg $ match_arg
       $ pattern_arg $ labels_arg $ window_arg $ window_frac_arg $ lasting_arg
-      $ method_arg $ trace_arg)
+      $ method_arg $ domains_arg $ trace_arg)
 
 let explain_cmd =
   let analyze =
@@ -718,8 +755,8 @@ let serve_cmd =
       & info [ "trace-sample" ] ~docv:"N"
           ~doc:"With --trace-dir: trace every Nth query request.")
   in
-  let run file dataset scale socket workers queue deadline_ms limit trace_dir
-      trace_sample =
+  let run file dataset scale socket workers queue deadline_ms limit domains
+      trace_dir trace_sample =
     let g = or_die (load_graph file dataset scale) in
     let engine = Workload.Engine.prepare g in
     let config =
@@ -729,6 +766,7 @@ let serve_cmd =
         queue_depth = queue;
         default_deadline_ms = deadline_ms;
         default_limit = limit;
+        domains;
         trace_dir;
         trace_sample;
       }
@@ -754,7 +792,7 @@ let serve_cmd =
           requests are answered until a shutdown request arrives.")
     Term.(
       const run $ graph_file_arg $ dataset_arg $ scale_arg $ socket_arg
-      $ workers_arg $ queue_arg $ deadline_arg $ serve_limit_arg
+      $ workers_arg $ queue_arg $ deadline_arg $ serve_limit_arg $ domains_arg
       $ trace_dir_arg $ trace_sample_arg)
 
 let client_cmd =

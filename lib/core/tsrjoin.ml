@@ -8,7 +8,38 @@ type config = { mode : lfto_mode }
 let default_config = { mode = Optimized Lfto_opt.all_on }
 let basic_config = { mode = Basic }
 
-let run ?stats ?(obs = Obs.Sink.null) ?per_step ?root_slice
+type roots =
+  | All_roots
+  | Root_filter of (int -> bool)
+  | Root_chunks of {
+      candidates : int array;
+      claim : unit -> (int * int) option;
+    }
+
+(* Key set per edge adjacent to the root pivot: sources of the label
+   when the pivot is the edge source, destinations when it is the
+   target; a self loop contributes both. Shared by the in-plan root
+   leapfrog and [root_candidates]. *)
+let root_key_sets tai pivot (step_edges : Query.edge array) =
+  let sources_of lbl =
+    if lbl = Query.any_label then Tai.all_sources tai else Tai.sources tai ~lbl
+  in
+  let destinations_of lbl =
+    if lbl = Query.any_label then Tai.all_destinations tai
+    else Tai.destinations tai ~lbl
+  in
+  Array.to_list step_edges
+  |> List.concat_map (fun (e : Query.edge) ->
+         let as_src =
+           if e.Query.src_var = pivot then [ sources_of e.Query.lbl ] else []
+         in
+         let as_dst =
+           if e.Query.dst_var = pivot then [ destinations_of e.Query.lbl ]
+           else []
+         in
+         as_src @ as_dst)
+
+let run ?stats ?(obs = Obs.Sink.null) ?per_step ?(roots = All_roots)
     ?(config = default_config) ?plan ?cost tai q ~emit =
   let min_duration = Query.min_duration q in
   let plan = match plan with Some p -> p | None -> Plan.build ?cost tai q in
@@ -159,53 +190,40 @@ let run ?stats ?(obs = Obs.Sink.null) ?per_step ?root_slice
         end
       in
       if step.Plan.produce_binding then begin
-        (* parallel evaluation: the first leapfrog's candidates are
-           partitioned round-robin across domains *)
-        let keep =
-          match root_slice with
-          | Some (index, total) when step_i = 0 ->
-              let counter = ref (-1) in
-              fun () ->
-                incr counter;
-                !counter mod total = index
-          | Some _ | None -> fun () -> true
-        in
-        (* Key set per adjacent edge: sources of the label when the pivot
-           is the edge source, destinations when it is the target; a self
-           loop contributes both. *)
-        let sources_of lbl =
-          if lbl = Query.any_label then Tai.all_sources tai
-          else Tai.sources tai ~lbl
-        in
-        let destinations_of lbl =
-          if lbl = Query.any_label then Tai.all_destinations tai
-          else Tai.destinations tai ~lbl
-        in
-        let key_sets =
-          Array.to_list step_edges
-          |> List.concat_map (fun (e : Query.edge) ->
-                 let as_src =
-                   if e.Query.src_var = pivot then [ sources_of e.Query.lbl ]
-                   else []
-                 in
-                 let as_dst =
-                   if e.Query.dst_var = pivot then
-                     [ destinations_of e.Query.lbl ]
-                   else []
-                 in
-                 as_src @ as_dst)
-        in
-        let iters =
-          Array.of_list
-            (List.map Triejoin.Key_iter.of_sorted_array_unchecked key_sets)
-        in
-        let lf =
-          Obs.Sink.span obs Obs.Phase.Leapfrog_open (fun () ->
-              Triejoin.Leapfrog.create ~on_seek ~on_next iters)
-        in
-        Triejoin.Leapfrog.iter
-          (fun vb -> if keep () then handle_binding vb)
-          lf
+        match roots with
+        | Root_chunks { candidates; claim } when step_i = 0 ->
+            (* parallel evaluation: the first leapfrog was materialized
+               once by the coordinator ({!root_candidates}); workers pull
+               disjoint index ranges until the shared cursor runs dry *)
+            let rec drain () =
+              match claim () with
+              | None -> ()
+              | Some (lo, hi) ->
+                  let lo = max 0 lo and hi = min hi (Array.length candidates) in
+                  for i = lo to hi - 1 do
+                    handle_binding candidates.(i)
+                  done;
+                  drain ()
+            in
+            drain ()
+        | All_roots | Root_filter _ | Root_chunks _ ->
+            let keep =
+              match roots with
+              | Root_filter f when step_i = 0 -> f
+              | All_roots | Root_filter _ | Root_chunks _ -> fun _ -> true
+            in
+            let key_sets = root_key_sets tai pivot step_edges in
+            let iters =
+              Array.of_list
+                (List.map Triejoin.Key_iter.of_sorted_array_unchecked key_sets)
+            in
+            let lf =
+              Obs.Sink.span obs Obs.Phase.Leapfrog_open (fun () ->
+                  Triejoin.Leapfrog.create ~on_seek ~on_next iters)
+            in
+            Triejoin.Leapfrog.iter
+              (fun vb -> if keep vb then handle_binding vb)
+              lf
       end
       else begin
         let vb = bindings.(pivot) in
@@ -267,20 +285,42 @@ let pp_profile fmt (profiles, results) =
     profiles;
   Format.fprintf fmt "complete matches: %d@]" results
 
-let run_parallel ?(domains = 4) ?config ?plan ?cost tai q =
-  if domains < 1 then invalid_arg "Tsrjoin.run_parallel: need >= 1 domain";
+let root_candidates ?stats ?(obs = Obs.Sink.null) ?plan ?cost tai q =
   let plan = match plan with Some p -> p | None -> Plan.build ?cost tai q in
-  if domains = 1 then evaluate ?config ~plan tai q
-  else begin
-    let worker index () =
-      let acc = ref [] in
-      run ?config ~plan ~root_slice:(index, domains) tai q ~emit:(fun m ->
-          acc := m :: !acc);
-      List.rev !acc
-    in
-    let spawned =
-      List.init (domains - 1) (fun i -> Domain.spawn (worker (i + 1)))
-    in
-    let own = worker 0 () in
-    own @ List.concat_map Domain.join spawned
-  end
+  (match Plan.validate plan with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Tsrjoin.root_candidates: invalid plan: " ^ msg));
+  let steps = Plan.steps plan in
+  let step = steps.(0) in
+  if not step.Plan.produce_binding then
+    invalid_arg "Tsrjoin.root_candidates: first plan step is not a leapfrog";
+  let tick_seek () =
+    match stats with Some s -> Run_stats.tick_seek s | None -> ()
+  in
+  let on_seek () =
+    tick_seek ();
+    Obs.Sink.incr obs Obs.Phase.Leapfrog_seek
+  in
+  let on_next () =
+    tick_seek ();
+    Obs.Sink.incr obs Obs.Phase.Leapfrog_next
+  in
+  let key_sets = root_key_sets tai step.Plan.pivot step.Plan.edges in
+  let iters =
+    Array.of_list (List.map Triejoin.Key_iter.of_sorted_array_unchecked key_sets)
+  in
+  let lf =
+    Obs.Sink.span obs Obs.Phase.Leapfrog_open (fun () ->
+        Triejoin.Leapfrog.create ~on_seek ~on_next iters)
+  in
+  let acc = ref [] in
+  Triejoin.Leapfrog.iter (fun vb -> acc := vb :: !acc) lf;
+  let arr = Array.of_list !acc in
+  (* leapfrog yields ascending keys; the fold above reversed them *)
+  let n = Array.length arr in
+  for i = 0 to (n / 2) - 1 do
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(n - 1 - i);
+    arr.(n - 1 - i) <- tmp
+  done;
+  arr

@@ -20,11 +20,27 @@ val default_config : config
 
 val basic_config : config
 
+type roots =
+  | All_roots  (** evaluate every first-leapfrog binding (the default) *)
+  | Root_filter of (int -> bool)
+      (** evaluate only root bindings the predicate accepts; the first
+          leapfrog still runs in full (its seeks are charged here) *)
+  | Root_chunks of {
+      candidates : int array;
+      claim : unit -> (int * int) option;
+    }
+      (** parallel evaluation: skip the first leapfrog entirely and
+          instead process [candidates.(lo..hi-1)] for every [(lo, hi)]
+          index range [claim] hands out, until it returns [None].
+          [candidates] must come from {!root_candidates} on the same
+          plan; [claim] is typically a shared atomic cursor so several
+          domains running the same plan drain disjoint chunks. *)
+
 val run :
   ?stats:Semantics.Run_stats.t ->
   ?obs:Obs.Sink.t ->
   ?per_step:Semantics.Run_stats.t array ->
-  ?root_slice:int * int ->
+  ?roots:roots ->
   ?config:config ->
   ?plan:Plan.t ->
   ?cost:Plan.cost_model ->
@@ -34,8 +50,9 @@ val run :
   unit
 (** Evaluates the query, calling [emit] once per complete match. A
     supplied [plan] must be for (a query structurally equal to) the
-    query. [root_slice = (i, n)] restricts the first leapfrog to its
-    [i]-th round-robin share of [n] (the {!run_parallel} partitioning).
+    query. [roots] restricts which first-leapfrog bindings are explored
+    (see {!roots}); complete matches partition over root bindings, so
+    any partition of the root set yields a partition of the matches.
     Raises {!Semantics.Run_stats.Limit_exceeded} when the stats budget
     runs out. *)
 
@@ -59,20 +76,19 @@ val count :
   Semantics.Query.t ->
   int
 
-val run_parallel :
-  ?domains:int ->
-  ?config:config ->
+val root_candidates :
+  ?stats:Semantics.Run_stats.t ->
+  ?obs:Obs.Sink.t ->
   ?plan:Plan.t ->
   ?cost:Plan.cost_model ->
   Tai.t ->
   Semantics.Query.t ->
-  Semantics.Match_result.t list
-(** Evaluates across OCaml 5 domains (default 4) by partitioning the
-    first leapfrog's candidate bindings round-robin; sound because every
-    complete match descends from exactly one root binding, and the TAI
-    is immutable. Result order is deterministic given [domains] but
-    differs from the sequential order; budgets/stats are not supported
-    here (wrap per-domain runs manually if needed). *)
+  int array
+(** Materializes the first leapfrog's candidate bindings, in ascending
+    order — the input to {!roots.Root_chunks}. Seeks are ticked into
+    [stats]/[obs] exactly as {!run} would, so a parallel run's merged
+    counters match a sequential run's. The multicore driver lives in
+    [Exec.Parallel] (lib/exec); this stays single-domain. *)
 
 (** {2 Profiling (EXPLAIN ANALYZE)} *)
 

@@ -1,0 +1,138 @@
+(* Bounded worker-domain pool: a fixed set of domains drains a
+   mutex-protected FIFO admission queue. One pool serves both the
+   server's per-request concurrency and [Parallel]'s intra-query
+   helpers — domains are expensive to spawn, so they are created once
+   and reused across queries.
+
+   Liveness discipline: jobs submitted here must never block on work
+   that only another pool worker can perform. [Parallel] respects this
+   by keeping the coordinator out of the pool (it runs on the caller)
+   and by sizing helper fan-out with [submit_if_idle], which only
+   admits jobs an *idle* worker can pick up immediately — so a busy
+   worker coordinating a query can fan out into the same pool without
+   risk of deadlock. *)
+
+type job = unit -> unit
+
+type t = {
+  jobs : job Queue.t;
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  max_depth : int;
+  n_workers : int;
+  mutable busy : int;  (* workers currently running a job *)
+  mutable stopping : bool;
+  mutable domains : unit Domain.t list;
+  dropped : int Atomic.t;  (* jobs that died with an unhandled exception *)
+}
+
+let rec worker_loop t =
+  Mutex.lock t.mutex;
+  while Queue.is_empty t.jobs && not t.stopping do
+    Condition.wait t.nonempty t.mutex
+  done;
+  if Queue.is_empty t.jobs then Mutex.unlock t.mutex (* stopping, drained *)
+  else begin
+    let job = Queue.pop t.jobs in
+    t.busy <- t.busy + 1;
+    Mutex.unlock t.mutex;
+    (* jobs do their own error handling; an exception reaching here is a
+       dropped failure — count it so operators can see it (exposed as
+       pool_dropped_exceptions in the server metrics). Resource
+       exhaustion is not survivable state: re-raise it and let the
+       domain die loudly rather than limp on. *)
+    let fatal =
+      match job () with
+      | () -> None
+      | exception ((Stack_overflow | Out_of_memory) as e) -> Some e
+      | exception _ ->
+          Atomic.incr t.dropped;
+          None
+    in
+    Mutex.lock t.mutex;
+    t.busy <- t.busy - 1;
+    Mutex.unlock t.mutex;
+    match fatal with Some e -> raise e | None -> worker_loop t
+  end
+
+let create ~workers ~max_depth =
+  if workers < 1 then invalid_arg "Pool.create: need >= 1 worker";
+  if max_depth < 1 then invalid_arg "Pool.create: need >= 1 queue slot";
+  let t =
+    {
+      jobs = Queue.create ();
+      mutex = Mutex.create ();
+      nonempty = Condition.create ();
+      max_depth;
+      n_workers = workers;
+      busy = 0;
+      stopping = false;
+      domains = [];
+      dropped = Atomic.make 0;
+    }
+  in
+  t.domains <-
+    List.init workers (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+(* [true] if accepted; [false] if shed (queue full or shutting down) *)
+let submit t job =
+  Mutex.lock t.mutex;
+  let accepted = (not t.stopping) && Queue.length t.jobs < t.max_depth in
+  if accepted then begin
+    Queue.push job t.jobs;
+    Condition.signal t.nonempty
+  end;
+  Mutex.unlock t.mutex;
+  accepted
+
+(* Admits a prefix of [jobs] bounded by the number of workers that are
+   idle right now (neither running a job nor already spoken for by a
+   queued one), so every accepted job starts without waiting on any
+   running job to finish. Returns the number accepted. *)
+let submit_if_idle t jobs =
+  Mutex.lock t.mutex;
+  let capacity =
+    if t.stopping then 0
+    else max 0 (t.n_workers - t.busy - Queue.length t.jobs)
+  in
+  let accepted = ref 0 in
+  List.iteri
+    (fun i job ->
+      if i < capacity then begin
+        Queue.push job t.jobs;
+        Condition.signal t.nonempty;
+        incr accepted
+      end)
+    jobs;
+  Mutex.unlock t.mutex;
+  !accepted
+
+let depth t =
+  Mutex.lock t.mutex;
+  let n = Queue.length t.jobs in
+  Mutex.unlock t.mutex;
+  n
+
+let workers t = t.n_workers
+
+let idle_workers t =
+  Mutex.lock t.mutex;
+  let n =
+    if t.stopping then 0
+    else max 0 (t.n_workers - t.busy - Queue.length t.jobs)
+  in
+  Mutex.unlock t.mutex;
+  n
+
+let dropped_exceptions t = Atomic.get t.dropped
+
+(* Stops admission, lets the workers drain what was already accepted,
+   and joins them. Idempotent. *)
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.stopping <- true;
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.mutex;
+  List.iter Domain.join t.domains;
+  t.domains <- []

@@ -1,0 +1,48 @@
+(** A reusable pool of worker domains behind a bounded FIFO queue.
+
+    One pool type serves two consumers: the query server's per-request
+    concurrency ([submit] with load shedding) and the intra-query
+    parallel driver's helper fan-out ([submit_if_idle], which never
+    over-commits). Domains are created once and reused — a query pays
+    no [Domain.spawn] cost.
+
+    Jobs must not block on work only another pool worker can run;
+    under that discipline [submit_if_idle]'s idle-capacity bound makes
+    fan-out from within a pool worker deadlock-free. *)
+
+type t
+
+val create : workers:int -> max_depth:int -> t
+(** [workers] domains draining a queue of at most [max_depth] pending
+    jobs. Raises [Invalid_argument] unless both are >= 1. *)
+
+val submit : t -> (unit -> unit) -> bool
+(** Non-blocking admission: [false] means shed (queue full or shutting
+    down) — the caller degrades (e.g. answers "overloaded") instead of
+    stalling. A job's unhandled exceptions are counted in
+    {!dropped_exceptions}, except [Stack_overflow]/[Out_of_memory],
+    which kill the worker domain (surfaced at {!shutdown}). *)
+
+val submit_if_idle : t -> (unit -> unit) list -> int
+(** Admits the longest prefix of the jobs that currently-idle workers
+    can start immediately; returns how many were accepted (possibly
+    0). Used for intra-query helpers: a helper that would have to wait
+    behind running jobs is worthless (the coordinator drains the work
+    itself) and, submitted from a pool worker, a deadlock risk. *)
+
+val depth : t -> int
+(** Queued (not yet started) jobs. *)
+
+val workers : t -> int
+(** Pool size as given to {!create}. *)
+
+val idle_workers : t -> int
+(** Workers neither running a job nor claimed by a queued one; 0 when
+    shutting down. A momentary reading — only a bound, not a promise. *)
+
+val dropped_exceptions : t -> int
+(** Jobs so far that died with an unhandled (non-fatal) exception. *)
+
+val shutdown : t -> unit
+(** Stops admission, drains accepted jobs, joins the domains.
+    Idempotent. *)

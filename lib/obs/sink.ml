@@ -113,3 +113,36 @@ let iter_events t f =
         f ~phase:(Phase.of_index a.ev_phase.(i)) ~start_s:a.ev_start.(i)
           ~dur_s:a.ev_dur.(i)
       done
+
+let child t =
+  match t with
+  | Null -> Null
+  | Active a -> create ~max_events:a.max_events ~clock:a.clock ()
+
+(* event append only — aggregates are merged separately in [merge_into],
+   so this must not touch counts/totals the way [record] does *)
+let append_event a phase_i start dur =
+  if a.n_events >= Array.length a.ev_phase then grow a;
+  if a.n_events < Array.length a.ev_phase then begin
+    a.ev_phase.(a.n_events) <- phase_i;
+    a.ev_start.(a.n_events) <- start;
+    a.ev_dur.(a.n_events) <- dur;
+    a.n_events <- a.n_events + 1
+  end
+  else a.dropped <- a.dropped + 1
+
+let merge_into dst src =
+  match (dst, src) with
+  | Null, _ | _, Null -> ()
+  | Active d, Active s ->
+      for i = 0 to Phase.n - 1 do
+        d.counts.(i) <- d.counts.(i) + s.counts.(i);
+        d.totals.(i) <- d.totals.(i) +. s.totals.(i)
+      done;
+      (* event starts are origin-relative: translate from the child's
+         timeline to the parent's (both read the same clock) *)
+      let shift = s.origin -. d.origin in
+      for i = 0 to s.n_events - 1 do
+        append_event d s.ev_phase.(i) (s.ev_start.(i) +. shift) s.ev_dur.(i)
+      done;
+      d.dropped <- d.dropped + s.dropped

@@ -60,3 +60,14 @@ val iter_events :
   t -> (phase:Phase.t -> start_s:float -> dur_s:float -> unit) -> unit
 (** Buffered events in recording (completion) order; [start_s] is
     relative to the sink's origin. *)
+
+val child : t -> t
+(** A fresh sink sharing the parent's clock and event capacity ({!null}
+    begets {!null}) — one per worker domain in a parallel run, merged
+    back with {!merge_into} when the run completes. *)
+
+val merge_into : t -> t -> unit
+(** [merge_into dst src] folds [src]'s aggregates (counts, totals,
+    dropped) into [dst] and appends its events, translating start times
+    onto [dst]'s origin (both must share a clock, as {!child} ensures).
+    No-op when either side is {!null}. [src] is unchanged. *)

@@ -23,26 +23,39 @@ type t = {
   (* ticks remaining until the next clock read; reading the clock on
      every tick would dominate tight sweep loops *)
   mutable until_check : int;
+  mutable on_check : (unit -> unit) option;
 }
 
 let deadline_check_interval = 256
 
-let until_check_of = function None -> max_int | Some _ -> 1
+let until_check_of s =
+  match (s.deadline, s.on_check) with None, None -> max_int | _ -> 1
 
 let create ?(limits = no_limits) ?deadline () =
-  { results = 0; intermediate = 0; scanned = 0; bindings = 0; enum_steps = 0;
-    seeks = 0; limits; deadline; until_check = until_check_of deadline }
+  let s =
+    { results = 0; intermediate = 0; scanned = 0; bindings = 0; enum_steps = 0;
+      seeks = 0; limits; deadline; until_check = max_int; on_check = None }
+  in
+  s.until_check <- until_check_of s;
+  s
 
 let set_deadline s deadline =
   s.deadline <- deadline;
-  s.until_check <- until_check_of deadline
+  s.until_check <- until_check_of s
+
+let set_on_check s hook =
+  s.on_check <- hook;
+  s.until_check <- until_check_of s
 
 let check_deadline s =
-  match s.deadline with
-  | None -> s.until_check <- max_int
-  | Some d ->
+  match (s.deadline, s.on_check) with
+  | None, None -> s.until_check <- max_int
+  | deadline, hook ->
       s.until_check <- deadline_check_interval;
-      if d.now () >= d.expires_at then raise Deadline_exceeded
+      (match hook with Some f -> f () | None -> ());
+      (match deadline with
+      | Some d when d.now () >= d.expires_at -> raise Deadline_exceeded
+      | Some _ | None -> ())
 
 (* every counter update passes through here, so a sweep that produces no
    results still notices an expired deadline within [deadline_check_interval]

@@ -40,6 +40,8 @@ type t = {
   mutable deadline : deadline option;
   mutable until_check : int;
       (** ticks until the next deadline clock read; managed internally *)
+  mutable on_check : (unit -> unit) option;
+      (** periodic hook, see {!set_on_check}; managed internally *)
 }
 
 val deadline_check_interval : int
@@ -51,6 +53,14 @@ val create : ?limits:limits -> ?deadline:deadline -> unit -> t
 
 val set_deadline : t -> deadline option -> unit
 (** Replace (or clear) the deadline on live stats. *)
+
+val set_on_check : t -> (unit -> unit) option -> unit
+(** Install (or clear) a hook run on the same cadence as the deadline
+    clock read — at most once per {!deadline_check_interval} counter
+    ticks. The hook may raise to abort execution; the parallel driver
+    uses this for cooperative cancellation (a shared stop flag) and for
+    pushing per-domain counter deltas into global budgets. It runs
+    before the deadline comparison. *)
 
 val tick_result : t -> unit
 val tick_intermediate : t -> unit

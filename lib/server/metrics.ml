@@ -114,7 +114,7 @@ let sorted_methods t =
   Hashtbl.fold (fun name mm acc -> (name, mm) :: acc) t.per_method []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
-let snapshot_json t ~queue_depth =
+let snapshot_json t ~queue_depth ~pool_dropped =
   locked t (fun () ->
       let methods =
         List.map (fun (name, mm) -> (name, method_json mm)) (sorted_methods t)
@@ -123,6 +123,7 @@ let snapshot_json t ~queue_depth =
         [
           ("uptime_s", Json.Float (Unix.gettimeofday () -. t.started_at));
           ("queue_depth", Json.Int queue_depth);
+          ("pool_dropped_exceptions", Json.Int pool_dropped);
           ( "requests",
             Json.Obj
               (List.map (fun (k, v) -> (k, Json.Int v)) (outcome_counts t)) );
@@ -135,7 +136,7 @@ let snapshot_json t ~queue_depth =
    tcsq_requests_total{outcome}, tcsq_run_stats_total{counter} (counters);
    tcsq_request_duration_seconds{method} (histogram whose "le" ladder is
    the decade edges of [Obs.Histogram] — exact cumulative counts). *)
-let prometheus t ~queue_depth =
+let prometheus t ~queue_depth ~pool_dropped =
   locked t (fun () ->
       let buf = Buffer.create 2048 in
       Printf.bprintf buf
@@ -148,6 +149,12 @@ let prometheus t ~queue_depth =
          # TYPE tcsq_queue_depth gauge\n\
          tcsq_queue_depth %d\n"
         queue_depth;
+      Printf.bprintf buf
+        "# HELP tcsq_pool_dropped_exceptions_total Worker-pool jobs that \
+         died with an unhandled exception.\n\
+         # TYPE tcsq_pool_dropped_exceptions_total counter\n\
+         tcsq_pool_dropped_exceptions_total %d\n"
+        pool_dropped;
       Buffer.add_string buf
         "# HELP tcsq_requests_total Requests by outcome.\n\
          # TYPE tcsq_requests_total counter\n";

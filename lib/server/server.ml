@@ -32,6 +32,10 @@ type config = {
      trace-event JSON, schema trace/v1) *)
   trace_dir : string option;
   trace_sample : int;
+  (* intra-query fan-out ceiling: a request may additionally enlist up
+     to [domains - 1] *idle* pool workers as TSRJoin helpers; 1 keeps
+     every query single-domain *)
+  domains : int;
 }
 
 let default_config ~socket_path =
@@ -47,12 +51,13 @@ let default_config ~socket_path =
       Workload.Runner.default_budget.Workload.Runner.max_intermediate_per_query;
     trace_dir = None;
     trace_sample = 1;
+    domains = 1;
   }
 
 type t = {
   config : config;
   engine : Workload.Engine.t;
-  pool : Pool.t;
+  pool : Exec.Pool.t;
   metrics : Metrics.t;
   listener : Unix.file_descr;
   state_mutex : Mutex.t;
@@ -89,7 +94,7 @@ let request_stop t =
 
 let metrics t = t.metrics
 let engine t = t.engine
-let queue_depth t = Pool.depth t.pool
+let queue_depth t = Exec.Pool.depth t.pool
 
 (* ---- request tracing ---- *)
 
@@ -163,13 +168,20 @@ let execute t send ~obs (qr : Protocol.query_request) q ds =
     end
   in
   let t0 = Unix.gettimeofday () in
+  (* fan out only onto workers idle right now (plus this one): small
+     queries and loaded pools keep single-domain latency, and helpers
+     admitted by [submit_if_idle] never wait behind queued requests *)
+  let fanout =
+    if cfg.domains <= 1 then 1
+    else min cfg.domains (1 + Exec.Pool.idle_workers t.pool)
+  in
   let outcome =
     if Analysis.Diagnostic.proves_empty ds then Ok None
     else
       match
         Obs.Sink.span obs Obs.Phase.Execute (fun () ->
-            Workload.Engine.run ~stats ~obs t.engine qr.Protocol.method_ q
-              ~emit)
+            Workload.Engine.run ~stats ~obs ~pool:t.pool ~domains:fanout
+              t.engine qr.Protocol.method_ q ~emit)
       with
       | () -> Ok None
       | exception Run_stats.Limit_exceeded _ -> Ok (Some Protocol.Budget)
@@ -234,12 +246,12 @@ let handle_query t send (qr : Protocol.query_request) =
           execute t send ~obs qr q ds;
           finish ()
         in
-        if not (Pool.submit t.pool job) then begin
+        if not (Exec.Pool.submit t.pool job) then begin
           Metrics.record_overloaded t.metrics;
           Obs.Sink.record_span obs Obs.Phase.Admit ~t0:admit_t0;
           send
             (Protocol.overloaded_response ?id:qr.Protocol.id
-               ~queue_depth:(Pool.depth t.pool) ());
+               ~queue_depth:(Exec.Pool.depth t.pool) ());
           finish ()
         end
       end
@@ -253,11 +265,15 @@ let handle_request t send line =
   | Ok (Protocol.Metrics id) ->
       send
         (Protocol.metrics_response ?id
-           (Metrics.snapshot_json t.metrics ~queue_depth:(Pool.depth t.pool)))
+           (Metrics.snapshot_json t.metrics
+              ~queue_depth:(Exec.Pool.depth t.pool)
+              ~pool_dropped:(Exec.Pool.dropped_exceptions t.pool)))
   | Ok (Protocol.Metrics_prom id) ->
       send
         (Protocol.metrics_prom_response ?id
-           (Metrics.prometheus t.metrics ~queue_depth:(Pool.depth t.pool)))
+           (Metrics.prometheus t.metrics
+              ~queue_depth:(Exec.Pool.depth t.pool)
+              ~pool_dropped:(Exec.Pool.dropped_exceptions t.pool)))
   | Ok (Protocol.Shutdown id) ->
       send (Protocol.shutdown_response ?id ());
       request_stop t
@@ -339,7 +355,9 @@ let start config engine =
     {
       config;
       engine;
-      pool = Pool.create ~workers:config.workers ~max_depth:config.queue_depth;
+      pool =
+        Exec.Pool.create ~workers:config.workers
+          ~max_depth:config.queue_depth;
       metrics = Metrics.create ();
       listener;
       state_mutex = Mutex.create ();
@@ -368,7 +386,7 @@ let finish t =
     | None -> ());
     (try Unix.close t.listener with Unix.Unix_error _ -> ());
     (* drain accepted work so every admitted request gets its response *)
-    Pool.shutdown t.pool;
+    Exec.Pool.shutdown t.pool;
     (* then wake connection readers still blocked on open sockets *)
     Mutex.lock t.state_mutex;
     List.iter

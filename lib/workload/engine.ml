@@ -41,34 +41,54 @@ let tai t = t.tai
 let adjacency t = t.adjacency
 let sti_index t = t.sti_index
 
-let run ?stats ?(obs = Obs.Sink.null) ?tsrjoin_config t method_ q ~emit =
+(* plan invariant analysis guards the hot path: a planner bug surfaces
+   as a diagnostic here instead of as wrong answers *)
+let tsrjoin_plan ~obs t q =
+  Obs.Sink.span obs Obs.Phase.Plan_select (fun () ->
+      let plan = Tcsq_core.Plan.build ~cost:t.cost t.tai q in
+      (match Analysis.Plan_check.check_result plan with
+      | Ok () -> ()
+      | Error msg -> invalid_arg ("Engine.run: invalid plan: " ^ msg));
+      plan)
+
+let run ?stats ?(obs = Obs.Sink.null) ?tsrjoin_config ?pool ?(domains = 1) t
+    method_ q ~emit =
   Obs.Sink.span obs Obs.Phase.Run @@ fun () ->
   match method_ with
   | Tsrjoin ->
-      (* plan invariant analysis guards the hot path: a planner bug
-         surfaces as a diagnostic here instead of as wrong answers *)
-      let plan =
-        Obs.Sink.span obs Obs.Phase.Plan_select (fun () ->
-            let plan = Tcsq_core.Plan.build ~cost:t.cost t.tai q in
-            (match Analysis.Plan_check.check_result plan with
-            | Ok () -> ()
-            | Error msg -> invalid_arg ("Engine.run: invalid plan: " ^ msg));
-            plan)
-      in
-      Tcsq_core.Tsrjoin.run ?stats ~obs ?config:tsrjoin_config ~plan t.tai q
-        ~emit
+      let plan = tsrjoin_plan ~obs t q in
+      if domains <= 1 then
+        Tcsq_core.Tsrjoin.run ?stats ~obs ?config:tsrjoin_config ~plan t.tai q
+          ~emit
+      else
+        (* multicore is TSRJoin-only: root-binding independence is what
+           makes the fan-out sound; the baselines stay single-domain *)
+        Exec.Parallel.run ?pool ~domains ?stats ~obs ?config:tsrjoin_config
+          ~plan t.tai q ~emit
   | Binary -> Relops.Binary.run ?stats t.adjacency q ~emit
   | Hybrid -> Relops.Hybrid.run ?stats t.adjacency q ~emit
   | Time -> Relops.Time_pipeline.run ?stats t.sti_index q ~emit
 
-let evaluate ?stats ?obs ?tsrjoin_config t method_ q =
-  let acc = ref [] in
-  run ?stats ?obs ?tsrjoin_config t method_ q ~emit:(fun m -> acc := m :: !acc);
-  List.rev !acc
+let evaluate ?stats ?(obs = Obs.Sink.null) ?tsrjoin_config ?pool ?(domains = 1)
+    t method_ q =
+  match method_ with
+  | Tsrjoin when domains > 1 ->
+      (* the parallel driver reconstructs the sequential order itself *)
+      Obs.Sink.span obs Obs.Phase.Run @@ fun () ->
+      let plan = tsrjoin_plan ~obs t q in
+      Exec.Parallel.evaluate ?pool ~domains ?stats ~obs
+        ?config:tsrjoin_config ~plan t.tai q
+  | _ ->
+      let acc = ref [] in
+      run ?stats ~obs ?tsrjoin_config ?pool ~domains t method_ q
+        ~emit:(fun m -> acc := m :: !acc);
+      List.rev !acc
 
-let count ?stats ?obs ?tsrjoin_config t method_ q =
+let count ?stats ?obs ?tsrjoin_config ?pool ?domains t method_ q =
   let n = ref 0 in
-  run ?stats ?obs ?tsrjoin_config t method_ q ~emit:(fun _ -> incr n);
+  (* parallel [run] serializes [emit] under a mutex, so a ref suffices *)
+  run ?stats ?obs ?tsrjoin_config ?pool ?domains t method_ q
+    ~emit:(fun _ -> incr n);
   !n
 
 (* ---- statically checked execution ---- *)
@@ -83,27 +103,27 @@ let analyze t method_ q =
         @ Analysis.Plan_check.check (Tcsq_core.Plan.build ~cost:t.cost t.tai q)
     | Binary | Hybrid | Time -> ds
 
-let run_checked ?stats ?obs ?tsrjoin_config t method_ q ~emit =
+let run_checked ?stats ?obs ?tsrjoin_config ?pool ?domains t method_ q ~emit =
   let ds = analyze t method_ q in
   if Analysis.Diagnostic.has_errors ds then Error ds
   else if Analysis.Diagnostic.proves_empty ds then Ok ds
   else begin
-    run ?stats ?obs ?tsrjoin_config t method_ q ~emit;
+    run ?stats ?obs ?tsrjoin_config ?pool ?domains t method_ q ~emit;
     Ok ds
   end
 
-let evaluate_checked ?stats ?tsrjoin_config t method_ q =
-  let acc = ref [] in
-  match
-    run_checked ?stats ?tsrjoin_config t method_ q ~emit:(fun m ->
-        acc := m :: !acc)
-  with
-  | Ok ds -> Ok (List.rev !acc, ds)
-  | Error ds -> Error ds
+let evaluate_checked ?stats ?tsrjoin_config ?pool ?domains t method_ q =
+  let ds = analyze t method_ q in
+  if Analysis.Diagnostic.has_errors ds then Error ds
+  else if Analysis.Diagnostic.proves_empty ds then Ok ([], ds)
+  else
+    Ok (evaluate ?stats ?tsrjoin_config ?pool ?domains t method_ q, ds)
 
-let count_checked ?stats ?tsrjoin_config t method_ q =
+let count_checked ?stats ?tsrjoin_config ?pool ?domains t method_ q =
   let n = ref 0 in
-  match run_checked ?stats ?tsrjoin_config t method_ q ~emit:(fun _ -> incr n)
+  match
+    run_checked ?stats ?tsrjoin_config ?pool ?domains t method_ q
+      ~emit:(fun _ -> incr n)
   with
   | Ok ds -> Ok (!n, ds)
   | Error ds -> Error ds

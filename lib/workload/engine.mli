@@ -25,6 +25,8 @@ val run :
   ?stats:Semantics.Run_stats.t ->
   ?obs:Obs.Sink.t ->
   ?tsrjoin_config:Tcsq_core.Tsrjoin.config ->
+  ?pool:Exec.Pool.t ->
+  ?domains:int ->
   t ->
   method_ ->
   Semantics.Query.t ->
@@ -34,6 +36,14 @@ val run :
     {!Tsrjoin} the freshly built plan is passed through
     [Analysis.Plan_check] first; a planner bug raises
     [Invalid_argument] instead of executing an invalid plan.
+
+    [domains > 1] (default 1) runs {!Tsrjoin} on [Exec.Parallel] —
+    work-stealing over root bindings with merged stats/obs and global
+    budgets; [emit] is then called from worker context (serialized,
+    order nondeterministic — {!evaluate} restores the sequential
+    order). Helper domains come from [pool] (default:
+    [Exec.Parallel.shared_pool]). The other methods ignore [domains]
+    and stay single-domain.
 
     [obs] receives phase-attributed spans: the whole call under [run],
     plan construction under [plan_select], and — for {!Tsrjoin} — the
@@ -60,6 +70,8 @@ val run_checked :
   ?stats:Semantics.Run_stats.t ->
   ?obs:Obs.Sink.t ->
   ?tsrjoin_config:Tcsq_core.Tsrjoin.config ->
+  ?pool:Exec.Pool.t ->
+  ?domains:int ->
   t ->
   method_ ->
   Semantics.Query.t ->
@@ -69,6 +81,8 @@ val run_checked :
 val evaluate_checked :
   ?stats:Semantics.Run_stats.t ->
   ?tsrjoin_config:Tcsq_core.Tsrjoin.config ->
+  ?pool:Exec.Pool.t ->
+  ?domains:int ->
   t ->
   method_ ->
   Semantics.Query.t ->
@@ -79,6 +93,8 @@ val evaluate_checked :
 val count_checked :
   ?stats:Semantics.Run_stats.t ->
   ?tsrjoin_config:Tcsq_core.Tsrjoin.config ->
+  ?pool:Exec.Pool.t ->
+  ?domains:int ->
   t ->
   method_ ->
   Semantics.Query.t ->
@@ -88,15 +104,21 @@ val evaluate :
   ?stats:Semantics.Run_stats.t ->
   ?obs:Obs.Sink.t ->
   ?tsrjoin_config:Tcsq_core.Tsrjoin.config ->
+  ?pool:Exec.Pool.t ->
+  ?domains:int ->
   t ->
   method_ ->
   Semantics.Query.t ->
   Semantics.Match_result.t list
+(** Matches in the engine's sequential emission order, for every
+    [domains] value ([Exec.Parallel.evaluate] reconstructs it). *)
 
 val count :
   ?stats:Semantics.Run_stats.t ->
   ?obs:Obs.Sink.t ->
   ?tsrjoin_config:Tcsq_core.Tsrjoin.config ->
+  ?pool:Exec.Pool.t ->
+  ?domains:int ->
   t ->
   method_ ->
   Semantics.Query.t ->

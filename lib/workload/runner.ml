@@ -27,8 +27,8 @@ let percentile sorted p =
   if n = 0 then 0.0
   else sorted.(min (n - 1) (int_of_float (float_of_int (n - 1) *. p)))
 
-let run_method ?(budget = default_budget) ?obs ?tsrjoin_config engine method_
-    queries =
+let run_method ?(budget = default_budget) ?obs ?tsrjoin_config ?pool ?domains
+    engine method_ queries =
   let totals = Run_stats.create () in
   let n_truncated = ref 0 in
   let per_query = ref [] in
@@ -46,7 +46,8 @@ let run_method ?(budget = default_budget) ?obs ?tsrjoin_config engine method_
       in
       let q0 = Unix.gettimeofday () in
       (try
-         Engine.run ~stats ?obs ?tsrjoin_config engine method_ q
+         Engine.run ~stats ?obs ?tsrjoin_config ?pool ?domains engine method_
+           q
            ~emit:(fun _ -> ())
        with Run_stats.Limit_exceeded _ -> incr n_truncated);
       per_query := (Unix.gettimeofday () -. q0) :: !per_query;
@@ -92,7 +93,7 @@ let to_csv_row ?tag m =
     m.total_seconds m.total_results m.total_intermediate m.total_scanned
     m.total_seeks
 
-let measurement_to_json ?(extra = []) ?(obs = Obs.Sink.null) m =
+let measurement_to_json ?(extra = []) ?(raw = []) ?(obs = Obs.Sink.null) m =
   let phases =
     if not (Obs.Sink.enabled obs) then []
     else
@@ -113,6 +114,7 @@ let measurement_to_json ?(extra = []) ?(obs = Obs.Sink.null) m =
   in
   Json_out.obj
     (List.map (fun (k, v) -> (k, Json_out.escape_string v)) extra
+    @ raw
     @ [
         ("method", Json_out.escape_string (Engine.method_name m.method_));
         ("n_queries", string_of_int m.n_queries);

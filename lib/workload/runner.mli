@@ -29,10 +29,16 @@ val run_method :
   ?budget:budget ->
   ?obs:Obs.Sink.t ->
   ?tsrjoin_config:Tcsq_core.Tsrjoin.config ->
+  ?pool:Exec.Pool.t ->
+  ?domains:int ->
   Engine.t ->
   Engine.method_ ->
   Semantics.Query.t list ->
   measurement
+(** [domains]/[pool] are forwarded to {!Engine.run} — the domain-scaling
+    benchmark's lever. Merged parallel stats keep the deterministic
+    counters identical to a 1-domain run, so only the timing columns
+    move. *)
 
 val run_all :
   ?budget:budget ->
@@ -57,9 +63,15 @@ val to_csv_row : ?tag:string -> measurement -> string
     plotting. *)
 
 val measurement_to_json :
-  ?extra:(string * string) list -> ?obs:Obs.Sink.t -> measurement -> string
+  ?extra:(string * string) list ->
+  ?raw:(string * string) list ->
+  ?obs:Obs.Sink.t ->
+  measurement ->
+  string
 (** One JSON object per measurement ([extra] string fields first, e.g.
-    experiment/dataset/pattern tags); the record format behind
+    experiment/dataset/pattern tags; [raw] fields follow verbatim —
+    already-valid JSON values such as numbers, e.g. the scaling
+    benchmark's [domains]/[speedup_vs_1]); the record format behind
     [bench --json]. When [obs] is an enabled sink (typically the one
     passed to {!run_method}), a trailing ["phases"] object carries its
     per-phase count/total/self times. Schema documented in

@@ -96,7 +96,7 @@ let test_wildcard_parallel_and_topk () =
   in
   let sequential = Tsrjoin.evaluate tai q in
   Test_util.check_same_results ~msg:"parallel wildcard" sequential
-    (Tsrjoin.run_parallel ~domains:3 tai q);
+    (Exec.Parallel.evaluate ~domains:3 tai q);
   let top = Durable.top_k tai q ~k:5 in
   Alcotest.(check int) "top-k size" (min 5 (List.length sequential)) (List.length top)
 
