@@ -1,17 +1,30 @@
 #!/bin/sh
 # Full pre-merge check: build everything under the strict dev profile
 # (warnings are errors), run the test suite, lint every example
-# workload with the static analyzer (`dune build @lint` fails if any
-# query in examples/queries/ draws a warning or error), smoke-test the
-# query server over a real socket (`dune build @server-smoke`), and
-# smoke-test the bench harness's JSON export (`dune build @bench-smoke`).
-set -eu
+# workload with the static analyzer, and run the four end-to-end smoke
+# aliases (query server, bench JSON export, multi-domain execution,
+# conformance fuzzing). Fails fast on the first broken step, printing
+# one `ok`/`FAIL` summary line per step so the break point is obvious
+# in CI logs.
+set -u
 cd "$(dirname "$0")/.."
 
-dune build
-dune runtest
-dune build @lint
-dune build @server-smoke
-dune build @bench-smoke
-dune build @parallel-smoke
-echo "check.sh: build, tests, lint, server, bench and parallel smoke all clean"
+step() {
+    name=$1
+    shift
+    if "$@"; then
+        echo "check.sh: ok   $name"
+    else
+        echo "check.sh: FAIL $name ($*)" >&2
+        exit 1
+    fi
+}
+
+step build          dune build
+step tests          dune runtest
+step lint           dune build @lint
+step server-smoke   dune build @server-smoke
+step bench-smoke    dune build @bench-smoke
+step parallel-smoke dune build @parallel-smoke
+step fuzz-smoke     dune build @fuzz-smoke
+echo "check.sh: all steps clean"

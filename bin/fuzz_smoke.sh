@@ -1,0 +1,117 @@
+#!/bin/sh
+# End-to-end smoke test for `tcsq fuzz`: a small clean budget with the
+# wire path on (golden stdout, exit 0), an injected-fault run that must
+# detect the broken engine, minimize it to a tiny case and write a
+# reproducer (golden stdout, exit 1), a replay of that reproducer (must
+# still reproduce), a replay of every committed example reproducer
+# under examples/repros/ (must be clean), and a malformed-file check.
+# stdout of `tcsq fuzz` is deterministic by design (timings go to
+# stderr), so the goldens are exact.
+set -u
+
+# works both from the source tree (bin/fuzz_smoke.sh, binary under
+# _build) and as a dune rule (sandbox copies tcsq.exe next to the script)
+HERE=$(cd "$(dirname "$0")" && pwd)
+if [ -z "${TCSQ:-}" ]; then
+    if [ -x "$HERE/tcsq.exe" ]; then
+        TCSQ=$HERE/tcsq.exe
+    else
+        TCSQ=$HERE/../_build/default/bin/tcsq.exe
+    fi
+fi
+REPROS=$HERE/../examples/repros
+
+TMP=$(mktemp -d "${TMPDIR:-/tmp}/tcsq-fuzz-smoke-XXXXXX")
+trap 'rm -rf "$TMP"' EXIT INT TERM
+
+fail() {
+    echo "fuzz_smoke: FAIL: $*" >&2
+    exit 1
+}
+
+check_golden() {
+    name=$1
+    # trailing whitespace (e.g. after an empty diff-summary list) is not
+    # part of the contract the goldens pin down
+    sed 's/[[:space:]]*$//' "$TMP/got" >"$TMP/got.norm"
+    if ! diff -u "$TMP/expected" "$TMP/got.norm" >&2; then
+        fail "$name: stdout differs from golden"
+    fi
+    echo "fuzz_smoke: $name clean"
+}
+
+# ---- clean run, wire path on: golden stdout, exit 0 ----
+
+"$TCSQ" fuzz --iterations 3 --wire >"$TMP/got" 2>"$TMP/stderr" \
+    || fail "clean fuzz run exited $? (stderr: $(cat "$TMP/stderr"))"
+cat >"$TMP/expected" <<'EOF'
+fuzzing 3 iterations from seed 20260705
+engines: tsrjoin-basic, tsrjoin-opt, binary, hybrid, time, tsrjoin-adaptive, tsrjoin-par2, wire
+relations: window-containment, translation, time-reversal, edge-deletion, label-renaming, sub-pattern
+OK: 54 queries clean (432 differential, 2379 relation, 54 parallel, 54 analyzer checks)
+EOF
+check_golden "clean run (--wire)"
+
+# ---- a different seed changes the corpus but not the verdict ----
+
+"$TCSQ" fuzz --iterations 2 --seed 424242 >"$TMP/got" 2>/dev/null \
+    || fail "seed-override run exited $?"
+head -1 "$TMP/got" | grep -q '^fuzzing 2 iterations from seed 424242$' \
+    || fail "seed override not reflected: $(head -1 "$TMP/got")"
+echo "fuzz_smoke: seed override clean"
+
+# ---- injected fault: detect, minimize, write a reproducer, exit 1 ----
+
+"$TCSQ" fuzz --iterations 3 --inject-fault --repro-out "$TMP/fault.repro" \
+    >"$TMP/got" 2>/dev/null
+rc=$?
+[ "$rc" -eq 1 ] || fail "injected-fault run exited $rc, want 1"
+cat >"$TMP/expected" <<EOF
+fuzzing 3 iterations from seed 20260705
+engines: tsrjoin-basic, tsrjoin-opt, binary, hybrid, time, tsrjoin-adaptive, tsrjoin-par2, broken
+relations: window-containment, translation, time-reversal, edge-deletion, label-renaming, sub-pattern
+FAIL differential engine=broken at iteration 0
+  expected 5 matches, got 4. missing (1): (e8, e5, [19, 19]) | extra (0):
+found on: 39 graph edges, 7 vertices, 2 pattern edges, window [18, 35]
+minimized to: 1 graph edges, 2 vertices, 1 pattern edges, window [20, 20] (35 probes)
+reproducer written to $TMP/fault.repro
+replay: tcsq fuzz --replay $TMP/fault.repro --inject-fault
+EOF
+check_golden "injected fault"
+[ -f "$TMP/fault.repro" ] || fail "no reproducer file written"
+grep -q '^check: differential$' "$TMP/fault.repro" \
+    || fail "reproducer lost the check kind"
+grep -q '^engine: broken$' "$TMP/fault.repro" \
+    || fail "reproducer lost the engine name"
+
+# ---- the written reproducer must still reproduce ----
+
+"$TCSQ" fuzz --replay "$TMP/fault.repro" --inject-fault \
+    >"$TMP/got" 2>/dev/null
+rc=$?
+[ "$rc" -eq 1 ] || fail "replay of a live fault exited $rc, want 1"
+grep -q '^reproduces:' "$TMP/got" || fail "replay did not say 'reproduces'"
+echo "fuzz_smoke: fault replay clean"
+
+# ---- every committed example reproducer must replay clean ----
+
+found=0
+for r in "$REPROS"/*.repro; do
+    [ -f "$r" ] || continue
+    found=$((found + 1))
+    "$TCSQ" fuzz --replay "$r" >"$TMP/got" 2>/dev/null \
+        || fail "committed reproducer $r no longer replays clean: $(cat "$TMP/got")"
+    grep -q '^clean:' "$TMP/got" || fail "replay of $r did not say 'clean'"
+done
+[ "$found" -ge 1 ] || fail "no committed reproducers under $REPROS"
+echo "fuzz_smoke: $found committed reproducer(s) replay clean"
+
+# ---- malformed input is a usage error (exit 2), not a crash ----
+
+: >"$TMP/empty.repro"
+"$TCSQ" fuzz --replay "$TMP/empty.repro" >/dev/null 2>&1
+rc=$?
+[ "$rc" -eq 2 ] || fail "malformed reproducer exited $rc, want 2"
+echo "fuzz_smoke: malformed-input handling clean"
+
+echo "fuzz_smoke: clean-run/seed/fault/minimize/replay/goldens all clean"

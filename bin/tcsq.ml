@@ -9,6 +9,7 @@
      compare    run one query under all four methods
      serve      resident query server over a Unix-domain socket
      client     talk to a running server
+     fuzz       differential + metamorphic conformance fuzzing
 
    Examples:
      tcsq generate --dataset yellow --scale 0.1 -o yellow.csv
@@ -911,13 +912,145 @@ let client_cmd =
       $ limit_arg $ count_flag $ metrics_flag $ prom_flag $ ping_flag
       $ shutdown_flag $ stdin_flag)
 
+let fuzz_cmd =
+  let iterations_arg =
+    Arg.(
+      value & opt int 200
+      & info [ "iterations"; "i" ] ~docv:"N"
+          ~doc:"Fuzz iterations (one random graph + 18 queries each).")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 20260705
+      & info [ "seed" ] ~docv:"S"
+          ~doc:
+            "Base seed; iteration $(i)i derives everything from S+$(i)i, \
+             exactly like the retired bin/fuzz.exe.")
+  in
+  let wire_flag =
+    Arg.(
+      value & flag
+      & info [ "wire" ]
+          ~doc:
+            "Also push checks through the server wire path (an in-process \
+             server per graph): the wire joins every differential and \
+             every query-only relation; graph-mutating relations rotate \
+             through it once per iteration.")
+  in
+  let inject_fault_flag =
+    Arg.(
+      value & flag
+      & info [ "inject-fault" ]
+          ~doc:
+            "Register the deliberately broken engine variant (drops one \
+             match), to exercise the shrinker and reproducer pipeline.")
+  in
+  let max_probes_arg =
+    Arg.(
+      value & opt int 2000
+      & info [ "max-probes" ] ~docv:"N" ~doc:"Shrinker probe budget.")
+  in
+  let repro_out_arg =
+    Arg.(
+      value
+      & opt string "tcsq-fuzz.repro"
+      & info [ "repro-out" ] ~docv:"FILE"
+          ~doc:"Where to write the minimized reproducer on a failure.")
+  in
+  let replay_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "replay" ] ~docv:"FILE"
+          ~doc:
+            "Re-execute the check recorded in a reproducer file instead \
+             of fuzzing: exit 0 if it passes (the failure is gone), 1 if \
+             it still reproduces.")
+  in
+  let indent s =
+    String.concat "\n  " (String.split_on_char '\n' s)
+  in
+  let run iterations seed wire inject_fault max_probes repro_out replay =
+    match replay with
+    | Some path ->
+        let r = or_die (Conformance.Repro.load path) in
+        Format.printf "replaying %s@.  check: %s@.  case: %s@." path
+          (Conformance.Check.describe r.Conformance.Repro.check)
+          (Conformance.Case.brief r.Conformance.Repro.case);
+        (match Conformance.Harness.replay ~inject_fault r with
+        | Ok () ->
+            Format.printf "clean: the recorded failure does not reproduce@."
+        | Error detail ->
+            Format.printf "reproduces: %s@." (indent detail);
+            exit 1)
+    | None ->
+        let t0 = Unix.gettimeofday () in
+        (* progress and timing go to stderr: stdout is the deterministic
+           record that golden tests pin down *)
+        let log msg =
+          Printf.eprintf "  %s (%.1fs)\n%!" msg (Unix.gettimeofday () -. t0)
+        in
+        let config =
+          {
+            Conformance.Harness.iterations;
+            seed;
+            wire;
+            inject_fault;
+            max_probes;
+            log;
+          }
+        in
+        Format.printf "fuzzing %d iterations from seed %d@." iterations seed;
+        Format.printf "engines: %s@."
+          (String.concat ", " (Conformance.Harness.engine_names config));
+        Format.printf "relations: %s@."
+          (String.concat ", " Conformance.Harness.relation_names);
+        let outcome = Conformance.Harness.fuzz config in
+        let c = outcome.Conformance.Harness.counts in
+        (match outcome.Conformance.Harness.failure with
+        | None ->
+            Format.printf
+              "OK: %d queries clean (%d differential, %d relation, %d \
+               parallel, %d analyzer checks)@."
+              c.Conformance.Harness.queries c.Conformance.Harness.differential
+              c.Conformance.Harness.relation c.Conformance.Harness.parallel
+              c.Conformance.Harness.analyzer
+        | Some f ->
+            Format.printf "FAIL %s at iteration %d@.  %s@."
+              (Conformance.Check.describe f.Conformance.Harness.check)
+              f.Conformance.Harness.iteration
+              (indent f.Conformance.Harness.detail);
+            Format.printf "found on: %s@."
+              (Conformance.Case.brief f.Conformance.Harness.case);
+            Format.printf "minimized to: %s (%d probes)@."
+              (Conformance.Case.brief f.Conformance.Harness.minimized)
+              f.Conformance.Harness.probes;
+            let repro = Conformance.Harness.repro_of_failure config f in
+            Conformance.Repro.save repro repro_out;
+            Format.printf "reproducer written to %s@." repro_out;
+            Format.printf "replay: tcsq fuzz --replay %s%s@." repro_out
+              (if inject_fault then " --inject-fault" else "");
+            exit 1)
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Conformance-fuzz the engines: random graphs and queries checked \
+          differentially against the brute-force oracle, through the \
+          static analyzer, across a multi-domain run, and under six \
+          metamorphic relations — on the first divergence, a delta-debugged \
+          minimal reproducer file is written.")
+    Term.(
+      const run $ iterations_arg $ seed_arg $ wire_flag $ inject_fault_flag
+      $ max_probes_arg $ repro_out_arg $ replay_arg)
+
 let main =
   let doc = "temporal-clique subgraph query processing (TSRJoin)" in
   Cmd.group (Cmd.info "tcsq" ~version:"1.0.0" ~doc)
     [
       datasets_cmd; generate_cmd; stats_cmd; query_cmd; profile_cmd;
       explain_cmd; compare_cmd; topk_cmd; reach_cmd; suite_cmd; lint_cmd;
-      serve_cmd; client_cmd;
+      serve_cmd; client_cmd; fuzz_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -1,0 +1,12 @@
+type t = { graph : Tgraph.Graph.t; query : Semantics.Query.t }
+
+let make graph query = { graph; query }
+
+let size t = (Tgraph.Graph.n_edges t.graph, Semantics.Query.n_edges t.query)
+
+let brief t =
+  Printf.sprintf "%d graph edges, %d vertices, %d pattern edges, window %s"
+    (Tgraph.Graph.n_edges t.graph)
+    (Tgraph.Graph.n_vertices t.graph)
+    (Semantics.Query.n_edges t.query)
+    (Temporal.Interval.to_string (Semantics.Query.window t.query))

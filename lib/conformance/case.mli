@@ -1,0 +1,13 @@
+(** A conformance test case: one temporal graph plus one query (whose
+    window rides inside it). The unit that every check runs on, the
+    shrinker minimizes, and reproducer files serialize. *)
+
+type t = { graph : Tgraph.Graph.t; query : Semantics.Query.t }
+
+val make : Tgraph.Graph.t -> Semantics.Query.t -> t
+
+val size : t -> int * int
+(** (graph edges, query pattern edges). *)
+
+val brief : t -> string
+(** One deterministic line: edge/vertex/pattern counts and the window. *)

@@ -1,0 +1,50 @@
+type t =
+  | Differential of { engine : string }
+  | Relation of { relation : string; engine : string; relseed : int }
+  | Parallel of { domains : int }
+  | Analyzer
+
+let describe = function
+  | Differential { engine } -> Printf.sprintf "differential engine=%s" engine
+  | Relation { relation; engine; relseed } ->
+      Printf.sprintf "relation %s engine=%s relseed=%d" relation engine relseed
+  | Parallel { domains } -> Printf.sprintf "parallel domains=%d" domains
+  | Analyzer -> "analyzer"
+
+let header_fields = function
+  | Differential { engine } ->
+      [ ("check", "differential"); ("engine", engine) ]
+  | Relation { relation; engine; relseed } ->
+      [
+        ("check", "relation"); ("relation", relation); ("engine", engine);
+        ("relseed", string_of_int relseed);
+      ]
+  | Parallel { domains } ->
+      [ ("check", "parallel"); ("domains", string_of_int domains) ]
+  | Analyzer -> [ ("check", "analyzer") ]
+
+let of_header fields =
+  let find k = List.assoc_opt k fields in
+  let find_int k =
+    match find k with
+    | None -> None
+    | Some v -> int_of_string_opt (String.trim v)
+  in
+  match find "check" with
+  | None -> Error "reproducer is missing the check: header"
+  | Some "differential" -> (
+      match find "engine" with
+      | Some engine -> Ok (Differential { engine })
+      | None -> Error "differential check needs an engine: header")
+  | Some "relation" -> (
+      match (find "relation", find "engine", find_int "relseed") with
+      | Some relation, Some engine, Some relseed ->
+          Ok (Relation { relation; engine; relseed })
+      | _ ->
+          Error "relation check needs relation:, engine: and relseed: headers")
+  | Some "parallel" -> (
+      match find_int "domains" with
+      | Some domains when domains >= 2 -> Ok (Parallel { domains })
+      | _ -> Error "parallel check needs a domains: header >= 2")
+  | Some "analyzer" -> Ok Analyzer
+  | Some other -> Error (Printf.sprintf "unknown check kind %S" other)

@@ -1,0 +1,27 @@
+(** The identity of one conformance check: exactly what a reproducer
+    file re-executes. Serialized into the [check:]/[engine:]/
+    [relation:]/[relseed:]/[domains:] header lines of tcsq-repro/v1. *)
+
+type t =
+  | Differential of { engine : string }
+      (** One engine variant's result set vs the naive oracle. *)
+  | Relation of { relation : string; engine : string; relseed : int }
+      (** One metamorphic relation checked on one engine variant;
+          [relseed] makes the derived input deterministic. *)
+  | Parallel of { domains : int }
+      (** Multi-domain TSRJoin vs the sequential run: result sets and
+          merged {!Semantics.Run_stats} counters must both agree. *)
+  | Analyzer
+      (** Static-analyzer cross-checks: proves-empty vs the oracle,
+          plan invariants of all three planners, no errors on
+          generator-produced queries. *)
+
+val describe : t -> string
+(** Deterministic one-phrase rendering, e.g.
+    ["differential engine=binary"]. *)
+
+val header_fields : t -> (string * string) list
+(** The reproducer header key/value pairs, [check] first. *)
+
+val of_header : (string * string) list -> (t, string) result
+(** Inverse of {!header_fields}; ignores unknown keys. *)

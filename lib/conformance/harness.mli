@@ -1,0 +1,72 @@
+(** The conformance fuzz harness: random temporal graphs and queries,
+    cross-checked four ways per case —
+
+    {ul
+    {- {b differential}: every engine variant's result set against the
+       naive oracle (and against a binary-IO round trip of the graph);}
+    {- {b analyzer}: static-analyzer verdicts against ground truth
+       (proves-empty implies zero matches, generator-produced queries
+       draw no errors, all three planners pass plan invariants);}
+    {- {b parallel}: one multi-domain TSRJoin run ([domains] rotating
+       2..4 on the shared {!Exec.Pool}) against the sequential run,
+       result sets and merged {!Semantics.Run_stats} both equal;}
+    {- {b metamorphic}: the six oracle-free relations of {!Relation},
+       each checked per engine variant (and, with [wire], through the
+       server wire path).}}
+
+    The first divergence is minimized by {!Shrink} and reported with a
+    {!Repro} reproducer. *)
+
+type config = {
+  iterations : int;
+  seed : int;
+  wire : bool;
+      (** Also run checks through an in-process query server: the wire
+          variant joins every differential and every query-only
+          relation; graph-mutating relations rotate through the wire
+          one per iteration (each derived graph needs its own server). *)
+  inject_fault : bool;  (** Register the deliberately broken engine. *)
+  max_probes : int;  (** Shrinker probe budget. *)
+  log : string -> unit;  (** Progress lines (not part of the summary). *)
+}
+
+val default_config : config
+(** 200 iterations from seed 20260705, no wire, no fault injection,
+    2000 shrink probes, silent log. *)
+
+type counts = {
+  queries : int;
+  differential : int;
+  relation : int;
+  parallel : int;
+  analyzer : int;
+}
+
+type failure = {
+  check : Check.t;
+  detail : string;
+  iteration : int;
+  case : Case.t;  (** the original failing case *)
+  minimized : Case.t;
+  probes : int;  (** shrink probes spent *)
+}
+
+type outcome = { counts : counts; failure : failure option }
+
+val engine_names : config -> string list
+(** The variant names participating under [config], in check order. *)
+
+val relation_names : string list
+
+val run_check :
+  inject_fault:bool -> Case.t -> Check.t -> (unit, string) result
+(** Re-execute exactly one check on one case with fresh per-graph
+    contexts: the primitive behind [--replay] and every shrink probe.
+    [Error] carries the divergence description. *)
+
+val fuzz : config -> outcome
+
+val repro_of_failure : config -> failure -> Repro.t
+
+val replay : inject_fault:bool -> Repro.t -> (unit, string) result
+(** [Ok ()] when the recorded failure no longer reproduces. *)

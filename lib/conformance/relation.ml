@@ -1,0 +1,332 @@
+open Semantics
+module RS = Match_result.Result_set
+
+type derived = {
+  cases : Case.t list;
+  check :
+    base:RS.t -> derived:RS.t list -> (unit, string) result;
+}
+
+type t = {
+  name : string;
+  mutates_graph : bool;
+  derive : Case.t -> relseed:int -> derived;
+}
+
+let rng_of relseed salt = Random.State.make [| relseed; salt; 0xc04f |]
+
+let one = function [ d ] -> d | _ -> invalid_arg "relation arity"
+
+let expect_equal ~what ~expected ~actual =
+  match RS.diff_summary ~expected ~actual with
+  | None -> Ok ()
+  | Some diff -> Error (Printf.sprintf "%s: %s" what diff)
+
+let map_lives f set =
+  RS.of_list
+    (List.map
+       (fun m -> Match_result.make m.Match_result.edges (f m.Match_result.life))
+       (RS.to_list set))
+
+(* ---- window-containment monotonicity ---- *)
+
+let window_containment =
+  {
+    name = "window-containment";
+    mutates_graph = false;
+    derive =
+      (fun case ~relseed ->
+        let rng = rng_of relseed 1 in
+        let q = case.Case.query in
+        let ws = Query.ws q and we = Query.we q in
+        let ws' = ws + Random.State.int rng (we - ws + 1) in
+        let we' = ws' + Random.State.int rng (we - ws' + 1) in
+        let w' = Temporal.Interval.make ws' we' in
+        {
+          cases = [ { case with Case.query = Query.with_window q w' } ];
+          check =
+            (fun ~base ~derived ->
+              let expected =
+                RS.of_list
+                  (List.filter
+                     (fun m -> Temporal.Interval.overlaps m.Match_result.life w')
+                     (RS.to_list base))
+              in
+              expect_equal
+                ~what:
+                  (Printf.sprintf
+                     "sub-window [%d, %d] of [%d, %d] must keep exactly the \
+                      overlapping base matches"
+                     ws' we' ws we)
+                ~expected ~actual:(one derived));
+        });
+  }
+
+(* ---- temporal translation equivariance ---- *)
+
+let translation =
+  {
+    name = "translation";
+    mutates_graph = true;
+    derive =
+      (fun case ~relseed ->
+        let rng = rng_of relseed 2 in
+        let g = case.Case.graph and q = case.Case.query in
+        (* pick Δ in [-max_back, 25] \ {0}, bounded so every timestamp
+           stays non-negative after the shift *)
+        let max_back =
+          Tgraph.Graph.fold_edges
+            (fun acc e -> min acc (Tgraph.Edge.ts e))
+            (Query.ws q) g
+        in
+        let max_back = max 0 max_back in
+        let d = Random.State.int rng (26 + max_back) - max_back in
+        let delta = if d >= 0 then d + 1 else d in
+        let g' = Testkit.shift_time g ~delta in
+        let w' =
+          Temporal.Interval.make (Query.ws q + delta) (Query.we q + delta)
+        in
+        {
+          cases = [ Case.make g' (Query.with_window q w') ];
+          check =
+            (fun ~base ~derived ->
+              let shift life =
+                Temporal.Interval.make
+                  (Temporal.Interval.ts life + delta)
+                  (Temporal.Interval.te life + delta)
+              in
+              expect_equal
+                ~what:
+                  (Printf.sprintf
+                     "translation by %+d must shift every lifespan and \
+                      nothing else"
+                     delta)
+                ~expected:(map_lives shift base) ~actual:(one derived));
+        });
+  }
+
+(* ---- time-reversal duality ---- *)
+
+let time_reversal =
+  {
+    name = "time-reversal";
+    mutates_graph = true;
+    derive =
+      (fun case ~relseed:_ ->
+        let g = case.Case.graph and q = case.Case.query in
+        let anchor =
+          Tgraph.Graph.fold_edges
+            (fun acc e -> max acc (Tgraph.Edge.te e))
+            (Query.we q) g
+        in
+        let g' = Testkit.reverse_time g ~anchor in
+        let w' =
+          Temporal.Interval.make (anchor - Query.we q) (anchor - Query.ws q)
+        in
+        {
+          cases = [ Case.make g' (Query.with_window q w') ];
+          check =
+            (fun ~base ~derived ->
+              let reverse life =
+                Temporal.Interval.make
+                  (anchor - Temporal.Interval.te life)
+                  (anchor - Temporal.Interval.ts life)
+              in
+              expect_equal
+                ~what:
+                  (Printf.sprintf
+                     "time reversal about %d must reverse every lifespan and \
+                      nothing else"
+                     anchor)
+                ~expected:(map_lives reverse base) ~actual:(one derived));
+        });
+  }
+
+(* ---- graph-edge-deletion monotonicity ---- *)
+
+let edge_deletion =
+  {
+    name = "edge-deletion";
+    mutates_graph = true;
+    derive =
+      (fun case ~relseed ->
+        let rng = rng_of relseed 4 in
+        let g = case.Case.graph in
+        let n = Tgraph.Graph.n_edges g in
+        let kept = Array.init n (fun _ -> Random.State.int rng 4 <> 0) in
+        if not (Array.exists Fun.id kept) then kept.(0) <- true;
+        let g', new_to_old = Testkit.drop_edges g ~keep:(fun id -> kept.(id)) in
+        let old_to_new = Array.make n (-1) in
+        Array.iteri (fun ni oi -> old_to_new.(oi) <- ni) new_to_old;
+        {
+          cases = [ { case with Case.graph = g' } ];
+          check =
+            (fun ~base ~derived ->
+              let expected =
+                RS.of_list
+                  (List.filter_map
+                     (fun m ->
+                       if
+                         Array.for_all
+                           (fun id -> old_to_new.(id) >= 0)
+                           m.Match_result.edges
+                       then
+                         Some
+                           (Match_result.make
+                              (Array.map
+                                 (fun id -> old_to_new.(id))
+                                 m.Match_result.edges)
+                              m.Match_result.life)
+                       else None)
+                     (RS.to_list base))
+              in
+              expect_equal
+                ~what:
+                  (Printf.sprintf
+                     "deleting %d of %d edges must keep exactly the base \
+                      matches whose edges all survive"
+                     (n - Array.length new_to_old)
+                     n)
+                ~expected ~actual:(one derived));
+        });
+  }
+
+(* ---- label-renaming invariance ---- *)
+
+let label_renaming =
+  {
+    name = "label-renaming";
+    mutates_graph = true;
+    derive =
+      (fun case ~relseed ->
+        let rng = rng_of relseed 5 in
+        let g = case.Case.graph and q = case.Case.query in
+        let nl = Tgraph.Graph.n_labels g in
+        let perm = Array.init nl Fun.id in
+        for i = nl - 1 downto 1 do
+          let j = Random.State.int rng (i + 1) in
+          let t = perm.(i) in
+          perm.(i) <- perm.(j);
+          perm.(j) <- t
+        done;
+        let g' = Testkit.relabel_edges g ~perm in
+        let q' = Testkit.map_query_labels q ~f:(fun l -> perm.(l)) in
+        {
+          cases = [ Case.make g' q' ];
+          check =
+            (fun ~base ~derived ->
+              expect_equal
+                ~what:
+                  "a consistent label permutation must not change the result \
+                   set"
+                ~expected:base ~actual:(one derived));
+        });
+  }
+
+(* ---- sub-pattern projection ---- *)
+
+let sub_pattern =
+  {
+    name = "sub-pattern";
+    mutates_graph = false;
+    derive =
+      (fun case ~relseed ->
+        let rng = rng_of relseed 6 in
+        let q = case.Case.query in
+        let n = Query.n_edges q in
+        let start = Random.State.int rng n in
+        (* grow a random connected sub-pattern from [start]: sweep the
+           component, admitting each edge adjacent to what is already
+           included with probability 3/4 *)
+        let component = Testkit.query_component q start in
+        let included = Array.make n false in
+        included.(start) <- true;
+        let vars = Array.make (Query.n_vars q) false in
+        let touch i =
+          let e = Query.edge q i in
+          vars.(e.Query.src_var) <- true;
+          vars.(e.Query.dst_var) <- true
+        in
+        touch start;
+        let changed = ref true in
+        while !changed do
+          changed := false;
+          List.iter
+            (fun i ->
+              let e = Query.edge q i in
+              if
+                (not included.(i))
+                && (vars.(e.Query.src_var) || vars.(e.Query.dst_var))
+                && Random.State.int rng 4 <> 0
+              then begin
+                included.(i) <- true;
+                touch i;
+                changed := true
+              end)
+            component
+        done;
+        let keep = List.filter (fun i -> included.(i)) component in
+        let q_sub, sel = Testkit.restrict_query q ~keep in
+        {
+          cases = [ { case with Case.query = q_sub } ];
+          check =
+            (fun ~base ~derived ->
+              let sub = one derived in
+              let members = Hashtbl.create 64 in
+              List.iter
+                (fun m ->
+                  Hashtbl.replace members
+                    (m.Match_result.edges, m.Match_result.life) ())
+                (RS.to_list sub);
+              let rec first_failure = function
+                | [] -> Ok ()
+                | m :: rest -> (
+                    let proj =
+                      Array.map (fun oi -> m.Match_result.edges.(oi)) sel
+                    in
+                    match Match_result.life_of_edges case.Case.graph proj with
+                    | None ->
+                        Error
+                          (Format.asprintf
+                             "projection of %a onto the sub-pattern has an \
+                              empty lifespan"
+                             Match_result.pp m)
+                    | Some life ->
+                        if
+                          Temporal.Interval.ts life
+                            > Temporal.Interval.ts m.Match_result.life
+                          || Temporal.Interval.te life
+                             < Temporal.Interval.te m.Match_result.life
+                        then
+                          Error
+                            (Format.asprintf
+                               "projected lifespan %s does not contain the \
+                                base lifespan of %a"
+                               (Temporal.Interval.to_string life)
+                               Match_result.pp m)
+                        else if not (Hashtbl.mem members (proj, life)) then
+                          Error
+                            (Format.asprintf
+                               "base match %a projects to %a, which the \
+                                sub-pattern run did not produce"
+                               Match_result.pp m Match_result.pp
+                               (Match_result.make proj life))
+                        else first_failure rest)
+              in
+              Result.map_error
+                (Printf.sprintf "sub-pattern of edges [%s]: %s"
+                   (String.concat "," (List.map string_of_int keep)))
+                (first_failure (RS.to_list base)));
+        });
+  }
+
+let all =
+  [
+    window_containment; translation; time_reversal; edge_deletion;
+    label_renaming; sub_pattern;
+  ]
+
+let find name =
+  match List.find_opt (fun r -> r.name = name) all with
+  | Some r -> Ok r
+  | None -> Error (Printf.sprintf "unknown relation %S" name)

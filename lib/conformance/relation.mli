@@ -1,0 +1,62 @@
+(** Metamorphic relations over temporal-clique queries.
+
+    Each relation derives follow-up inputs from a base case plus a
+    deterministic [relseed], and states how an engine's result set on
+    the derived inputs must relate to its result set on the base — no
+    oracle involved, so a bug shared by every engine (including the
+    naive evaluator) is still caught. All six relations are exact
+    algebraic consequences of the match semantics: binding consistency
+    and the non-empty lifespan are window-independent, and a complete
+    match's lifespan overlaps a window iff every matched edge does. *)
+
+type derived = {
+  cases : Case.t list;
+      (** The follow-up inputs to evaluate (usually one). Cases reuse
+          the base graph value physically when the relation only
+          transforms the query, so per-graph contexts are shared. *)
+  check :
+    base:Semantics.Match_result.Result_set.t ->
+    derived:Semantics.Match_result.Result_set.t list ->
+    (unit, string) result;
+      (** [derived] aligns with {!cases}. The error string is a
+          deterministic human-readable divergence description. *)
+}
+
+type t = {
+  name : string;
+  mutates_graph : bool;
+      (** Whether derived cases carry a transformed graph — these cost
+          an extra index build (and, on the wire path, a second
+          in-process server). *)
+  derive : Case.t -> relseed:int -> derived;
+}
+
+val window_containment : t
+(** Shrinking the window to [W' ⊆ W] keeps exactly the base matches
+    whose lifespan overlaps [W']: [results(W') = {m ∈ results(W) :
+    life(m) ∩ W' ≠ ∅}]. *)
+
+val translation : t
+(** Shifting every edge interval and the window by Δ yields a bijection
+    of matches: same edge bindings, lifespans shifted by Δ. *)
+
+val time_reversal : t
+(** Mapping every interval [ts, te] to [T - te, T - ts] (window
+    included) yields the same edge bindings with reversed lifespans. *)
+
+val edge_deletion : t
+(** Deleting graph edges is monotone: the surviving results are exactly
+    the base matches all of whose edges survived (ids remapped). *)
+
+val label_renaming : t
+(** Permuting label ids consistently across graph and query leaves the
+    result set untouched. *)
+
+val sub_pattern : t
+(** Every base match restricted to a connected sub-pattern is a match
+    of that sub-pattern whose lifespan contains the base lifespan. *)
+
+val all : t list
+(** The six relations above, in a fixed order. *)
+
+val find : string -> (t, string) result

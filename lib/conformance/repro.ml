@@ -1,0 +1,167 @@
+open Semantics
+
+type t = {
+  check : Check.t;
+  seed : int option;
+  summary : string;
+  case : Case.t;
+}
+
+let magic = "tcsq-repro/v1"
+
+(* the summary header must stay one line (and carry no surrounding
+   whitespace, which parsing would trim anyway), or the key: value
+   framing breaks the roundtrip *)
+let one_line s =
+  String.trim (String.map (function '\n' | '\r' -> ' ' | c -> c) s)
+
+let to_string t =
+  let g = t.case.Case.graph in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf magic;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "%s: %s\n" k v))
+    (Check.header_fields t.check);
+  (match t.seed with
+  | Some s -> Buffer.add_string buf (Printf.sprintf "seed: %d\n" s)
+  | None -> ());
+  Buffer.add_string buf
+    (Printf.sprintf "labels: %s\n"
+       (String.concat ","
+          (Array.to_list (Tgraph.Label.names (Tgraph.Graph.labels g)))));
+  Buffer.add_string buf
+    (Printf.sprintf "summary: %s\n" (one_line t.summary));
+  Buffer.add_string buf "[query]\n";
+  Buffer.add_string buf (Qlang.render g t.case.Case.query);
+  Buffer.add_string buf "\n[graph]\n";
+  Tgraph.Graph.iter_edges
+    (fun e ->
+      Buffer.add_string buf
+        (Printf.sprintf "%d,%d,%s,%d,%d\n" (Tgraph.Edge.src e)
+           (Tgraph.Edge.dst e)
+           (Tgraph.Label.name (Tgraph.Graph.labels g) (Tgraph.Edge.lbl e))
+           (Tgraph.Edge.ts e) (Tgraph.Edge.te e)))
+    g;
+  Buffer.add_string buf "[end]\n";
+  Buffer.contents buf
+
+let of_string text =
+  let ( let* ) = Result.bind in
+  let lines = String.split_on_char '\n' text in
+  let lines = List.map (fun l -> String.trim l) lines in
+  (* leading comments let a committed reproducer explain itself *)
+  let rec skip_preamble = function
+    | line :: rest when line = "" || line.[0] = '#' -> skip_preamble rest
+    | lines -> lines
+  in
+  match skip_preamble lines with
+  | first :: rest when first = magic ->
+      (* headers until [query] *)
+      let rec headers acc = function
+        | "[query]" :: rest -> Ok (List.rev acc, rest)
+        | line :: rest when line = "" || line.[0] = '#' -> headers acc rest
+        | line :: rest -> (
+            match String.index_opt line ':' with
+            | Some i ->
+                let k = String.trim (String.sub line 0 i) in
+                let v =
+                  String.trim
+                    (String.sub line (i + 1) (String.length line - i - 1))
+                in
+                headers ((k, v) :: acc) rest
+            | None ->
+                Error (Printf.sprintf "bad header line %S (want key: value)" line))
+        | [] -> Error "missing [query] section"
+      in
+      let* fields, rest = headers [] rest in
+      let* check = Check.of_header fields in
+      let seed =
+        Option.bind (List.assoc_opt "seed" fields) int_of_string_opt
+      in
+      let summary =
+        Option.value (List.assoc_opt "summary" fields) ~default:""
+      in
+      let* label_names =
+        match List.assoc_opt "labels" fields with
+        | Some v ->
+            Ok
+              (List.filter
+                 (fun s -> s <> "")
+                 (List.map String.trim (String.split_on_char ',' v)))
+        | None -> Error "missing labels: header"
+      in
+      (* query text until [graph] *)
+      let rec query_text acc = function
+        | "[graph]" :: rest -> Ok (String.concat " " (List.rev acc), rest)
+        | line :: rest -> query_text (if line = "" then acc else line :: acc) rest
+        | [] -> Error "missing [graph] section"
+      in
+      let* qtext, rest = query_text [] rest in
+      (* graph edge lines until [end] *)
+      let* labels =
+        match Tgraph.Label.of_names (Array.of_list label_names) with
+        | labels -> Ok labels
+        | exception Invalid_argument msg -> Error msg
+      in
+      let b = Tgraph.Graph.Builder.create ~labels () in
+      let rec edges lineno = function
+        | "[end]" :: _ -> Ok ()
+        | line :: rest when line = "" || line.[0] = '#' ->
+            edges (lineno + 1) rest
+        | line :: rest -> (
+            match String.split_on_char ',' line with
+            | [ src; dst; lbl; ts; te ] -> (
+                match
+                  ( int_of_string_opt (String.trim src),
+                    int_of_string_opt (String.trim dst),
+                    Tgraph.Label.find labels (String.trim lbl),
+                    int_of_string_opt (String.trim ts),
+                    int_of_string_opt (String.trim te) )
+                with
+                | Some src, Some dst, Some lbl, Some ts, Some te when ts <= te
+                  ->
+                    ignore
+                      (Tgraph.Graph.Builder.add_edge b ~src ~dst ~lbl ~ts ~te);
+                    edges (lineno + 1) rest
+                | _ ->
+                    Error (Printf.sprintf "graph line %d: malformed edge %S"
+                             lineno line))
+            | _ ->
+                Error
+                  (Printf.sprintf
+                     "graph line %d: want src,dst,label,ts,te, got %S" lineno
+                     line))
+        | [] -> Error "missing [end] marker"
+      in
+      let* () = edges 1 rest in
+      let graph = Tgraph.Graph.Builder.finish b in
+      if Tgraph.Graph.n_edges graph = 0 then
+        Error "reproducer graph has no edges"
+      else
+        let* query =
+          Qlang.parse_and_compile graph qtext
+        in
+        Ok { check; seed; summary; case = Case.make graph query }
+  | first :: _ ->
+      Error (Printf.sprintf "not a reproducer: expected %S, got %S" magic first)
+  | [] -> Error "empty reproducer"
+
+let save t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string t))
+
+let load path =
+  match
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | text -> (
+      match of_string text with
+      | Ok _ as ok -> ok
+      | Error msg -> Error (Printf.sprintf "%s: %s" path msg))
+  | exception Sys_error msg -> Error msg

@@ -1,0 +1,168 @@
+open Semantics
+
+exception Eval_failed of string
+
+(* ---- per-graph context ---- *)
+
+type ctx = {
+  g : Tgraph.Graph.t;
+  mutable engine : Workload.Engine.t option;
+  mutable server : (Tcsq_server.Server.t * Tcsq_server.Client.t) option;
+}
+
+let ctx g = { g; engine = None; server = None }
+let graph c = c.g
+
+let engine c =
+  match c.engine with
+  | Some e -> e
+  | None ->
+      let e = Workload.Engine.prepare c.g in
+      c.engine <- Some e;
+      e
+
+let socket_seq = ref 0
+
+let fresh_socket_path () =
+  incr socket_seq;
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "tcsq-conf-%d-%d.sock" (Unix.getpid ()) !socket_seq)
+
+let server c =
+  match c.server with
+  | Some s -> s
+  | None ->
+      let socket_path = fresh_socket_path () in
+      let config =
+        {
+          (Tcsq_server.Server.default_config ~socket_path) with
+          Tcsq_server.Server.workers = 2;
+          queue_depth = 16;
+        }
+      in
+      let srv = Tcsq_server.Server.start config (engine c) in
+      let client =
+        try Tcsq_server.Client.connect socket_path
+        with e ->
+          Tcsq_server.Server.stop srv;
+          raise e
+      in
+      c.server <- Some (srv, client);
+      (srv, client)
+
+let release c =
+  match c.server with
+  | None -> ()
+  | Some (srv, client) ->
+      c.server <- None;
+      Tcsq_server.Client.close client;
+      Tcsq_server.Server.stop srv
+
+(* ---- variants ---- *)
+
+type t = { name : string; eval : ctx -> Query.t -> Match_result.t list }
+
+let engine_variant name ?tsrjoin_config method_ =
+  {
+    name;
+    eval =
+      (fun c q -> Workload.Engine.evaluate ?tsrjoin_config (engine c) method_ q);
+  }
+
+let standard =
+  [
+    engine_variant "tsrjoin-basic"
+      ~tsrjoin_config:Tcsq_core.Tsrjoin.basic_config Workload.Engine.Tsrjoin;
+    engine_variant "tsrjoin-opt" Workload.Engine.Tsrjoin;
+    engine_variant "binary" Workload.Engine.Binary;
+    engine_variant "hybrid" Workload.Engine.Hybrid;
+    engine_variant "time" Workload.Engine.Time;
+  ]
+
+let adaptive =
+  {
+    name = "tsrjoin-adaptive";
+    eval =
+      (fun c q ->
+        let tai = Workload.Engine.tai (engine c) in
+        let cost = Tcsq_core.Plan.cost_model tai in
+        let plan = Tcsq_core.Plan.build_adaptive ~cost ~defer_ratio:2.0 tai q in
+        Tcsq_core.Tsrjoin.evaluate ~plan tai q);
+  }
+
+let parallel ~domains =
+  {
+    name = Printf.sprintf "tsrjoin-par%d" domains;
+    eval =
+      (fun c q ->
+        Workload.Engine.evaluate
+          ~pool:(Exec.Parallel.shared_pool ~at_least:domains)
+          ~domains (engine c) Workload.Engine.Tsrjoin q);
+  }
+
+(* generous wire-path budgets: conformance wants complete result sets,
+   not the server's interactive defaults *)
+let wire_limit = 1_000_000
+
+let wire =
+  {
+    name = "wire";
+    eval =
+      (fun c q ->
+        let _, client = server c in
+        let text = Qlang.render c.g q in
+        match
+          Tcsq_server.Client.query ~limit:wire_limit ~max_results:wire_limit
+            ~max_intermediate:max_int client text
+        with
+        | Error msg -> raise (Eval_failed (Printf.sprintf "wire: %s" msg))
+        | Ok r when r.Tcsq_server.Protocol.status <> "ok" ->
+            raise
+              (Eval_failed
+                 (Printf.sprintf "wire: status %s%s"
+                    r.Tcsq_server.Protocol.status
+                    (match r.Tcsq_server.Protocol.message with
+                    | Some m -> ": " ^ m
+                    | None -> "")))
+        | Ok r ->
+            let matches = r.Tcsq_server.Protocol.matches in
+            (match r.Tcsq_server.Protocol.count with
+            | Some n when n <> List.length matches ->
+                raise
+                  (Eval_failed
+                     (Printf.sprintf
+                        "wire: count %d disagrees with %d echoed matches" n
+                        (List.length matches)))
+            | _ -> ());
+            matches);
+  }
+
+let broken =
+  {
+    name = "broken";
+    eval =
+      (fun c q ->
+        match Workload.Engine.evaluate (engine c) Workload.Engine.Tsrjoin q with
+        | [] -> []
+        | _ :: rest -> rest);
+  }
+
+let find ~inject_fault name =
+  let fixed = standard @ [ adaptive; wire ] in
+  match List.find_opt (fun v -> v.name = name) fixed with
+  | Some v -> Ok v
+  | None -> (
+      if name = "broken" then
+        if inject_fault then Ok broken
+        else Error "engine 'broken' is only available under --inject-fault"
+      else
+        match
+          if String.length name > 11 && String.sub name 0 11 = "tsrjoin-par"
+          then
+            int_of_string_opt
+              (String.sub name 11 (String.length name - 11))
+          else None
+        with
+        | Some domains when domains >= 2 -> Ok (parallel ~domains)
+        | _ -> Error (Printf.sprintf "unknown engine variant %S" name))

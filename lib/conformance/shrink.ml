@@ -1,0 +1,167 @@
+open Semantics
+
+let minimize ~failing ?(max_probes = 2000) case0 =
+  let probes = ref 0 in
+  let probe candidate =
+    if !probes >= max_probes then false
+    else begin
+      incr probes;
+      failing candidate
+    end
+  in
+  let cur = ref case0 in
+  let shrunk = ref false in
+  let accept candidate =
+    if probe candidate then begin
+      cur := candidate;
+      shrunk := true;
+      true
+    end
+    else false
+  in
+
+  (* 1. drop contiguous graph-edge id ranges, halving the range size —
+     coarse chunks first so big graphs collapse in few probes *)
+  let graph_edge_pass () =
+    let sz = ref (max 1 (Tgraph.Graph.n_edges (!cur).Case.graph / 2)) in
+    while !sz >= 1 do
+      let i = ref 0 in
+      while !i < Tgraph.Graph.n_edges (!cur).Case.graph do
+        let n = Tgraph.Graph.n_edges (!cur).Case.graph in
+        let lo = !i and hi = min n (!i + !sz) in
+        let keeps = n - (hi - lo) in
+        let accepted =
+          keeps >= 1
+          &&
+          let g', _ =
+            Testkit.drop_edges (!cur).Case.graph ~keep:(fun id ->
+                id < lo || id >= hi)
+          in
+          accept { !cur with Case.graph = g' }
+        in
+        (* on success the ids shifted down into [lo, ...): retry the same
+           position; otherwise move past the range *)
+        if not accepted then i := !i + !sz
+      done;
+      sz := !sz / 2
+    done
+  in
+
+  (* 2. drop query pattern edges one at a time *)
+  let query_edge_pass () =
+    let i = ref (Query.n_edges (!cur).Case.query - 1) in
+    while !i >= 0 do
+      let q = (!cur).Case.query in
+      let n = Query.n_edges q in
+      if n > 1 && !i < n then begin
+        let keep = List.filter (fun j -> j <> !i) (List.init n Fun.id) in
+        let q', _ = Testkit.restrict_query q ~keep in
+        ignore (accept { !cur with Case.query = q' })
+      end;
+      decr i
+    done
+  in
+
+  (* 3. merge vertex pairs (drop the higher id onto the lower) *)
+  let vertex_pass () =
+    let continue_ = ref true in
+    while !continue_ do
+      continue_ := false;
+      let g = (!cur).Case.graph in
+      let present = Array.make (Tgraph.Graph.n_vertices g) false in
+      Tgraph.Graph.iter_edges
+        (fun e ->
+          present.(Tgraph.Edge.src e) <- true;
+          present.(Tgraph.Edge.dst e) <- true)
+        g;
+      let verts =
+        List.filter_map
+          (fun v -> if present.(v) then Some v else None)
+          (List.init (Array.length present) Fun.id)
+      in
+      let rec pairs = function
+        | [] -> ()
+        | keep :: rest ->
+            if
+              List.exists
+                (fun drop ->
+                  accept
+                    {
+                      !cur with
+                      Case.graph =
+                        Testkit.merge_vertices (!cur).Case.graph ~keep ~drop;
+                    })
+                rest
+            then continue_ := true
+            else pairs rest
+      in
+      pairs verts
+    done
+  in
+
+  (* 4. shrink edge intervals toward points *)
+  let interval_pass () =
+    let i = ref 0 in
+    while !i < Tgraph.Graph.n_edges (!cur).Case.graph do
+      let e = Tgraph.Graph.edge (!cur).Case.graph !i in
+      let ts = Tgraph.Edge.ts e and te = Tgraph.Edge.te e in
+      let candidates =
+        if te = ts then []
+        else
+          [
+            Temporal.Interval.point ts; Temporal.Interval.point te;
+            Temporal.Interval.make ts (ts + ((te - ts) / 2));
+          ]
+      in
+      ignore
+        (List.exists
+           (fun ivl ->
+             accept
+               {
+                 !cur with
+                 Case.graph =
+                   Testkit.clamp_edge_interval (!cur).Case.graph ~edge:!i ivl;
+               })
+           candidates);
+      incr i
+    done
+  in
+
+  (* 5. shrink the query window *)
+  let window_pass () =
+    let continue_ = ref true in
+    while !continue_ do
+      continue_ := false;
+      let q = (!cur).Case.query in
+      let ws = Query.ws q and we = Query.we q in
+      if we > ws then begin
+        let mid = ws + ((we - ws) / 2) in
+        let candidates =
+          [
+            Temporal.Interval.point ws; Temporal.Interval.point we;
+            Temporal.Interval.make ws mid; Temporal.Interval.make mid we;
+          ]
+        in
+        if
+          List.exists
+            (fun w ->
+              accept { !cur with Case.query = Query.with_window q w })
+            candidates
+        then continue_ := true
+      end
+    done
+  in
+
+  let rounds = ref 0 in
+  let again = ref true in
+  while !again && !probes < max_probes && !rounds < 10 do
+    incr rounds;
+    shrunk := false;
+    graph_edge_pass ();
+    query_edge_pass ();
+    vertex_pass ();
+    interval_pass ();
+    window_pass ();
+    again := !shrunk
+  done;
+  (!cur, !probes)

@@ -1,0 +1,15 @@
+(** Greedy delta-debugging minimizer for failing cases.
+
+    Given a deterministic failure predicate, repeatedly applies
+    reductions — dropping graph-edge ranges (coarse to fine), dropping
+    query pattern edges, merging vertices, shrinking edge intervals and
+    the query window — keeping each reduction iff the failure persists,
+    until a fixpoint or the probe budget is reached. The graph keeps at
+    least one edge and the query at least one pattern edge throughout. *)
+
+val minimize :
+  failing:(Case.t -> bool) -> ?max_probes:int -> Case.t -> Case.t * int
+(** [minimize ~failing case] assumes [failing case] holds and returns
+    the reduced case plus the number of probes spent. [max_probes]
+    defaults to 2000; the wire path makes probes expensive, so callers
+    may lower it. *)

@@ -66,6 +66,172 @@ let query_pool ~n_labels ~window =
       ~window;
   ]
 
+(* ---- graph mutators ---- *)
+
+let filter_map_edges g ~f =
+  let b = Tgraph.Graph.Builder.create ~labels:(Tgraph.Graph.labels g) () in
+  let kept = ref [] in
+  Tgraph.Graph.iter_edges
+    (fun e ->
+      match f e with
+      | None -> ()
+      | Some (src, dst, lbl, ts, te) ->
+          ignore (Tgraph.Graph.Builder.add_edge b ~src ~dst ~lbl ~ts ~te);
+          kept := Tgraph.Edge.id e :: !kept)
+    g;
+  (Tgraph.Graph.Builder.finish b, Array.of_list (List.rev !kept))
+
+let unchanged e =
+  Some
+    ( Tgraph.Edge.src e,
+      Tgraph.Edge.dst e,
+      Tgraph.Edge.lbl e,
+      Tgraph.Edge.ts e,
+      Tgraph.Edge.te e )
+
+let drop_edges g ~keep =
+  filter_map_edges g ~f:(fun e ->
+      if keep (Tgraph.Edge.id e) then unchanged e else None)
+
+let shift_time g ~delta =
+  fst
+    (filter_map_edges g ~f:(fun e ->
+         Some
+           ( Tgraph.Edge.src e,
+             Tgraph.Edge.dst e,
+             Tgraph.Edge.lbl e,
+             Tgraph.Edge.ts e + delta,
+             Tgraph.Edge.te e + delta )))
+
+let reverse_time g ~anchor =
+  fst
+    (filter_map_edges g ~f:(fun e ->
+         Some
+           ( Tgraph.Edge.src e,
+             Tgraph.Edge.dst e,
+             Tgraph.Edge.lbl e,
+             anchor - Tgraph.Edge.te e,
+             anchor - Tgraph.Edge.ts e )))
+
+let relabel_edges g ~perm =
+  fst
+    (filter_map_edges g ~f:(fun e ->
+         Some
+           ( Tgraph.Edge.src e,
+             Tgraph.Edge.dst e,
+             perm.(Tgraph.Edge.lbl e),
+             Tgraph.Edge.ts e,
+             Tgraph.Edge.te e )))
+
+let merge_vertices g ~keep ~drop =
+  let map v = if v = drop then keep else v in
+  fst
+    (filter_map_edges g ~f:(fun e ->
+         Some
+           ( map (Tgraph.Edge.src e),
+             map (Tgraph.Edge.dst e),
+             Tgraph.Edge.lbl e,
+             Tgraph.Edge.ts e,
+             Tgraph.Edge.te e )))
+
+let clamp_edge_interval g ~edge ivl =
+  fst
+    (filter_map_edges g ~f:(fun e ->
+         if Tgraph.Edge.id e = edge then
+           Some
+             ( Tgraph.Edge.src e,
+               Tgraph.Edge.dst e,
+               Tgraph.Edge.lbl e,
+               Temporal.Interval.ts ivl,
+               Temporal.Interval.te ivl )
+         else unchanged e))
+
+(* ---- query mutators ---- *)
+
+let rebuild_query q edges =
+  let q' = Query.make ~n_vars:(Query.n_vars q) ~edges ~window:(Query.window q) in
+  if Query.min_duration q > 1 then
+    Query.with_min_duration q' (Query.min_duration q)
+  else q'
+
+let map_query_labels q ~f =
+  rebuild_query q
+    (Array.to_list
+       (Array.map
+          (fun e ->
+            let lbl =
+              if e.Query.lbl = Query.any_label then Query.any_label
+              else f e.Query.lbl
+            in
+            (lbl, e.Query.src_var, e.Query.dst_var))
+          (Query.edges q)))
+
+let restrict_query q ~keep =
+  let keep = List.sort_uniq compare keep in
+  if keep = [] then invalid_arg "Testkit.restrict_query: empty edge set";
+  List.iter
+    (fun i ->
+      if i < 0 || i >= Query.n_edges q then
+        invalid_arg "Testkit.restrict_query: edge index out of range")
+    keep;
+  (* renumber the surviving variables compactly, in order of appearance *)
+  let var_map = Array.make (Query.n_vars q) (-1) in
+  let next = ref 0 in
+  let renumber v =
+    if var_map.(v) = -1 then begin
+      var_map.(v) <- !next;
+      incr next
+    end;
+    var_map.(v)
+  in
+  let edges =
+    List.map
+      (fun i ->
+        let e = Query.edge q i in
+        let src = renumber e.Query.src_var in
+        let dst = renumber e.Query.dst_var in
+        (e.Query.lbl, src, dst))
+      keep
+  in
+  let q' =
+    Query.make ~n_vars:!next ~edges ~window:(Query.window q)
+  in
+  let q' =
+    if Query.min_duration q > 1 then
+      Query.with_min_duration q' (Query.min_duration q)
+    else q'
+  in
+  (q', Array.of_list keep)
+
+let query_component q i =
+  if i < 0 || i >= Query.n_edges q then
+    invalid_arg "Testkit.query_component: edge index out of range";
+  let n = Query.n_edges q in
+  let in_comp = Array.make n false in
+  let vars = Array.make (Query.n_vars q) false in
+  let touch e =
+    vars.(e.Query.src_var) <- true;
+    vars.(e.Query.dst_var) <- true
+  in
+  in_comp.(i) <- true;
+  touch (Query.edge q i);
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iteri
+      (fun j e ->
+        if
+          (not in_comp.(j))
+          && (vars.(e.Query.src_var) || vars.(e.Query.dst_var))
+        then begin
+          in_comp.(j) <- true;
+          touch e;
+          changed := true
+        end)
+      (Query.edges q)
+  done;
+  List.filter (fun j -> in_comp.(j)) (List.init n Fun.id)
+
 let random_query ~seed ~n_labels ~max_edges ~window =
   let rng = Random.State.make [| seed; 0x51ab |] in
   let n_edges = 1 + Random.State.int rng (max max_edges 1) in

@@ -30,3 +30,63 @@ val random_query :
     connected (each edge prefers an already-used variable), with
     occasional self loops, parallel edges and disconnected components.
     Deterministic in [seed]. *)
+
+(** {2 Graph mutators}
+
+    Deterministic surgery on temporal graphs, used by the conformance
+    layer to derive metamorphic follow-up inputs and to shrink failing
+    reproducers. Every mutator preserves the label table (label ids keep
+    their meaning) and the insertion order of surviving edges, so edge
+    ids in the result are dense and order-compatible with the input. *)
+
+val filter_map_edges :
+  Tgraph.Graph.t ->
+  f:(Tgraph.Edge.t -> (int * int * int * int * int) option) ->
+  Tgraph.Graph.t * int array
+(** [filter_map_edges g ~f] rebuilds [g] in edge-id order: [f e] returns
+    [None] to drop edge [e], or [Some (src, dst, lbl, ts, te)] to keep a
+    (possibly rewritten) copy. The second component maps each new edge
+    id to the old id it came from. The label table is shared with [g]. *)
+
+val drop_edges :
+  Tgraph.Graph.t -> keep:(int -> bool) -> Tgraph.Graph.t * int array
+(** Keeps exactly the edges whose old id satisfies [keep]; returns the
+    new graph and the new-id-to-old-id map. *)
+
+val shift_time : Tgraph.Graph.t -> delta:int -> Tgraph.Graph.t
+(** Translates every edge interval by [delta] timestamps. *)
+
+val reverse_time : Tgraph.Graph.t -> anchor:int -> Tgraph.Graph.t
+(** Maps every edge interval [ts, te] to [anchor - te, anchor - ts].
+    Callers pick [anchor >= max te] to keep timestamps non-negative. *)
+
+val relabel_edges : Tgraph.Graph.t -> perm:int array -> Tgraph.Graph.t
+(** Rewrites every edge label [l] to [perm.(l)]; [perm] must be a
+    permutation of the label-id range, so the shared table stays valid. *)
+
+val merge_vertices : Tgraph.Graph.t -> keep:int -> drop:int -> Tgraph.Graph.t
+(** Redirects every endpoint equal to [drop] onto [keep]. *)
+
+val clamp_edge_interval :
+  Tgraph.Graph.t -> edge:int -> Temporal.Interval.t -> Tgraph.Graph.t
+(** Replaces the interval of the one edge id [edge]. *)
+
+(** {2 Query mutators} *)
+
+val map_query_labels :
+  Semantics.Query.t -> f:(int -> int) -> Semantics.Query.t
+(** Rewrites every real label constraint through [f]; wildcard edges are
+    preserved untouched. *)
+
+val restrict_query :
+  Semantics.Query.t -> keep:int list -> Semantics.Query.t * int array
+(** The sub-pattern made of the given edge indices (deduped, evaluated
+    in ascending order), with variables renumbered compactly in order of
+    appearance; window and duration floor preserved. The second
+    component maps each new edge index to the old one.
+    @raise Invalid_argument on an empty or out-of-range [keep]. *)
+
+val query_component : Semantics.Query.t -> int -> int list
+(** The edge indices of the connected component (edges sharing an
+    endpoint variable, ignoring direction) containing edge [i], sorted
+    ascending. *)

@@ -1,0 +1,220 @@
+(* The conformance layer under test: each metamorphic relation as a
+   QCheck property over random graphs and queries, the delta-debugging
+   shrinker, the reproducer file format, and the fuzz harness end to
+   end — including the injected-fault path that must minimize a seeded
+   divergence to a tiny reproducer and replay it. *)
+
+open Conformance
+
+let case_of seed =
+  let g =
+    Testkit.random_graph ~seed ~n_vertices:6 ~n_edges:40 ~n_labels:3
+      ~domain:30 ~max_len:8 ()
+  in
+  let rng = Random.State.make [| seed; 11 |] in
+  let ws = Random.State.int rng 30 in
+  let we = min 29 (ws + Random.State.int rng 30) in
+  let window = Temporal.Interval.make ws (max ws we) in
+  let q =
+    Testkit.random_query ~seed:((seed * 13) + 1) ~n_labels:3 ~max_edges:3
+      ~window
+  in
+  Case.make g q
+
+(* one property per relation, each through a different engine variant so
+   the matrix gets cross coverage even at property-test budgets *)
+let relation_prop ~relation ~engine =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "%s holds on %s" relation engine)
+    ~count:40
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let case = case_of seed in
+      let check =
+        Check.Relation { relation; engine; relseed = (seed * 7) + 5 }
+      in
+      match Harness.run_check ~inject_fault:false case check with
+      | Ok () -> true
+      | Error msg -> QCheck.Test.fail_reportf "%s" msg)
+
+let relation_props =
+  [
+    relation_prop ~relation:"window-containment" ~engine:"binary";
+    relation_prop ~relation:"translation" ~engine:"hybrid";
+    relation_prop ~relation:"time-reversal" ~engine:"time";
+    relation_prop ~relation:"edge-deletion" ~engine:"tsrjoin-opt";
+    relation_prop ~relation:"label-renaming" ~engine:"tsrjoin-basic";
+    relation_prop ~relation:"sub-pattern" ~engine:"tsrjoin-adaptive";
+  ]
+
+let prop_parallel_and_analyzer =
+  QCheck.Test.make ~name:"parallel and analyzer checks pass" ~count:15
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let case = case_of seed in
+      let ok = function
+        | Ok () -> true
+        | Error msg -> QCheck.Test.fail_reportf "%s" msg
+      in
+      ok
+        (Harness.run_check ~inject_fault:false case
+           (Check.Parallel { domains = 2 + (seed mod 3) }))
+      && ok (Harness.run_check ~inject_fault:false case Check.Analyzer))
+
+(* ---- shrinker ---- *)
+
+let test_shrink_synthetic () =
+  (* an engine-free predicate with a known minimum: "at least 3 graph
+     edges" must shrink to exactly 3 edges (and collapse the query) *)
+  let case = case_of 42 in
+  Alcotest.(check bool) "starts failing" true (fst (Case.size case) >= 3);
+  let failing c = fst (Case.size c) >= 3 in
+  let minimized, probes = Shrink.minimize ~failing case in
+  let graph_edges, pattern_edges = Case.size minimized in
+  Alcotest.(check int) "exactly 3 graph edges" 3 graph_edges;
+  Alcotest.(check int) "query collapsed to one edge" 1 pattern_edges;
+  Alcotest.(check bool) "spent probes" true (probes > 0)
+
+(* ---- injected fault: fuzz -> minimize -> reproduce ---- *)
+
+let fault_config =
+  {
+    Harness.default_config with
+    Harness.iterations = 5;
+    inject_fault = true;
+  }
+
+let test_injected_fault_minimizes () =
+  let outcome = Harness.fuzz fault_config in
+  match outcome.Harness.failure with
+  | None -> Alcotest.fail "injected fault was not detected"
+  | Some f ->
+      (match f.Harness.check with
+      | Check.Differential { engine } ->
+          Alcotest.(check string) "broken engine blamed" "broken" engine
+      | c -> Alcotest.fail ("wrong check blamed: " ^ Check.describe c));
+      let graph_edges, _ = Case.size f.Harness.minimized in
+      Alcotest.(check bool)
+        (Printf.sprintf "minimized to <= 4 graph edges (got %d)" graph_edges)
+        true (graph_edges <= 4);
+      (* the minimized case must still reproduce deterministically *)
+      let repro = Harness.repro_of_failure fault_config f in
+      (match Harness.replay ~inject_fault:true repro with
+      | Error _ -> ()
+      | Ok () -> Alcotest.fail "minimized reproducer does not reproduce");
+      (* ... and be clean for the real engines *)
+      (match
+         Harness.run_check ~inject_fault:false f.Harness.minimized
+           (Check.Differential { engine = "tsrjoin-opt" })
+       with
+      | Ok () -> ()
+      | Error msg -> Alcotest.fail ("real engine diverges on reproducer: " ^ msg))
+
+let edges_of g =
+  List.rev
+    (Tgraph.Graph.fold_edges
+       (fun acc e ->
+         ( Tgraph.Edge.src e,
+           Tgraph.Edge.dst e,
+           Tgraph.Edge.lbl e,
+           Tgraph.Edge.ts e,
+           Tgraph.Edge.te e )
+         :: acc)
+       [] g)
+
+let test_repro_roundtrip () =
+  let outcome = Harness.fuzz fault_config in
+  match outcome.Harness.failure with
+  | None -> Alcotest.fail "injected fault was not detected"
+  | Some f -> (
+      let repro = Harness.repro_of_failure fault_config f in
+      let path = Filename.temp_file "tcsq-test" ".repro" in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove path)
+        (fun () ->
+          Repro.save repro path;
+          match Repro.load path with
+          | Error msg -> Alcotest.fail msg
+          | Ok r ->
+              Alcotest.(check string)
+                "check survives the roundtrip"
+                (Check.describe repro.Repro.check)
+                (Check.describe r.Repro.check);
+              Alcotest.(check (option int))
+                "seed survives" repro.Repro.seed r.Repro.seed;
+              Alcotest.(check string)
+                "summary survives" repro.Repro.summary r.Repro.summary;
+              Alcotest.(check (list (list int)))
+                "graph survives"
+                (List.map
+                   (fun (a, b, c, d, e) -> [ a; b; c; d; e ])
+                   (edges_of repro.Repro.case.Case.graph))
+                (List.map
+                   (fun (a, b, c, d, e) -> [ a; b; c; d; e ])
+                   (edges_of r.Repro.case.Case.graph));
+              Alcotest.(check string)
+                "query survives"
+                (Semantics.Qlang.render repro.Repro.case.Case.graph
+                   repro.Repro.case.Case.query)
+                (Semantics.Qlang.render r.Repro.case.Case.graph
+                   r.Repro.case.Case.query);
+              (* the reloaded reproducer still reproduces *)
+              match Harness.replay ~inject_fault:true r with
+              | Error _ -> ()
+              | Ok () -> Alcotest.fail "reloaded reproducer does not reproduce"))
+
+let test_repro_rejects_garbage () =
+  (match Repro.of_string "not a reproducer\n" with
+  | Ok _ -> Alcotest.fail "accepted garbage"
+  | Error _ -> ());
+  match Repro.of_string "tcsq-repro/v1\ncheck: differential\n" with
+  | Ok _ -> Alcotest.fail "accepted a truncated reproducer"
+  | Error _ -> ()
+
+(* ---- harness end to end ---- *)
+
+let test_clean_fuzz () =
+  let config = { Harness.default_config with Harness.iterations = 2 } in
+  let outcome = Harness.fuzz config in
+  (match outcome.Harness.failure with
+  | None -> ()
+  | Some f -> Alcotest.fail f.Harness.detail);
+  Alcotest.(check int) "18 queries per iteration" 36
+    outcome.Harness.counts.Harness.queries;
+  Alcotest.(check bool) "relations ran" true
+    (outcome.Harness.counts.Harness.relation > 0)
+
+let test_clean_fuzz_wire () =
+  let config =
+    { Harness.default_config with Harness.iterations = 1; wire = true }
+  in
+  let outcome = Harness.fuzz config in
+  match outcome.Harness.failure with
+  | None -> ()
+  | Some f -> Alcotest.fail f.Harness.detail
+
+let qsuite tests = List.map (QCheck_alcotest.to_alcotest ~long:false) tests
+
+let () =
+  Alcotest.run "conformance"
+    [
+      ("relations", qsuite relation_props);
+      ("checks", qsuite [ prop_parallel_and_analyzer ]);
+      ( "shrinker",
+        [ Alcotest.test_case "synthetic minimum" `Quick test_shrink_synthetic ]
+      );
+      ( "reproducers",
+        [
+          Alcotest.test_case "injected fault minimizes" `Quick
+            test_injected_fault_minimizes;
+          Alcotest.test_case "file roundtrip" `Quick test_repro_roundtrip;
+          Alcotest.test_case "rejects malformed input" `Quick
+            test_repro_rejects_garbage;
+        ] );
+      ( "harness",
+        [
+          Alcotest.test_case "clean fuzz" `Quick test_clean_fuzz;
+          Alcotest.test_case "clean fuzz over the wire" `Quick
+            test_clean_fuzz_wire;
+        ] );
+    ]
