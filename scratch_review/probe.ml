@@ -1,0 +1,18 @@
+open Semantics
+let () =
+  let g =
+    Testkit.random_graph ~seed:1 ~n_vertices:4 ~n_edges:5 ~n_labels:2
+      ~domain:20 ~max_len:5 ()
+  in
+  let q = Testkit.random_query ~seed:2 ~n_labels:2 ~max_edges:2
+      ~window:(Temporal.Interval.make 0 19) in
+  let case = Conformance.Case.make g q in
+  (* fails iff the window is wider than a point: minimal failing window
+     has we = ws + 1, and neither point-window candidate fails *)
+  let failing c =
+    let q = c.Conformance.Case.query in
+    Query.we q > Query.ws q
+  in
+  let m, probes = Conformance.Shrink.minimize ~failing ~max_probes:2000 case in
+  let q = m.Conformance.Case.query in
+  Printf.printf "window [%d,%d] probes=%d\n" (Query.ws q) (Query.we q) probes
