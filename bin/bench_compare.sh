@@ -1,0 +1,74 @@
+#!/bin/sh
+# Performance-regression tripwire: run the fig10 bench workload exactly
+# as BENCH_seed.json was produced (--scale 0.1 --queries 3 --json) and
+# compare per-(experiment, dataset, pattern, method) mean_s against the
+# committed seed.  Anything more than 25% slower prints a WARNING —
+# laptop-scale microsecond timings are noisy, so this never fails the
+# build (always exits 0); it exists to make a real regression visible
+# in the check.sh log, not to gate on one.
+set -u
+
+HERE=$(cd "$(dirname "$0")" && pwd)
+if [ -z "${BENCH:-}" ]; then
+    if [ -x "$HERE/../bench/main.exe" ]; then
+        BENCH=$HERE/../bench/main.exe
+    else
+        BENCH=$HERE/../_build/default/bench/main.exe
+    fi
+fi
+SEED=${SEED:-$HERE/../BENCH_seed.json}
+
+[ -x "$BENCH" ] || { echo "bench_compare: no bench binary at $BENCH (dune build first)" >&2; exit 0; }
+[ -f "$SEED" ] || { echo "bench_compare: no committed seed at $SEED" >&2; exit 0; }
+
+TMP=$(mktemp -d "${TMPDIR:-/tmp}/tcsq-bench-compare-XXXXXX")
+trap 'rm -rf "$TMP"' EXIT INT TERM
+
+"$BENCH" --scale 0.1 --queries 3 --json "$TMP/fresh.json" fig10 >/dev/null 2>&1 \
+    || { echo "bench_compare: WARNING: fresh bench run failed; skipping comparison" >&2; exit 0; }
+
+# flatten a tcsq-bench/v1 file into "experiment/dataset/pattern/method mean_s"
+# lines; POSIX awk only (no gawk record separators)
+extract() {
+    sed 's/{"experiment"/\
+{"experiment"/g' "$1" | awk '
+        /"experiment"/ {
+            n = split($0, f, "\"")
+            ex = ""; ds = ""; pat = ""; m = ""
+            for (i = 2; i < n; i++) {
+                if (f[i] == "experiment") ex = f[i + 2]
+                else if (f[i] == "dataset") ds = f[i + 2]
+                else if (f[i] == "pattern") pat = f[i + 2]
+                else if (f[i] == "method") m = f[i + 2]
+            }
+            if (ex != "" && match($0, /"mean_s": [0-9.eE+-]+/))
+                print ex "/" ds "/" pat "/" m, substr($0, RSTART + 10, RLENGTH - 10)
+        }'
+}
+
+extract "$SEED" | sort >"$TMP/seed.tsv"
+extract "$TMP/fresh.json" | sort >"$TMP/fresh.tsv"
+
+[ -s "$TMP/seed.tsv" ] || { echo "bench_compare: WARNING: could not parse $SEED" >&2; exit 0; }
+[ -s "$TMP/fresh.tsv" ] || { echo "bench_compare: WARNING: could not parse fresh bench output" >&2; exit 0; }
+
+join "$TMP/seed.tsv" "$TMP/fresh.tsv" | awk '
+    {
+        key = $1; seed = $2 + 0; fresh = $3 + 0
+        total++
+        if (seed > 0 && fresh > seed * 1.25) {
+            slower++
+            printf "bench_compare: WARNING: %s is %.0f%% slower than the seed (%.6fs vs %.6fs)\n", \
+                key, (fresh / seed - 1) * 100, fresh, seed
+        }
+    }
+    END {
+        printf "bench_compare: %d measurement keys compared, %d above the 25%% warning threshold\n", \
+            total, slower + 0
+    }'
+
+missing=$(join -v 1 "$TMP/seed.tsv" "$TMP/fresh.tsv" | wc -l)
+[ "$missing" -eq 0 ] \
+    || echo "bench_compare: WARNING: $missing seed measurement key(s) absent from the fresh run" >&2
+
+exit 0

@@ -1,0 +1,156 @@
+#!/bin/sh
+# End-to-end smoke test for `tcsq explain`: a golden full report over the
+# committed bike example workload (the analyzer output is deterministic —
+# synthetic datasets are fixed-seed and the report carries no timings),
+# a tcsq-explain/v1 JSON schema check over the yellow workload, a
+# dominated-plan (P008) check via an explicit bad pivot order, and
+# malformed-input exit-code checks.
+set -u
+
+# works both from the source tree (bin/explain_smoke.sh, binary under
+# _build) and as a dune rule (sandbox copies tcsq.exe next to the script)
+HERE=$(cd "$(dirname "$0")" && pwd)
+if [ -z "${TCSQ:-}" ]; then
+    if [ -x "$HERE/tcsq.exe" ]; then
+        TCSQ=$HERE/tcsq.exe
+    else
+        TCSQ=$HERE/../_build/default/bin/tcsq.exe
+    fi
+fi
+QUERIES=$HERE/../examples/queries
+
+TMP=$(mktemp -d "${TMPDIR:-/tmp}/tcsq-explain-smoke-XXXXXX")
+trap 'rm -rf "$TMP"' EXIT INT TERM
+
+fail() {
+    echo "explain_smoke: FAIL: $*" >&2
+    exit 1
+}
+
+# ---- golden report over the bike example workload ----
+
+"$TCSQ" explain --dataset bike --scale 0.02 --queries "$QUERIES/bike.tcsq" \
+    >"$TMP/got" 2>"$TMP/stderr" \
+    || fail "explain over bike.tcsq exited $? (stderr: $(cat "$TMP/stderr"))"
+cat >"$TMP/expected" <<'EOF'
+query(2 vars; window [2000, 4000]; 0:l0(x0,x1))
+effective window [2000, 4000]
+diagnostics: none
+edges:
+  e0 a(x0,x1): 403 labelled edges, 130 alive in window (fraction 0.323)
+plan cost-model (chosen):
+  0: pivot x0 (leapfrog, 187 candidates) matches [e0:a(x0,x1)] fanout=130 cumulative=130
+  estimated results 130, intermediate tuples 130
+plan adaptive:
+  0: pivot x0 (leapfrog, 187 candidates) matches [e0:a(x0,x1)] fanout=130 cumulative=130
+  estimated results 130, intermediate tuples 130
+ranking: cost-model has the lowest estimated intermediate total — the planner's choice stands
+query(3 vars; window [1000, 6000]; 0:l1(x0,x1) 1:l2(x1,x2))
+effective window [1000, 6000]
+diagnostics: none
+edges:
+  e0 b(x0,x1): 185 labelled edges, 150 alive in window (fraction 0.81)
+  e1 c(x1,x2): 155 labelled edges, 133 alive in window (fraction 0.861)
+plan cost-model (chosen):
+  0: pivot x1 (leapfrog, 59 candidates) matches [e0:b(x0,x1); e1:c(x1,x2)] fanout=1.45 cumulative=1.45
+  estimated results 1.45, intermediate tuples 1.45
+plan adaptive:
+  0: pivot x1 (leapfrog, 59 candidates) matches [e0:b(x0,x1); e1:c(x1,x2)] fanout=1.45 cumulative=1.45
+  estimated results 1.45, intermediate tuples 1.45
+ranking: cost-model has the lowest estimated intermediate total — the planner's choice stands
+query(3 vars; window [3000, 8000]; 0:l0(x0,x1) 1:l3(x0,x2))
+effective window [3000, 8000]
+diagnostics: none
+edges:
+  e0 a(x0,x1): 403 labelled edges, 287 alive in window (fraction 0.711)
+  e1 d(x0,x2): 94 labelled edges, 60.2 alive in window (fraction 0.64)
+plan cost-model (chosen):
+  0: pivot x0 (leapfrog, 61 candidates) matches [e0:a(x0,x1); e1:d(x0,x2)] fanout=1.29 cumulative=1.29
+  estimated results 1.29, intermediate tuples 1.29
+plan adaptive:
+  0: pivot x0 (leapfrog, 61 candidates) matches [e0:a(x0,x1); e1:d(x0,x2)] fanout=1.29 cumulative=1.29
+  estimated results 1.29, intermediate tuples 1.29
+ranking: cost-model has the lowest estimated intermediate total — the planner's choice stands
+query(3 vars; window [0, 9999]; 0:*(x0,x1) 1:*(x2,x1))
+effective window [25, 9999] (tightened from [0, 9999])
+diagnostics:
+  hint[Q014] at window: interval-bound propagation tightens the effective window from [0, 9999] to [25, 9999]; every match lies inside it
+edges:
+  e0 *(x0,x1): 1100 labelled edges, 1.1e+03 alive in window (fraction 1)
+  e1 *(x2,x1): 1100 labelled edges, 1.1e+03 alive in window (fraction 1)
+plan cost-model (chosen):
+  0: pivot x1 (leapfrog, 224 candidates) matches [e0:*(x0,x1); e1:*(x2,x1)] fanout=241 cumulative=241
+  estimated results 241, intermediate tuples 241
+plan adaptive:
+  0: pivot x1 (leapfrog, 224 candidates) matches [e0:*(x0,x1); e1:*(x2,x1)] fanout=241 cumulative=241
+  estimated results 241, intermediate tuples 241
+ranking: cost-model has the lowest estimated intermediate total — the planner's choice stands
+query(2 vars; window [500, 9500]; min duration 10; 0:l4(x0,x1))
+effective window [500, 9500]
+diagnostics: none
+edges:
+  e0 e(x0,x1): 73 labelled edges, 73 alive in window (fraction 1)
+plan cost-model (chosen):
+  0: pivot x0 (leapfrog, 60 candidates) matches [e0:e(x0,x1)] fanout=73 cumulative=73
+  estimated results 73, intermediate tuples 73
+plan adaptive:
+  0: pivot x0 (leapfrog, 60 candidates) matches [e0:e(x0,x1)] fanout=73 cumulative=73
+  estimated results 73, intermediate tuples 73
+ranking: cost-model has the lowest estimated intermediate total — the planner's choice stands
+EOF
+sed 's/[[:space:]]*$//' "$TMP/got" >"$TMP/got.norm"
+diff -u "$TMP/expected" "$TMP/got.norm" >&2 \
+    || fail "bike report differs from golden"
+echo "explain_smoke: bike golden clean"
+
+# the workload deliberately contains one window the analyzer can tighten
+grep -q 'tightened from' "$TMP/got" \
+    || fail "no window-tightening annotation in the bike report"
+
+# ---- JSON mode over the yellow workload: one tcsq-explain/v1 object
+#      per statement ----
+
+"$TCSQ" explain --dataset yellow --scale 0.02 \
+    --queries "$QUERIES/yellow.tcsq" --json >"$TMP/json" 2>/dev/null \
+    || fail "explain --json over yellow.tcsq exited $?"
+statements=$(grep -cv '^[[:space:]]*\(#\|$\)' "$QUERIES/yellow.tcsq")
+lines=$(wc -l <"$TMP/json")
+[ "$lines" -eq "$statements" ] \
+    || fail "expected $statements JSON lines, got $lines"
+while IFS= read -r line; do
+    case $line in
+    '{"schema": "tcsq-explain/v1"'*) ;;
+    *) fail "JSON line lacks the tcsq-explain/v1 schema tag: $line" ;;
+    esac
+done <"$TMP/json"
+grep -q '"plans": \[{"name": "cost-model", "chosen": true' "$TMP/json" \
+    || fail "JSON output lost the chosen cost-model plan"
+grep -q '"estimated_intermediate"' "$TMP/json" \
+    || fail "JSON output lost the intermediate-tuple estimate"
+echo "explain_smoke: yellow JSON schema clean ($statements statements)"
+
+# ---- a deliberately bad pivot order must be flagged P008 ----
+
+"$TCSQ" explain --dataset bike --scale 0.02 \
+    --match 'MATCH (s)-[a]->(t), (s)-[d]->(u) IN [3000, 8000]' \
+    --pivot-order 1,0,2 >"$TMP/p008" 2>/dev/null \
+    || fail "explain --pivot-order exited $?"
+grep -q 'warning\[P008\].*pivot-order is dominated' "$TMP/p008" \
+    || fail "bad pivot order not flagged P008"
+echo "explain_smoke: dominated-plan (P008) clean"
+
+# ---- malformed inputs are usage errors (exit 2), not crashes ----
+
+"$TCSQ" explain --dataset bike --scale 0.02 \
+    --match 'MATCH garbage' >/dev/null 2>&1
+rc=$?
+[ "$rc" -eq 2 ] || fail "malformed --match exited $rc, want 2"
+
+printf 'MATCH (x)-[a->(y) IN [0, 100]\n' >"$TMP/bad.tcsq"
+"$TCSQ" explain --dataset bike --scale 0.02 --queries "$TMP/bad.tcsq" \
+    >/dev/null 2>&1
+rc=$?
+[ "$rc" -eq 2 ] || fail "malformed workload statement exited $rc, want 2"
+echo "explain_smoke: malformed-input handling clean"
+
+echo "explain_smoke: golden/json/p008/malformed all clean"

@@ -357,32 +357,132 @@ let profile_cmd =
       $ pattern_arg $ labels_arg $ window_arg $ window_frac_arg $ lasting_arg
       $ method_arg $ domains_arg $ trace_arg)
 
+let parse_pivot_order s =
+  let parts = String.split_on_char ',' (String.trim s) in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | p :: rest -> (
+        match int_of_string_opt (String.trim p) with
+        | Some v -> go (v :: acc) rest
+        | None -> Error (Printf.sprintf "bad pivot order %S" s))
+  in
+  go [] parts
+
+let read_statement_lines path =
+  let ic = open_in path in
+  let lines =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let acc = ref [] in
+        (try
+           while true do
+             acc := input_line ic :: !acc
+           done
+         with End_of_file -> ());
+        List.rev !acc)
+  in
+  List.filter_map
+    (fun line ->
+      let line = String.trim line in
+      if line = "" || line.[0] = '#' then None else Some line)
+    lines
+
 let explain_cmd =
   let analyze =
     Arg.(
       value & flag
       & info [ "analyze" ]
-          ~doc:"Execute the plan and report per-step counters.")
+          ~doc:"Also execute the chosen plan and report per-step counters.")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit each report as one tcsq-explain/v1 JSON object per line.")
+  in
+  let queries_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "queries" ] ~docv:"FILE"
+          ~doc:
+            "Explain every query-language statement in this workload file.")
+  in
+  let pivot_order_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "pivot-order" ] ~docv:"V1,V2,..."
+          ~doc:
+            "Also estimate the literal plan induced by this pivot-variable \
+             order, as a third candidate next to the cost-model and \
+             adaptive plans.")
   in
   let run file dataset scale match_ pattern labels window window_frac lasting
-      analyze =
+      queries_file pivot_order json analyze =
     let g = or_die (load_graph file dataset scale) in
-    let q =
-      apply_lasting lasting
-        (or_die (parse_query_or_match g match_ pattern labels window window_frac))
+    let order =
+      match pivot_order with
+      | None -> None
+      | Some s -> Some (or_die (parse_pivot_order s))
     in
-    let tai = Tcsq_core.Tai.build g in
-    let plan = Tcsq_core.Plan.build tai q in
-    Format.printf "%a@.%a@." Semantics.Query.pp q Tcsq_core.Plan.pp plan;
-    if analyze then
-      Format.printf "%a@." Tcsq_core.Tsrjoin.pp_profile
-        (Tcsq_core.Tsrjoin.profile ~plan tai q)
+    let target = Analysis.Lint.target_of_graph g in
+    let label_names = Tgraph.Label.names (Tgraph.Graph.labels g) in
+    let queries =
+      match queries_file with
+      | Some path ->
+          List.map
+            (fun line ->
+              match Analysis.Lint.check_text target line with
+              | Some q, _ -> q
+              | None, ds ->
+                  or_die
+                    (Error
+                       (Format.asprintf "%s:@;%a" line
+                          (Format.pp_print_list Analysis.Diagnostic.pp)
+                          ds)))
+            (read_statement_lines path)
+      | None ->
+          [
+            apply_lasting lasting
+              (or_die
+                 (parse_query_or_match g match_ pattern labels window
+                    window_frac));
+          ]
+    in
+    List.iter
+      (fun q ->
+        let report = Analysis.Explain.analyze ?pivot_order:order target q in
+        if json then
+          print_endline (Analysis.Explain.to_json ~label_names report)
+        else begin
+          Format.printf "%a@." (Analysis.Explain.pp ~label_names) report;
+          if analyze then
+            match
+              List.find_opt
+                (fun c -> c.Analysis.Explain.chosen)
+                report.Analysis.Explain.candidates
+            with
+            | Some c ->
+                Format.printf "%a@." Tcsq_core.Tsrjoin.pp_profile
+                  (Tcsq_core.Tsrjoin.profile ~plan:c.Analysis.Explain.plan
+                     (Analysis.Lint.tai target) q)
+            | None -> ()
+        end)
+      queries
   in
-  Cmd.v (Cmd.info "explain" ~doc:"Show the TSRJoin plan for a query.")
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Static cost-annotated report for a query: propagated temporal \
+          bounds, the effective window, per-edge and per-TSRJoin-level \
+          cardinality estimates, and the planner's ranking rationale.")
     Term.(
       const run $ graph_file_arg $ dataset_arg $ scale_arg $ match_arg
       $ pattern_arg $ labels_arg $ window_arg $ window_frac_arg $ lasting_arg
-      $ analyze)
+      $ queries_arg $ pivot_order_arg $ json_arg $ analyze)
 
 let compare_cmd =
   let budget =
@@ -566,17 +666,6 @@ let lint_cmd =
              order (no planner repair): a wrong order surfaces as \
              unbound-pivot / unmatched-edge diagnostics.")
   in
-  let parse_pivot_order s =
-    let parts = String.split_on_char ',' (String.trim s) in
-    let rec go acc = function
-      | [] -> Ok (List.rev acc)
-      | p :: rest -> (
-          match int_of_string_opt (String.trim p) with
-          | Some v -> go (v :: acc) rest
-          | None -> Error (Printf.sprintf "bad pivot order %S" s))
-    in
-    go [] parts
-  in
   (* windows are parsed leniently here: an inverted window must reach the
      analyzer as a diagnostic, not die as a CLI usage error *)
   let raw_window_diags window =
@@ -604,27 +693,11 @@ let lint_cmd =
     let reports =
       match queries_file with
       | Some path ->
-          let ic = open_in path in
-          let lines =
-            Fun.protect
-              ~finally:(fun () -> close_in ic)
-              (fun () ->
-                let acc = ref [] in
-                (try
-                   while true do
-                     acc := input_line ic :: !acc
-                   done
-                 with End_of_file -> ());
-                List.rev !acc)
-          in
-          List.filter_map
+          List.map
             (fun line ->
-              let line = String.trim line in
-              if line = "" || line.[0] = '#' then None
-              else
-                let q, ds = Analysis.Lint.check_text target line in
-                Some (line, q, ds))
-            lines
+              let q, ds = Analysis.Lint.check_text target line in
+              (line, q, ds))
+            (read_statement_lines path)
       | None -> (
           let window_diags = raw_window_diags window in
           if window_diags <> [] then [ ("<window>", None, window_diags) ]
@@ -1037,7 +1110,7 @@ let fuzz_cmd =
        ~doc:
          "Conformance-fuzz the engines: random graphs and queries checked \
           differentially against the brute-force oracle, through the \
-          static analyzer, across a multi-domain run, and under six \
+          static analyzer, across a multi-domain run, and under seven \
           metamorphic relations — on the first divergence, a delta-debugged \
           minimal reproducer file is written.")
     Term.(

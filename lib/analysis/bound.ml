@@ -1,0 +1,194 @@
+open Semantics
+
+type edge_bound = { s_lo : int; s_hi : int; e_lo : int; e_hi : int }
+
+type result = {
+  bounds : edge_bound array;
+  unsat : bool;
+  effective : Temporal.Interval.t option;
+  dead_edges : int list;
+  diagnostics : Diagnostic.t list;
+}
+
+let is_empty b = b.s_lo > b.s_hi || b.e_lo > b.e_hi
+
+(* LASTING comes from user input, so additions must saturate instead of
+   wrapping *)
+let sat_add a b = if a > 0 && b > max_int - a then max_int else a + b
+let sat_sub a b = if b > 0 && a < min_int + b then min_int else a - b
+
+(* per-edge label facts; the wildcard behaves like the union of all
+   labels *)
+let label_facts (env : Query_check.env) lbl =
+  if lbl = Query.any_label then (env.Query_check.span, env.Query_check.max_edge_len)
+  else if lbl < 0 || lbl >= env.Query_check.n_labels then (None, 0)
+  else (env.Query_check.label_spans.(lbl), env.Query_check.label_max_len.(lbl))
+
+let label_name (env : Query_check.env) lbl =
+  if lbl = Query.any_label then "*"
+  else if lbl >= 0 && lbl < Array.length env.Query_check.label_names then
+    env.Query_check.label_names.(lbl)
+  else string_of_int lbl
+
+let trivial ~unsat =
+  { bounds = [||]; unsat; effective = None; dead_edges = []; diagnostics = [] }
+
+(* For a dead edge, look for a pair whose label spans can never share a
+   tick — the most legible cause, phrased through Allen's algebra. *)
+let disjoint_witness spans i =
+  let n = Array.length spans in
+  let rec go j =
+    if j >= n then None
+    else if j = i then go (j + 1)
+    else
+      let rel = Temporal.Allen.classify spans.(i) spans.(j) in
+      if Temporal.Allen.overlaps_in_time rel then go (j + 1)
+      else Some (j, rel)
+  in
+  go 0
+
+let analyze ~env q =
+  let n = Query.n_edges q in
+  if n = 0 then trivial ~unsat:false
+  else if env.Query_check.span = None then trivial ~unsat:true
+  else begin
+    let w = Query.window q in
+    let ws = Temporal.Interval.ts w and we = Temporal.Interval.te w in
+    let d = max 1 (Query.min_duration q) in
+    let edges = Query.edges q in
+    let facts = Array.map (fun (e : Query.edge) -> label_facts env e.Query.lbl) edges in
+    if Array.exists (fun (sp, _) -> sp = None) facts then
+      (* a label with no graph edges: Q003/Q008 already prove this empty *)
+      trivial ~unsat:true
+    else begin
+      let span_of i = match fst facts.(i) with Some sp -> sp | None -> assert false in
+      let maxlen_of i = snd facts.(i) in
+      let b =
+        Array.init n (fun i ->
+            let sp = span_of i in
+            {
+              s_lo = Temporal.Interval.ts sp;
+              s_hi = min we (Temporal.Interval.te sp);
+              e_lo = max ws (Temporal.Interval.ts sp);
+              e_hi = Temporal.Interval.te sp;
+            })
+      in
+      let any_dead = ref (Array.exists is_empty b) in
+      (* integer bounds only tighten inside the label spans, so the loop
+         terminates; the cap bounds worst-case one-tick-per-round chains
+         (losing only precision, never soundness, when it bites) *)
+      let changed = ref true and rounds = ref 0 in
+      while !changed && (not !any_dead) && !rounds < 4096 do
+        changed := false;
+        incr rounds;
+        (* the pairwise rule [s_i + d - 1 <= e_j] for all i, j collapses
+           into two global aggregates *)
+        let min_e_hi = ref max_int and max_s_lo = ref min_int in
+        Array.iter
+          (fun bi ->
+            if bi.e_hi < !min_e_hi then min_e_hi := bi.e_hi;
+            if bi.s_lo > !max_s_lo then max_s_lo := bi.s_lo)
+          b;
+        for i = 0 to n - 1 do
+          let bi = b.(i) in
+          let s_hi = min bi.s_hi (min bi.e_hi (sat_sub !min_e_hi (d - 1))) in
+          let e_lo = max bi.e_lo (max bi.s_lo (sat_add !max_s_lo (d - 1))) in
+          let e_hi = min bi.e_hi (sat_add s_hi (maxlen_of i - 1)) in
+          let s_lo = max bi.s_lo (sat_sub e_lo (maxlen_of i - 1)) in
+          let bi' = { s_lo; s_hi; e_lo; e_hi } in
+          if bi' <> bi then begin
+            b.(i) <- bi';
+            changed := true;
+            if is_empty bi' then any_dead := true
+          end
+        done
+      done;
+      let dead_edges =
+        List.filter (fun i -> is_empty b.(i)) (List.init n Fun.id)
+      in
+      let unsat = dead_edges <> [] in
+      let spans = Array.init n span_of in
+      let diag_dead i =
+        let e = edges.(i) in
+        let lbl = label_name env e.Query.lbl in
+        if d > maxlen_of i && d <= env.Query_check.max_edge_len then
+          Diagnostic.make ~proves_empty:true ~code:"Q013" ~severity:Warning
+            ~location:(Edge i)
+            "LASTING %d exceeds label %S's longest interval (%d ticks); \
+             query edge %d can never hold that long"
+            d lbl (maxlen_of i) i
+        else
+          match disjoint_witness spans i with
+          | Some (j, rel) ->
+              Diagnostic.make ~proves_empty:true ~code:"Q012" ~severity:Warning
+                ~location:(Edge i)
+                "query edge %d can never match: label %S is only alive in \
+                 %s, which is %s label %S's span %s — no instant can lie \
+                 in the clique lifespan"
+                i lbl
+                (Temporal.Interval.to_string spans.(i))
+                (Temporal.Allen.to_string rel)
+                (label_name env edges.(j).Query.lbl)
+                (Temporal.Interval.to_string spans.(j))
+          | None ->
+              Diagnostic.make ~proves_empty:true ~code:"Q012" ~severity:Warning
+                ~location:(Edge i)
+                "query edge %d can never match: propagated bounds are empty \
+                 (start in [%d, %d], end in [%d, %d], window %s, LASTING %d)"
+                i b.(i).s_lo b.(i).s_hi b.(i).e_lo b.(i).e_hi
+                (Temporal.Interval.to_string w)
+                d
+      in
+      if unsat then begin
+        let diagnostics =
+          Diagnostic.make ~proves_empty:true ~code:"Q011" ~severity:Warning
+            ~location:Queryloc
+            "temporal constraint propagation proves the query empty: %d of \
+             %d pattern edges cannot satisfy the joint-overlap and \
+             durability constraints"
+            (List.length dead_edges) n
+          :: List.map diag_dead dead_edges
+        in
+        let diagnostics =
+          List.sort
+            (fun (a : Diagnostic.t) (b : Diagnostic.t) -> compare a.code b.code)
+            diagnostics
+        in
+        { bounds = b; unsat; effective = None; dead_edges; diagnostics }
+      end
+      else begin
+        (* at a true fixpoint, no dead edge forces max s_lo <= min e_hi;
+           if the round cap fired first the bounds may cross, in which
+           case fall back to the original window (sound, imprecise) *)
+        let lo = Array.fold_left (fun acc bi -> max acc bi.s_lo) ws b in
+        let hi = Array.fold_left (fun acc bi -> min acc bi.e_hi) we b in
+        let effective =
+          match Temporal.Interval.make_opt lo hi with Some i -> i | None -> w
+        in
+        let diagnostics =
+          if not (Temporal.Interval.equal effective w) then
+            [
+              Diagnostic.make ~code:"Q014" ~severity:Hint ~location:Window
+                "interval-bound propagation tightens the effective window \
+                 from %s to %s; every match lies inside it"
+                (Temporal.Interval.to_string w)
+                (Temporal.Interval.to_string effective);
+            ]
+          else []
+        in
+        {
+          bounds = b;
+          unsat = false;
+          effective = Some effective;
+          dead_edges = [];
+          diagnostics;
+        }
+      end
+    end
+  end
+
+let tighten ~env q =
+  match (analyze ~env q).effective with
+  | Some w' when not (Temporal.Interval.equal w' (Query.window q)) ->
+      Query.with_window q w'
+  | Some _ | None -> q

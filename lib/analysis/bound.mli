@@ -1,0 +1,69 @@
+(** Pass 1b: temporal constraint propagation (abstract interpretation
+    over interval bounds).
+
+    Every query edge [i] must bind a graph edge whose interval
+    [[s_i, e_i]] (a) overlaps the query window, (b) lies inside its
+    label's observed span, (c) is no longer than its label's longest
+    interval, and (d) shares — with {e every} other matched edge,
+    including itself — at least [LASTING d] common ticks, because the
+    match lifespan is the global intersection of all matched intervals
+    ([max_j s_j + d - 1 <= min_j e_j]). This module abstracts each edge
+    by integer bounds [s_lo <= s_i <= s_hi], [e_lo <= e_i <= e_hi] and
+    iterates the constraints to a fixpoint: bounds only tighten within a
+    finite range, so termination is immediate. The temporal constraint
+    network is the {e complete} graph over query edges — constraint (d)
+    links every pair regardless of shared variables — and pairwise
+    infeasibility is diagnosed through {!Temporal.Allen}: two edges can
+    coexist in a match iff their feasible spans satisfy an
+    {!Temporal.Allen.overlaps_in_time} relation.
+
+    Facts proved:
+    - {b unsatisfiability}: some edge's bounds empty out, so the query
+      has provably zero matches on this graph;
+    - {b dead edges}: which edges emptied, and why;
+    - {b window tightening}: every match's edges all overlap
+      [W' = W ∩ [max_i s_lo_i, min_i e_hi_i]]. Proof that
+      [results(W') = results(W)] {e exactly}: [W' ⊆ W] gives [⊇] (the
+      naive semantics only uses the window as a per-edge overlap
+      filter); conversely any match under [W] has, for every pair
+      [(i, k)], [s_i <= e_k] (the global lifespan is non-empty), so
+      [s_i <= min_k e_k <= min_k e_hi_k] and
+      [e_i >= max_k s_k >= max_k s_lo_k] — every matched edge overlaps
+      [W']. The conformance relation [window-tightening] checks this on
+      every engine.
+
+    Codes:
+    - [Q011] (Warning, proves empty) propagation proves the query empty
+    - [Q012] (Warning, proves empty) a pattern edge can never match
+      (its propagated bounds are empty)
+    - [Q013] (Warning, proves empty) LASTING exceeds one label's longest
+      interval (the per-label refinement of [Q010])
+    - [Q014] (Hint) the effective window is strictly tighter than the
+      query window *)
+
+type edge_bound = { s_lo : int; s_hi : int; e_lo : int; e_hi : int }
+(** Feasible start/end ranges for one query edge. Empty ([s_lo > s_hi]
+    or [e_lo > e_hi]) means the edge is dead. *)
+
+type result = {
+  bounds : edge_bound array;  (** per query edge, at the fixpoint *)
+  unsat : bool;
+      (** provably zero matches (iff some edge's bounds are empty) *)
+  effective : Temporal.Interval.t option;
+      (** the tightened window [W']; [None] when [unsat] or the graph
+          is empty. Always a sub-interval of the query window. *)
+  dead_edges : int list;  (** indices of edges with empty bounds *)
+  diagnostics : Diagnostic.t list;  (** [Q011]-[Q014], in code order *)
+}
+
+val analyze : env:Query_check.env -> Semantics.Query.t -> result
+(** Runs the fixpoint. On an empty graph, or when an edge's label has no
+    graph edges at all, the result is [unsat] with {e no} diagnostics —
+    {!Query_check} already proves those cases empty ([Q003]/[Q008]/
+    [Q009]) and propagation adds nothing. *)
+
+val tighten : env:Query_check.env -> Semantics.Query.t -> Semantics.Query.t
+(** The query with its window replaced by the effective window — the
+    identity when nothing tightens or the query is unsatisfiable (the
+    caller's proves-empty path already short-circuits the latter).
+    Result-set preserving on the env's graph (see above). *)

@@ -1,0 +1,277 @@
+open Semantics
+module Plan = Tcsq_core.Plan
+
+type candidate = {
+  name : string;
+  plan : Plan.t;
+  est : Selectivity.t;
+  chosen : bool;
+  plan_diags : Diagnostic.t list;
+}
+
+type t = {
+  query : Query.t;
+  bound : Bound.result;
+  query_diags : Diagnostic.t list;
+  candidates : candidate list;
+}
+
+let dominance_factor = 4.0
+
+let analyze ?pivot_order target q =
+  let env = Lint.env target in
+  let tai = Lint.tai target and cost = Lint.cost target in
+  let bound = Bound.analyze ~env q in
+  let query_diags = Query_check.check ~env q @ bound.Bound.diagnostics in
+  let window =
+    match bound.Bound.effective with
+    | Some w -> w
+    | None -> Query.window q
+  in
+  let raw =
+    [
+      ("cost-model", Plan.build ~cost tai q);
+      ("adaptive", Plan.build_adaptive ~cost tai q);
+    ]
+    @
+    match pivot_order with
+    | None -> []
+    | Some order -> [ ("pivot-order", Plan.of_pivot_order_unchecked q order) ]
+  in
+  let scored =
+    List.map
+      (fun (name, plan) ->
+        (name, plan, Selectivity.estimate ~window ~cost tai plan,
+         Plan_check.check plan))
+      raw
+  in
+  (* dominance is judged among structurally valid candidates only *)
+  let cost_of (_, _, est, ds) =
+    if Diagnostic.has_errors ds then infinity
+    else est.Selectivity.estimated_intermediate
+  in
+  let best =
+    List.fold_left (fun acc c -> Float.min acc (cost_of c)) infinity scored
+  in
+  let candidates =
+    List.map
+      (fun ((name, plan, est, ds) as c) ->
+        let my_cost = cost_of c in
+        let dominated =
+          if
+            Float.is_finite my_cost
+            && Float.is_finite best
+            && my_cost > best *. dominance_factor
+            && my_cost > best +. 1.0
+          then
+            [
+              Diagnostic.make ~code:"P008" ~severity:Warning ~location:Planloc
+                "plan %s is dominated: estimated %.3g intermediate tuples \
+                 vs %.3g for the best candidate (x%.1f)"
+                name my_cost best
+                (my_cost /. Float.max best 1e-9);
+            ]
+          else []
+        in
+        { name; plan; est; chosen = name = "cost-model";
+          plan_diags = ds @ dominated })
+      scored
+  in
+  { query = q; bound; query_diags; candidates }
+
+let diagnostics t =
+  t.query_diags @ List.concat_map (fun c -> c.plan_diags) t.candidates
+
+let label_string ~label_names lbl =
+  if lbl = Query.any_label then "*"
+  else if lbl >= 0 && lbl < Array.length label_names then label_names.(lbl)
+  else string_of_int lbl
+
+let best_name t =
+  let valid =
+    List.filter
+      (fun c -> not (Diagnostic.has_errors c.plan_diags))
+      t.candidates
+  in
+  match valid with
+  | [] -> None
+  | c :: rest ->
+      Some
+        (List.fold_left
+           (fun acc c ->
+             if
+               c.est.Selectivity.estimated_intermediate
+               < acc.est.Selectivity.estimated_intermediate
+             then c
+             else acc)
+           c rest)
+          .name
+
+let pp ~label_names fmt t =
+  let q = t.query in
+  Format.fprintf fmt "@[<v>%a@," Query.pp q;
+  (match t.bound.Bound.effective with
+  | Some w when not (Temporal.Interval.equal w (Query.window q)) ->
+      Format.fprintf fmt "effective window %s (tightened from %s)@,"
+        (Temporal.Interval.to_string w)
+        (Temporal.Interval.to_string (Query.window q))
+  | Some _ ->
+      Format.fprintf fmt "effective window %s@,"
+        (Temporal.Interval.to_string (Query.window q))
+  | None ->
+      Format.fprintf fmt "effective window: none (provably empty)@,");
+  (match t.query_diags with
+  | [] -> Format.fprintf fmt "diagnostics: none@,"
+  | ds ->
+      Format.fprintf fmt "diagnostics:@,";
+      List.iter (fun d -> Format.fprintf fmt "  %a@," Diagnostic.pp d) ds);
+  Format.fprintf fmt "edges:@,";
+  List.iter
+    (fun (ee : Selectivity.edge_estimate) ->
+      let e = ee.Selectivity.edge in
+      Format.fprintf fmt
+        "  e%d %s(x%d,x%d): %.0f labelled edges, %.3g alive in window \
+         (fraction %.3g)@,"
+        e.Query.idx
+        (label_string ~label_names e.Query.lbl)
+        e.Query.src_var e.Query.dst_var ee.Selectivity.count
+        ee.Selectivity.expected_active ee.Selectivity.window_fraction)
+    (match t.candidates with
+    | c :: _ -> Array.to_list c.est.Selectivity.edges
+    | [] -> []);
+  List.iter
+    (fun c ->
+      Format.fprintf fmt "plan %s%s:@," c.name
+        (if c.chosen then " (chosen)" else "");
+      Array.iter
+        (fun (se : Selectivity.step_estimate) ->
+          let st = (Plan.steps c.plan).(se.Selectivity.step_index) in
+          let edges =
+            String.concat "; "
+              (Array.to_list
+                 (Array.map
+                    (fun (e : Query.edge) ->
+                      Printf.sprintf "e%d:%s(x%d,x%d)" e.Query.idx
+                        (label_string ~label_names e.Query.lbl)
+                        e.Query.src_var e.Query.dst_var)
+                    st.Plan.edges))
+          in
+          match se.Selectivity.candidates with
+          | Some cands ->
+              Format.fprintf fmt
+                "  %d: pivot x%d (leapfrog, %d candidates) matches [%s] \
+                 fanout=%.3g cumulative=%.3g@,"
+                se.Selectivity.step_index se.Selectivity.pivot cands edges
+                se.Selectivity.fanout se.Selectivity.cumulative
+          | None ->
+              Format.fprintf fmt
+                "  %d: pivot x%d matches [%s] fanout=%.3g cumulative=%.3g@,"
+                se.Selectivity.step_index se.Selectivity.pivot edges
+                se.Selectivity.fanout se.Selectivity.cumulative)
+        c.est.Selectivity.steps;
+      Format.fprintf fmt
+        "  estimated results %.3g, intermediate tuples %.3g@,"
+        c.est.Selectivity.estimated_results
+        c.est.Selectivity.estimated_intermediate;
+      List.iter (fun d -> Format.fprintf fmt "  %a@," Diagnostic.pp d)
+        c.plan_diags)
+    t.candidates;
+  (match best_name t with
+  | Some name ->
+      Format.fprintf fmt
+        "ranking: %s has the lowest estimated intermediate total%s" name
+        (if name = "cost-model" then " — the planner's choice stands"
+         else " — the executed cost-model plan is outranked")
+  | None -> Format.fprintf fmt "ranking: no structurally valid candidate");
+  Format.fprintf fmt "@]"
+
+let est_to_json (est : Selectivity.t) =
+  Json_out.obj
+    [
+      ( "window",
+        Json_out.obj
+          [
+            ("ws", string_of_int est.Selectivity.ws);
+            ("we", string_of_int est.Selectivity.we);
+          ] );
+      ("estimated_results", Printf.sprintf "%.6g" est.Selectivity.estimated_results);
+      ( "estimated_intermediate",
+        Printf.sprintf "%.6g" est.Selectivity.estimated_intermediate );
+      ( "steps",
+        Json_out.arr
+          (Array.to_list
+             (Array.map
+                (fun (se : Selectivity.step_estimate) ->
+                  Json_out.obj
+                    ([
+                       ("index", string_of_int se.Selectivity.step_index);
+                       ("pivot", string_of_int se.Selectivity.pivot);
+                       ("root", string_of_bool se.Selectivity.root);
+                       ("n_edges", string_of_int se.Selectivity.n_edges);
+                     ]
+                    @ (match se.Selectivity.candidates with
+                      | Some c -> [ ("candidates", string_of_int c) ]
+                      | None -> [])
+                    @ [
+                        ("fanout", Printf.sprintf "%.6g" se.Selectivity.fanout);
+                        ( "cumulative",
+                          Printf.sprintf "%.6g" se.Selectivity.cumulative );
+                      ]))
+                est.Selectivity.steps)) );
+    ]
+
+let to_json ~label_names t =
+  let q = t.query in
+  let interval_json w =
+    Json_out.obj
+      [
+        ("ws", string_of_int (Temporal.Interval.ts w));
+        ("we", string_of_int (Temporal.Interval.te w));
+      ]
+  in
+  Json_out.obj
+    [
+      ("schema", "\"tcsq-explain/v1\"");
+      ("query", Json_out.escape_string (Format.asprintf "%a" Query.pp q));
+      ("window", interval_json (Query.window q));
+      ( "effective_window",
+        match t.bound.Bound.effective with
+        | Some w -> interval_json w
+        | None -> "null" );
+      ("unsat", string_of_bool t.bound.Bound.unsat);
+      ("diagnostics", Diagnostic.list_to_json t.query_diags);
+      ( "edges",
+        Json_out.arr
+          (match t.candidates with
+          | [] -> []
+          | c :: _ ->
+              Array.to_list
+                (Array.map
+                   (fun (ee : Selectivity.edge_estimate) ->
+                     let e = ee.Selectivity.edge in
+                     Json_out.obj
+                       [
+                         ("edge", string_of_int e.Query.idx);
+                         ( "label",
+                           Json_out.escape_string
+                             (label_string ~label_names e.Query.lbl) );
+                         ("count", Printf.sprintf "%.6g" ee.Selectivity.count);
+                         ( "window_fraction",
+                           Printf.sprintf "%.6g" ee.Selectivity.window_fraction );
+                         ( "expected_active",
+                           Printf.sprintf "%.6g" ee.Selectivity.expected_active );
+                       ])
+                   c.est.Selectivity.edges)) );
+      ( "plans",
+        Json_out.arr
+          (List.map
+             (fun c ->
+               Json_out.obj
+                 [
+                   ("name", Json_out.escape_string c.name);
+                   ("chosen", string_of_bool c.chosen);
+                   ("estimate", est_to_json c.est);
+                   ("diagnostics", Diagnostic.list_to_json c.plan_diags);
+                 ])
+             t.candidates) );
+    ]

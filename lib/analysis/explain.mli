@@ -1,0 +1,53 @@
+(** Pass 3: the cost-annotated plan report behind [tcsq explain].
+
+    Combines the three analysis passes into one artifact: query
+    diagnostics ({!Query_check} + {!Bound}), the propagated interval
+    bounds and effective window, and — per candidate plan — the
+    {!Selectivity} estimate annotated onto every TSRJoin level, plus
+    plan-invariant diagnostics and [P008] dominated-plan warnings.
+
+    Candidates are the cost-model plan (the one the engine executes),
+    the adaptive planner's plan, and optionally the literal plan induced
+    by an explicit pivot order. A candidate is {e dominated} when its
+    estimated intermediate-tuple total exceeds the best valid
+    candidate's by more than {!dominance_factor}; the report states the
+    ranking rationale either way.
+
+    Codes:
+    - [P008] (Warning) dominated plan: estimated cost exceeds the best
+      candidate's by more than {!dominance_factor} *)
+
+type candidate = {
+  name : string;  (** ["cost-model"], ["adaptive"] or ["pivot-order"] *)
+  plan : Tcsq_core.Plan.t;
+  est : Selectivity.t;  (** against the {e effective} window *)
+  chosen : bool;  (** what {!Workload.Engine} would execute *)
+  plan_diags : Diagnostic.t list;  (** plan invariants + [P008] *)
+}
+
+type t = {
+  query : Semantics.Query.t;
+  bound : Bound.result;
+  query_diags : Diagnostic.t list;  (** {!Query_check} + {!Bound} *)
+  candidates : candidate list;
+}
+
+val dominance_factor : float
+(** 4.0: a plan estimated at over 4x the best candidate's intermediate
+    tuples is flagged [P008]. *)
+
+val analyze : ?pivot_order:int list -> Lint.target -> Semantics.Query.t -> t
+(** Estimates use {!Bound}'s effective window so the report reflects
+    what propagation already proved. Never raises on planner-invalid
+    candidates — their diagnostics ride in [plan_diags]. *)
+
+val diagnostics : t -> Diagnostic.t list
+(** Everything, query diagnostics first, for exit-code decisions. *)
+
+val pp : label_names:string array -> Format.formatter -> t -> unit
+(** The human-readable report: effective window, per-edge expected
+    cardinalities, per-step estimate table per candidate, ranking
+    rationale. Deterministic (no timings). *)
+
+val to_json : label_names:string array -> t -> string
+(** Schema ["tcsq-explain/v1"]. *)

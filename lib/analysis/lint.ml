@@ -12,12 +12,15 @@ let target_of_tai tai =
 let target_of_graph g = target_of_tai (Tai.build g)
 
 let env t = t.env
+let tai t = t.tai
+let cost t = t.cost
 
 let check_query t q =
   let ds = Query_check.check ~env:t.env q in
   if Diagnostic.has_errors ds then ds
   else
     ds
+    @ (Bound.analyze ~env:t.env q).Bound.diagnostics
     @ Plan_check.check (Plan.build ~cost:t.cost t.tai q)
     @ Plan_check.check (Plan.build_adaptive ~cost:t.cost t.tai q)
 

@@ -12,10 +12,13 @@ val target_of_tai : Tcsq_core.Tai.t -> target
 (** Reuse an existing TAI (e.g. the engine's) instead of rebuilding. *)
 
 val env : target -> Query_check.env
+val tai : target -> Tcsq_core.Tai.t
+val cost : target -> Tcsq_core.Plan.cost_model
 
 val check_query : target -> Semantics.Query.t -> Diagnostic.t list
-(** {!Query_check.check} plus, when it reports no [Error], plan checks
-    on the cost-model plan and the adaptive plan. *)
+(** {!Query_check.check} plus, when it reports no [Error],
+    {!Bound.analyze}'s propagation diagnostics and plan checks on the
+    cost-model plan and the adaptive plan. *)
 
 val check_pivot_order :
   target -> Semantics.Query.t -> int list -> Diagnostic.t list

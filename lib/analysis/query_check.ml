@@ -6,18 +6,27 @@ type env = {
   label_counts : int array;
   span : Temporal.Interval.t option;
   max_edge_len : int;
+  label_spans : Temporal.Interval.t option array;
+  label_max_len : int array;
 }
 
 let env_of_graph g =
   let n_labels = Tgraph.Graph.n_labels g in
   let label_counts = Array.make n_labels 0 in
   let max_edge_len = ref 0 in
+  let label_spans = Array.make n_labels None in
+  let label_max_len = Array.make n_labels 0 in
   Tgraph.Graph.iter_edges
     (fun e ->
       let l = Tgraph.Edge.lbl e in
+      let ivl = Tgraph.Edge.ivl e in
       label_counts.(l) <- label_counts.(l) + 1;
-      max_edge_len :=
-        max !max_edge_len (Temporal.Interval.length (Tgraph.Edge.ivl e)))
+      max_edge_len := max !max_edge_len (Temporal.Interval.length ivl);
+      label_max_len.(l) <- max label_max_len.(l) (Temporal.Interval.length ivl);
+      label_spans.(l) <-
+        (match label_spans.(l) with
+        | None -> Some ivl
+        | Some sp -> Some (Temporal.Interval.span sp ivl)))
     g;
   {
     n_labels;
@@ -27,6 +36,8 @@ let env_of_graph g =
       (if Tgraph.Graph.n_edges g = 0 then None
        else Some (Tgraph.Graph.time_domain g));
     max_edge_len = !max_edge_len;
+    label_spans;
+    label_max_len;
   }
 
 let check_raw_window ~ws ~we =

@@ -25,7 +25,11 @@
       graph edge
     - [Q009] (Warning, proves empty) graph has no edges
     - [Q010] (Warning, proves empty) LASTING duration exceeds every edge
-      interval's length *)
+      interval's length
+
+    Codes [Q011]-[Q014] are emitted by {!Bound}, the constraint
+    propagation pass layered on top of this one. The full registry lives
+    in ARCHITECTURE.md. *)
 
 type env = {
   n_labels : int;
@@ -33,6 +37,11 @@ type env = {
   label_counts : int array;  (** edges per label *)
   span : Temporal.Interval.t option;  (** [None] on an empty graph *)
   max_edge_len : int;  (** longest edge interval, 0 on an empty graph *)
+  label_spans : Temporal.Interval.t option array;
+      (** per label, the hull of its edge intervals ([None]: no edges) —
+          the initial abstract value of {!Bound}'s propagation *)
+  label_max_len : int array;
+      (** per label, the longest edge interval (0: no edges) *)
 }
 
 val env_of_graph : Tgraph.Graph.t -> env

@@ -100,6 +100,7 @@ let stats_fields (s : Run_stats.t) =
     ("results", s.results); ("intermediate", s.intermediate);
     ("scanned", s.scanned); ("bindings", s.bindings);
     ("enum_steps", s.enum_steps); ("seeks", s.seeks);
+    ("est_intermediate", s.est_intermediate);
   ]
 
 let check_parallel cache (case : Case.t) ~domains =
@@ -156,7 +157,22 @@ let check_analyzer cache (case : Case.t) ~naive_count =
   let cost = Tcsq_core.Plan.cost_model tai in
   let env = Analysis.Query_check.env_of_graph case.Case.graph in
   let q = case.Case.query in
-  let diags = Analysis.Query_check.check ~env q in
+  let bound = Analysis.Bound.analyze ~env q in
+  let diags =
+    Analysis.Query_check.check ~env q @ bound.Analysis.Bound.diagnostics
+  in
+  (* constraint-propagation soundness: a query flagged unsatisfiable
+     must never match under the oracle (covers the no-diagnostic unsat
+     cases — e.g. a label with no edges — that Q011 does not restate) *)
+  let* () =
+    if bound.Analysis.Bound.unsat && naive_count <> 0 then
+      Error
+        (Printf.sprintf
+           "constraint propagation flagged the query unsatisfiable but \
+            naive found %d matches"
+           naive_count)
+    else Ok ()
+  in
   let* () =
     if Analysis.Diagnostic.proves_empty diags && naive_count <> 0 then
       Error

@@ -320,10 +320,40 @@ let sub_pattern =
         });
   }
 
+(* ---- analyzer window-tightening soundness ---- *)
+
+let window_tightening =
+  {
+    name = "window-tightening";
+    mutates_graph = false;
+    derive =
+      (fun case ~relseed:_ ->
+        (* deterministic: the derived query is whatever the analyzer's
+           constraint propagation tightens the window to (possibly the
+           identity), and Bound's theorem says the result set must not
+           move at all *)
+        let env = Analysis.Query_check.env_of_graph case.Case.graph in
+        let q' = Analysis.Bound.tighten ~env case.Case.query in
+        {
+          cases = [ { case with Case.query = q' } ];
+          check =
+            (fun ~base ~derived ->
+              expect_equal
+                ~what:
+                  (Printf.sprintf
+                     "analyzer-tightened window %s of %s must preserve the \
+                      result set exactly"
+                     (Temporal.Interval.to_string (Query.window q'))
+                     (Temporal.Interval.to_string
+                        (Query.window case.Case.query)))
+                ~expected:base ~actual:(one derived));
+        });
+  }
+
 let all =
   [
     window_containment; translation; time_reversal; edge_deletion;
-    label_renaming; sub_pattern;
+    label_renaming; sub_pattern; window_tightening;
   ]
 
 let find name =

@@ -4,8 +4,8 @@
     deterministic [relseed], and states how an engine's result set on
     the derived inputs must relate to its result set on the base — no
     oracle involved, so a bug shared by every engine (including the
-    naive evaluator) is still caught. All six relations are exact
-    algebraic consequences of the match semantics: binding consistency
+    naive evaluator) is still caught. Every relation is an exact
+    algebraic consequence of the match semantics: binding consistency
     and the non-empty lifespan are window-independent, and a complete
     match's lifespan overlaps a window iff every matched edge does. *)
 
@@ -56,7 +56,17 @@ val sub_pattern : t
 (** Every base match restricted to a connected sub-pattern is a match
     of that sub-pattern whose lifespan contains the base lifespan. *)
 
+val window_tightening : t
+(** Running the query with [Analysis.Bound]'s propagated effective
+    window in place of its own must preserve the result set {e exactly}
+    — the soundness statement of the analyzer's window tightening
+    (every matched edge overlaps the tightened window because the
+    clique lifespan is a non-empty global intersection; see
+    [Bound]'s interface for the proof). Deterministic: ignores
+    [relseed]. *)
+
 val all : t list
-(** The six relations above, in a fixed order. *)
+(** The seven relations above, in a fixed order (the analyzer relation
+    last, so older repro relseeds stay valid). *)
 
 val find : string -> (t, string) result

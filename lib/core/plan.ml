@@ -161,7 +161,7 @@ let window_selectivity cm lbl ~ws ~we =
    on graphs with per-vertex label affinity); each candidate then fans
    out by the average TSR size per adjacent edge, shrunk by the temporal
    overlap probability of each additional edge. *)
-let root_candidate_count tai sim v =
+let leapfrog_count tai v edges =
   let sources_of lbl =
     if lbl = Query.any_label then Tai.all_sources tai
     else Tai.sources tai ~lbl
@@ -180,7 +180,7 @@ let root_candidate_count tai sim v =
           if e.Query.dst_var = v then [ destinations_of e.Query.lbl ] else []
         in
         as_src @ as_dst)
-      (unmatched_adjacent sim v)
+      edges
   in
   let iters =
     Array.of_list
@@ -189,6 +189,12 @@ let root_candidate_count tai sim v =
   let count = ref 0 in
   Triejoin.Leapfrog.iter (fun _ -> incr count) (Triejoin.Leapfrog.create iters);
   !count
+
+let root_candidate_count tai sim v =
+  leapfrog_count tai v (unmatched_adjacent sim v)
+
+let step_root_candidates tai step =
+  leapfrog_count tai step.pivot (Array.to_list step.edges)
 
 let root_score tai sim cm v =
   let ws = Query.ws sim.q and we = Query.we sim.q in
@@ -252,6 +258,16 @@ let pick_min score = function
       Some !best
 
 type cost_model = cost_model_t
+
+type label_summary = label_stats = {
+  count : float;
+  avg_out : float;
+  avg_in : float;
+  overlap_prob : float;
+  mean_len : float;
+}
+
+let label_summary cm lbl = stats_for cm.stats lbl
 
 let cost_model tai =
   {

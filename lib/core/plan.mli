@@ -31,6 +31,39 @@ type cost_model
 
 val cost_model : Tai.t -> cost_model
 
+(** {2 Cost-model primitives}
+
+    The raw factors the planner scores with, exposed so the static
+    analyzer ([Analysis.Selectivity]) can replay the same model in
+    absolute-cardinality space and explain the ranking. *)
+
+type label_summary = {
+  count : float;  (** edges carrying the label *)
+  avg_out : float;  (** mean out-edges per distinct source *)
+  avg_in : float;  (** mean in-edges per distinct destination *)
+  overlap_prob : float;  (** mean interval length / time domain *)
+  mean_len : float;  (** mean interval length, at least 1 *)
+}
+
+val label_summary : cost_model -> int -> label_summary
+(** Statistics for a label id; {!Semantics.Query.any_label} aggregates
+    all labels, unknown ids return near-zero sentinels. *)
+
+val window_selectivity : cost_model -> int -> ws:int -> we:int -> float
+(** Histogram share of the label's edges alive in the window (wildcard:
+    the max over labels). *)
+
+val window_shrink : cost_model -> int -> ws:int -> we:int -> float
+(** The joint-overlap shrink factor an extra edge of this label costs a
+    partial match: mean interval length over window length, capped to
+    [(0, 1]]. *)
+
+val step_root_candidates : Tai.t -> step -> int
+(** Exact candidate-binding count of a leapfrog root step: the size of
+    the intersection of the pivot's TAI key sets — the same number the
+    planner used when scoring the root. Meaningless for non-root
+    steps. *)
+
 val build : ?cost:cost_model -> Tai.t -> Semantics.Query.t -> t
 (** Cost-model planner; [cost] defaults to a freshly computed model. *)
 

@@ -18,6 +18,7 @@ type t = {
   mutable bindings : int;
   mutable enum_steps : int;
   mutable seeks : int;
+  mutable est_intermediate : int;
   limits : limits;
   mutable deadline : deadline option;
   (* ticks remaining until the next clock read; reading the clock on
@@ -34,7 +35,8 @@ let until_check_of s =
 let create ?(limits = no_limits) ?deadline () =
   let s =
     { results = 0; intermediate = 0; scanned = 0; bindings = 0; enum_steps = 0;
-      seeks = 0; limits; deadline; until_check = max_int; on_check = None }
+      seeks = 0; est_intermediate = 0; limits; deadline; until_check = max_int;
+      on_check = None }
   in
   s.until_check <- until_check_of s;
   s
@@ -96,15 +98,22 @@ let add_enum_steps s n =
    innermost loop *)
 let tick_seek s = s.seeks <- s.seeks + 1
 
+(* a static prediction, not execution work: recorded once per query by
+   the engine before running the plan, so no [touch] and no budget *)
+let add_est_intermediate s n = s.est_intermediate <- s.est_intermediate + n
+
 let merge_into dst src =
   dst.results <- dst.results + src.results;
   dst.intermediate <- dst.intermediate + src.intermediate;
   dst.scanned <- dst.scanned + src.scanned;
   dst.bindings <- dst.bindings + src.bindings;
   dst.enum_steps <- dst.enum_steps + src.enum_steps;
-  dst.seeks <- dst.seeks + src.seeks
+  dst.seeks <- dst.seeks + src.seeks;
+  dst.est_intermediate <- dst.est_intermediate + src.est_intermediate
 
 let pp fmt s =
   Format.fprintf fmt
-    "results=%d intermediate=%d scanned=%d bindings=%d enum_steps=%d seeks=%d"
+    "results=%d intermediate=%d scanned=%d bindings=%d enum_steps=%d seeks=%d \
+     est_intermediate=%d"
     s.results s.intermediate s.scanned s.bindings s.enum_steps s.seeks
+    s.est_intermediate

@@ -36,6 +36,11 @@ type t = {
                                  enumeration *)
   mutable seeks : int;  (** leapfrog seeks/advances and TAI/ECI index
                             probes — the topological-selectivity work *)
+  mutable est_intermediate : int;
+      (** the static analyzer's predicted intermediate-tuple count
+          ([Analysis.Selectivity]), recorded once per TSRJoin query so
+          estimator error ([est_intermediate] vs [intermediate]) is
+          observable per query; 0 for methods without an estimator *)
   limits : limits;
   mutable deadline : deadline option;
   mutable until_check : int;
@@ -73,6 +78,10 @@ val tick_seek : t -> unit
 (** Count one index seek/probe. Unlike the other ticks this does not
     drive the deadline check — seeks always ride alongside binding or
     scanned ticks that do. *)
+
+val add_est_intermediate : t -> int -> unit
+(** Record a static intermediate-cardinality estimate. A prediction, not
+    work: never drives the deadline check or any budget. *)
 
 val merge_into : t -> t -> unit
 val pp : Format.formatter -> t -> unit

@@ -108,6 +108,7 @@ let run_stat_counts t =
     ("bindings", t.totals.Run_stats.bindings);
     ("enum_steps", t.totals.Run_stats.enum_steps);
     ("seeks", t.totals.Run_stats.seeks);
+    ("est_intermediate", t.totals.Run_stats.est_intermediate);
   ]
 
 let sorted_methods t =

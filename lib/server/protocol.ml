@@ -86,6 +86,7 @@ let stats_json (s : Run_stats.t) =
       ("bindings", Json.Int s.Run_stats.bindings);
       ("enum_steps", Json.Int s.Run_stats.enum_steps);
       ("seeks", Json.Int s.Run_stats.seeks);
+      ("est_intermediate", Json.Int s.Run_stats.est_intermediate);
     ]
 
 let match_json g (m : Match_result.t) =

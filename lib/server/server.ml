@@ -238,6 +238,9 @@ let handle_query t send (qr : Protocol.query_request) =
         finish ()
       end
       else begin
+        (* the analyzer's tightened window is result-preserving, so the
+           admitted job executes it in place of the raw query *)
+        let q = Workload.Engine.tighten t.engine q in
         (* the admit span measures queue wait: opened at submission,
            closed when a worker picks the request up *)
         let admit_t0 = Obs.Sink.now obs in

@@ -51,12 +51,25 @@ let tsrjoin_plan ~obs t q =
       | Error msg -> invalid_arg ("Engine.run: invalid plan: " ^ msg));
       plan)
 
+(* records the static analyzer's intermediate-cardinality prediction on
+   the caller's stats (satellite of `tcsq explain`): deterministic in
+   (plan, window), so sequential and parallel runs agree and merged
+   per-domain stats (which contribute 0) stay additive *)
+let record_estimate ?stats t plan =
+  match stats with
+  | None -> ()
+  | Some s ->
+      Semantics.Run_stats.add_est_intermediate s
+        (Analysis.Selectivity.intermediate_counter
+           (Analysis.Selectivity.estimate ~cost:t.cost t.tai plan))
+
 let run ?stats ?(obs = Obs.Sink.null) ?tsrjoin_config ?pool ?(domains = 1) t
     method_ q ~emit =
   Obs.Sink.span obs Obs.Phase.Run @@ fun () ->
   match method_ with
   | Tsrjoin ->
       let plan = tsrjoin_plan ~obs t q in
+      record_estimate ?stats t plan;
       if domains <= 1 then
         Tcsq_core.Tsrjoin.run ?stats ~obs ?config:tsrjoin_config ~plan t.tai q
           ~emit
@@ -76,6 +89,7 @@ let evaluate ?stats ?(obs = Obs.Sink.null) ?tsrjoin_config ?pool ?(domains = 1)
       (* the parallel driver reconstructs the sequential order itself *)
       Obs.Sink.span obs Obs.Phase.Run @@ fun () ->
       let plan = tsrjoin_plan ~obs t q in
+      record_estimate ?stats t plan;
       Exec.Parallel.evaluate ?pool ~domains ?stats ~obs
         ?config:tsrjoin_config ~plan t.tai q
   | _ ->
@@ -97,18 +111,24 @@ let analyze t method_ q =
   let ds = Analysis.Query_check.check ~env:t.qenv q in
   if Analysis.Diagnostic.has_errors ds then ds
   else
+    let ds = ds @ (Analysis.Bound.analyze ~env:t.qenv q).Analysis.Bound.diagnostics in
     match method_ with
     | Tsrjoin ->
         ds
         @ Analysis.Plan_check.check (Tcsq_core.Plan.build ~cost:t.cost t.tai q)
     | Binary | Hybrid | Time -> ds
 
+let tighten t q = Analysis.Bound.tighten ~env:t.qenv q
+
 let run_checked ?stats ?obs ?tsrjoin_config ?pool ?domains t method_ q ~emit =
   let ds = analyze t method_ q in
   if Analysis.Diagnostic.has_errors ds then Error ds
   else if Analysis.Diagnostic.proves_empty ds then Ok ds
   else begin
-    run ?stats ?obs ?tsrjoin_config ?pool ?domains t method_ q ~emit;
+    (* result-preserving by Bound's window-tightening theorem — the
+       conformance window-tightening relation holds every engine to it *)
+    run ?stats ?obs ?tsrjoin_config ?pool ?domains t method_ (tighten t q)
+      ~emit;
     Ok ds
   end
 
@@ -117,7 +137,7 @@ let evaluate_checked ?stats ?tsrjoin_config ?pool ?domains t method_ q =
   if Analysis.Diagnostic.has_errors ds then Error ds
   else if Analysis.Diagnostic.proves_empty ds then Ok ([], ds)
   else
-    Ok (evaluate ?stats ?tsrjoin_config ?pool ?domains t method_ q, ds)
+    Ok (evaluate ?stats ?tsrjoin_config ?pool ?domains t method_ (tighten t q), ds)
 
 let count_checked ?stats ?tsrjoin_config ?pool ?domains t method_ q =
   let n = ref 0 in

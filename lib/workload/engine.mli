@@ -62,9 +62,16 @@ val run :
 
 val analyze :
   t -> method_ -> Semantics.Query.t -> Analysis.Diagnostic.t list
-(** Query semantic analysis against this engine's graph; for {!Tsrjoin}
-    also plan invariant analysis of the cost-model plan (skipped when
-    the query itself has errors). *)
+(** Query semantic analysis against this engine's graph
+    ({!Analysis.Query_check} plus {!Analysis.Bound}'s constraint
+    propagation); for {!Tsrjoin} also plan invariant analysis of the
+    cost-model plan (skipped when the query itself has errors). *)
+
+val tighten : t -> Semantics.Query.t -> Semantics.Query.t
+(** {!Analysis.Bound.tighten} against this engine's graph: the query
+    with its window shrunk to the propagated effective window, the
+    identity when nothing tightens. Result-preserving, so the [_checked]
+    runners and the server execute the tightened query. *)
 
 val run_checked :
   ?stats:Semantics.Run_stats.t ->

@@ -20,6 +20,7 @@ type measurement = {
   total_intermediate : int;
   total_scanned : int;
   total_seeks : int;
+  total_est_intermediate : int;
 }
 
 let percentile sorted p =
@@ -69,6 +70,7 @@ let run_method ?(budget = default_budget) ?obs ?tsrjoin_config ?pool ?domains
     total_intermediate = totals.Run_stats.intermediate;
     total_scanned = totals.Run_stats.scanned;
     total_seeks = totals.Run_stats.seeks;
+    total_est_intermediate = totals.Run_stats.est_intermediate;
   }
 
 let run_all ?budget ?(methods = Engine.all_methods) engine queries =
@@ -80,18 +82,18 @@ let pp_header fmt () =
     "trunc" "mean-ms" "total-s" "intermediate" "scanned"
 
 let csv_header =
-  "method,queries,truncated,mean_ms,p50_ms,p95_ms,total_s,results,intermediate,scanned,seeks"
+  "method,queries,truncated,mean_ms,p50_ms,p95_ms,total_s,results,intermediate,scanned,seeks,est_intermediate"
 
 let to_csv_row ?tag m =
   let prefix = match tag with Some t -> t ^ "," | None -> "" in
-  Printf.sprintf "%s%s,%d,%d,%.4f,%.4f,%.4f,%.4f,%d,%d,%d,%d" prefix
+  Printf.sprintf "%s%s,%d,%d,%.4f,%.4f,%.4f,%.4f,%d,%d,%d,%d,%d" prefix
     (Engine.method_name m.method_)
     m.n_queries m.n_truncated
     (m.mean_seconds *. 1000.0)
     (m.p50_seconds *. 1000.0)
     (m.p95_seconds *. 1000.0)
     m.total_seconds m.total_results m.total_intermediate m.total_scanned
-    m.total_seeks
+    m.total_seeks m.total_est_intermediate
 
 let measurement_to_json ?(extra = []) ?(raw = []) ?(obs = Obs.Sink.null) m =
   let phases =
@@ -127,6 +129,7 @@ let measurement_to_json ?(extra = []) ?(raw = []) ?(obs = Obs.Sink.null) m =
         ("intermediate", string_of_int m.total_intermediate);
         ("scanned", string_of_int m.total_scanned);
         ("seeks", string_of_int m.total_seeks);
+        ("est_intermediate", string_of_int m.total_est_intermediate);
       ]
     @ phases)
 

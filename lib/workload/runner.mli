@@ -23,6 +23,10 @@ type measurement = {
   total_intermediate : int;
   total_scanned : int;
   total_seeks : int;  (** leapfrog seeks/advances + TAI probes *)
+  total_est_intermediate : int;
+      (** the static analyzer's summed intermediate-cardinality
+          prediction (TSRJoin only) — compare with [total_intermediate]
+          for estimator error *)
 }
 
 val run_method :

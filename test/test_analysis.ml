@@ -185,6 +185,176 @@ let test_p007_edge_table_mismatch () =
   in
   Alcotest.check Alcotest.bool "P007" true (List.mem "P007" cs)
 
+(* ---------- bound propagation (Q011-Q014) ---------- *)
+
+let bound_with g query = Bound.analyze ~env:(Query_check.env_of_graph g) query
+
+let test_q011_q012_disjoint_labels () =
+  (* label l0 only alive in [0, 5], label l1 only in [50, 60]: no
+     instant can lie in a joint clique lifespan, so propagation empties
+     both pattern edges even though each overlaps the window *)
+  let g = Tgraph.Graph.of_edge_list [ (0, 1, 0, 0, 5); (1, 2, 1, 50, 60) ] in
+  let query = q ~w:(window 0 100) [ (0, 0, 1); (1, 1, 2) ] in
+  let r = bound_with g query in
+  Alcotest.check Alcotest.bool "unsat" true r.Bound.unsat;
+  Alcotest.check Alcotest.bool "no effective window" true
+    (r.Bound.effective = None);
+  let d11 = find "Q011" r.Bound.diagnostics in
+  Alcotest.check Alcotest.bool "Q011 warning" true
+    (d11.Diagnostic.severity = Warning);
+  Alcotest.check Alcotest.bool "Q011 proves empty" true
+    d11.Diagnostic.proves_empty;
+  let d12 = find "Q012" r.Bound.diagnostics in
+  Alcotest.check Alcotest.bool "Allen witness names the other span" true
+    (contains ~sub:"span" d12.Diagnostic.message);
+  Alcotest.check Alcotest.bool "never error severity" false
+    (Diagnostic.has_errors r.Bound.diagnostics);
+  Alcotest.(check int) "naive agrees" 0 (Naive.count g query)
+
+let test_q013_lasting_vs_label () =
+  (* label l0 sustains 11 ticks, label l1 at most 3: LASTING 5 passes
+     the graph-wide Q010 check but provably kills l1's edge *)
+  let g = Tgraph.Graph.of_edge_list [ (0, 1, 0, 0, 10); (1, 2, 1, 4, 6) ] in
+  let query =
+    Query.with_min_duration (q ~w:(window 0 20) [ (0, 0, 1); (1, 1, 2) ]) 5
+  in
+  Alcotest.check Alcotest.bool "no Q010" false
+    (List.mem "Q010" (codes (check_with g query)));
+  let r = bound_with g query in
+  Alcotest.check Alcotest.bool "unsat" true r.Bound.unsat;
+  let d = find "Q013" r.Bound.diagnostics in
+  Alcotest.check Alcotest.bool "blames the short label's edge" true
+    (d.Diagnostic.location = Edge 1);
+  Alcotest.(check int) "naive agrees" 0 (Naive.count g query)
+
+let test_q014_window_tightening () =
+  (* label l0 is only alive in [40, 60]; the query window [0, 100] must
+     tighten to exactly that span without changing the result set *)
+  let g =
+    Tgraph.Graph.of_edge_list
+      [ (0, 1, 0, 40, 45); (1, 2, 0, 50, 60); (0, 1, 1, 0, 100) ]
+  in
+  let query = q ~w:(window 0 100) [ (0, 0, 1) ] in
+  let r = bound_with g query in
+  Alcotest.check Alcotest.bool "satisfiable" false r.Bound.unsat;
+  (match r.Bound.effective with
+  | Some w' ->
+      Alcotest.check Alcotest.bool "effective [40, 60]" true
+        (Temporal.Interval.equal w' (window 40 60))
+  | None -> Alcotest.fail "no effective window");
+  ignore (find "Q014" r.Bound.diagnostics);
+  let env = Query_check.env_of_graph g in
+  let q' = Bound.tighten ~env query in
+  Alcotest.check Alcotest.bool "window replaced" true
+    (Temporal.Interval.equal (Query.window q') (window 40 60));
+  Alcotest.(check int) "tighten preserves results" (Naive.count g query)
+    (Naive.count g q');
+  (* already-tight windows are left alone, with no Q014 *)
+  let tight = q ~w:(window 40 60) [ (0, 0, 1) ] in
+  Alcotest.check Alcotest.bool "identity on a tight window" true
+    (Temporal.Interval.equal
+       (Query.window (Bound.tighten ~env tight))
+       (window 40 60));
+  Alcotest.check Alcotest.bool "no Q014 on a tight window" false
+    (List.mem "Q014" (codes (bound_with g tight).Bound.diagnostics))
+
+(* ---------- selectivity estimates + est_intermediate counter ---------- *)
+
+let test_selectivity_estimate_shape () =
+  let g =
+    Testkit.random_graph ~seed:7 ~n_vertices:6 ~n_edges:60 ~n_labels:3
+      ~domain:40 ~max_len:10 ()
+  in
+  let tai = Tcsq_core.Tai.build g in
+  let cost = Tcsq_core.Plan.cost_model tai in
+  let query = q ~w:(window 0 39) [ (0, 0, 1); (1, 1, 2) ] in
+  let plan = Tcsq_core.Plan.build ~cost tai query in
+  let est = Selectivity.estimate ~cost tai plan in
+  Alcotest.(check int) "one estimate per pattern edge" 2
+    (Array.length est.Selectivity.edges);
+  Alcotest.check Alcotest.bool "has step estimates" true
+    (Array.length est.Selectivity.steps > 0);
+  let first = est.Selectivity.steps.(0) in
+  Alcotest.check Alcotest.bool "root step counts leapfrog candidates" true
+    (first.Selectivity.root && first.Selectivity.candidates <> None);
+  Alcotest.check Alcotest.bool "results within intermediate total" true
+    (est.Selectivity.estimated_results
+    <= est.Selectivity.estimated_intermediate +. 1e-9);
+  Alcotest.check Alcotest.bool "counter is a non-negative int" true
+    (Selectivity.intermediate_counter est >= 0)
+
+let test_engine_records_estimate () =
+  let g = small_graph () in
+  let engine = Workload.Engine.prepare g in
+  let query = q [ (0, 0, 1); (1, 1, 2) ] in
+  let run () =
+    let stats = Run_stats.create () in
+    ignore (Workload.Engine.count ~stats engine Workload.Engine.Tsrjoin query);
+    stats
+  in
+  let s1 = run () and s2 = run () in
+  Alcotest.check Alcotest.bool "estimate recorded" true
+    (s1.Run_stats.est_intermediate > 0);
+  Alcotest.(check int) "deterministic across runs"
+    s1.Run_stats.est_intermediate s2.Run_stats.est_intermediate;
+  (* merge sums the counter like every other one *)
+  let merged = Run_stats.create () in
+  Run_stats.merge_into merged s1;
+  Run_stats.merge_into merged s2;
+  Alcotest.(check int) "merge sums"
+    (2 * s1.Run_stats.est_intermediate)
+    merged.Run_stats.est_intermediate
+
+(* ---------- explain reports ---------- *)
+
+let test_explain_candidates_and_json () =
+  let g = small_graph () in
+  let target = Lint.target_of_graph g in
+  let query = q [ (0, 0, 1); (1, 1, 2) ] in
+  let t = Explain.analyze ~pivot_order:[ 0; 1; 2 ] target query in
+  Alcotest.(check (list string))
+    "candidates in order"
+    [ "cost-model"; "adaptive"; "pivot-order" ]
+    (List.map (fun c -> c.Explain.name) t.Explain.candidates);
+  Alcotest.(check int) "exactly one chosen" 1
+    (List.length
+       (List.filter (fun c -> c.Explain.chosen) t.Explain.candidates));
+  let label_names = Tgraph.Label.names (Tgraph.Graph.labels g) in
+  let txt = Format.asprintf "%a" (Explain.pp ~label_names) t in
+  List.iter
+    (fun sub -> Alcotest.check Alcotest.bool sub true (contains ~sub txt))
+    [ "plan cost-model (chosen)"; "ranking:"; "effective window" ];
+  let js = Explain.to_json ~label_names t in
+  List.iter
+    (fun sub -> Alcotest.check Alcotest.bool sub true (contains ~sub js))
+    [
+      "\"schema\": \"tcsq-explain/v1\""; "\"plans\"";
+      "\"estimated_intermediate\"";
+    ]
+
+let test_explain_p008_dominated_plan () =
+  (* pivoting the leaf of a star first explodes the first TSRJoin level;
+     the report must flag the literal plan as dominated *)
+  let g =
+    Testkit.random_graph ~seed:11 ~n_vertices:60 ~n_edges:400 ~n_labels:2
+      ~domain:40 ~max_len:5 ()
+  in
+  let target = Lint.target_of_graph g in
+  let query = q ~w:(window 0 39) [ (0, 0, 1); (1, 0, 2) ] in
+  let t = Explain.analyze ~pivot_order:[ 1; 0; 2 ] target query in
+  let po =
+    List.find (fun c -> c.Explain.name = "pivot-order") t.Explain.candidates
+  in
+  (if not (List.mem "P008" (codes po.Explain.plan_diags)) then
+     let show c =
+       Printf.sprintf "%s=%g" c.Explain.name
+         c.Explain.est.Selectivity.estimated_intermediate
+     in
+     Alcotest.failf "no P008: %s"
+       (String.concat " " (List.map show t.Explain.candidates)));
+  Alcotest.check Alcotest.bool "dominated plan is not chosen" false
+    po.Explain.chosen
+
 (* ---------- planner conformance + pivot-order regression ---------- *)
 
 let test_planners_produce_clean_plans () =
@@ -383,6 +553,29 @@ let () =
           Alcotest.test_case "Q008 label without edges" `Quick test_q008_label_without_edges;
           Alcotest.test_case "Q009 empty graph" `Quick test_q009_empty_graph;
           Alcotest.test_case "Q010 undurable LASTING" `Quick test_q010_undurable;
+        ] );
+      ( "bound propagation",
+        [
+          Alcotest.test_case "Q011/Q012 disjoint labels" `Quick
+            test_q011_q012_disjoint_labels;
+          Alcotest.test_case "Q013 LASTING vs label span" `Quick
+            test_q013_lasting_vs_label;
+          Alcotest.test_case "Q014 window tightening" `Quick
+            test_q014_window_tightening;
+        ] );
+      ( "selectivity",
+        [
+          Alcotest.test_case "estimate shape" `Quick
+            test_selectivity_estimate_shape;
+          Alcotest.test_case "engine records est_intermediate" `Quick
+            test_engine_records_estimate;
+        ] );
+      ( "explain",
+        [
+          Alcotest.test_case "candidates, report, JSON" `Quick
+            test_explain_candidates_and_json;
+          Alcotest.test_case "P008 dominated plan" `Quick
+            test_explain_p008_dominated_plan;
         ] );
       ( "plan diagnostics",
         [

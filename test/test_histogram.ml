@@ -83,6 +83,71 @@ let prop_full_window_counts_all =
         >= float_of_int !count
       end)
 
+(* With point-mass intervals ([ts, ts]) and at least as many buckets as
+   the time domain has ticks, bucket width is 1 and every bucket is
+   either fully inside or fully outside the window — the overlap
+   estimate must equal the exact overlap count, not approximate it. *)
+let prop_point_mass_exact =
+  QCheck.Test.make ~name:"point-mass estimates are exact" ~count:200
+    QCheck.(triple (int_range 0 5000) (int_range 0 31) (int_range 0 31))
+    (fun (seed, a, b) ->
+      let ws = min a b and we = max a b in
+      let g =
+        Test_util.random_graph ~seed ~n_vertices:6 ~n_edges:40 ~n_labels:2
+          ~domain:32 ~max_len:1 ()
+      in
+      let h = Time_histogram.build ~n_buckets:64 g in
+      let exact = ref 0 in
+      Graph.iter_edges
+        (fun e ->
+          if Edge.lbl e = 0 && Edge.ts e >= ws && Edge.ts e <= we then
+            incr exact)
+        g;
+      let est = Time_histogram.active_in_window h ~lbl:0 ~ws ~we in
+      Float.abs (est -. float_of_int !exact) < 1e-6)
+
+(* For general interval distributions the estimate is only exact up to
+   bucket granularity.  On a window aligned to whole buckets it is
+   sandwiched: at least the exact count of overlapping edges (every
+   overlapping edge touches a window bucket with full coverage), and at
+   most the per-edge touched-bucket cap floor((len-1)/bw) + 2 summed
+   over the overlapping edges — i.e. within bucket-width error. *)
+let prop_aligned_window_bracketing =
+  QCheck.Test.make ~name:"aligned windows within bucket-width error"
+    ~count:200
+    QCheck.(triple (int_range 0 5000) (int_range 0 7) (int_range 1 8))
+    (fun (seed, a, j) ->
+      let g =
+        Test_util.random_graph ~seed ~n_vertices:6 ~n_edges:60 ~n_labels:2
+          ~domain:100 ~max_len:20 ()
+      in
+      let nb = 8 in
+      let h = Time_histogram.build ~n_buckets:nb g in
+      let domain = Tgraph.Graph.time_domain g in
+      let ds = Temporal.Interval.ts domain in
+      let total = Temporal.Interval.length domain in
+      let bw = max 1 ((total + nb - 1) / nb) in
+      (* kmax whole buckets fit inside the domain; pick an aligned
+         sub-range of them so every window bucket has coverage 1 *)
+      let kmax = total / bw in
+      if kmax = 0 then true
+      else begin
+        let a = a mod kmax in
+        let j = 1 + ((j - 1) mod (kmax - a)) in
+        let ws = ds + (a * bw) and we = ds + ((a + j) * bw) - 1 in
+        let exact = ref 0 and cap = ref 0.0 in
+        Graph.iter_edges
+          (fun e ->
+            if Edge.lbl e = 0 && Edge.ts e <= we && Edge.te e >= ws then begin
+              incr exact;
+              let len = Edge.te e - Edge.ts e + 1 in
+              cap := !cap +. float_of_int (((len - 1) / bw) + 2)
+            end)
+          g;
+        let est = Time_histogram.active_in_window h ~lbl:0 ~ws ~we in
+        est +. 1e-6 >= float_of_int !exact && est <= !cap +. 1e-6
+      end)
+
 let qsuite name tests = (name, List.map (QCheck_alcotest.to_alcotest ~long:false) tests)
 
 let () =
@@ -95,5 +160,9 @@ let () =
           Alcotest.test_case "empty graph" `Quick test_empty_graph;
           Alcotest.test_case "degenerate windows" `Quick test_degenerate_windows;
         ] );
-      qsuite "properties" [ prop_window_monotone; prop_full_window_counts_all ];
+      qsuite "properties"
+        [
+          prop_window_monotone; prop_full_window_counts_all;
+          prop_point_mass_exact; prop_aligned_window_bracketing;
+        ];
     ]
