@@ -411,22 +411,25 @@ let run_ablation () =
     [
       ("basic-alg1", Tcsq_core.Tsrjoin.basic_config);
       ( "opt-none",
-        { Tcsq_core.Tsrjoin.mode = Optimized Tcsq_core.Lfto_opt.all_off } );
+        { Tcsq_core.Tsrjoin.default_config with mode = Optimized Tcsq_core.Lfto_opt.all_off } );
       ( "eci-only",
         {
-          Tcsq_core.Tsrjoin.mode =
+          Tcsq_core.Tsrjoin.default_config with
+          mode =
             Optimized
               { Tcsq_core.Lfto_opt.use_eci = true; use_del_skip = false; use_lazy = false };
         } );
       ( "delskip",
         {
-          Tcsq_core.Tsrjoin.mode =
+          Tcsq_core.Tsrjoin.default_config with
+          mode =
             Optimized
               { Tcsq_core.Lfto_opt.use_eci = false; use_del_skip = true; use_lazy = false };
         } );
       ( "lazy",
         {
-          Tcsq_core.Tsrjoin.mode =
+          Tcsq_core.Tsrjoin.default_config with
+          mode =
             Optimized
               { Tcsq_core.Lfto_opt.use_eci = false; use_del_skip = false; use_lazy = true };
         } );

@@ -1,9 +1,10 @@
 #!/bin/sh
 # Full pre-merge check: build everything under the strict dev profile
 # (warnings are errors), run the test suite, lint every example
-# workload with the static analyzer, run the five end-to-end smoke
+# workload with the static analyzer, run the six end-to-end smoke
 # aliases (query server, bench JSON export, multi-domain execution,
-# explain reports, conformance fuzzing), and compare a fresh bench run
+# explain reports, conformance fuzzing, extended relational
+# operators), and compare a fresh bench run
 # against the committed BENCH_seed.json (warn-only). Fails fast on the
 # first broken step, printing one `ok`/`FAIL` summary line per step so
 # the break point is obvious in CI logs.
@@ -29,5 +30,6 @@ step bench-smoke    dune build @bench-smoke
 step parallel-smoke dune build @parallel-smoke
 step explain-smoke  dune build @explain-smoke
 step fuzz-smoke     dune build @fuzz-smoke
+step relops-smoke   dune build @relops-smoke
 step bench-compare  bin/bench_compare.sh
 echo "check.sh: all steps clean"

@@ -47,8 +47,8 @@ check_golden() {
 cat >"$TMP/expected" <<'EOF'
 fuzzing 3 iterations from seed 20260705
 engines: tsrjoin-basic, tsrjoin-opt, binary, hybrid, time, tsrjoin-adaptive, tsrjoin-par2, wire
-relations: window-containment, translation, time-reversal, edge-deletion, label-renaming, sub-pattern, window-tightening
-OK: 54 queries clean (432 differential, 2811 relation, 54 parallel, 54 analyzer checks)
+relations: window-containment, translation, time-reversal, edge-deletion, label-renaming, sub-pattern, window-tightening, anti-semi-partition, allen-inverse, semijoin-containment, allen-filter, aggregate-topk
+OK: 63 queries clean (504 differential, 5523 relation, 63 parallel, 63 analyzer checks)
 EOF
 check_golden "clean run (--wire)"
 
@@ -69,7 +69,7 @@ rc=$?
 cat >"$TMP/expected" <<EOF
 fuzzing 3 iterations from seed 20260705
 engines: tsrjoin-basic, tsrjoin-opt, binary, hybrid, time, tsrjoin-adaptive, tsrjoin-par2, broken
-relations: window-containment, translation, time-reversal, edge-deletion, label-renaming, sub-pattern, window-tightening
+relations: window-containment, translation, time-reversal, edge-deletion, label-renaming, sub-pattern, window-tightening, anti-semi-partition, allen-inverse, semijoin-containment, allen-filter, aggregate-topk
 FAIL differential engine=broken at iteration 0
   expected 5 matches, got 4. missing (1): (e8, e5, [19, 19]) | extra (0):
 found on: 39 graph edges, 7 vertices, 2 pattern edges, window [18, 35]
@@ -96,15 +96,21 @@ echo "fuzz_smoke: fault replay clean"
 # ---- every committed example reproducer must replay clean ----
 
 found=0
+extended=0
 for r in "$REPROS"/*.repro; do
     [ -f "$r" ] || continue
     found=$((found + 1))
+    if grep -q 'NOT \|EXISTS \|WHERE \| TOP \| COUNT' "$r"; then
+        extended=$((extended + 1))
+    fi
     "$TCSQ" fuzz --replay "$r" >"$TMP/got" 2>/dev/null \
         || fail "committed reproducer $r no longer replays clean: $(cat "$TMP/got")"
     grep -q '^clean:' "$TMP/got" || fail "replay of $r did not say 'clean'"
 done
 [ "$found" -ge 1 ] || fail "no committed reproducers under $REPROS"
-echo "fuzz_smoke: $found committed reproducer(s) replay clean"
+[ "$extended" -ge 1 ] \
+    || fail "no committed reproducer exercises an extended operator"
+echo "fuzz_smoke: $found committed reproducer(s) replay clean ($extended extended)"
 
 # ---- malformed input is a usage error (exit 2), not a crash ----
 

@@ -1,0 +1,181 @@
+#!/bin/sh
+# End-to-end smoke test for the extended relational operators on the
+# tcsq CLI: golden stdout per operator family (NOT antijoin, EXISTS
+# semijoin, WHERE Allen constraints, COUNT, TOP k) over a tiny
+# hand-written graph, the --format json variant, the wire variant
+# (tcsq serve / tcsq client counts must match the one-shot evaluator),
+# and malformed extended syntax exiting 2. Timings are stripped before
+# comparison; everything else is deterministic.
+set -u
+
+# works both from the source tree (bin/relops_smoke.sh, binary under
+# _build) and as a dune rule (sandbox copies tcsq.exe next to the script)
+HERE=$(cd "$(dirname "$0")" && pwd)
+if [ -z "${TCSQ:-}" ]; then
+    if [ -x "$HERE/tcsq.exe" ]; then
+        TCSQ=$HERE/tcsq.exe
+    else
+        TCSQ=$HERE/../_build/default/bin/tcsq.exe
+    fi
+fi
+
+TMP=$(mktemp -d "${TMPDIR:-/tmp}/tcsq-relops-smoke-XXXXXX")
+SRV_PID=
+cleanup() {
+    [ -n "$SRV_PID" ] && kill "$SRV_PID" 2>/dev/null || true
+    rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+fail() {
+    echo "relops_smoke: FAIL: $*" >&2
+    exit 1
+}
+
+# three a-edges with different b-neighbourhoods: one carved by an
+# antijoin in the middle, one untouched, one clipped at its end
+GRAPH=$TMP/relops.csv
+cat >"$GRAPH" <<'EOF'
+0,1,a,0,9
+1,2,b,3,5
+3,4,a,2,7
+5,6,a,0,5
+6,7,b,5,9
+EOF
+
+# the timing/stats tail of the summary line varies run to run
+run_query() {
+    "$TCSQ" query "$GRAPH" "$@" >"$TMP/raw" 2>&1 \
+        || fail "tcsq query $* exited $?: $(cat "$TMP/raw")"
+    sed -E 's/ in [0-9.]+ ms \(.*\)$//' "$TMP/raw" >"$TMP/got"
+}
+
+check_golden() {
+    name=$1
+    if ! diff -u "$TMP/expected" "$TMP/got" >&2; then
+        fail "$name: output differs from golden"
+    fi
+    echo "relops_smoke: $name clean"
+}
+
+# ---- NOT: matched intervals subtracted from each lifespan ----
+
+run_query --match 'MATCH (x)-[a]->(y) NOT (y)-[b]->() IN [0, 9]'
+cat >"$TMP/expected" <<'EOF'
+(e0, [0, 2])
+(e0, [6, 9])
+(e2, [2, 7])
+(e3, [0, 4])
+4 matches
+EOF
+check_golden "antijoin"
+
+# ---- EXISTS: lifespans intersected with the witness union ----
+
+run_query --match 'MATCH (x)-[a]->(y) EXISTS (y)-[b]->() IN [0, 9]'
+cat >"$TMP/expected" <<'EOF'
+(e0, [3, 5])
+(e3, [5, 5])
+2 matches
+EOF
+check_golden "semijoin"
+
+# ---- WHERE: a single shared tick is OVERLAPS, never MEETS ----
+
+run_query --match \
+    'MATCH (x)-[a0: a]->(y)-[a1: b]->(z) WHERE a0 OVERLAPS a1 IN [0, 9]'
+cat >"$TMP/expected" <<'EOF'
+(e3, e4, [5, 5])
+1 matches
+EOF
+check_golden "allen overlaps"
+
+run_query --match \
+    'MATCH (x)-[a0: a]->(y)-[a1: b]->(z) WHERE a0 MEETS a1 IN [0, 9]'
+cat >"$TMP/expected" <<'EOF'
+0 matches
+EOF
+check_golden "allen meets (clique-infeasible)"
+
+# ---- COUNT: the aggregate is --count spelled in the language ----
+
+run_query --match 'MATCH (x)-[a]->(y) IN [0, 9] COUNT'
+cat >"$TMP/expected" <<'EOF'
+3 matches
+EOF
+check_golden "count"
+
+# ---- TOP k: deterministic durability selection ----
+
+run_query --match 'MATCH (x)-[a]->(y) IN [0, 9] TOP 1'
+cat >"$TMP/expected" <<'EOF'
+(e0, [0, 9])
+1 matches
+EOF
+check_golden "top-k"
+
+# ---- the --format json variant is fully deterministic ----
+
+"$TCSQ" query "$GRAPH" --format json \
+    --match 'MATCH (x)-[a]->(y) NOT (y)-[b]->() IN [0, 9]' >"$TMP/got" 2>&1 \
+    || fail "json query exited $?: $(cat "$TMP/got")"
+for piece in '[0, 2]' '[6, 9]' '[2, 7]' '[0, 4]'; do
+    ts=${piece#[}; ts=${ts%%,*}
+    te=${piece##* }; te=${te%]}
+    grep -q "\"ts\": $ts" "$TMP/got" && grep -q "\"te\": $te" "$TMP/got" \
+        || fail "json output lost piece $piece: $(cat "$TMP/got")"
+done
+echo "relops_smoke: json variant clean"
+
+# ---- wire variant: server counts == one-shot counts per family ----
+
+SOCK=$(mktemp -u "${TMPDIR:-/tmp}/tcsq-relops-XXXXXX.sock")
+"$TCSQ" serve "$GRAPH" --socket "$SOCK" >"$TMP/server.log" 2>&1 &
+SRV_PID=$!
+i=0
+while [ ! -S "$SOCK" ]; do
+    i=$((i + 1))
+    [ "$i" -gt 100 ] && fail "server socket never appeared"
+    kill -0 "$SRV_PID" 2>/dev/null || fail "server died during startup"
+    sleep 0.05
+done
+
+check_wire() {
+    q=$1
+    response=$("$TCSQ" client --socket "$SOCK" --match "$q" --count) \
+        || fail "client error for: $q"
+    server_count=$(printf '%s\n' "$response" \
+        | sed -n 's/.*"count": \([0-9][0-9]*\).*/\1/p')
+    [ -n "$server_count" ] || fail "no count in response: $response"
+    oneshot_count=$("$TCSQ" query "$GRAPH" --match "$q" --count \
+        | sed -n 's/^\([0-9][0-9]*\) matches.*/\1/p')
+    [ -n "$oneshot_count" ] || fail "no count from one-shot query: $q"
+    if [ "$server_count" != "$oneshot_count" ]; then
+        fail "count mismatch for '$q': server=$server_count one-shot=$oneshot_count"
+    fi
+    echo "relops_smoke: wire '$q' -> $server_count (server == one-shot)"
+}
+
+check_wire 'MATCH (x)-[a]->(y) NOT (y)-[b]->() IN [0, 9]'
+check_wire 'MATCH (x)-[a]->(y) EXISTS (y)-[b]->() IN [0, 9]'
+check_wire 'MATCH (x)-[a0: a]->(y)-[a1: b]->(z) WHERE a0 OVERLAPS a1 IN [0, 9]'
+check_wire 'MATCH (x)-[a]->(y) IN [0, 9] TOP 1'
+
+"$TCSQ" client --socket "$SOCK" --shutdown >/dev/null 2>&1 || true
+wait "$SRV_PID" 2>/dev/null
+SRV_PID=
+
+# ---- malformed extended syntax is a usage error (exit 2) ----
+
+for bad in \
+    'MATCH (x)-[a]->(y) WHERE IN [0, 9]' \
+    'MATCH (x)-[a]->(y) NOT IN [0, 9]' \
+    'MATCH (x)-[a]->(y) IN [0, 9] TOP 0' \
+    'MATCH (x)-[a]->(y) WHERE a0 SOMETIME a0 IN [0, 9]'; do
+    "$TCSQ" query "$GRAPH" --match "$bad" >/dev/null 2>&1
+    rc=$?
+    [ "$rc" -eq 2 ] || fail "malformed query '$bad' exited $rc, want 2"
+done
+echo "relops_smoke: malformed-syntax handling clean"
+
+echo "relops_smoke: antijoin/semijoin/allen/aggregates/json/wire all clean"

@@ -159,6 +159,13 @@ let apply_lasting lasting q =
   | Some d -> Semantics.Query.with_min_duration q d
   | None -> q
 
+let apply_lasting_ext lasting eq =
+  match lasting with
+  | Some d -> Semantics.Equery.with_min_duration eq d
+  | None -> eq
+
+(* --match text goes through the full extended surface
+   (NOT/EXISTS/WHERE/COUNT/TOP); the --pattern path stays plain *)
 let parse_query_or_match g match_ pattern labels window window_frac =
   match match_ with
   | Some text ->
@@ -167,8 +174,10 @@ let parse_query_or_match g match_ pattern labels window window_frac =
         | Ok w -> Some w
         | Error _ -> None
       in
-      Semantics.Qlang.parse_and_compile ?default_window g text
-  | None -> parse_query g pattern labels window window_frac
+      Semantics.Qlang.parse_and_compile_ext ?default_window g text
+  | None ->
+      Result.map Semantics.Equery.plain
+        (parse_query g pattern labels window window_frac)
 
 let or_die = function
   | Ok v -> v
@@ -239,8 +248,12 @@ let query_cmd =
       method_ limit domains budget count_only format =
     let g = or_die (load_graph file dataset scale) in
     let q =
-      apply_lasting lasting
+      apply_lasting_ext lasting
         (or_die (parse_query_or_match g match_ pattern labels window window_frac))
+    in
+    (* a COUNT query is --count spelled in the language *)
+    let count_only =
+      count_only || Semantics.Equery.agg q = Some Semantics.Equery.Count
     in
     let m =
       or_die
@@ -265,7 +278,7 @@ let query_cmd =
     let t0 = Unix.gettimeofday () in
     let truncated =
       match
-        Workload.Engine.run ~stats ~domains engine m q ~emit:(fun mtch ->
+        Workload.Engine.run_ext ~stats ~domains engine m q ~emit:(fun mtch ->
             incr total;
             if (not count_only) && !shown < limit then begin
               incr shown;
@@ -317,7 +330,7 @@ let profile_cmd =
       method_ domains trace_out =
     let g = or_die (load_graph file dataset scale) in
     let q =
-      apply_lasting lasting
+      apply_lasting_ext lasting
         (or_die (parse_query_or_match g match_ pattern labels window window_frac))
     in
     let m =
@@ -331,7 +344,7 @@ let profile_cmd =
     let obs = Obs.Sink.create ~clock:Unix.gettimeofday () in
     let total = ref 0 in
     let t0 = Unix.gettimeofday () in
-    Workload.Engine.run ~stats ~obs ~domains engine m q ~emit:(fun _ ->
+    Workload.Engine.run_ext ~stats ~obs ~domains engine m q ~emit:(fun _ ->
         incr total);
     let dt = Unix.gettimeofday () -. t0 in
     Format.printf "%d matches in %.1f ms (%a)@.@." !total (dt *. 1000.0)
@@ -430,27 +443,30 @@ let explain_cmd =
     in
     let target = Analysis.Lint.target_of_graph g in
     let label_names = Tgraph.Label.names (Tgraph.Graph.labels g) in
+    (* explain reports on the core pattern: plan choice and cardinality
+       estimation ignore decorations (they post-filter or slice) *)
     let queries =
-      match queries_file with
-      | Some path ->
-          List.map
-            (fun line ->
-              match Analysis.Lint.check_text target line with
-              | Some q, _ -> q
-              | None, ds ->
-                  or_die
-                    (Error
-                       (Format.asprintf "%s:@;%a" line
-                          (Format.pp_print_list Analysis.Diagnostic.pp)
-                          ds)))
-            (read_statement_lines path)
-      | None ->
-          [
-            apply_lasting lasting
-              (or_die
-                 (parse_query_or_match g match_ pattern labels window
-                    window_frac));
-          ]
+      List.map Semantics.Equery.core
+        (match queries_file with
+        | Some path ->
+            List.map
+              (fun line ->
+                match Analysis.Lint.check_text target line with
+                | Some q, _ -> q
+                | None, ds ->
+                    or_die
+                      (Error
+                         (Format.asprintf "%s:@;%a" line
+                            (Format.pp_print_list Analysis.Diagnostic.pp)
+                            ds)))
+              (read_statement_lines path)
+        | None ->
+            [
+              apply_lasting_ext lasting
+                (or_die
+                   (parse_query_or_match g match_ pattern labels window
+                      window_frac));
+            ])
     in
     List.iter
       (fun q ->
@@ -496,7 +512,7 @@ let compare_cmd =
       budget =
     let g = or_die (load_graph file dataset scale) in
     let q =
-      apply_lasting lasting
+      apply_lasting_ext lasting
         (or_die (parse_query_or_match g match_ pattern labels window window_frac))
     in
     let engine = Workload.Engine.prepare g in
@@ -513,7 +529,7 @@ let compare_cmd =
         in
         let t0 = Unix.gettimeofday () in
         let outcome =
-          match Workload.Engine.count ~stats engine m q with
+          match Workload.Engine.count_ext ~stats engine m q with
           | n -> string_of_int n
           | exception Semantics.Run_stats.Limit_exceeded _ -> "budget!"
         in
@@ -538,7 +554,17 @@ let topk_cmd =
   in
   let run file dataset scale match_ pattern labels window window_frac k =
     let g = or_die (load_graph file dataset scale) in
-    let q = or_die (parse_query_or_match g match_ pattern labels window window_frac) in
+    let eq =
+      or_die (parse_query_or_match g match_ pattern labels window window_frac)
+    in
+    let q =
+      if Semantics.Equery.is_plain eq then Semantics.Equery.core eq
+      else
+        or_die
+          (Error
+             "tcsq topk takes a plain query; run an extended query with a \
+              'TOP k' aggregate through 'tcsq query' instead")
+    in
     let tai = Tcsq_core.Tai.build g in
     let top = Tcsq_core.Durable.top_k tai q ~k in
     List.iter
@@ -718,7 +744,8 @@ let lint_cmd =
                   apply_lasting lasting
                     (or_die (parse_query g pattern labels window window_frac))
                 in
-                [ (Semantics.Qlang.render g q, Some q,
+                [ (Semantics.Qlang.render g q,
+                   Some (Semantics.Equery.plain q),
                    Analysis.Lint.check_query target q) ])
     in
     let reports =
@@ -730,7 +757,9 @@ let lint_cmd =
               match q with
               | Some q ->
                   (text, Some q,
-                   ds @ Analysis.Lint.check_pivot_order target q order)
+                   ds
+                   @ Analysis.Lint.check_pivot_order target
+                       (Semantics.Equery.core q) order)
               | None -> (text, None, ds))
             reports
     in
@@ -990,7 +1019,9 @@ let fuzz_cmd =
     Arg.(
       value & opt int 200
       & info [ "iterations"; "i" ] ~docv:"N"
-          ~doc:"Fuzz iterations (one random graph + 18 queries each).")
+          ~doc:
+            "Fuzz iterations (one random graph + 21 queries each: the \
+             15-shape pool, 3 random plain, 3 random extended).")
   in
   let seed_arg =
     Arg.(

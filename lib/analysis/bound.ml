@@ -33,6 +33,29 @@ let label_name (env : Query_check.env) lbl =
 let trivial ~unsat =
   { bounds = [||]; unsat; effective = None; dead_edges = []; diagnostics = [] }
 
+(* Each Allen relation between edge intervals [i] and [j] is a
+   conjunction of difference constraints [X <= Y + c] over the four
+   endpoint variables (S/E per edge), following classify's closed-
+   integer conventions (Before iff E_i + 1 < S_j, Meets iff
+   E_i + 1 = S_j, ...). Equalities appear as two opposite
+   inequalities. *)
+let allen_inequalities (i, rel, j) =
+  let s k = (k, `S) and e k = (k, `E) in
+  match (rel : Temporal.Allen.relation) with
+  | Before -> [ (e i, s j, -2) ]
+  | Meets -> [ (e i, s j, -1); (s j, e i, 1) ]
+  | Overlaps -> [ (s i, s j, -1); (s j, e i, 0); (e i, e j, -1) ]
+  | Starts -> [ (s i, s j, 0); (s j, s i, 0); (e i, e j, -1) ]
+  | During -> [ (s j, s i, -1); (e i, e j, -1) ]
+  | Finishes -> [ (e i, e j, 0); (e j, e i, 0); (s j, s i, -1) ]
+  | Equal -> [ (s i, s j, 0); (s j, s i, 0); (e i, e j, 0); (e j, e i, 0) ]
+  | Finished_by -> [ (e i, e j, 0); (e j, e i, 0); (s i, s j, -1) ]
+  | Contains -> [ (s i, s j, -1); (e j, e i, -1) ]
+  | Started_by -> [ (s i, s j, 0); (s j, s i, 0); (e j, e i, -1) ]
+  | Overlapped_by -> [ (s j, s i, -1); (s i, e j, 0); (e j, e i, -1) ]
+  | Met_by -> [ (e j, s i, -1); (s i, e j, 1) ]
+  | After -> [ (e j, s i, -2) ]
+
 (* For a dead edge, look for a pair whose label spans can never share a
    tick — the most legible cause, phrased through Allen's algebra. *)
 let disjoint_witness spans i =
@@ -47,8 +70,13 @@ let disjoint_witness spans i =
   in
   go 0
 
-let analyze ~env q =
+let analyze ?(allen = []) ~env q =
   let n = Query.n_edges q in
+  List.iter
+    (fun (i, _, j) ->
+      if i < 0 || i >= n || j < 0 || j >= n then
+        invalid_arg "Bound.analyze: Allen constraint out of range")
+    allen;
   if n = 0 then trivial ~unsat:false
   else if env.Query_check.span = None then trivial ~unsat:true
   else begin
@@ -74,6 +102,52 @@ let analyze ~env q =
             })
       in
       let any_dead = ref (Array.exists is_empty b) in
+      let lo_of (k, w) = match w with `S -> b.(k).s_lo | `E -> b.(k).e_lo in
+      let hi_of (k, w) = match w with `S -> b.(k).s_hi | `E -> b.(k).e_hi in
+      let set_lo (k, w) v =
+        b.(k) <-
+          (match w with
+          | `S -> { (b.(k)) with s_lo = v }
+          | `E -> { (b.(k)) with e_lo = v });
+        if is_empty b.(k) then any_dead := true
+      in
+      let set_hi (k, w) v =
+        b.(k) <-
+          (match w with
+          | `S -> { (b.(k)) with s_hi = v }
+          | `E -> { (b.(k)) with e_hi = v });
+        if is_empty b.(k) then any_dead := true
+      in
+      let ineqs = List.concat_map allen_inequalities allen in
+      (* Q015 witnesses are judged against the initial label-span boxes
+         (before any propagation): an Allen constraint that is already
+         infeasible there has the most legible cause — the two labels'
+         observed spans simply cannot sit in the required relation. *)
+      let allen_dead =
+        List.filter
+          (fun c ->
+            List.exists
+              (fun (x, y, off) -> lo_of x > sat_add (hi_of y) off)
+              (allen_inequalities c))
+          allen
+      in
+      let q015 =
+        List.map
+          (fun (i, rel, j) ->
+            Diagnostic.make ~proves_empty:true ~code:"Q015" ~severity:Warning
+              ~location:(Edge i)
+              "Allen constraint 'a%d %s a%d' can never hold: label %S is \
+               only alive in %s and label %S in %s (clipped to the window), \
+               which rules the relation out before any match is attempted"
+              i
+              (Temporal.Allen.to_string rel)
+              j
+              (label_name env edges.(i).Query.lbl)
+              (Temporal.Interval.to_string (span_of i))
+              (label_name env edges.(j).Query.lbl)
+              (Temporal.Interval.to_string (span_of j)))
+          allen_dead
+      in
       (* integer bounds only tighten inside the label spans, so the loop
          terminates; the cap bounds worst-case one-tick-per-round chains
          (losing only precision, never soundness, when it bites) *)
@@ -101,7 +175,23 @@ let analyze ~env q =
             changed := true;
             if is_empty bi' then any_dead := true
           end
-        done
+        done;
+        (* difference-constraint propagation for X <= Y + c: the upper
+           bound of X and the lower bound of Y tighten toward each
+           other *)
+        List.iter
+          (fun (x, y, off) ->
+            let hx = min (hi_of x) (sat_add (hi_of y) off) in
+            if hx < hi_of x then begin
+              set_hi x hx;
+              changed := true
+            end;
+            let ly = max (lo_of y) (sat_sub (lo_of x) off) in
+            if ly > lo_of y then begin
+              set_lo y ly;
+              changed := true
+            end)
+          ineqs
       done;
       let dead_edges =
         List.filter (fun i -> is_empty b.(i)) (List.init n Fun.id)
@@ -147,7 +237,7 @@ let analyze ~env q =
              %d pattern edges cannot satisfy the joint-overlap and \
              durability constraints"
             (List.length dead_edges) n
-          :: List.map diag_dead dead_edges
+          :: (List.map diag_dead dead_edges @ q015)
         in
         let diagnostics =
           List.sort
@@ -187,8 +277,8 @@ let analyze ~env q =
     end
   end
 
-let tighten ~env q =
-  match (analyze ~env q).effective with
+let tighten ?allen ~env q =
+  match (analyze ?allen ~env q).effective with
   | Some w' when not (Temporal.Interval.equal w' (Query.window q)) ->
       Query.with_window q w'
   | Some _ | None -> q

@@ -32,6 +32,17 @@
       [W']. The conformance relation [window-tightening] checks this on
       every engine.
 
+    Allen constraints between edge intervals (extended queries) fold
+    into the same network: each of the thirteen relations is a
+    conjunction of difference constraints [X <= Y + c] over the four
+    endpoint variables of the two edges (e.g. [a BEFORE b] is
+    [E_a <= S_b - 2] on closed integer intervals), propagated alongside
+    the overlap and durability rules. The tightened window stays exactly
+    result-preserving under the extended piece semantics: every
+    retained piece contains a tick [t] inside the window with
+    [t >= max_k s_k >= max_k s_lo_k] and [t <= min_k e_k <= min_k
+    e_hi_k], and piece construction itself never reads the window.
+
     Codes:
     - [Q011] (Warning, proves empty) propagation proves the query empty
     - [Q012] (Warning, proves empty) a pattern edge can never match
@@ -39,7 +50,10 @@
     - [Q013] (Warning, proves empty) LASTING exceeds one label's longest
       interval (the per-label refinement of [Q010])
     - [Q014] (Hint) the effective window is strictly tighter than the
-      query window *)
+      query window
+    - [Q015] (Warning, proves empty) an Allen constraint is infeasible
+      already on the initial label-span boxes — a Q012-style witness
+      naming the two spans *)
 
 type edge_bound = { s_lo : int; s_hi : int; e_lo : int; e_hi : int }
 (** Feasible start/end ranges for one query edge. Empty ([s_lo > s_hi]
@@ -53,16 +67,27 @@ type result = {
       (** the tightened window [W']; [None] when [unsat] or the graph
           is empty. Always a sub-interval of the query window. *)
   dead_edges : int list;  (** indices of edges with empty bounds *)
-  diagnostics : Diagnostic.t list;  (** [Q011]-[Q014], in code order *)
+  diagnostics : Diagnostic.t list;  (** [Q011]-[Q015], in code order *)
 }
 
-val analyze : env:Query_check.env -> Semantics.Query.t -> result
-(** Runs the fixpoint. On an empty graph, or when an edge's label has no
+val analyze :
+  ?allen:(int * Temporal.Allen.relation * int) list ->
+  env:Query_check.env ->
+  Semantics.Query.t ->
+  result
+(** Runs the fixpoint; [allen] adds the extended query's Allen
+    constraints (by edge index) to the network.
+    On an empty graph, or when an edge's label has no
     graph edges at all, the result is [unsat] with {e no} diagnostics —
     {!Query_check} already proves those cases empty ([Q003]/[Q008]/
-    [Q009]) and propagation adds nothing. *)
+    [Q009]) and propagation adds nothing.
+    @raise Invalid_argument on an out-of-range Allen edge index. *)
 
-val tighten : env:Query_check.env -> Semantics.Query.t -> Semantics.Query.t
+val tighten :
+  ?allen:(int * Temporal.Allen.relation * int) list ->
+  env:Query_check.env ->
+  Semantics.Query.t ->
+  Semantics.Query.t
 (** The query with its window replaced by the effective window — the
     identity when nothing tightens or the query is unsatisfiable (the
     caller's proves-empty path already short-circuits the latter).

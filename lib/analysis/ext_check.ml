@@ -1,0 +1,51 @@
+open Semantics
+
+let label_name (env : Query_check.env) lbl =
+  if lbl = Query.any_label then "*"
+  else if lbl >= 0 && lbl < Array.length env.Query_check.label_names then
+    env.Query_check.label_names.(lbl)
+  else string_of_int lbl
+
+(* A clause label with no graph edges at all: its matched union is empty
+   on every binding, independent of endpoints and window. *)
+let label_absent (env : Query_check.env) lbl =
+  if lbl = Query.any_label then env.Query_check.span = None
+  else
+    lbl < 0
+    || lbl >= env.Query_check.n_labels
+    || env.Query_check.label_spans.(lbl) = None
+
+let check ~env eq =
+  let semi_diags =
+    List.concat
+      (List.mapi
+         (fun k (c : Equery.clause) ->
+           if label_absent env c.Equery.lbl then
+             [
+               Diagnostic.make ~proves_empty:true ~code:"Q016"
+                 ~severity:Warning ~location:Queryloc
+                 "EXISTS clause %d can never hold: label %S has no graph \
+                  edges, so the semijoin intersection empties every \
+                  lifespan"
+                 k
+                 (label_name env c.Equery.lbl);
+             ]
+           else [])
+         (Equery.semi eq))
+  in
+  let anti_diags =
+    List.concat
+      (List.mapi
+         (fun k (c : Equery.clause) ->
+           if label_absent env c.Equery.lbl then
+             [
+               Diagnostic.make ~code:"Q017" ~severity:Hint ~location:Queryloc
+                 "NOT clause %d never matches: label %S has no graph edges, \
+                  so the antijoin subtracts nothing — drop the clause"
+                 k
+                 (label_name env c.Equery.lbl);
+             ]
+           else [])
+         (Equery.anti eq))
+  in
+  semi_diags @ anti_diags

@@ -1,0 +1,17 @@
+(** Static checks for the extended-operator decorations of a query.
+
+    Complements {!Query_check} (which covers the core pattern) with
+    clause-level facts derivable from the label statistics alone:
+
+    - [Q016] (Warning, proves empty): an [EXISTS] clause's label has no
+      graph edges — the semijoin intersects every lifespan with the
+      empty set, so the query provably returns nothing;
+    - [Q017] (Hint): a [NOT] clause's label has no graph edges — the
+      antijoin subtracts nothing and the clause can be dropped.
+
+    Allen-constraint infeasibility lives in {!Bound} ([Q015]), where the
+    constraints join the interval-propagation network. *)
+
+val check : env:Query_check.env -> Semantics.Equery.t -> Diagnostic.t list
+(** Clause diagnostics, [Q016] before [Q017], each in clause order.
+    Empty for a plain query. *)

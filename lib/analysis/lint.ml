@@ -15,14 +15,19 @@ let env t = t.env
 let tai t = t.tai
 let cost t = t.cost
 
-let check_query t q =
+let check_equery t eq =
+  let q = Semantics.Equery.core eq in
   let ds = Query_check.check ~env:t.env q in
   if Diagnostic.has_errors ds then ds
   else
     ds
-    @ (Bound.analyze ~env:t.env q).Bound.diagnostics
+    @ Ext_check.check ~env:t.env eq
+    @ (Bound.analyze ~allen:(Semantics.Equery.allen eq) ~env:t.env q)
+        .Bound.diagnostics
     @ Plan_check.check (Plan.build ~cost:t.cost t.tai q)
     @ Plan_check.check (Plan.build_adaptive ~cost:t.cost t.tai q)
+
+let check_query t q = check_equery t (Semantics.Equery.plain q)
 
 let check_pivot_order t q order =
   let ds = Query_check.check ~env:t.env q in
@@ -39,7 +44,7 @@ let check_text ?default_window t text =
         ] )
   | Ok ast -> (
       match
-        Semantics.Qlang.compile ?default_window (Tai.graph t.tai) ast
+        Semantics.Qlang.compile_ext ?default_window (Tai.graph t.tai) ast
       with
       | Error msg ->
           ( None,
@@ -47,4 +52,4 @@ let check_text ?default_window t text =
               Diagnostic.make ~code:"Q000" ~severity:Error ~location:Queryloc
                 "%s" msg;
             ] )
-      | Ok q -> (Some q, check_query t q))
+      | Ok eq -> (Some eq, check_equery t eq))

@@ -20,6 +20,11 @@ val check_query : target -> Semantics.Query.t -> Diagnostic.t list
     {!Bound.analyze}'s propagation diagnostics and plan checks on the
     cost-model plan and the adaptive plan. *)
 
+val check_equery : target -> Semantics.Equery.t -> Diagnostic.t list
+(** Like {!check_query} over the core pattern, adding {!Ext_check}'s
+    clause diagnostics and feeding the Allen constraints into
+    {!Bound.analyze}. [check_query q] = [check_equery (Equery.plain q)]. *)
+
 val check_pivot_order :
   target -> Semantics.Query.t -> int list -> Diagnostic.t list
 (** Lints the {e literal} plan induced by the pivot order
@@ -32,7 +37,8 @@ val check_text :
   ?default_window:Temporal.Interval.t ->
   target ->
   string ->
-  Semantics.Query.t option * Diagnostic.t list
-(** Parse and compile a query-language string, folding syntax and
-    compilation failures into [Q000]/[Q003] diagnostics, then
-    {!check_query}. The query is [None] when it could not be built. *)
+  Semantics.Equery.t option * Diagnostic.t list
+(** Parse and compile a query-language string (the full extended
+    surface), folding syntax and compilation failures into
+    [Q000]/[Q003] diagnostics, then {!check_equery}. The query is
+    [None] when it could not be built. *)

@@ -1,12 +1,36 @@
-type t = { graph : Tgraph.Graph.t; query : Semantics.Query.t }
+type t = { graph : Tgraph.Graph.t; query : Semantics.Equery.t }
 
 let make graph query = { graph; query }
+let make_plain graph q = { graph; query = Semantics.Equery.plain q }
+let core t = Semantics.Equery.core t.query
 
-let size t = (Tgraph.Graph.n_edges t.graph, Semantics.Query.n_edges t.query)
+let size t = (Tgraph.Graph.n_edges t.graph, Semantics.Query.n_edges (core t))
 
 let brief t =
-  Printf.sprintf "%d graph edges, %d vertices, %d pattern edges, window %s"
+  let open Semantics in
+  let eq = t.query in
+  let ext =
+    if Equery.is_plain eq then ""
+    else
+      let count what = function
+        | [] -> []
+        | l -> [ Printf.sprintf "%d %s" (List.length l) what ]
+      in
+      let parts =
+        count "anti" (Equery.anti eq)
+        @ count "semi" (Equery.semi eq)
+        @ count "allen" (Equery.allen eq)
+        @
+        match Equery.agg eq with
+        | None -> []
+        | Some Equery.Count -> [ "count" ]
+        | Some (Equery.Top k) -> [ Printf.sprintf "top %d" k ]
+      in
+      ", " ^ String.concat ", " parts
+  in
+  Printf.sprintf "%d graph edges, %d vertices, %d pattern edges, window %s%s"
     (Tgraph.Graph.n_edges t.graph)
     (Tgraph.Graph.n_vertices t.graph)
-    (Semantics.Query.n_edges t.query)
-    (Temporal.Interval.to_string (Semantics.Query.window t.query))
+    (Query.n_edges (core t))
+    (Temporal.Interval.to_string (Query.window (core t)))
+    ext

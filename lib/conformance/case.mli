@@ -1,13 +1,19 @@
-(** A conformance test case: one temporal graph plus one query (whose
-    window rides inside it). The unit that every check runs on, the
-    shrinker minimizes, and reproducer files serialize. *)
+(** A conformance test case: one temporal graph plus one extended query
+    (whose window rides inside it). The unit that every check runs on,
+    the shrinker minimizes, and reproducer files serialize. A plain
+    query is carried as a decoration-free {!Semantics.Equery.t}. *)
 
-type t = { graph : Tgraph.Graph.t; query : Semantics.Query.t }
+type t = { graph : Tgraph.Graph.t; query : Semantics.Equery.t }
 
-val make : Tgraph.Graph.t -> Semantics.Query.t -> t
+val make : Tgraph.Graph.t -> Semantics.Equery.t -> t
+val make_plain : Tgraph.Graph.t -> Semantics.Query.t -> t
+
+val core : t -> Semantics.Query.t
+(** The query's core pattern. *)
 
 val size : t -> int * int
-(** (graph edges, query pattern edges). *)
+(** (graph edges, query core pattern edges). *)
 
 val brief : t -> string
-(** One deterministic line: edge/vertex/pattern counts and the window. *)
+(** One deterministic line: edge/vertex/pattern counts, the window, and
+    — for extended queries — the decoration counts and aggregate. *)

@@ -110,11 +110,11 @@ let check_parallel cache (case : Case.t) ~domains =
   match
     let eng = Runner.engine c in
     let seq =
-      Workload.Engine.evaluate ~stats:seq_stats eng Workload.Engine.Tsrjoin
+      Workload.Engine.evaluate_ext ~stats:seq_stats eng Workload.Engine.Tsrjoin
         case.Case.query
     in
     let par =
-      Workload.Engine.evaluate ~stats:par_stats
+      Workload.Engine.evaluate_ext ~stats:par_stats
         ~pool:(Exec.Parallel.shared_pool ~at_least:domains)
         ~domains eng Workload.Engine.Tsrjoin case.Case.query
     in
@@ -156,10 +156,13 @@ let check_analyzer cache (case : Case.t) ~naive_count =
   let tai = Workload.Engine.tai eng in
   let cost = Tcsq_core.Plan.cost_model tai in
   let env = Analysis.Query_check.env_of_graph case.Case.graph in
-  let q = case.Case.query in
-  let bound = Analysis.Bound.analyze ~env q in
+  let eq = case.Case.query in
+  let q = Equery.core eq in
+  let bound = Analysis.Bound.analyze ~allen:(Equery.allen eq) ~env q in
   let diags =
-    Analysis.Query_check.check ~env q @ bound.Analysis.Bound.diagnostics
+    Analysis.Query_check.check ~env q
+    @ Analysis.Ext_check.check ~env eq
+    @ bound.Analysis.Bound.diagnostics
   in
   (* constraint-propagation soundness: a query flagged unsatisfiable
      must never match under the oracle (covers the no-diagnostic unsat
@@ -259,22 +262,33 @@ let run_check ~inject_fault (case : Case.t) check =
           let* variant = Runner.find ~inject_fault engine in
           guard (fun () ->
               let expected =
-                RS.of_list (Naive.evaluate case.Case.graph case.Case.query)
+                RS.of_list (Naive.evaluate_ext case.Case.graph case.Case.query)
               in
               of_opt (differential cache ~expected variant case))
       | Check.Relation { relation; engine; relseed } ->
           let* rel = Relation.find relation in
           let* variant = Runner.find ~inject_fault engine in
-          guard (fun () ->
-              let* base = eval_set cache variant case in
-              let d = rel.Relation.derive case ~relseed in
-              check_relation cache d variant ~base)
+          if Equery.agg case.Case.query <> None then
+            (* the harness never issues relation checks on aggregate
+               queries (TOP k re-selects under any transformed input),
+               so a reproducer that asks for one is corrupt *)
+            Error
+              (Printf.sprintf
+                 "relation %s does not apply to an aggregate query; drop the \
+                  aggregate"
+                 relation)
+          else
+            guard (fun () ->
+                let* base = eval_set cache variant case in
+                let d = rel.Relation.derive case ~relseed in
+                check_relation cache d variant ~base)
       | Check.Parallel { domains } ->
           of_opt (check_parallel cache case ~domains)
       | Check.Analyzer ->
           guard (fun () ->
               let naive_count =
-                List.length (Naive.evaluate case.Case.graph case.Case.query)
+                List.length
+                  (Naive.evaluate_ext case.Case.graph case.Case.query)
               in
               check_analyzer cache case ~naive_count))
 
@@ -321,9 +335,15 @@ let fuzz config =
        let pool = Testkit.query_pool ~n_labels ~window in
        let n_pool = List.length pool in
        let qs =
-         pool
+         List.map Equery.plain
+           (pool
+           @ List.init 3 (fun j ->
+                 Testkit.random_query ~seed:((seed * 13) + j) ~n_labels
+                   ~max_edges:4 ~window))
+         (* extended queries by default: random NOT/EXISTS/WHERE/agg
+            decorations over random cores *)
          @ List.init 3 (fun j ->
-               Testkit.random_query ~seed:((seed * 13) + j) ~n_labels
+               Testkit.random_equery ~seed:((seed * 17) + j) ~n_labels
                  ~max_edges:4 ~window)
        in
        let cache = cache () in
@@ -344,7 +364,7 @@ let fuzz config =
                         h_case = case;
                       })
                in
-               let naive = Naive.evaluate g q in
+               let naive = Naive.evaluate_ext g q in
                let expected = RS.of_list naive in
                incr n_ana;
                (match
@@ -369,7 +389,13 @@ let fuzz config =
                | Some d -> fail (Check.Parallel { domains }) d);
                (* every variant's base result set equals [expected] at
                   this point — its differential check just passed — so
-                  relations share the naive base *)
+                  relations share the naive base. Aggregate queries are
+                  excluded: TOP k re-selects under any transformed
+                  input, so no relation's algebra applies (the
+                  aggregate-topk relation derives TOP from an
+                  aggregate-free base instead). *)
+               if Equery.agg q <> None then ()
+               else
                List.iteri
                  (fun ri rel ->
                    let relseed = relseed_of ~seed ~qi ~ri in

@@ -1,21 +1,28 @@
-(** The conformance fuzz harness: random temporal graphs and queries,
-    cross-checked four ways per case —
+(** The conformance fuzz harness: random temporal graphs and queries —
+    plain and extended ([NOT]/[EXISTS] clauses, Allen constraints,
+    aggregates) — cross-checked four ways per case:
 
     {ul
     {- {b differential}: every engine variant's result set against the
-       naive oracle (and against a binary-IO round trip of the graph);}
+       naive extended oracle ({!Semantics.Naive.evaluate_ext}, a
+       literal per-timestamp re-scan independent of the interval-set
+       arithmetic the engines share), and against a binary-IO round
+       trip of the graph;}
     {- {b analyzer}: static-analyzer verdicts against ground truth
-       (proves-empty implies zero matches, generator-produced queries
-       draw no errors, all three planners pass plan invariants);}
+       (proves-empty — including clause and Allen infeasibility —
+       implies zero pieces, generator-produced queries draw no errors,
+       all three planners pass plan invariants);}
     {- {b parallel}: one multi-domain TSRJoin run ([domains] rotating
        2..4 on the shared {!Exec.Pool}) against the sequential run,
        result sets and merged {!Semantics.Run_stats} both equal;}
-    {- {b metamorphic}: the six oracle-free relations of {!Relation},
-       each checked per engine variant (and, with [wire], through the
-       server wire path).}}
+    {- {b metamorphic}: the twelve oracle-free relations of
+       {!Relation}, each checked per engine variant (and, with [wire],
+       through the server wire path). Queries carrying an aggregate are
+       exempt — [TOP k] re-selects under any transformed input — but
+       still run the differential, parallel and analyzer checks.}}
 
-    The first divergence is minimized by {!Shrink} and reported with a
-    {!Repro} reproducer. *)
+    The first divergence is minimized by {!Shrink} (decoration-dropping
+    passes included) and reported with a {!Repro} reproducer. *)
 
 type config = {
   iterations : int;

@@ -28,6 +28,31 @@ let map_lives f set =
        (fun m -> Match_result.make m.Match_result.edges (f m.Match_result.life))
        (RS.to_list set))
 
+(* a random decoration clause whose endpoints are core variables (or
+   unconstrained) — the raw material for the partition/containment
+   relations *)
+let random_clause rng g q =
+  let used =
+    let flags = Array.make (Query.n_vars q) false in
+    Array.iter
+      (fun e ->
+        flags.(e.Query.src_var) <- true;
+        flags.(e.Query.dst_var) <- true)
+      (Query.edges q);
+    Array.to_list (Array.mapi (fun i u -> (i, u)) flags)
+    |> List.filter_map (fun (i, u) -> if u then Some i else None)
+  in
+  let endpoint () =
+    if Random.State.int rng 3 = 0 then Equery.Any
+    else Equery.Var (List.nth used (Random.State.int rng (List.length used)))
+  in
+  let nl = Tgraph.Graph.n_labels g in
+  let lbl =
+    if nl = 0 || Random.State.int rng 6 = 0 then Query.any_label
+    else Random.State.int rng nl
+  in
+  { Equery.lbl; src = endpoint (); dst = endpoint () }
+
 (* ---- window-containment monotonicity ---- *)
 
 let window_containment =
@@ -38,14 +63,18 @@ let window_containment =
       (fun case ~relseed ->
         let rng = rng_of relseed 1 in
         let q = case.Case.query in
-        let ws = Query.ws q and we = Query.we q in
+        let core = Equery.core q in
+        let ws = Query.ws core and we = Query.we core in
         let ws' = ws + Random.State.int rng (we - ws + 1) in
         let we' = ws' + Random.State.int rng (we - ws' + 1) in
         let w' = Temporal.Interval.make ws' we' in
         {
-          cases = [ { case with Case.query = Query.with_window q w' } ];
+          cases = [ { case with Case.query = Equery.with_window q w' } ];
           check =
             (fun ~base ~derived ->
+              (* exact because clause matching never reads the window:
+                 the pieces of a match are window-independent, only the
+                 keep-overlapping filter moves *)
               let expected =
                 RS.of_list
                   (List.filter
@@ -72,22 +101,23 @@ let translation =
       (fun case ~relseed ->
         let rng = rng_of relseed 2 in
         let g = case.Case.graph and q = case.Case.query in
+        let core = Equery.core q in
         (* pick Δ in [-max_back, 25] \ {0}, bounded so every timestamp
            stays non-negative after the shift *)
         let max_back =
           Tgraph.Graph.fold_edges
             (fun acc e -> min acc (Tgraph.Edge.ts e))
-            (Query.ws q) g
+            (Query.ws core) g
         in
         let max_back = max 0 max_back in
         let d = Random.State.int rng (26 + max_back) - max_back in
         let delta = if d >= 0 then d + 1 else d in
         let g' = Testkit.shift_time g ~delta in
         let w' =
-          Temporal.Interval.make (Query.ws q + delta) (Query.we q + delta)
+          Temporal.Interval.make (Query.ws core + delta) (Query.we core + delta)
         in
         {
-          cases = [ Case.make g' (Query.with_window q w') ];
+          cases = [ Case.make g' (Equery.with_window q w') ];
           check =
             (fun ~base ~derived ->
               let shift life =
@@ -114,17 +144,31 @@ let time_reversal =
     derive =
       (fun case ~relseed:_ ->
         let g = case.Case.graph and q = case.Case.query in
+        let core = Equery.core q in
         let anchor =
           Tgraph.Graph.fold_edges
             (fun acc e -> max acc (Tgraph.Edge.te e))
-            (Query.we q) g
+            (Query.we core) g
         in
         let g' = Testkit.reverse_time g ~anchor in
         let w' =
-          Temporal.Interval.make (anchor - Query.we q) (anchor - Query.ws q)
+          Temporal.Interval.make
+            (anchor - Query.we core)
+            (anchor - Query.ws core)
+        in
+        (* clause arithmetic is time-symmetric, but an Allen constraint
+           is not: BEFORE on the reversed axis is AFTER, MEETS is
+           MET-BY, STARTS is FINISHES... — the reversal dual, which is
+           not the argument-swapping inverse *)
+        let q' =
+          Equery.with_allen
+            (Equery.with_window q w')
+            (List.map
+               (fun (i, r, j) -> (i, Temporal.Allen.reverse r, j))
+               (Equery.allen q))
         in
         {
-          cases = [ Case.make g' (Query.with_window q w') ];
+          cases = [ Case.make g' q' ];
           check =
             (fun ~base ~derived ->
               let reverse life =
@@ -152,8 +196,25 @@ let edge_deletion =
       (fun case ~relseed ->
         let rng = rng_of relseed 4 in
         let g = case.Case.graph in
+        let q = case.Case.query in
         let n = Tgraph.Graph.n_edges g in
         let kept = Array.init n (fun _ -> Random.State.int rng 4 <> 0) in
+        (* deleting an edge a NOT/EXISTS clause could match would move
+           the clause unions and re-slice every surviving lifespan; keep
+           those edges so decorations stay fixed and deletion stays a
+           pure core-match filter (a wildcard clause protects all) *)
+        let clauses = Equery.anti q @ Equery.semi q in
+        if clauses <> [] then
+          Tgraph.Graph.iter_edges
+            (fun e ->
+              if
+                List.exists
+                  (fun c ->
+                    c.Equery.lbl = Query.any_label
+                    || c.Equery.lbl = Tgraph.Edge.lbl e)
+                  clauses
+              then kept.(Tgraph.Edge.id e) <- true)
+            g;
         if not (Array.exists Fun.id kept) then kept.(0) <- true;
         let g', new_to_old = Testkit.drop_edges g ~keep:(fun id -> kept.(id)) in
         let old_to_new = Array.make n (-1) in
@@ -210,7 +271,7 @@ let label_renaming =
           perm.(j) <- t
         done;
         let g' = Testkit.relabel_edges g ~perm in
-        let q' = Testkit.map_query_labels q ~f:(fun l -> perm.(l)) in
+        let q' = Equery.map_labels (fun l -> perm.(l)) q in
         {
           cases = [ Case.make g' q' ];
           check =
@@ -232,7 +293,7 @@ let sub_pattern =
     derive =
       (fun case ~relseed ->
         let rng = rng_of relseed 6 in
-        let q = case.Case.query in
+        let q = Equery.core case.Case.query in
         let n = Query.n_edges q in
         let start = Random.State.int rng n in
         (* grow a random connected sub-pattern from [start]: sweep the
@@ -267,8 +328,11 @@ let sub_pattern =
         done;
         let keep = List.filter (fun i -> included.(i)) component in
         let q_sub, sel = Testkit.restrict_query q ~keep in
+        (* decorations are dropped: each base piece is a sub-interval of
+           its core lifespan, so the containment claim below still goes
+           through against the plain sub-pattern *)
         {
-          cases = [ { case with Case.query = q_sub } ];
+          cases = [ { case with Case.query = Equery.plain q_sub } ];
           check =
             (fun ~base ~derived ->
               let sub = one derived in
@@ -329,13 +393,18 @@ let window_tightening =
     derive =
       (fun case ~relseed:_ ->
         (* deterministic: the derived query is whatever the analyzer's
-           constraint propagation tightens the window to (possibly the
-           identity), and Bound's theorem says the result set must not
-           move at all *)
+           constraint propagation (Allen constraints included) tightens
+           the window to (possibly the identity), and Bound's theorem
+           says the result set must not move at all *)
         let env = Analysis.Query_check.env_of_graph case.Case.graph in
-        let q' = Analysis.Bound.tighten ~env case.Case.query in
+        let eq = case.Case.query in
+        let q' =
+          Analysis.Bound.tighten ~allen:(Equery.allen eq) ~env
+            (Equery.core eq)
+        in
+        let eq' = Equery.with_window eq (Query.window q') in
         {
-          cases = [ { case with Case.query = q' } ];
+          cases = [ { case with Case.query = eq' } ];
           check =
             (fun ~base ~derived ->
               expect_equal
@@ -345,8 +414,283 @@ let window_tightening =
                       result set exactly"
                      (Temporal.Interval.to_string (Query.window q'))
                      (Temporal.Interval.to_string
-                        (Query.window case.Case.query)))
+                        (Query.window (Equery.core eq))))
                 ~expected:base ~actual:(one derived));
+        });
+  }
+
+(* ---- antijoin/semijoin partition ---- *)
+
+(* coverage per edges-group: the union of window-clipped piece
+   intervals, as a normalized interval set *)
+let coverage ~window set =
+  let tbl = Hashtbl.create 32 in
+  List.iter
+    (fun m ->
+      match Temporal.Interval.intersect m.Match_result.life window with
+      | None -> ()
+      | Some clipped ->
+          let key = Array.to_list m.Match_result.edges in
+          let prev =
+            Option.value
+              (Hashtbl.find_opt tbl key)
+              ~default:Temporal.Ivlset.empty
+          in
+          Hashtbl.replace tbl key
+            (Temporal.Ivlset.union prev (Temporal.Ivlset.of_interval clipped)))
+    (RS.to_list set);
+  tbl
+
+let anti_semi_partition =
+  {
+    name = "anti-semi-partition";
+    mutates_graph = false;
+    derive =
+      (fun case ~relseed ->
+        let rng = rng_of relseed 8 in
+        let g = case.Case.graph in
+        let eq = case.Case.query in
+        let core = Equery.core eq in
+        let c = random_clause rng g core in
+        (* min_duration 1 because the duration floor breaks the algebra:
+           a piece split by the clause could leave two sub-duration
+           halves while the whole survived *)
+        let base' =
+          Equery.with_min_duration (Equery.with_agg eq None) 1
+        in
+        let with_not = Equery.with_anti base' (c :: Equery.anti base') in
+        let with_exists = Equery.with_semi base' (c :: Equery.semi base') in
+        let window = Query.window core in
+        {
+          cases =
+            [
+              { case with Case.query = with_not };
+              { case with Case.query = with_exists };
+              { case with Case.query = base' };
+            ];
+          check =
+            (fun ~base:_ ~derived ->
+              match derived with
+              | [ rs_not; rs_exists; rs_all ] -> (
+                  let cov_not = coverage ~window rs_not in
+                  let cov_exists = coverage ~window rs_exists in
+                  let cov_all = coverage ~window rs_all in
+                  let keys = Hashtbl.create 32 in
+                  List.iter
+                    (fun tbl ->
+                      Hashtbl.iter (fun k _ -> Hashtbl.replace keys k ()) tbl)
+                    [ cov_not; cov_exists; cov_all ];
+                  let get tbl k =
+                    Option.value (Hashtbl.find_opt tbl k)
+                      ~default:Temporal.Ivlset.empty
+                  in
+                  let bad =
+                    Hashtbl.fold
+                      (fun k () acc ->
+                        match acc with
+                        | Some _ -> acc
+                        | None ->
+                            let u =
+                              Temporal.Ivlset.union (get cov_not k)
+                                (get cov_exists k)
+                            in
+                            if Temporal.Ivlset.equal u (get cov_all k) then
+                              None
+                            else Some (k, u, get cov_all k))
+                      keys None
+                  in
+                  match bad with
+                  | None -> Ok ()
+                  | Some (k, u, all) ->
+                      Error
+                        (Printf.sprintf
+                           "NOT/EXISTS must partition each lifespan: edges \
+                            [%s] have NOT ∪ EXISTS coverage %s but the \
+                            undecorated query covers %s"
+                           (String.concat "," (List.map string_of_int k))
+                           (Temporal.Ivlset.to_string u)
+                           (Temporal.Ivlset.to_string all)))
+              | _ -> invalid_arg "relation arity");
+        });
+  }
+
+(* ---- Allen-inverse symmetry ---- *)
+
+let allen_inverse =
+  {
+    name = "allen-inverse";
+    mutates_graph = false;
+    derive =
+      (fun case ~relseed ->
+        let rng = rng_of relseed 9 in
+        let eq = case.Case.query in
+        let core = Equery.core eq in
+        let n = Query.n_edges core in
+        if n < 2 then
+          { cases = []; check = (fun ~base:_ ~derived:_ -> Ok ()) }
+        else begin
+          let i = Random.State.int rng n in
+          let j = (i + 1 + Random.State.int rng (n - 1)) mod n in
+          let rel =
+            Temporal.Allen.all.(Random.State.int rng
+                                  (Array.length Temporal.Allen.all))
+          in
+          let with_c c = Equery.with_allen eq (c :: Equery.allen eq) in
+          {
+            cases =
+              [
+                { case with Case.query = with_c (i, rel, j) };
+                {
+                  case with
+                  Case.query = with_c (j, Temporal.Allen.inverse rel, i);
+                };
+              ];
+            check =
+              (fun ~base:_ ~derived ->
+                match derived with
+                | [ a; b ] ->
+                    expect_equal
+                      ~what:
+                        (Printf.sprintf
+                           "a%d %s a%d and its inverse a%d %s a%d must \
+                            constrain identically"
+                           i
+                           (Temporal.Allen.to_string rel)
+                           j j
+                           (Temporal.Allen.to_string
+                              (Temporal.Allen.inverse rel))
+                           i)
+                      ~expected:a ~actual:b
+                | _ -> invalid_arg "relation arity");
+          }
+        end);
+  }
+
+(* ---- semijoin containment ---- *)
+
+let semijoin_containment =
+  {
+    name = "semijoin-containment";
+    mutates_graph = false;
+    derive =
+      (fun case ~relseed ->
+        let rng = rng_of relseed 10 in
+        let g = case.Case.graph in
+        let eq = case.Case.query in
+        let core = Equery.core eq in
+        let c = random_clause rng g core in
+        let eq' = Equery.with_semi eq (c :: Equery.semi eq) in
+        {
+          cases = [ { case with Case.query = eq' } ];
+          check =
+            (fun ~base ~derived ->
+              (* EXISTS only intersects: every derived piece lives inside
+                 some base piece over the same edge bindings *)
+              let by_edges = Hashtbl.create 64 in
+              List.iter
+                (fun m ->
+                  let key = Array.to_list m.Match_result.edges in
+                  Hashtbl.replace by_edges key
+                    (m.Match_result.life
+                    :: Option.value (Hashtbl.find_opt by_edges key) ~default:[]))
+                (RS.to_list base);
+              let contained m =
+                let key = Array.to_list m.Match_result.edges in
+                List.exists
+                  (fun life ->
+                    Temporal.Interval.ts life
+                      <= Temporal.Interval.ts m.Match_result.life
+                    && Temporal.Interval.te m.Match_result.life
+                       <= Temporal.Interval.te life)
+                  (Option.value (Hashtbl.find_opt by_edges key) ~default:[])
+              in
+              match
+                List.find_opt
+                  (fun m -> not (contained m))
+                  (RS.to_list (one derived))
+              with
+              | None -> Ok ()
+              | Some m ->
+                  Error
+                    (Format.asprintf
+                       "adding an EXISTS clause produced %a, which no base \
+                        piece with the same edges contains"
+                       Match_result.pp m));
+        });
+  }
+
+(* ---- Allen constraints are pure post-filters ---- *)
+
+let allen_filter =
+  {
+    name = "allen-filter";
+    mutates_graph = false;
+    derive =
+      (fun case ~relseed ->
+        let rng = rng_of relseed 11 in
+        let g = case.Case.graph in
+        let eq = case.Case.query in
+        let core = Equery.core eq in
+        let n = Query.n_edges core in
+        if n < 2 then
+          { cases = []; check = (fun ~base:_ ~derived:_ -> Ok ()) }
+        else begin
+          let i = Random.State.int rng n in
+          let j = (i + 1 + Random.State.int rng (n - 1)) mod n in
+          let rel =
+            Temporal.Allen.all.(Random.State.int rng
+                                  (Array.length Temporal.Allen.all))
+          in
+          let eq' = Equery.with_allen eq ((i, rel, j) :: Equery.allen eq) in
+          {
+            cases = [ { case with Case.query = eq' } ];
+            check =
+              (fun ~base ~derived ->
+                let satisfies m =
+                  Equery.allen_ok g [ (i, rel, j) ] m
+                in
+                let expected =
+                  RS.of_list (List.filter satisfies (RS.to_list base))
+                in
+                expect_equal
+                  ~what:
+                    (Printf.sprintf
+                       "a%d %s a%d must act as a pure whole-match filter on \
+                        the base result set"
+                       i
+                       (Temporal.Allen.to_string rel)
+                       j)
+                  ~expected ~actual:(one derived));
+          }
+        end);
+  }
+
+(* ---- TOP-k aggregate determinism ---- *)
+
+let aggregate_topk =
+  {
+    name = "aggregate-topk";
+    mutates_graph = false;
+    derive =
+      (fun case ~relseed ->
+        let rng = rng_of relseed 12 in
+        let eq = case.Case.query in
+        let k = 1 + Random.State.int rng 4 in
+        let eq' = Equery.with_agg eq (Some (Equery.Top k)) in
+        {
+          cases = [ { case with Case.query = eq' } ];
+          check =
+            (fun ~base ~derived ->
+              let expected =
+                RS.of_list (Analytics.top_durable ~k (RS.to_list base))
+              in
+              expect_equal
+                ~what:
+                  (Printf.sprintf
+                     "TOP %d must select the deterministic durability top-k \
+                      of the base result set"
+                     k)
+                ~expected ~actual:(one derived));
         });
   }
 
@@ -354,6 +698,10 @@ let all =
   [
     window_containment; translation; time_reversal; edge_deletion;
     label_renaming; sub_pattern; window_tightening;
+    (* the extended-operator relations are appended so older repro
+       relseeds (which index into this list) stay valid *)
+    anti_semi_partition; allen_inverse; semijoin_containment; allen_filter;
+    aggregate_topk;
   ]
 
 let find name =

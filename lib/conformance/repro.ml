@@ -33,7 +33,7 @@ let to_string t =
   Buffer.add_string buf
     (Printf.sprintf "summary: %s\n" (one_line t.summary));
   Buffer.add_string buf "[query]\n";
-  Buffer.add_string buf (Qlang.render g t.case.Case.query);
+  Buffer.add_string buf (Qlang.render_ext g t.case.Case.query);
   Buffer.add_string buf "\n[graph]\n";
   Tgraph.Graph.iter_edges
     (fun e ->
@@ -139,9 +139,7 @@ let of_string text =
       if Tgraph.Graph.n_edges graph = 0 then
         Error "reproducer graph has no edges"
       else
-        let* query =
-          Qlang.parse_and_compile graph qtext
-        in
+        let* query = Qlang.parse_and_compile_ext graph qtext in
         Ok { check; seed; summary; case = Case.make graph query }
   | first :: _ ->
       Error (Printf.sprintf "not a reproducer: expected %S, got %S" magic first)

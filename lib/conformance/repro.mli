@@ -2,7 +2,10 @@
 
     A reproducer carries everything needed to re-execute one failed
     conformance check deterministically: the check identity, the query
-    in [.tcsq] query-language text, and the graph as CSV edge lines —
+    in [.tcsq] query-language text (the full extended surface —
+    [NOT]/[EXISTS] clauses, [WHERE] Allen constraints, aggregates —
+    rendered by [Qlang.render_ext] and parsed back by
+    [Qlang.parse_and_compile_ext]), and the graph as CSV edge lines —
     one file a human can read and [tcsq fuzz --replay] can re-run.
 
     {v

@@ -61,13 +61,14 @@ let release c =
 
 (* ---- variants ---- *)
 
-type t = { name : string; eval : ctx -> Query.t -> Match_result.t list }
+type t = { name : string; eval : ctx -> Equery.t -> Match_result.t list }
 
 let engine_variant name ?tsrjoin_config method_ =
   {
     name;
     eval =
-      (fun c q -> Workload.Engine.evaluate ?tsrjoin_config (engine c) method_ q);
+      (fun c eq ->
+        Workload.Engine.evaluate_ext ?tsrjoin_config (engine c) method_ eq);
   }
 
 let standard =
@@ -84,21 +85,32 @@ let adaptive =
   {
     name = "tsrjoin-adaptive";
     eval =
-      (fun c q ->
+      (fun c eq ->
         let tai = Workload.Engine.tai (engine c) in
         let cost = Tcsq_core.Plan.cost_model tai in
-        let plan = Tcsq_core.Plan.build_adaptive ~cost ~defer_ratio:2.0 tai q in
-        Tcsq_core.Tsrjoin.evaluate ~plan tai q);
+        let config =
+          {
+            Tcsq_core.Tsrjoin.default_config with
+            Tcsq_core.Tsrjoin.allen = Equery.allen eq;
+          }
+        in
+        Equery.evaluate_with
+          (fun q ->
+            let plan =
+              Tcsq_core.Plan.build_adaptive ~cost ~defer_ratio:2.0 tai q
+            in
+            Tcsq_core.Tsrjoin.evaluate ~config ~plan tai q)
+          c.g eq);
   }
 
 let parallel ~domains =
   {
     name = Printf.sprintf "tsrjoin-par%d" domains;
     eval =
-      (fun c q ->
-        Workload.Engine.evaluate
+      (fun c eq ->
+        Workload.Engine.evaluate_ext
           ~pool:(Exec.Parallel.shared_pool ~at_least:domains)
-          ~domains (engine c) Workload.Engine.Tsrjoin q);
+          ~domains (engine c) Workload.Engine.Tsrjoin eq);
   }
 
 (* generous wire-path budgets: conformance wants complete result sets,
@@ -109,9 +121,17 @@ let wire =
   {
     name = "wire";
     eval =
-      (fun c q ->
+      (fun c eq ->
         let _, client = server c in
-        let text = Qlang.render c.g q in
+        (* a COUNT query comes back count-only over the wire; strip the
+           aggregate so the server echoes the pieces themselves (COUNT
+           is presentation, so the result set is unchanged) *)
+        let eq =
+          match Equery.agg eq with
+          | Some Equery.Count -> Equery.with_agg eq None
+          | _ -> eq
+        in
+        let text = Qlang.render_ext c.g eq in
         match
           Tcsq_server.Client.query ~limit:wire_limit ~max_results:wire_limit
             ~max_intermediate:max_int client text
@@ -142,8 +162,10 @@ let broken =
   {
     name = "broken";
     eval =
-      (fun c q ->
-        match Workload.Engine.evaluate (engine c) Workload.Engine.Tsrjoin q with
+      (fun c eq ->
+        match
+          Workload.Engine.evaluate_ext (engine c) Workload.Engine.Tsrjoin eq
+        with
         | [] -> []
         | _ :: rest -> rest);
   }

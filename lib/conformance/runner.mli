@@ -23,23 +23,33 @@ exception Eval_failed of string
     of the engine, or a non-[ok] wire response. The harness reports it
     as a conformance failure of that variant. *)
 
-type t = { name : string; eval : ctx -> Semantics.Query.t -> Semantics.Match_result.t list }
+type t = {
+  name : string;
+  eval : ctx -> Semantics.Equery.t -> Semantics.Match_result.t list;
+}
+(** Every variant evaluates the full extended surface: the core pattern
+    runs through the variant's engine, decorations and aggregates apply
+    through {!Semantics.Equery} (TSRJoin variants additionally push the
+    Allen constraints into the join). *)
 
 val standard : t list
 (** The five engine variants of the differential fuzzer: tsrjoin-basic,
     tsrjoin-opt, binary, hybrid, time. *)
 
 val adaptive : t
-(** TSRJoin under [Plan.build_adaptive] (defer ratio 2.0). *)
+(** TSRJoin under [Plan.build_adaptive] (defer ratio 2.0), Allen
+    constraints in the engine config. *)
 
 val parallel : domains:int -> t
-(** [tsrjoin-parN]: {!Workload.Engine.evaluate} with [~domains:N] on the
-    shared {!Exec.Pool}. *)
+(** [tsrjoin-parN]: {!Workload.Engine.evaluate_ext} with [~domains:N] on
+    the shared {!Exec.Pool}. *)
 
 val wire : t
-(** The server wire path: the query is rendered to text, sent over a
-    Unix-domain socket to an in-process [tcsq serve] instance holding
-    the ctx's graph, and the response matches are decoded back. *)
+(** The server wire path: the query is rendered to extended query-language
+    text, sent over a Unix-domain socket to an in-process [tcsq serve]
+    instance holding the ctx's graph, and the response matches are
+    decoded back. A [COUNT] aggregate is stripped before rendering
+    (count is presentation-only; the server would echo no matches). *)
 
 val broken : t
 (** Fault injection for shrinker and replay tests: tsrjoin-opt with the

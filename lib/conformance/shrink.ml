@@ -47,22 +47,50 @@ let minimize ~failing ?(max_probes = 2000) case0 =
     done
   in
 
-  (* 2. drop query pattern edges one at a time *)
+  (* 2. drop decorations: the aggregate, then each anti/semi clause and
+     each Allen constraint one at a time — cheap reductions that often
+     collapse an extended failure to a plain one *)
+  let drop_nth l n = List.filteri (fun i _ -> i <> n) l in
+  let decoration_pass () =
+    (match Equery.agg (!cur).Case.query with
+    | Some _ ->
+        ignore
+          (accept
+             { !cur with Case.query = Equery.with_agg (!cur).Case.query None })
+    | None -> ());
+    let clause_pass get set =
+      let i = ref (List.length (get (!cur).Case.query) - 1) in
+      while !i >= 0 do
+        let eq = (!cur).Case.query in
+        let l = get eq in
+        if !i < List.length l then
+          ignore (accept { !cur with Case.query = set eq (drop_nth l !i) });
+        decr i
+      done
+    in
+    clause_pass Equery.anti Equery.with_anti;
+    clause_pass Equery.semi Equery.with_semi;
+    clause_pass Equery.allen Equery.with_allen
+  in
+
+  (* 3. drop query pattern edges one at a time (decorations follow:
+     dangling clause endpoints weaken to Any, Allen constraints on a
+     dropped edge disappear) *)
   let query_edge_pass () =
-    let i = ref (Query.n_edges (!cur).Case.query - 1) in
+    let i = ref (Query.n_edges (Case.core !cur) - 1) in
     while !i >= 0 do
-      let q = (!cur).Case.query in
-      let n = Query.n_edges q in
+      let eq = (!cur).Case.query in
+      let n = Query.n_edges (Equery.core eq) in
       if n > 1 && !i < n then begin
         let keep = List.filter (fun j -> j <> !i) (List.init n Fun.id) in
-        let q', _ = Testkit.restrict_query q ~keep in
-        ignore (accept { !cur with Case.query = q' })
+        let eq', _ = Testkit.restrict_equery eq ~keep in
+        ignore (accept { !cur with Case.query = eq' })
       end;
       decr i
     done
   in
 
-  (* 3. merge vertex pairs (drop the higher id onto the lower) *)
+  (* 4. merge vertex pairs (drop the higher id onto the lower) *)
   let vertex_pass () =
     let continue_ = ref true in
     while !continue_ do
@@ -99,7 +127,7 @@ let minimize ~failing ?(max_probes = 2000) case0 =
     done
   in
 
-  (* 4. shrink edge intervals toward points *)
+  (* 5. shrink edge intervals toward points *)
   let interval_pass () =
     let i = ref 0 in
     while !i < Tgraph.Graph.n_edges (!cur).Case.graph do
@@ -127,12 +155,13 @@ let minimize ~failing ?(max_probes = 2000) case0 =
     done
   in
 
-  (* 5. shrink the query window *)
+  (* 6. shrink the query window *)
   let window_pass () =
     let continue_ = ref true in
     while !continue_ do
       continue_ := false;
-      let q = (!cur).Case.query in
+      let eq = (!cur).Case.query in
+      let q = Equery.core eq in
       let ws = Query.ws q and we = Query.we q in
       if we > ws then begin
         let mid = ws + ((we - ws) / 2) in
@@ -145,7 +174,7 @@ let minimize ~failing ?(max_probes = 2000) case0 =
         if
           List.exists
             (fun w ->
-              accept { !cur with Case.query = Query.with_window q w })
+              accept { !cur with Case.query = Equery.with_window eq w })
             candidates
         then continue_ := true
       end
@@ -158,6 +187,7 @@ let minimize ~failing ?(max_probes = 2000) case0 =
     incr rounds;
     shrunk := false;
     graph_edge_pass ();
+    decoration_pass ();
     query_edge_pass ();
     vertex_pass ();
     interval_pass ();

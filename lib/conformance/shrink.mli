@@ -2,10 +2,13 @@
 
     Given a deterministic failure predicate, repeatedly applies
     reductions — dropping graph-edge ranges (coarse to fine), dropping
-    query pattern edges, merging vertices, shrinking edge intervals and
-    the query window — keeping each reduction iff the failure persists,
-    until a fixpoint or the probe budget is reached. The graph keeps at
-    least one edge and the query at least one pattern edge throughout. *)
+    query decorations (the aggregate, each [NOT]/[EXISTS] clause, each
+    Allen constraint), dropping query pattern edges (surviving
+    decorations are remapped), merging vertices, shrinking edge
+    intervals and the query window — keeping each reduction iff the
+    failure persists, until a fixpoint or the probe budget is reached.
+    The graph keeps at least one edge and the query at least one
+    pattern edge throughout. *)
 
 val minimize :
   failing:(Case.t -> bool) -> ?max_probes:int -> Case.t -> Case.t * int

@@ -3,10 +3,13 @@ open Tgraph
 
 type lfto_mode = Basic | Optimized of Lfto_opt.config
 
-type config = { mode : lfto_mode }
+type config = {
+  mode : lfto_mode;
+  allen : (int * Temporal.Allen.relation * int) list;
+}
 
-let default_config = { mode = Optimized Lfto_opt.all_on }
-let basic_config = { mode = Basic }
+let default_config = { mode = Optimized Lfto_opt.all_on; allen = [] }
+let basic_config = { mode = Basic; allen = [] }
 
 type roots =
   | All_roots
@@ -42,6 +45,27 @@ let root_key_sets tai pivot (step_edges : Query.edge array) =
 let run ?stats ?(obs = Obs.Sink.null) ?per_step ?(roots = All_roots)
     ?(config = default_config) ?plan ?cost tai q ~emit =
   let min_duration = Query.min_duration q in
+  let allen_cs = config.allen in
+  List.iter
+    (fun (i, _, j) ->
+      if i < 0 || i >= Query.n_edges q || j < 0 || j >= Query.n_edges q then
+        invalid_arg "Tsrjoin.run: Allen constraint references an edge out of range")
+    allen_cs;
+  (* Allen-constraint push-down: as soon as both edges of a constraint
+     are assigned, a misclassified pair kills the whole subtree —
+     equivalent to post-filtering complete matches, just earlier. *)
+  let graph = Tai.graph tai in
+  let allen_ok assignment =
+    List.for_all
+      (fun (i, rel, j) ->
+        let ei = assignment.(i) and ej = assignment.(j) in
+        ei < 0 || ej < 0
+        || Temporal.Allen.classify
+             (Edge.ivl (Graph.edge graph ei))
+             (Edge.ivl (Graph.edge graph ej))
+           = rel)
+      allen_cs
+  in
   let plan = match plan with Some p -> p | None -> Plan.build ?cost tai q in
   (match Plan.validate plan with
   | Ok () -> ()
@@ -175,8 +199,10 @@ let run ?stats ?(obs = Obs.Sink.null) ?per_step ?(roots = All_roots)
               for j = 0 to k - 1 do
                 assignment.(step_edges.(j).Query.idx) <- Edge.id members.(j)
               done;
-              tick_intermediate step_i;
-              exec (step_i + 1) life' valid';
+              if allen_cs = [] || allen_ok assignment then begin
+                tick_intermediate step_i;
+                exec (step_i + 1) life' valid'
+              end;
               for j = 0 to k - 1 do
                 assignment.(step_edges.(j).Query.idx) <- -1
               done

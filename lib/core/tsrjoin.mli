@@ -13,10 +13,17 @@
 
 type lfto_mode = Basic | Optimized of Lfto_opt.config
 
-type config = { mode : lfto_mode }
+type config = {
+  mode : lfto_mode;
+  allen : (int * Temporal.Allen.relation * int) list;
+      (** Allen constraints between query edges (by edge index), pruned
+          as soon as both edges of a constraint are bound — equivalent
+          to post-filtering complete matches on
+          [Temporal.Allen.classify], just earlier in the join tree. *)
+}
 
 val default_config : config
-(** [Optimized Lfto_opt.all_on]. *)
+(** [Optimized Lfto_opt.all_on], no Allen constraints. *)
 
 val basic_config : config
 

@@ -37,6 +37,16 @@ let peak ?n_buckets ~over ms =
       | _ -> if count > 0 then Some (bucket, count) else best)
     None hist
 
+let top_durable ~k ms =
+  if k < 1 then invalid_arg "Analytics.top_durable: need k >= 1";
+  let longer a b =
+    let la = Temporal.Interval.length a.Match_result.life in
+    let lb = Temporal.Interval.length b.Match_result.life in
+    if la <> lb then Int.compare lb la else Match_result.compare a b
+  in
+  let sorted = List.sort longer ms in
+  List.filteri (fun i _ -> i < k) sorted
+
 type durability_summary = {
   count : int;
   min_len : int;

@@ -1,0 +1,112 @@
+(** Extended temporal-relational queries.
+
+    An extended query is a core temporal-clique pattern ({!Query.t})
+    decorated with:
+
+    - {b antijoin} clauses ([NOT]): for each core match, the union of
+      intervals of graph edges matching the clause is {e subtracted}
+      from the match lifespan — matched intervals are removed, whole
+      matches are only dropped when nothing survives;
+    - {b semijoin} clauses ([EXISTS]): the lifespan is {e intersected}
+      with the clause's matched union;
+    - {b Allen constraints} between core edges ([a BEFORE b], ...):
+      whole-match post-filters on the classified relation of the two
+      bound graph-edge intervals;
+    - an optional {b aggregate}: [COUNT] (presentation only) or [TOP k]
+      (deterministic durability top-k selection).
+
+    A clause is a single labeled step whose endpoints are either core
+    variables or unconstrained ([Any]); clause matching ignores the
+    query window, so the decoration of a match does not depend on the
+    window — the property that keeps window-shifting metamorphic
+    relations exact.
+
+    The decorated result of a match is its list of {e pieces}: the
+    maximal intervals of [(life ∩ ⋂ semi) \ (⋃ anti)], each kept only
+    when it lasts [min_duration] and overlaps the window. Pieces are
+    always sub-intervals of the core lifespan. *)
+
+type endpoint = Var of int | Any
+
+type clause = { lbl : int; src : endpoint; dst : endpoint }
+(** [lbl] is a label id or {!Query.any_label}. *)
+
+type agg = Count | Top of int
+
+type t
+
+val make :
+  ?anti:clause list ->
+  ?semi:clause list ->
+  ?allen:(int * Temporal.Allen.relation * int) list ->
+  ?agg:agg ->
+  Query.t ->
+  t
+(** @raise Invalid_argument when a clause endpoint names a variable not
+    used by a core edge, a clause label is below {!Query.any_label}, an
+    Allen constraint is out of range or relates an edge to itself, or
+    [TOP k] has [k < 1]. *)
+
+val plain : Query.t -> t
+(** No decorations, no aggregate: exactly the core semantics. *)
+
+val is_plain : t -> bool
+
+val has_decorations : t -> bool
+(** Whether any anti/semi clause or Allen constraint is present
+    (the aggregate does not count: it is a selection, not a
+    per-match decoration). *)
+
+val core : t -> Query.t
+val anti : t -> clause list
+val semi : t -> clause list
+val allen : t -> (int * Temporal.Allen.relation * int) list
+val agg : t -> agg option
+
+val with_window : t -> Temporal.Interval.t -> t
+val with_min_duration : t -> int -> t
+val with_agg : t -> agg option -> t
+
+val with_anti : t -> clause list -> t
+val with_semi : t -> clause list -> t
+val with_allen : t -> (int * Temporal.Allen.relation * int) list -> t
+(** Replace one decoration family, revalidating against the core
+    (@raise Invalid_argument as {!make}). Used by the metamorphic
+    relations and the shrinker to splice decorations in and out. *)
+
+val map_labels : (int -> int) -> t -> t
+(** Applies the map to every core-edge and clause label; the wildcard is
+    preserved. *)
+
+val bindings_of : Tgraph.Graph.t -> Query.t -> Match_result.t -> int array
+(** The vertex bound to each core variable ([-1] for variables no core
+    edge uses). *)
+
+val allen_ok :
+  Tgraph.Graph.t ->
+  (int * Temporal.Allen.relation * int) list ->
+  Match_result.t ->
+  bool
+(** Whether the match satisfies every constraint, by classifying the
+    bound graph-edge intervals. *)
+
+type prepared
+(** Per-graph clause indexes, built once and reused across matches. *)
+
+val prepare : Tgraph.Graph.t -> t -> prepared
+
+val decorate : prepared -> Match_result.t -> Match_result.t list
+(** The pieces of one core match (empty when an Allen constraint fails
+    or nothing durable survives the clause arithmetic). For a query
+    without decorations this is the identity (a singleton). *)
+
+val select : t -> Match_result.t list -> Match_result.t list
+(** Applies the aggregate selection: [TOP k] keeps the deterministic
+    durability top-k ({!Analytics.top_durable}); [COUNT] and no
+    aggregate pass through. *)
+
+val evaluate_with :
+  (Query.t -> Match_result.t list) -> Tgraph.Graph.t -> t -> Match_result.t list
+(** [evaluate_with eval g eq]: runs the core through [eval], decorates
+    every match, applies {!select}. The universal extended evaluator —
+    pass any engine's core evaluation as [eval]. *)

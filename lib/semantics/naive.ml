@@ -70,3 +70,77 @@ let evaluate ?(limit = max_int) g q =
   !results
 
 let count ?limit g q = List.length (evaluate ?limit g q)
+
+(* ---- extended reference semantics ---- *)
+
+(* The extended oracle enumerates timestamps literally: for every tick of
+   a core match's lifespan it rescans the whole edge table per clause and
+   asks "is some matching edge alive right now?". Deliberately written
+   without Temporal.Ivlset so the interval arithmetic of the optimized
+   path is tested against an independent formulation. *)
+
+let clause_alive_at g b (c : Equery.clause) t =
+  let open Tgraph in
+  let alive = ref false in
+  Graph.iter_edges
+    (fun e ->
+      if
+        (not !alive)
+        && (c.Equery.lbl = Query.any_label || Edge.lbl e = c.Equery.lbl)
+        && (match c.Equery.src with
+           | Equery.Any -> true
+           | Equery.Var v -> b.(v) = Edge.src e)
+        && (match c.Equery.dst with
+           | Equery.Any -> true
+           | Equery.Var v -> b.(v) = Edge.dst e)
+        && Temporal.Interval.contains (Edge.ivl e) t
+      then alive := true)
+    g;
+  !alive
+
+let pieces_of g eq m =
+  let q = Equery.core eq in
+  if not (Equery.allen_ok g (Equery.allen eq) m) then []
+  else begin
+    let b = Equery.bindings_of g q m in
+    let keep t =
+      List.for_all (fun c -> clause_alive_at g b c t) (Equery.semi eq)
+      && not (List.exists (fun c -> clause_alive_at g b c t) (Equery.anti eq))
+    in
+    let life = m.Match_result.life in
+    let lo = Temporal.Interval.ts life and hi = Temporal.Interval.te life in
+    let d = Query.min_duration q in
+    let ws = Query.ws q and we = Query.we q in
+    let out = ref [] in
+    let run_start = ref None in
+    let flush last =
+      match !run_start with
+      | None -> ()
+      | Some s ->
+          run_start := None;
+          let ivl = Temporal.Interval.make s last in
+          if
+            Temporal.Interval.length ivl >= d
+            && Temporal.Interval.overlaps_window ivl ~ws ~we
+          then out := Match_result.make m.Match_result.edges ivl :: !out
+    in
+    for t = lo to hi do
+      if keep t then begin
+        if !run_start = None then run_start := Some t
+      end
+      else flush (t - 1)
+    done;
+    flush hi;
+    List.rev !out
+  end
+
+let evaluate_ext g eq =
+  let core_results = evaluate g (Equery.core eq) in
+  let results =
+    if Equery.has_decorations eq then
+      List.concat_map (pieces_of g eq) core_results
+    else core_results
+  in
+  Equery.select eq results
+
+let count_ext g eq = List.length (evaluate_ext g eq)

@@ -130,8 +130,13 @@ let finish_request t obs ~req_t0 ~seq =
 
 (* ---- request execution (worker domain) ---- *)
 
-let execute t send ~obs (qr : Protocol.query_request) q ds =
+let execute t send ~obs (qr : Protocol.query_request) eq ds =
   let cfg = t.config in
+  (* a COUNT aggregate is exactly the wire protocol's count_only mode:
+     report the piece count, ship no matches *)
+  let count_only =
+    qr.Protocol.count_only || Equery.agg eq = Some Equery.Count
+  in
   let limits =
     {
       Run_stats.max_results =
@@ -162,7 +167,7 @@ let execute t send ~obs (qr : Protocol.query_request) q ds =
   let total = ref 0 in
   let emit m =
     incr total;
-    if (not qr.Protocol.count_only) && !n_kept < limit then begin
+    if (not count_only) && !n_kept < limit then begin
       incr n_kept;
       kept := m :: !kept
     end
@@ -180,8 +185,8 @@ let execute t send ~obs (qr : Protocol.query_request) q ds =
     else
       match
         Obs.Sink.span obs Obs.Phase.Execute (fun () ->
-            Workload.Engine.run ~stats ~obs ~pool:t.pool ~domains:fanout
-              t.engine qr.Protocol.method_ q ~emit)
+            Workload.Engine.run_ext ~stats ~obs ~pool:t.pool ~domains:fanout
+              t.engine qr.Protocol.method_ eq ~emit)
       with
       | () -> Ok None
       | exception Run_stats.Limit_exceeded _ -> Ok (Some Protocol.Budget)
@@ -219,16 +224,16 @@ let handle_query t send (qr : Protocol.query_request) =
   let g = Workload.Engine.graph t.engine in
   match
     Obs.Sink.span obs Obs.Phase.Parse (fun () ->
-        Qlang.parse_and_compile g qr.Protocol.text)
+        Qlang.parse_and_compile_ext g qr.Protocol.text)
   with
   | Error msg ->
       Metrics.record_rejected t.metrics;
       send (Protocol.error_response ?id:qr.Protocol.id ~kind:"query" msg);
       finish ()
-  | Ok q ->
+  | Ok eq ->
       let ds =
         Obs.Sink.span obs Obs.Phase.Lint (fun () ->
-            Workload.Engine.analyze t.engine qr.Protocol.method_ q)
+            Workload.Engine.analyze_ext t.engine qr.Protocol.method_ eq)
       in
       if Analysis.Diagnostic.has_errors ds then begin
         Metrics.record_rejected t.metrics;
@@ -240,13 +245,13 @@ let handle_query t send (qr : Protocol.query_request) =
       else begin
         (* the analyzer's tightened window is result-preserving, so the
            admitted job executes it in place of the raw query *)
-        let q = Workload.Engine.tighten t.engine q in
+        let eq = Workload.Engine.tighten_ext t.engine eq in
         (* the admit span measures queue wait: opened at submission,
            closed when a worker picks the request up *)
         let admit_t0 = Obs.Sink.now obs in
         let job () =
           Obs.Sink.record_span obs Obs.Phase.Admit ~t0:admit_t0;
-          execute t send ~obs qr q ds;
+          execute t send ~obs qr eq ds;
           finish ()
         in
         if not (Exec.Pool.submit t.pool job) then begin

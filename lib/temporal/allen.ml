@@ -49,6 +49,25 @@ let inverse = function
   | Met_by -> Meets
   | After -> Before
 
+(* Dual under time reversal t -> -t: reversal swaps start/end roles, so
+   ordering relations flip while symmetric-shape ones stay put. Unlike
+   [inverse], Starts pairs with Finishes and During stays fixed:
+   classify (rev a) (rev b) = reverse (classify a b). *)
+let reverse = function
+  | Before -> After
+  | Meets -> Met_by
+  | Overlaps -> Overlapped_by
+  | Starts -> Finishes
+  | During -> During
+  | Finishes -> Starts
+  | Equal -> Equal
+  | Finished_by -> Started_by
+  | Contains -> Contains
+  | Started_by -> Finished_by
+  | Overlapped_by -> Overlaps
+  | Met_by -> Meets
+  | After -> Before
+
 let overlaps_in_time = function
   | Before | Meets | Met_by | After -> false
   | Overlaps | Starts | During | Finishes | Equal | Finished_by | Contains
@@ -69,3 +88,13 @@ let to_string = function
   | Overlapped_by -> "overlapped-by"
   | Met_by -> "met-by"
   | After -> "after"
+
+let of_string s =
+  let s = String.lowercase_ascii s in
+  let s = String.map (fun c -> if c = '_' then '-' else c) s in
+  let rec find i =
+    if i >= Array.length all then None
+    else if to_string all.(i) = s then Some all.(i)
+    else find (i + 1)
+  in
+  find 0

@@ -27,10 +27,22 @@ val classify : Interval.t -> Interval.t -> relation
 val inverse : relation -> relation
 (** [classify b a = inverse (classify a b)]. *)
 
+val reverse : relation -> relation
+(** Dual under time reversal [t -> -t]: if [rev] maps an interval
+    [[s, e]] to [[-e, -s]] then
+    [classify (rev a) (rev b) = reverse (classify a b)].
+    Not the same map as {!inverse}: [Starts] pairs with [Finishes] and
+    [During] / [Contains] / [Equal] are fixed points. *)
+
 val overlaps_in_time : relation -> bool
 (** Whether the relation implies a shared timestamp (everything except
     [Before], [Meets], [Met_by], [After]). Agrees with
     {!Interval.overlaps}. *)
 
 val to_string : relation -> string
+
+val of_string : string -> relation option
+(** Case-insensitive; accepts both dash and underscore spellings
+    ("finished-by", "FINISHED_BY"). *)
+
 val all : relation array

@@ -232,6 +232,108 @@ let query_component q i =
   done;
   List.filter (fun j -> in_comp.(j)) (List.init n Fun.id)
 
+(* ---- extended-query generators ---- *)
+
+let decorate_query ~seed ~n_labels q =
+  let rng = Random.State.make [| seed; 0xdec0 |] in
+  let used =
+    let flags = Array.make (Query.n_vars q) false in
+    Array.iter
+      (fun e ->
+        flags.(e.Query.src_var) <- true;
+        flags.(e.Query.dst_var) <- true)
+      (Query.edges q);
+    Array.to_list (Array.mapi (fun i u -> (i, u)) flags)
+    |> List.filter_map (fun (i, u) -> if u then Some i else None)
+  in
+  let rand_endpoint () =
+    (* unconstrained endpoints are common: they make clause unions big
+       enough to actually slice lifespans *)
+    if Random.State.int rng 3 = 0 then Equery.Any
+    else Equery.Var (List.nth used (Random.State.int rng (List.length used)))
+  in
+  let rand_clause () =
+    let lbl =
+      if Random.State.int rng 8 = 0 then Query.any_label
+      else Random.State.int rng n_labels
+    in
+    { Equery.lbl; src = rand_endpoint (); dst = rand_endpoint () }
+  in
+  let clause_count die = match Random.State.int rng die with 0 -> 1 | 1 -> 2 | _ -> 0 in
+  let anti = List.init (clause_count 4) (fun _ -> rand_clause ()) in
+  let semi = List.init (clause_count 6) (fun _ -> rand_clause ()) in
+  let allen =
+    let n = Query.n_edges q in
+    if n >= 2 && Random.State.int rng 10 < 3 then begin
+      let i = Random.State.int rng n in
+      let j = (i + 1 + Random.State.int rng (n - 1)) mod n in
+      let rel =
+        Temporal.Allen.all.(Random.State.int rng
+                              (Array.length Temporal.Allen.all))
+      in
+      [ (i, rel, j) ]
+    end
+    else []
+  in
+  let agg =
+    match Random.State.int rng 20 with
+    | 0 | 1 -> Some Equery.Count
+    | 2 | 3 | 4 -> Some (Equery.Top (1 + Random.State.int rng 5))
+    | _ -> None
+  in
+  Equery.make ~anti ~semi ~allen ?agg q
+
+let restrict_equery eq ~keep =
+  let q = Equery.core eq in
+  let q', sel = restrict_query q ~keep in
+  (* recompute restrict_query's variable renumbering (appearance order
+     over the kept edges) to translate clause endpoints *)
+  let var_map = Array.make (Query.n_vars q) (-1) in
+  let next = ref 0 in
+  Array.iter
+    (fun i ->
+      let e = Query.edge q i in
+      List.iter
+        (fun v ->
+          if var_map.(v) = -1 then begin
+            var_map.(v) <- !next;
+            incr next
+          end)
+        [ e.Query.src_var; e.Query.dst_var ])
+    sel;
+  let map_endpoint = function
+    | Equery.Var v when var_map.(v) >= 0 -> Equery.Var var_map.(v)
+    | Equery.Var _ | Equery.Any ->
+        (* the endpoint's variable no longer exists: weaken to Any so
+           the clause stays well-formed on the sub-pattern *)
+        Equery.Any
+  in
+  let map_clause (c : Equery.clause) =
+    {
+      c with
+      Equery.src = map_endpoint c.Equery.src;
+      dst = map_endpoint c.Equery.dst;
+    }
+  in
+  let edge_map = Hashtbl.create 8 in
+  Array.iteri (fun new_i old_i -> Hashtbl.replace edge_map old_i new_i) sel;
+  let allen =
+    List.filter_map
+      (fun (i, r, j) ->
+        match (Hashtbl.find_opt edge_map i, Hashtbl.find_opt edge_map j) with
+        | Some i', Some j' -> Some ((i', r, j'))
+        | _ -> None)
+      (Equery.allen eq)
+  in
+  let eq' =
+    Equery.make
+      ~anti:(List.map map_clause (Equery.anti eq))
+      ~semi:(List.map map_clause (Equery.semi eq))
+      ~allen
+      ?agg:(Equery.agg eq) q'
+  in
+  (eq', sel)
+
 let random_query ~seed ~n_labels ~max_edges ~window =
   let rng = Random.State.make [| seed; 0x51ab |] in
   let n_edges = 1 + Random.State.int rng (max max_edges 1) in
@@ -262,3 +364,10 @@ let random_query ~seed ~n_labels ~max_edges ~window =
         if Random.State.bool rng then (lbl, a, b) else (lbl, b, a))
   in
   Query.make ~n_vars ~edges ~window
+
+let random_equery ~seed ~n_labels ~max_edges ~window =
+  decorate_query ~seed:((seed * 7) + 1) ~n_labels
+    (random_query ~seed ~n_labels ~max_edges ~window)
+
+let equery_gen ~n_labels ~max_edges ~window st =
+  random_equery ~seed:(Random.State.bits st) ~n_labels ~max_edges ~window

@@ -90,3 +90,44 @@ val query_component : Semantics.Query.t -> int -> int list
 (** The edge indices of the connected component (edges sharing an
     endpoint variable, ignoring direction) containing edge [i], sorted
     ascending. *)
+
+(** {2 Extended-query generators}
+
+    Random {!Semantics.Equery.t} values for the differential fuzzer and
+    property tests: a random core pattern decorated with antijoin and
+    semijoin clauses (endpoints drawn from the core's used variables or
+    left unconstrained), an occasional Allen constraint between two core
+    edges, and an occasional aggregate. *)
+
+val decorate_query :
+  seed:int -> n_labels:int -> Semantics.Query.t -> Semantics.Equery.t
+(** Random decorations over an existing core pattern: ~40% of queries
+    get at least one [NOT]/[EXISTS] clause, ~30% of multi-edge cores get
+    an Allen constraint, ~25% get an aggregate ([TOP k] twice as often
+    as [COUNT]). Deterministic in [seed]. *)
+
+val random_equery :
+  seed:int ->
+  n_labels:int ->
+  max_edges:int ->
+  window:Temporal.Interval.t ->
+  Semantics.Equery.t
+(** [decorate_query] over [random_query] (both seeded from [seed]). *)
+
+val equery_gen :
+  n_labels:int ->
+  max_edges:int ->
+  window:Temporal.Interval.t ->
+  Random.State.t ->
+  Semantics.Equery.t
+(** {!random_equery} reading its seed from a [Random.State.t] — the
+    shape of a [QCheck.Gen.t], so it plugs directly into QCheck
+    properties without this library depending on QCheck. *)
+
+val restrict_equery :
+  Semantics.Equery.t -> keep:int list -> Semantics.Equery.t * int array
+(** {!restrict_query} lifted to extended queries: the core is
+    restricted, clause endpoints whose variable was dropped weaken to
+    unconstrained, Allen constraints touching a dropped edge are
+    removed, and surviving edge indices are remapped. Used by the
+    shrinker so decorations stay meaningful on sub-patterns. *)

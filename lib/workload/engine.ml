@@ -148,6 +148,74 @@ let count_checked ?stats ?tsrjoin_config ?pool ?domains t method_ q =
   | Ok ds -> Ok (!n, ds)
   | Error ds -> Error ds
 
+(* ---- extended queries ---- *)
+
+(* Allen constraints ride into TSRJoin's config so the engine prunes
+   them inside the join tree; other methods post-filter via decorate. *)
+let ext_config tsrjoin_config eq =
+  match Semantics.Equery.allen eq with
+  | [] -> tsrjoin_config
+  | allen ->
+      let base =
+        match tsrjoin_config with
+        | Some c -> c
+        | None -> Tcsq_core.Tsrjoin.default_config
+      in
+      Some { base with Tcsq_core.Tsrjoin.allen }
+
+let analyze_ext t method_ eq =
+  let q = Semantics.Equery.core eq in
+  let ds = Analysis.Query_check.check ~env:t.qenv q in
+  if Analysis.Diagnostic.has_errors ds then ds
+  else
+    let ds = ds @ Analysis.Ext_check.check ~env:t.qenv eq in
+    let ds =
+      ds
+      @ (Analysis.Bound.analyze ~allen:(Semantics.Equery.allen eq) ~env:t.qenv
+           q)
+          .Analysis.Bound.diagnostics
+    in
+    match method_ with
+    | Tsrjoin ->
+        ds
+        @ Analysis.Plan_check.check (Tcsq_core.Plan.build ~cost:t.cost t.tai q)
+    | Binary | Hybrid | Time -> ds
+
+let tighten_ext t eq =
+  let q =
+    Analysis.Bound.tighten ~allen:(Semantics.Equery.allen eq) ~env:t.qenv
+      (Semantics.Equery.core eq)
+  in
+  Semantics.Equery.with_window eq (Semantics.Query.window q)
+
+let evaluate_ext ?stats ?obs ?tsrjoin_config ?pool ?domains t method_ eq =
+  let tsrjoin_config = ext_config tsrjoin_config eq in
+  Semantics.Equery.evaluate_with
+    (fun q -> evaluate ?stats ?obs ?tsrjoin_config ?pool ?domains t method_ q)
+    t.graph eq
+
+let run_ext ?stats ?obs ?tsrjoin_config ?pool ?domains t method_ eq ~emit =
+  match Semantics.Equery.agg eq with
+  | Some (Semantics.Equery.Top _) ->
+      (* top-k is a selection over the full result set: collect first *)
+      List.iter emit
+        (evaluate_ext ?stats ?obs ?tsrjoin_config ?pool ?domains t method_ eq)
+  | Some Semantics.Equery.Count | None ->
+      if not (Semantics.Equery.has_decorations eq) then
+        run ?stats ?obs ?tsrjoin_config ?pool ?domains t method_
+          (Semantics.Equery.core eq) ~emit
+      else begin
+        let p = Semantics.Equery.prepare t.graph eq in
+        let tsrjoin_config = ext_config tsrjoin_config eq in
+        run ?stats ?obs ?tsrjoin_config ?pool ?domains t method_
+          (Semantics.Equery.core eq) ~emit:(fun m ->
+            List.iter emit (Semantics.Equery.decorate p m))
+      end
+
+let count_ext ?stats ?obs ?tsrjoin_config ?pool ?domains t method_ eq =
+  List.length
+    (evaluate_ext ?stats ?obs ?tsrjoin_config ?pool ?domains t method_ eq)
+
 module Match_gen = Temporal.Push_pull.Make (struct
   type t = Semantics.Match_result.t
 end)

@@ -131,6 +131,64 @@ val count :
   Semantics.Query.t ->
   int
 
+(** {2 Extended queries}
+
+    The [_ext] variants evaluate a {!Semantics.Equery.t}: the core
+    pattern runs through the chosen method unchanged, each match is then
+    decorated (antijoin/semijoin lifespan slicing, Allen post-filters)
+    and the aggregate selection applied. For {!Tsrjoin} the Allen
+    constraints are additionally pushed into the engine's config, so
+    misclassified pairs are pruned inside the join tree; the
+    post-filter re-check is idempotent. A plain query takes exactly the
+    non-ext path. *)
+
+val analyze_ext :
+  t -> method_ -> Semantics.Equery.t -> Analysis.Diagnostic.t list
+(** {!analyze} over the core, plus {!Analysis.Ext_check} clause
+    diagnostics, with the Allen constraints fed into
+    {!Analysis.Bound}'s propagation network. *)
+
+val tighten_ext : t -> Semantics.Equery.t -> Semantics.Equery.t
+(** Allen-aware window tightening; result-preserving under the piece
+    semantics (clause matching never reads the window). *)
+
+val run_ext :
+  ?stats:Semantics.Run_stats.t ->
+  ?obs:Obs.Sink.t ->
+  ?tsrjoin_config:Tcsq_core.Tsrjoin.config ->
+  ?pool:Exec.Pool.t ->
+  ?domains:int ->
+  t ->
+  method_ ->
+  Semantics.Equery.t ->
+  emit:(Semantics.Match_result.t -> unit) ->
+  unit
+(** Streams pieces. A [TOP k] aggregate needs the full result set, so
+    that case collects internally and emits the selection. *)
+
+val evaluate_ext :
+  ?stats:Semantics.Run_stats.t ->
+  ?obs:Obs.Sink.t ->
+  ?tsrjoin_config:Tcsq_core.Tsrjoin.config ->
+  ?pool:Exec.Pool.t ->
+  ?domains:int ->
+  t ->
+  method_ ->
+  Semantics.Equery.t ->
+  Semantics.Match_result.t list
+
+val count_ext :
+  ?stats:Semantics.Run_stats.t ->
+  ?obs:Obs.Sink.t ->
+  ?tsrjoin_config:Tcsq_core.Tsrjoin.config ->
+  ?pool:Exec.Pool.t ->
+  ?domains:int ->
+  t ->
+  method_ ->
+  Semantics.Equery.t ->
+  int
+(** Number of result pieces (what a [COUNT] query reports). *)
+
 val volcano :
   ?tsrjoin_config:Tcsq_core.Tsrjoin.config ->
   t ->

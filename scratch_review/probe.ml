@@ -6,13 +6,13 @@ let () =
   in
   let q = Testkit.random_query ~seed:2 ~n_labels:2 ~max_edges:2
       ~window:(Temporal.Interval.make 0 19) in
-  let case = Conformance.Case.make g q in
+  let case = Conformance.Case.make_plain g q in
   (* fails iff the window is wider than a point: minimal failing window
      has we = ws + 1, and neither point-window candidate fails *)
   let failing c =
-    let q = c.Conformance.Case.query in
+    let q = Conformance.Case.core c in
     Query.we q > Query.ws q
   in
   let m, probes = Conformance.Shrink.minimize ~failing ~max_probes:2000 case in
-  let q = m.Conformance.Case.query in
+  let q = Conformance.Case.core m in
   Printf.printf "window [%d,%d] probes=%d\n" (Query.ws q) (Query.we q) probes

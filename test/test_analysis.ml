@@ -258,6 +258,60 @@ let test_q014_window_tightening () =
   Alcotest.check Alcotest.bool "no Q014 on a tight window" false
     (List.mem "Q014" (codes (bound_with g tight).Bound.diagnostics))
 
+(* ---------- extended-operator diagnostics (Q015-Q017) ---------- *)
+
+let test_q015_infeasible_allen () =
+  (* label l0 only alive in [50, 60], label l1 only in [0, 5]: a0
+     BEFORE a1 is already ruled out on the initial label-span boxes *)
+  let g = Tgraph.Graph.of_edge_list [ (0, 1, 0, 50, 60); (1, 2, 1, 0, 5) ] in
+  let query = q ~w:(window 0 100) [ (0, 0, 1); (1, 1, 2) ] in
+  let env = Query_check.env_of_graph g in
+  let allen = [ (0, Temporal.Allen.Before, 1) ] in
+  let r = Bound.analyze ~allen ~env query in
+  let d = find "Q015" r.Bound.diagnostics in
+  Alcotest.check Alcotest.bool "warning" true (d.Diagnostic.severity = Warning);
+  Alcotest.check Alcotest.bool "proves empty" true d.Diagnostic.proves_empty;
+  Alcotest.check Alcotest.bool "names both labels" true
+    (contains ~sub:"l0" d.Diagnostic.message
+    && contains ~sub:"l1" d.Diagnostic.message);
+  Alcotest.(check int) "naive agrees" 0
+    (List.length (Naive.evaluate_ext g (Equery.make ~allen query)));
+  (* the other direction is box-feasible and draws no Q015 *)
+  let r' = Bound.analyze ~allen:[ (1, Temporal.Allen.Before, 0) ] ~env query in
+  Alcotest.check Alcotest.bool "feasible direction clean" false
+    (List.mem "Q015" (codes r'.Bound.diagnostics))
+
+let test_q016_q017_clause_labels () =
+  (* label b is in the vocabulary but has zero edges: an EXISTS witness
+     on it proves the query empty, a NOT clause on it is a no-op *)
+  let g =
+    Tgraph.Graph.of_edge_list
+      ~labels:(Tgraph.Label.of_names [| "a"; "b" |])
+      [ (0, 1, 0, 0, 10); (1, 2, 0, 5, 15) ]
+  in
+  let env = Query_check.env_of_graph g in
+  let query = q ~n_vars:2 ~w:(window 0 20) [ (0, 0, 1) ] in
+  let ghost = { Equery.lbl = 1; src = Equery.Var 0; dst = Equery.Any } in
+  let semi_q = Equery.make ~semi:[ ghost ] query in
+  let d = find "Q016" (Ext_check.check ~env semi_q) in
+  Alcotest.check Alcotest.bool "warning" true (d.Diagnostic.severity = Warning);
+  Alcotest.check Alcotest.bool "proves empty" true d.Diagnostic.proves_empty;
+  Alcotest.(check int) "naive agrees: no witness, no match" 0
+    (List.length (Naive.evaluate_ext g semi_q));
+  let anti_q = Equery.make ~anti:[ ghost ] query in
+  let d = find "Q017" (Ext_check.check ~env anti_q) in
+  Alcotest.check Alcotest.bool "hint" true (d.Diagnostic.severity = Hint);
+  Alcotest.check Alcotest.bool "does not prove empty" false
+    d.Diagnostic.proves_empty;
+  Alcotest.(check int) "naive agrees: the antijoin is a no-op"
+    (List.length (Naive.evaluate_ext g (Equery.plain query)))
+    (List.length (Naive.evaluate_ext g anti_q));
+  Alcotest.(check (list string))
+    "clauses on a live label draw nothing" []
+    (codes
+       (Ext_check.check ~env
+          (Equery.make ~anti:[ { ghost with Equery.lbl = 0 } ] query)))
+
 (* ---------- selectivity estimates + est_intermediate counter ---------- *)
 
 let test_selectivity_estimate_shape () =
@@ -562,6 +616,13 @@ let () =
             test_q013_lasting_vs_label;
           Alcotest.test_case "Q014 window tightening" `Quick
             test_q014_window_tightening;
+        ] );
+      ( "extended diagnostics",
+        [
+          Alcotest.test_case "Q015 infeasible Allen constraint" `Quick
+            test_q015_infeasible_allen;
+          Alcotest.test_case "Q016/Q017 clause labels without edges" `Quick
+            test_q016_q017_clause_labels;
         ] );
       ( "selectivity",
         [

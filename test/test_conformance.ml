@@ -19,17 +19,27 @@ let case_of seed =
     Testkit.random_query ~seed:((seed * 13) + 1) ~n_labels:3 ~max_edges:3
       ~window
   in
-  Case.make g q
+  Case.make_plain g q
+
+(* an extended-query case: random NOT/EXISTS/Allen decorations over the
+   same cores (no aggregate — relations do not apply to aggregates) *)
+let ecase_of seed =
+  let case = case_of seed in
+  let eq =
+    Testkit.decorate_query ~seed:((seed * 19) + 3) ~n_labels:3
+      (Case.core case)
+  in
+  Case.make case.Case.graph (Semantics.Equery.with_agg eq None)
 
 (* one property per relation, each through a different engine variant so
    the matrix gets cross coverage even at property-test budgets *)
-let relation_prop ~relation ~engine =
+let relation_prop ?(gen = case_of) ~relation ~engine () =
   QCheck.Test.make
     ~name:(Printf.sprintf "%s holds on %s" relation engine)
     ~count:40
     QCheck.(int_range 0 100_000)
     (fun seed ->
-      let case = case_of seed in
+      let case = gen seed in
       let check =
         Check.Relation { relation; engine; relseed = (seed * 7) + 5 }
       in
@@ -39,12 +49,26 @@ let relation_prop ~relation ~engine =
 
 let relation_props =
   [
-    relation_prop ~relation:"window-containment" ~engine:"binary";
-    relation_prop ~relation:"translation" ~engine:"hybrid";
-    relation_prop ~relation:"time-reversal" ~engine:"time";
-    relation_prop ~relation:"edge-deletion" ~engine:"tsrjoin-opt";
-    relation_prop ~relation:"label-renaming" ~engine:"tsrjoin-basic";
-    relation_prop ~relation:"sub-pattern" ~engine:"tsrjoin-adaptive";
+    relation_prop ~relation:"window-containment" ~engine:"binary" ();
+    relation_prop ~relation:"translation" ~engine:"hybrid" ();
+    relation_prop ~relation:"time-reversal" ~engine:"time" ();
+    relation_prop ~relation:"edge-deletion" ~engine:"tsrjoin-opt" ();
+    relation_prop ~relation:"label-renaming" ~engine:"tsrjoin-basic" ();
+    relation_prop ~relation:"sub-pattern" ~engine:"tsrjoin-adaptive" ();
+    (* the original relations again, over decorated queries *)
+    relation_prop ~gen:ecase_of ~relation:"window-containment"
+      ~engine:"tsrjoin-opt" ();
+    relation_prop ~gen:ecase_of ~relation:"time-reversal" ~engine:"binary" ();
+    relation_prop ~gen:ecase_of ~relation:"edge-deletion" ~engine:"hybrid" ();
+    (* the extended-operator relations *)
+    relation_prop ~gen:ecase_of ~relation:"anti-semi-partition"
+      ~engine:"tsrjoin-opt" ();
+    relation_prop ~gen:ecase_of ~relation:"allen-inverse" ~engine:"binary" ();
+    relation_prop ~gen:ecase_of ~relation:"semijoin-containment"
+      ~engine:"hybrid" ();
+    relation_prop ~gen:ecase_of ~relation:"allen-filter"
+      ~engine:"tsrjoin-adaptive" ();
+    relation_prop ~gen:ecase_of ~relation:"aggregate-topk" ~engine:"time" ();
   ]
 
 let prop_parallel_and_analyzer =
@@ -154,9 +178,9 @@ let test_repro_roundtrip () =
                    (edges_of r.Repro.case.Case.graph));
               Alcotest.(check string)
                 "query survives"
-                (Semantics.Qlang.render repro.Repro.case.Case.graph
+                (Semantics.Qlang.render_ext repro.Repro.case.Case.graph
                    repro.Repro.case.Case.query)
-                (Semantics.Qlang.render r.Repro.case.Case.graph
+                (Semantics.Qlang.render_ext r.Repro.case.Case.graph
                    r.Repro.case.Case.query);
               (* the reloaded reproducer still reproduces *)
               match Harness.replay ~inject_fault:true r with
@@ -179,7 +203,7 @@ let test_clean_fuzz () =
   (match outcome.Harness.failure with
   | None -> ()
   | Some f -> Alcotest.fail f.Harness.detail);
-  Alcotest.(check int) "18 queries per iteration" 36
+  Alcotest.(check int) "21 queries per iteration" 42
     outcome.Harness.counts.Harness.queries;
   Alcotest.(check bool) "relations ran" true
     (outcome.Harness.counts.Harness.relation > 0)

@@ -137,7 +137,7 @@ let test_plan_chain_orders () =
 let engine_configs =
   [
     ("basic", Tsrjoin.basic_config);
-    ("opt-none", { Tsrjoin.mode = Tsrjoin.Optimized Lfto_opt.all_off });
+    ("opt-none", { Tsrjoin.default_config with mode = Tsrjoin.Optimized Lfto_opt.all_off });
     ("opt-all", Tsrjoin.default_config);
   ]
 
