@@ -1,11 +1,22 @@
 #!/bin/sh
-# Performance-regression tripwire: run the fig10 bench workload exactly
-# as BENCH_seed.json was produced (--scale 0.1 --queries 3 --json) and
+# Performance-regression gate: run the fig10 bench workload exactly as
+# BENCH_seed.json was produced (--scale 0.1 --queries 3 --json) and
 # compare per-(experiment, dataset, pattern, method) mean_s against the
-# committed seed.  Anything more than 25% slower prints a WARNING —
-# laptop-scale microsecond timings are noisy, so this never fails the
-# build (always exits 0); it exists to make a real regression visible
-# in the check.sh log, not to gate on one.
+# committed seed.  Anything more than 25% slower on a retried run FAILS
+# the build (exit 1).
+#
+# Laptop-scale microsecond timings are noisy, so a regression must
+# reproduce on the SAME key across a fresh re-run before it fails —
+# scheduling hiccups regress a different random key each run, a real
+# code change regresses the same one twice.  Set
+# TCSQ_BENCH_ALLOW_REGRESSION=1 to demote failures to warnings (e.g.
+# on busy CI machines).
+#
+# Updating the baseline after an intentional perf change:
+#   dune build
+#   ./_build/default/bench/main.exe --scale 0.1 --queries 3 \
+#       --json BENCH_seed.json fig10
+#   git add BENCH_seed.json   # commit alongside the change that moved it
 set -u
 
 HERE=$(cd "$(dirname "$0")" && pwd)
@@ -23,9 +34,6 @@ SEED=${SEED:-$HERE/../BENCH_seed.json}
 
 TMP=$(mktemp -d "${TMPDIR:-/tmp}/tcsq-bench-compare-XXXXXX")
 trap 'rm -rf "$TMP"' EXIT INT TERM
-
-"$BENCH" --scale 0.1 --queries 3 --json "$TMP/fresh.json" fig10 >/dev/null 2>&1 \
-    || { echo "bench_compare: WARNING: fresh bench run failed; skipping comparison" >&2; exit 0; }
 
 # flatten a tcsq-bench/v1 file into "experiment/dataset/pattern/method mean_s"
 # lines; POSIX awk only (no gawk record separators)
@@ -47,28 +55,73 @@ extract() {
 }
 
 extract "$SEED" | sort >"$TMP/seed.tsv"
-extract "$TMP/fresh.json" | sort >"$TMP/fresh.tsv"
-
 [ -s "$TMP/seed.tsv" ] || { echo "bench_compare: WARNING: could not parse $SEED" >&2; exit 0; }
-[ -s "$TMP/fresh.tsv" ] || { echo "bench_compare: WARNING: could not parse fresh bench output" >&2; exit 0; }
 
-join "$TMP/seed.tsv" "$TMP/fresh.tsv" | awk '
-    {
-        key = $1; seed = $2 + 0; fresh = $3 + 0
-        total++
-        if (seed > 0 && fresh > seed * 1.25) {
-            slower++
-            printf "bench_compare: WARNING: %s is %.0f%% slower than the seed (%.6fs vs %.6fs)\n", \
-                key, (fresh / seed - 1) * 100, fresh, seed
+# one fresh run -> regressed keys land in $TMP/slow.<attempt>; returns
+# nonzero if any key is >25% over the seed
+run_and_count() {
+    attempt=$1
+    "$BENCH" --scale 0.1 --queries 3 --json "$TMP/fresh.json" fig10 >/dev/null 2>&1 \
+        || { echo "bench_compare: FAIL: fresh bench run failed (attempt $attempt)" >&2; return 2; }
+    extract "$TMP/fresh.json" | sort >"$TMP/fresh.tsv"
+    [ -s "$TMP/fresh.tsv" ] \
+        || { echo "bench_compare: FAIL: could not parse fresh bench output" >&2; return 2; }
+    join "$TMP/seed.tsv" "$TMP/fresh.tsv" | awk -v attempt="$attempt" \
+        -v slowfile="$TMP/slow.$attempt" '
+        {
+            key = $1; seed = $2 + 0; fresh = $3 + 0
+            total++
+            if (seed > 0 && fresh > seed * 1.25) {
+                slower++
+                print key >slowfile
+                printf "bench_compare: attempt %s: %s is %.0f%% slower than the seed (%.6fs vs %.6fs)\n", \
+                    attempt, key, (fresh / seed - 1) * 100, fresh, seed
+            }
         }
-    }
-    END {
-        printf "bench_compare: %d measurement keys compared, %d above the 25%% warning threshold\n", \
-            total, slower + 0
-    }'
+        END {
+            printf "bench_compare: attempt %s: %d measurement keys compared, %d above the 25%% threshold\n", \
+                attempt, total, slower + 0
+            exit (slower + 0 > 0 ? 1 : 0)
+        }'
+}
+
+status=0
+: >"$TMP/slow.1"
+: >"$TMP/slow.2"
+: >"$TMP/slow.3"
+if ! run_and_count 1; then
+    # timings at this scale are noisy: a real regression reproduces on
+    # the SAME key in a clean re-run; a scheduling hiccup lands on a
+    # different key (or none) the second time
+    echo "bench_compare: regression on attempt 1, re-running to rule out noise"
+    run_and_count 2 || true
+    persisted=$(comm -12 "$TMP/slow.1" "$TMP/slow.2")
+    if [ -n "$persisted" ]; then
+        # one more independent confirmation before failing the build:
+        # at microsecond scale the same key can repeat by bad luck
+        echo "bench_compare: same key regressed twice, confirming with a third run"
+        run_and_count 3 || true
+        persisted=$(echo "$persisted" | comm -12 - "$TMP/slow.3")
+    fi
+    if [ -n "$persisted" ]; then
+        echo "$persisted" | sed 's/^/bench_compare: persisted on every attempt: /'
+        status=1
+    else
+        echo "bench_compare: no key regressed on every attempt — noise, not a regression"
+    fi
+fi
 
 missing=$(join -v 1 "$TMP/seed.tsv" "$TMP/fresh.tsv" | wc -l)
 [ "$missing" -eq 0 ] \
     || echo "bench_compare: WARNING: $missing seed measurement key(s) absent from the fresh run" >&2
 
+if [ "$status" -ne 0 ]; then
+    if [ "${TCSQ_BENCH_ALLOW_REGRESSION:-0}" = "1" ]; then
+        echo "bench_compare: WARNING: regression persisted but TCSQ_BENCH_ALLOW_REGRESSION=1, not failing"
+        exit 0
+    fi
+    echo "bench_compare: FAIL: >25% regression on the same key persisted across every attempt." >&2
+    echo "bench_compare: if intentional, refresh the baseline (see header) or set TCSQ_BENCH_ALLOW_REGRESSION=1." >&2
+    exit 1
+fi
 exit 0

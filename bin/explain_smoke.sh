@@ -3,8 +3,11 @@
 # committed bike example workload (the analyzer output is deterministic —
 # synthetic datasets are fixed-seed and the report carries no timings),
 # a tcsq-explain/v1 JSON schema check over the yellow workload, a
-# dominated-plan (P008) check via an explicit bad pivot order, and
-# malformed-input exit-code checks.
+# dominated-plan (P008) check via an explicit bad pivot order, golden
+# `--analyze` output (estimated-vs-actual table, counts come from a real
+# execution of the chosen plan, so they are fixed-seed deterministic
+# too), a misestimated-level (P009) probe, and malformed-input
+# exit-code checks.
 set -u
 
 # works both from the source tree (bin/explain_smoke.sh, binary under
@@ -138,6 +141,49 @@ echo "explain_smoke: yellow JSON schema clean ($statements statements)"
 grep -q 'warning\[P008\].*pivot-order is dominated' "$TMP/p008" \
     || fail "bad pivot order not flagged P008"
 echo "explain_smoke: dominated-plan (P008) clean"
+
+# ---- golden `--analyze`: the report ends with an estimated-vs-actual
+#      table fed by a real execution of the chosen plan ----
+
+"$TCSQ" explain --dataset bike --scale 0.02 --analyze \
+    --match 'MATCH (x)-[a]->(y) IN [2000, 4000]' \
+    >"$TMP/analyze" 2>/dev/null \
+    || fail "explain --analyze exited $?"
+cat >"$TMP/analyze.expected" <<'EOF'
+analyze (cost-model plan executed):
+  level  pivot  estimated     actual  factor
+  0      x0     130.3         90      x1.4 over
+  totals: estimated 130.3 intermediate, measured 90; results 90
+  misestimation: all levels within x16
+EOF
+sed 's/[[:space:]]*$//' "$TMP/analyze" \
+    | sed -n '/^analyze (/,$p' >"$TMP/analyze.norm"
+diff -u "$TMP/analyze.expected" "$TMP/analyze.norm" >&2 \
+    || fail "--analyze section differs from golden"
+
+# same query in JSON mode: the analyze object carries executed plan,
+# per-level rows and the real run counters
+"$TCSQ" explain --dataset bike --scale 0.02 --analyze --json \
+    --match 'MATCH (x)-[a]->(y) IN [2000, 4000]' >"$TMP/analyze.json" \
+    2>/dev/null || fail "explain --analyze --json exited $?"
+grep -q '"analyze": {"executed": "cost-model", "levels": \[{"level": 0, "pivot": 0, "estimated": [0-9.]*, "actual": 90, "factor": [0-9.]*}\]' \
+    "$TMP/analyze.json" || fail "--analyze JSON lost the per-level rows"
+grep -q '"stats": {"results": 90, "intermediate": 90' "$TMP/analyze.json" \
+    || fail "--analyze JSON lost the execution counters"
+
+# without --analyze the key must stay a literal null (schema stability)
+grep -q '"analyze": null' "$TMP/json" \
+    || fail "explain without --analyze should emit analyze: null"
+
+# a duration floor the cost model ignores makes the estimate collapse:
+# the gap must be flagged P009
+"$TCSQ" explain --dataset bike --scale 0.05 --analyze \
+    --match 'MATCH (x)-[e]->(y) IN [500, 9500] LASTING 500' \
+    >"$TMP/p009" 2>/dev/null \
+    || fail "P009 probe exited $?"
+grep -q 'warning\[P009\].*cost model off by x[0-9.]* at level 0' "$TMP/p009" \
+    || fail "gross misestimation not flagged P009"
+echo "explain_smoke: analyze golden + P009 clean"
 
 # ---- malformed inputs are usage errors (exit 2), not crashes ----
 

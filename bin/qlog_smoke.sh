@@ -1,0 +1,178 @@
+#!/bin/sh
+# End-to-end smoke test for the structured query log: start `tcsq serve`
+# with --query-log / --slow-ms / --qlog-sample, fire fast queries, slow
+# queries and a rejected one, then check that every finished request
+# produced a schema-valid tcsq-qlog/v1 JSONL line, that the slow flag
+# and the tcsq_slow_requests_total Prometheus family track the
+# threshold, and that `tcsq client --top` surfaces the hottest
+# fingerprint. Exits nonzero on any mismatch.
+set -eu
+
+HERE=$(cd "$(dirname "$0")" && pwd)
+if [ -z "${TCSQ:-}" ]; then
+    if [ -x "$HERE/tcsq.exe" ]; then
+        TCSQ=$HERE/tcsq.exe
+    else
+        TCSQ=$HERE/../_build/default/bin/tcsq.exe
+    fi
+fi
+DATASET=yellow
+SCALE=0.05
+SOCK=$(mktemp -u "${TMPDIR:-/tmp}/tcsq-qlog-XXXXXX.sock")
+SRV_LOG=$(mktemp "${TMPDIR:-/tmp}/tcsq-qlog-srvlog-XXXXXX")
+QLOG=$(mktemp "${TMPDIR:-/tmp}/tcsq-qlog-XXXXXX.jsonl")
+SRV_PID=
+
+cleanup() {
+    [ -n "$SRV_PID" ] && kill "$SRV_PID" 2>/dev/null || true
+    rm -f "$SOCK" "$SRV_LOG" "$QLOG"
+}
+trap cleanup EXIT INT TERM
+
+fail() {
+    echo "qlog_smoke: FAIL: $*" >&2
+    echo "--- server log ---" >&2
+    cat "$SRV_LOG" >&2 || true
+    echo "--- query log ---" >&2
+    cat "$QLOG" >&2 || true
+    exit 1
+}
+
+start_server() {
+    # $1 = slow-ms threshold
+    : >"$QLOG"
+    "$TCSQ" serve --dataset "$DATASET" --scale "$SCALE" --socket "$SOCK" \
+        --query-log "$QLOG" --slow-ms "$1" --qlog-sample 1.0 \
+        >"$SRV_LOG" 2>&1 &
+    SRV_PID=$!
+    i=0
+    while [ ! -S "$SOCK" ]; do
+        i=$((i + 1))
+        [ "$i" -gt 100 ] && fail "socket $SOCK never appeared"
+        kill -0 "$SRV_PID" 2>/dev/null || fail "server died during startup"
+        sleep 0.1
+    done
+}
+
+stop_server() {
+    "$TCSQ" client --socket "$SOCK" --shutdown >/dev/null \
+        || fail "shutdown request failed"
+    i=0
+    while kill -0 "$SRV_PID" 2>/dev/null; do
+        i=$((i + 1))
+        [ "$i" -gt 100 ] && fail "server still running after shutdown"
+        sleep 0.1
+    done
+    wait "$SRV_PID" 2>/dev/null || fail "server exited with an error"
+    SRV_PID=
+}
+
+# one JSON line per finished request, every schema key present
+validate_lines() {
+    expected=$1
+    n=$(wc -l <"$QLOG")
+    [ "$n" -eq "$expected" ] || fail "expected $expected qlog lines, found $n"
+    if command -v python3 >/dev/null 2>&1; then
+        python3 - "$QLOG" <<'EOF' || exit 1
+import json, sys
+required = ["schema", "ts", "id", "fingerprint", "query", "method", "window",
+            "outcome", "duration_ms", "slow", "truncated", "deadline",
+            "stats", "levels", "misestimation"]
+for i, line in enumerate(open(sys.argv[1])):
+    try:
+        rec = json.loads(line)
+    except json.JSONDecodeError as e:
+        sys.exit(f"qlog_smoke: FAIL: line {i+1} is not JSON: {e}")
+    if rec.get("schema") != "tcsq-qlog/v1":
+        sys.exit(f"qlog_smoke: FAIL: line {i+1} schema {rec.get('schema')!r}")
+    missing = [k for k in required if k not in rec]
+    if missing:
+        sys.exit(f"qlog_smoke: FAIL: line {i+1} missing keys {missing}")
+    for l in rec["levels"]:
+        if sorted(l.keys()) != ["actual", "est", "level"]:
+            sys.exit(f"qlog_smoke: FAIL: line {i+1} bad level entry {l}")
+EOF
+    else
+        # no python3: at least check the schema tag on every line
+        while IFS= read -r line; do
+            case "$line" in
+            *'"schema": "tcsq-qlog/v1"'*) ;;
+            *) fail "line without tcsq-qlog/v1 schema: $line" ;;
+            esac
+        done <"$QLOG"
+    fi
+}
+
+count_outcome() {
+    grep -c "\"outcome\": \"$1\"" "$QLOG" || true
+}
+
+# ---- phase 1: generous threshold — nothing is slow --------------------
+start_server 1000000
+
+Q1='MATCH (x)-[a]->(y) IN [0, 50000]'
+Q2='MATCH (x)-[a]->(y)-[b]->(z) IN [0, 20000]'
+"$TCSQ" client --socket "$SOCK" --match "$Q1" --count >/dev/null \
+    || fail "query 1 failed"
+"$TCSQ" client --socket "$SOCK" --match "$Q1" --count >/dev/null \
+    || fail "query 2 failed"
+"$TCSQ" client --socket "$SOCK" --match "$Q2" --count >/dev/null \
+    || fail "query 3 failed"
+# a rejected query must be logged too (no fingerprint: it never parsed)
+"$TCSQ" client --socket "$SOCK" --match 'MATCH (x)-[nosuchlabel]->(y) IN [0, 10]' \
+    --count >/dev/null 2>&1 || true
+
+validate_lines 4
+[ "$(count_outcome completed)" -eq 3 ] || fail "expected 3 completed lines"
+[ "$(count_outcome rejected_query)" -eq 1 ] \
+    || fail "expected 1 rejected_query line"
+grep -q '"slow": true' "$QLOG" && fail "nothing should be slow at 1000000ms"
+# completed tsrjoin lines must carry per-level est-vs-actual feedback
+grep '"outcome": "completed"' "$QLOG" | head -1 \
+    | grep -q '"levels": \[{"level": 0, "est": [0-9]*, "actual": [0-9]*' \
+    || fail "completed line carries no per-level est/actual"
+grep '"outcome": "completed"' "$QLOG" | head -1 \
+    | grep -q '"misestimation": [0-9]' \
+    || fail "completed line carries no misestimation factor"
+
+# the slow counter must exist and stay at zero
+prom=$("$TCSQ" client --socket "$SOCK" --prom) || fail "prom request failed"
+case "$prom" in
+*'tcsq_slow_requests_total{outcome="completed"} 0'*) ;;
+*) fail "expected slow completed counter 0: $prom" ;;
+esac
+case "$prom" in
+*'tcsq_misestimation_ratio_bucket'*) ;;
+*) fail "prometheus exposition missing misestimation histogram" ;;
+esac
+
+# --top: Q1 ran twice, Q2 once — the hottest fingerprint has count 2
+top=$("$TCSQ" client --socket "$SOCK" --top 5) || fail "--top failed"
+echo "$top" | grep -q 'fingerprint' || fail "--top printed no header: $top"
+hottest=$(echo "$top" | sed -n '2p' | awk '{print $2}')
+[ "$hottest" = "2" ] || fail "hottest fingerprint should have count 2: $top"
+
+stop_server
+echo "qlog_smoke: phase 1 (fast path, rejection logging, --top) clean"
+
+# ---- phase 2: zero threshold — everything is slow ---------------------
+start_server 0
+
+"$TCSQ" client --socket "$SOCK" --match "$Q1" --count >/dev/null \
+    || fail "slow-phase query 1 failed"
+"$TCSQ" client --socket "$SOCK" --match "$Q2" --count >/dev/null \
+    || fail "slow-phase query 2 failed"
+
+validate_lines 2
+[ "$(grep -c '"slow": true' "$QLOG")" -eq 2 ] \
+    || fail "expected both lines flagged slow"
+
+prom=$("$TCSQ" client --socket "$SOCK" --prom) || fail "prom request failed"
+case "$prom" in
+*'tcsq_slow_requests_total{outcome="completed"} 2'*) ;;
+*) fail "expected slow completed counter 2: $prom" ;;
+esac
+
+stop_server
+echo "qlog_smoke: phase 2 (slow threshold, slow-query counter) clean"
+echo "qlog_smoke: query log, slow flagging, prometheus families, --top all clean"

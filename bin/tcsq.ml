@@ -406,7 +406,10 @@ let explain_cmd =
     Arg.(
       value & flag
       & info [ "analyze" ]
-          ~doc:"Also execute the chosen plan and report per-step counters.")
+          ~doc:
+            "Also execute the chosen plan and report estimated vs measured \
+             intermediate cardinality per TSRJoin level, with a \
+             misestimation factor per level (P009 above x16).")
   in
   let json_arg =
     Arg.(
@@ -471,21 +474,20 @@ let explain_cmd =
     List.iter
       (fun q ->
         let report = Analysis.Explain.analyze ?pivot_order:order target q in
+        let analyzed =
+          if analyze then Analysis.Explain.run_analyze target report else None
+        in
         if json then
-          print_endline (Analysis.Explain.to_json ~label_names report)
+          print_endline
+            (Analysis.Explain.to_json ?analyzed ~label_names report)
         else begin
           Format.printf "%a@." (Analysis.Explain.pp ~label_names) report;
           if analyze then
-            match
-              List.find_opt
-                (fun c -> c.Analysis.Explain.chosen)
-                report.Analysis.Explain.candidates
-            with
-            | Some c ->
-                Format.printf "%a@." Tcsq_core.Tsrjoin.pp_profile
-                  (Tcsq_core.Tsrjoin.profile ~plan:c.Analysis.Explain.plan
-                     (Analysis.Lint.tai target) q)
-            | None -> ()
+            match analyzed with
+            | Some a -> Format.printf "%a@." Analysis.Explain.pp_analyzed a
+            | None ->
+                Format.printf
+                  "analyze: skipped (provably empty effective window)@."
         end)
       queries
   in
@@ -858,8 +860,37 @@ let serve_cmd =
       & info [ "trace-sample" ] ~docv:"N"
           ~doc:"With --trace-dir: trace every Nth query request.")
   in
+  let query_log_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "query-log" ] ~docv:"FILE"
+          ~doc:
+            "Append one structured JSON line (schema tcsq-qlog/v1) per \
+             finished request — any outcome, including rejections — with \
+             fingerprint, window, duration, full execution counters and \
+             per-level estimated-vs-actual cardinalities.")
+  in
+  let slow_ms_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "slow-ms" ] ~docv:"MS"
+          ~doc:
+            "Requests at or over this wall time are flagged slow: always \
+             written to the query log regardless of sampling, and counted \
+             in the tcsq_slow_requests_total Prometheus family.")
+  in
+  let qlog_sample_arg =
+    Arg.(
+      value & opt float 1.0
+      & info [ "qlog-sample" ] ~docv:"RATE"
+          ~doc:
+            "Keep-rate (0..1) for ordinary query-log lines; slow or \
+             non-completed requests are always logged.")
+  in
   let run file dataset scale socket workers queue deadline_ms limit domains
-      trace_dir trace_sample =
+      trace_dir trace_sample query_log slow_ms qlog_sample =
     let g = or_die (load_graph file dataset scale) in
     let engine = Workload.Engine.prepare g in
     let config =
@@ -872,6 +903,9 @@ let serve_cmd =
         domains;
         trace_dir;
         trace_sample;
+        query_log;
+        slow_ms;
+        qlog_sample;
       }
     in
     let srv =
@@ -896,7 +930,8 @@ let serve_cmd =
     Term.(
       const run $ graph_file_arg $ dataset_arg $ scale_arg $ socket_arg
       $ workers_arg $ queue_arg $ deadline_arg $ serve_limit_arg $ domains_arg
-      $ trace_dir_arg $ trace_sample_arg)
+      $ trace_dir_arg $ trace_sample_arg $ query_log_arg $ slow_ms_arg
+      $ qlog_sample_arg)
 
 let client_cmd =
   let metrics_flag =
@@ -939,8 +974,18 @@ let client_cmd =
       value & flag
       & info [ "count" ] ~doc:"Do not echo matches, just the count.")
   in
+  let top_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "top" ] ~docv:"N"
+          ~doc:
+            "Print the N hottest query-shape fingerprints from the metrics \
+             snapshot (request count, slow count, mean latency), hottest \
+             first.")
+  in
   let run socket match_ method_ deadline_ms limit count_only metrics prom ping
-      shutdown stdin_mode =
+      shutdown stdin_mode top =
     let m =
       or_die
         (match Workload.Engine.method_of_string method_ with
@@ -997,6 +1042,39 @@ let client_cmd =
       | Error msg ->
           Printf.eprintf "tcsq: metrics_prom failed: %s\n%!" msg;
           incr failures);
+    (match top with
+    | None -> ()
+    | Some n -> (
+        (* hottest query shapes: the server's snapshot already orders
+           its fingerprint list by request count *)
+        match Tcsq_server.Client.metrics client with
+        | Error msg ->
+            Printf.eprintf "tcsq: metrics failed: %s\n%!" msg;
+            incr failures
+        | Ok snap -> (
+            match Tcsq_server.Json.mem_list "fingerprints" snap with
+            | None | Some [] -> print_endline "no fingerprints recorded"
+            | Some fps ->
+                Printf.printf "%-16s  %8s  %6s  %10s\n" "fingerprint" "count"
+                  "slow" "mean_ms";
+                List.iteri
+                  (fun i fp ->
+                    if i < n then
+                      let s k =
+                        Option.value ~default:"?"
+                          (Tcsq_server.Json.mem_string k fp)
+                      in
+                      let d k =
+                        Option.value ~default:0
+                          (Tcsq_server.Json.mem_int k fp)
+                      in
+                      let f k =
+                        Option.value ~default:0.0
+                          (Tcsq_server.Json.mem_float k fp)
+                      in
+                      Printf.printf "%-16s  %8d  %6d  %10.3f\n"
+                        (s "fingerprint") (d "count") (d "slow") (f "mean_ms"))
+                  fps)));
     if shutdown then
       roundtrip
         (Tcsq_server.Json.to_string (Tcsq_server.Client.op_json "shutdown"));
@@ -1012,7 +1090,7 @@ let client_cmd =
     Term.(
       const run $ socket_arg $ match_arg $ method_arg $ deadline_arg
       $ limit_arg $ count_flag $ metrics_flag $ prom_flag $ ping_flag
-      $ shutdown_flag $ stdin_flag)
+      $ shutdown_flag $ stdin_flag $ top_arg)
 
 let fuzz_cmd =
   let iterations_arg =

@@ -185,6 +185,143 @@ let pp ~label_names fmt t =
   | None -> Format.fprintf fmt "ranking: no structurally valid candidate");
   Format.fprintf fmt "@]"
 
+(* ---- EXPLAIN ANALYZE: per-level estimated vs measured ---- *)
+
+let misestimation_threshold = 16.0
+
+type level_row = {
+  level : int;
+  pivot : int;
+  est_cumulative : float;
+  actual : int;
+  factor : float;  (* symmetric: >= 1, direction read off est vs actual *)
+}
+
+type analyzed = {
+  executed : string;  (* candidate name that ran *)
+  rows : level_row list;
+  exec_stats : Run_stats.t;
+  analyze_diags : Diagnostic.t list;  (* P009 *)
+}
+
+let misest_factor est actual =
+  let e = Float.max est 1.0 and a = Float.max (float_of_int actual) 1.0 in
+  Float.max e a /. Float.min e a
+
+(* Execute the chosen candidate's plan — the same plan the static table
+   above estimated, over the same effective window — and line the
+   measured per-level intermediate counters up against the estimates.
+   [None] when propagation proved the window empty: there is nothing to
+   execute and nothing to learn. *)
+let run_analyze target t =
+  match t.bound.Bound.effective with
+  | None -> None
+  | Some w -> (
+      match List.find_opt (fun c -> c.chosen) t.candidates with
+      | None -> None
+      | Some chosen ->
+          let q = Query.with_window t.query w in
+          let stats = Run_stats.create () in
+          Tcsq_core.Tsrjoin.run ~stats ~plan:chosen.plan (Lint.tai target) q
+            ~emit:(fun _ -> ());
+          let actuals = Run_stats.levels stats in
+          let actual_at i =
+            if i < Array.length actuals then actuals.(i) else 0
+          in
+          let rows =
+            Array.to_list
+              (Array.map
+                 (fun (se : Selectivity.step_estimate) ->
+                   let level = se.Selectivity.step_index in
+                   let actual = actual_at level in
+                   {
+                     level;
+                     pivot = se.Selectivity.pivot;
+                     est_cumulative = se.Selectivity.cumulative;
+                     actual;
+                     factor = misest_factor se.Selectivity.cumulative actual;
+                   })
+                 chosen.est.Selectivity.steps)
+          in
+          let analyze_diags =
+            List.filter_map
+              (fun r ->
+                if r.factor > misestimation_threshold then
+                  Some
+                    (Diagnostic.make ~code:"P009" ~severity:Warning
+                       ~location:(Step r.level)
+                       "cost model off by x%.1f at level %d: estimated %.3g \
+                        intermediate tuples, measured %d"
+                       r.factor r.level r.est_cumulative r.actual)
+                else None)
+              rows
+          in
+          Some { executed = chosen.name; rows; exec_stats = stats;
+                 analyze_diags })
+
+let pp_analyzed fmt a =
+  Format.fprintf fmt "@[<v>analyze (%s plan executed):@," a.executed;
+  Format.fprintf fmt "  level  pivot  estimated     actual  factor@,";
+  List.iter
+    (fun r ->
+      let direction =
+        if r.actual > int_of_float (Float.round r.est_cumulative) then "under"
+        else if int_of_float (Float.round r.est_cumulative) > r.actual then
+          "over"
+        else "exact"
+      in
+      Format.fprintf fmt "  %-5d  x%-4d  %-12.4g  %-6d  x%.1f %s@," r.level
+        r.pivot r.est_cumulative r.actual r.factor direction)
+    a.rows;
+  let est_total =
+    List.fold_left (fun acc r -> acc +. r.est_cumulative) 0.0 a.rows
+  in
+  Format.fprintf fmt
+    "  totals: estimated %.4g intermediate, measured %d; results %d@,"
+    est_total a.exec_stats.Run_stats.intermediate
+    a.exec_stats.Run_stats.results;
+  (match a.analyze_diags with
+  | [] -> Format.fprintf fmt "  misestimation: all levels within x%.0f"
+            misestimation_threshold
+  | ds ->
+      Format.fprintf fmt "  misestimation:@,";
+      List.iteri
+        (fun i d ->
+          if i > 0 then Format.fprintf fmt "@,";
+          Format.fprintf fmt "    %a" Diagnostic.pp d)
+        ds);
+  Format.fprintf fmt "@]"
+
+let analyzed_to_json a =
+  Json_out.obj
+    [
+      ("executed", Json_out.escape_string a.executed);
+      ( "levels",
+        Json_out.arr
+          (List.map
+             (fun r ->
+               Json_out.obj
+                 [
+                   ("level", string_of_int r.level);
+                   ("pivot", string_of_int r.pivot);
+                   ("estimated", Printf.sprintf "%.6g" r.est_cumulative);
+                   ("actual", string_of_int r.actual);
+                   ("factor", Printf.sprintf "%.6g" r.factor);
+                 ])
+             a.rows) );
+      ( "stats",
+        Json_out.obj
+          [
+            ("results", string_of_int a.exec_stats.Run_stats.results);
+            ( "intermediate",
+              string_of_int a.exec_stats.Run_stats.intermediate );
+            ("scanned", string_of_int a.exec_stats.Run_stats.scanned);
+            ("bindings", string_of_int a.exec_stats.Run_stats.bindings);
+            ("seeks", string_of_int a.exec_stats.Run_stats.seeks);
+          ] );
+      ("diagnostics", Diagnostic.list_to_json a.analyze_diags);
+    ]
+
 let est_to_json (est : Selectivity.t) =
   Json_out.obj
     [
@@ -220,7 +357,7 @@ let est_to_json (est : Selectivity.t) =
                 est.Selectivity.steps)) );
     ]
 
-let to_json ~label_names t =
+let to_json ?analyzed ~label_names t =
   let q = t.query in
   let interval_json w =
     Json_out.obj
@@ -274,4 +411,8 @@ let to_json ~label_names t =
                    ("diagnostics", Diagnostic.list_to_json c.plan_diags);
                  ])
              t.candidates) );
+      ( "analyze",
+        match analyzed with
+        | None -> "null"
+        | Some a -> analyzed_to_json a );
     ]

@@ -13,9 +13,18 @@
     candidate's by more than {!dominance_factor}; the report states the
     ranking rationale either way.
 
+    With {!run_analyze} ([tcsq explain --analyze]) the chosen plan is
+    additionally {e executed} over the effective window and the
+    measured per-level intermediate cardinalities are lined up against
+    the estimates — the estimated-vs-actual feedback loop the adaptive
+    re-optimizer will consume.
+
     Codes:
     - [P008] (Warning) dominated plan: estimated cost exceeds the best
-      candidate's by more than {!dominance_factor} *)
+      candidate's by more than {!dominance_factor}
+    - [P009] (Warning) misestimated level: the cost model's per-level
+      prediction is off by more than {!misestimation_threshold} in
+      either direction *)
 
 type candidate = {
   name : string;  (** ["cost-model"], ["adaptive"] or ["pivot-order"] *)
@@ -44,10 +53,41 @@ val analyze : ?pivot_order:int list -> Lint.target -> Semantics.Query.t -> t
 val diagnostics : t -> Diagnostic.t list
 (** Everything, query diagnostics first, for exit-code decisions. *)
 
+val misestimation_threshold : float
+(** 16.0: a level whose estimated and measured intermediate
+    cardinalities differ by more than this factor (either direction) is
+    flagged [P009]. *)
+
+type level_row = {
+  level : int;
+  pivot : int;
+  est_cumulative : float;  (** the static {!Selectivity} prediction *)
+  actual : int;  (** the measured {!Semantics.Run_stats} level counter *)
+  factor : float;  (** symmetric misestimation factor, always >= 1 *)
+}
+
+type analyzed = {
+  executed : string;  (** the candidate that ran (the chosen plan) *)
+  rows : level_row list;
+  exec_stats : Semantics.Run_stats.t;
+  analyze_diags : Diagnostic.t list;  (** [P009] per misestimated level *)
+}
+
+val run_analyze : Lint.target -> t -> analyzed option
+(** Execute the chosen candidate over the effective window and compare
+    per level. [None] when propagation proved the window empty (nothing
+    to execute) or no candidate is marked chosen. Runs without budgets:
+    the caller decides whether the query is cheap enough to measure. *)
+
 val pp : label_names:string array -> Format.formatter -> t -> unit
 (** The human-readable report: effective window, per-edge expected
     cardinalities, per-step estimate table per candidate, ranking
     rationale. Deterministic (no timings). *)
 
-val to_json : label_names:string array -> t -> string
-(** Schema ["tcsq-explain/v1"]. *)
+val pp_analyzed : Format.formatter -> analyzed -> unit
+(** The estimated-vs-actual table: one row per plan level plus totals
+    and the [P009] verdicts. Deterministic (counters, no timings). *)
+
+val to_json : ?analyzed:analyzed -> label_names:string array -> t -> string
+(** Schema ["tcsq-explain/v1"]; [analyzed] rides in the (additive)
+    ["analyze"] key, [null] when absent. *)

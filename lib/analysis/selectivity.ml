@@ -126,7 +126,11 @@ let estimate ?window ~cost tai plan =
     estimated_intermediate = !total;
   }
 
-let intermediate_counter t =
-  let v = t.estimated_intermediate in
+let counter_of v =
   if Float.is_nan v || v <= 0.0 then 0
   else int_of_float (Float.round (Float.min v 1e15))
+
+let intermediate_counter t = counter_of t.estimated_intermediate
+
+let level_counters t =
+  Array.map (fun (se : step_estimate) -> counter_of se.cumulative) t.steps

@@ -55,3 +55,10 @@ val intermediate_counter : t -> int
 (** [estimated_intermediate] rounded and clamped to a sane non-negative
     integer, the value recorded in
     {!Semantics.Run_stats.add_est_intermediate}. *)
+
+val level_counters : t -> int array
+(** Per-step [cumulative] rounded and clamped like
+    {!intermediate_counter}, aligned with the plan's steps — the values
+    recorded in {!Semantics.Run_stats.add_est_level_intermediate} and
+    compared against the measured per-level counters by
+    [tcsq explain --analyze]. *)

@@ -87,7 +87,17 @@ let run ?stats ?(obs = Obs.Sink.null) ?per_step ?(roots = All_roots)
     match step_stats step_i with Some s -> tick_fn s | None -> ()
   in
   let tick_binding step_i = tick Run_stats.tick_binding step_i in
-  let tick_intermediate step_i = tick Run_stats.tick_intermediate step_i in
+  (* the global stats attribute the tuple to its plan level (the
+     estimated-vs-actual feedback loop); step buckets keep their
+     original flat counter *)
+  let tick_intermediate step_i =
+    (match stats with
+    | Some s -> Run_stats.tick_level_intermediate s step_i
+    | None -> ());
+    match step_stats step_i with
+    | Some s -> Run_stats.tick_intermediate s
+    | None -> ()
+  in
   let tick_result () =
     match stats with Some s -> Run_stats.tick_result s | None -> ()
   in

@@ -1,0 +1,30 @@
+(** Canonical query-shape fingerprints.
+
+    A fingerprint is a 16-hex-digit FNV-1a hash of a query's canonical
+    shape: its edge list over first-appearance-renumbered variables,
+    each edge's label id, the window {e length} (not its position), the
+    duration floor, the sorted NOT/EXISTS clause shapes, the sorted
+    Allen constraints, and the aggregate. It is the grouping key of the
+    server's query log and metrics ("which query shapes are hot?") and
+    the designated plan-cache key for adaptive re-optimization.
+
+    Invariances (pinned by QCheck properties in [test_fingerprint]):
+    - variable and alias renaming that preserves the edge list;
+    - [Qlang.render_ext] / [Qlang.parse_and_compile_ext] roundtrips;
+    - translating the window (and the graph) in time;
+    - reordering NOT/EXISTS clauses or Allen constraints.
+
+    Sensitivity: changing a label, adding/removing an edge or clause or
+    constraint, the duration floor, the aggregate, or the window length
+    all change the canonical form (and, modulo 64-bit hash collisions,
+    the fingerprint). *)
+
+val canonical : Equery.t -> string
+(** The readable canonical form ([tcsq-fp/v1|...]) the hash is computed
+    over — for debugging and collision triage, not for the wire. *)
+
+val of_equery : Equery.t -> string
+(** 16 lowercase hex digits. *)
+
+val of_query : Query.t -> string
+(** [of_equery (Equery.plain q)]. *)

@@ -19,6 +19,12 @@ type t = {
   mutable enum_steps : int;
   mutable seeks : int;
   mutable est_intermediate : int;
+  (* per-TSRJoin-level actual intermediate cardinalities; [||] until the
+     first levelled tick, then grown to the plan depth *)
+  mutable level_intermediate : int array;
+  (* per-level static estimates, recorded once per query next to
+     [est_intermediate] *)
+  mutable est_level_intermediate : int array;
   limits : limits;
   mutable deadline : deadline option;
   (* ticks remaining until the next clock read; reading the clock on
@@ -35,7 +41,8 @@ let until_check_of s =
 let create ?(limits = no_limits) ?deadline () =
   let s =
     { results = 0; intermediate = 0; scanned = 0; bindings = 0; enum_steps = 0;
-      seeks = 0; est_intermediate = 0; limits; deadline; until_check = max_int;
+      seeks = 0; est_intermediate = 0; level_intermediate = [||];
+      est_level_intermediate = [||]; limits; deadline; until_check = max_int;
       on_check = None }
   in
   s.until_check <- until_check_of s;
@@ -80,6 +87,18 @@ let add_intermediate s n =
 
 let tick_intermediate s = add_intermediate s 1
 
+(* grow-to-fit shared by the actual and estimate level arrays *)
+let grown arr i =
+  let n = Array.make (i + 1) 0 in
+  Array.blit arr 0 n 0 (Array.length arr);
+  n
+
+let tick_level_intermediate s level =
+  add_intermediate s 1;
+  if level >= Array.length s.level_intermediate then
+    s.level_intermediate <- grown s.level_intermediate level;
+  s.level_intermediate.(level) <- s.level_intermediate.(level) + 1
+
 let tick_scanned s =
   touch s;
   s.scanned <- s.scanned + 1
@@ -102,6 +121,22 @@ let tick_seek s = s.seeks <- s.seeks + 1
    the engine before running the plan, so no [touch] and no budget *)
 let add_est_intermediate s n = s.est_intermediate <- s.est_intermediate + n
 
+let add_est_level_intermediate s level n =
+  if level >= Array.length s.est_level_intermediate then
+    s.est_level_intermediate <- grown s.est_level_intermediate level;
+  s.est_level_intermediate.(level) <- s.est_level_intermediate.(level) + n
+
+let levels s = Array.copy s.level_intermediate
+let est_levels s = Array.copy s.est_level_intermediate
+
+let merge_levels dst src =
+  if Array.length src > 0 then begin
+    let dst = if Array.length dst < Array.length src then grown dst (Array.length src - 1) else dst in
+    Array.iteri (fun i v -> dst.(i) <- dst.(i) + v) src;
+    dst
+  end
+  else dst
+
 let merge_into dst src =
   dst.results <- dst.results + src.results;
   dst.intermediate <- dst.intermediate + src.intermediate;
@@ -109,11 +144,22 @@ let merge_into dst src =
   dst.bindings <- dst.bindings + src.bindings;
   dst.enum_steps <- dst.enum_steps + src.enum_steps;
   dst.seeks <- dst.seeks + src.seeks;
-  dst.est_intermediate <- dst.est_intermediate + src.est_intermediate
+  dst.est_intermediate <- dst.est_intermediate + src.est_intermediate;
+  dst.level_intermediate <-
+    merge_levels dst.level_intermediate src.level_intermediate;
+  dst.est_level_intermediate <-
+    merge_levels dst.est_level_intermediate src.est_level_intermediate
 
 let pp fmt s =
   Format.fprintf fmt
     "results=%d intermediate=%d scanned=%d bindings=%d enum_steps=%d seeks=%d \
      est_intermediate=%d"
     s.results s.intermediate s.scanned s.bindings s.enum_steps s.seeks
-    s.est_intermediate
+    s.est_intermediate;
+  if Array.length s.level_intermediate > 0 then begin
+    Format.fprintf fmt " levels=[";
+    Array.iteri
+      (fun i v -> Format.fprintf fmt "%s%d" (if i > 0 then ";" else "") v)
+      s.level_intermediate;
+    Format.fprintf fmt "]"
+  end

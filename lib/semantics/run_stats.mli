@@ -41,6 +41,16 @@ type t = {
           ([Analysis.Selectivity]), recorded once per TSRJoin query so
           estimator error ([est_intermediate] vs [intermediate]) is
           observable per query; 0 for methods without an estimator *)
+  mutable level_intermediate : int array;
+      (** measured intermediate tuples per TSRJoin plan level — the
+          runtime-feedback counterpart of [est_level_intermediate]:
+          index [i] counts partial matches produced at plan step [i].
+          Empty for methods without levelled execution. Prefer
+          {!levels} (a defensive copy) over reading this directly. *)
+  mutable est_level_intermediate : int array;
+      (** the static analyzer's per-level predictions
+          ([Analysis.Selectivity] cumulatives), recorded once per
+          TSRJoin query next to [est_intermediate]. *)
   limits : limits;
   mutable deadline : deadline option;
   mutable until_check : int;
@@ -79,9 +89,31 @@ val tick_seek : t -> unit
     drive the deadline check — seeks always ride alongside binding or
     scanned ticks that do. *)
 
+val tick_level_intermediate : t -> int -> unit
+(** [tick_level_intermediate s level] counts one intermediate tuple
+    {e and} attributes it to TSRJoin plan level [level] (growing the
+    level array on first touch). Drives the same budget and deadline
+    machinery as {!tick_intermediate} — exactly once, so
+    [intermediate = sum of level_intermediate] whenever every
+    intermediate tick is levelled. *)
+
 val add_est_intermediate : t -> int -> unit
 (** Record a static intermediate-cardinality estimate. A prediction, not
     work: never drives the deadline check or any budget. *)
 
+val add_est_level_intermediate : t -> int -> int -> unit
+(** [add_est_level_intermediate s level n] records a static per-level
+    estimate; like {!add_est_intermediate}, never a budget tick. *)
+
+val levels : t -> int array
+(** Defensive copy of the per-level actual intermediate counters. *)
+
+val est_levels : t -> int array
+(** Defensive copy of the per-level estimates. *)
+
+(** [merge_into dst src] adds counter-wise; the level arrays merge
+    element-wise (the destination grows to the longer of the two), so
+    per-domain partial counts from a parallel run sum to exactly the
+    sequential counters. *)
 val merge_into : t -> t -> unit
 val pp : Format.formatter -> t -> unit

@@ -16,6 +16,13 @@ type outcome = Completed | Truncated_budget | Truncated_deadline
 
 type method_metrics = { mutable count : int; latency : Obs.Histogram.t }
 
+type fp_metrics = {
+  mutable fp_count : int;
+  mutable fp_slow : int;
+  mutable fp_seconds : float;
+}
+(* per-query-shape hot list, keyed by Semantics.Fingerprint *)
+
 type t = {
   mutex : Mutex.t;
   started_at : float;
@@ -27,7 +34,14 @@ type t = {
   mutable parse_errors : int;
   mutable overloaded : int;
   mutable internal_errors : int;
+  mutable slow_completed : int;
+  mutable slow_truncated_budget : int;
+  mutable slow_truncated_deadline : int;
+  misestimation : Obs.Histogram.t;
+      (* per-query max over plan levels of the symmetric est-vs-actual
+         factor; only queries that carry an estimate are recorded *)
   per_method : (string, method_metrics) Hashtbl.t;
+  per_fingerprint : (string, fp_metrics) Hashtbl.t;
 }
 
 let create () =
@@ -42,7 +56,12 @@ let create () =
     parse_errors = 0;
     overloaded = 0;
     internal_errors = 0;
+    slow_completed = 0;
+    slow_truncated_budget = 0;
+    slow_truncated_deadline = 0;
+    misestimation = Obs.Histogram.create ();
     per_method = Hashtbl.create 8;
+    per_fingerprint = Hashtbl.create 32;
   }
 
 let locked t f =
@@ -57,13 +76,39 @@ let method_slot t name =
       Hashtbl.add t.per_method name mm;
       mm
 
-let record_query t ~method_ ~outcome ~stats ~seconds =
+let fp_slot t fingerprint =
+  match Hashtbl.find_opt t.per_fingerprint fingerprint with
+  | Some fm -> fm
+  | None ->
+      let fm = { fp_count = 0; fp_slow = 0; fp_seconds = 0.0 } in
+      Hashtbl.add t.per_fingerprint fingerprint fm;
+      fm
+
+let record_query ?(slow = false) ?fingerprint ?misestimation t ~method_
+    ~outcome ~stats ~seconds =
   locked t (fun () ->
       (match outcome with
-      | Completed -> t.completed <- t.completed + 1
-      | Truncated_budget -> t.truncated_budget <- t.truncated_budget + 1
-      | Truncated_deadline -> t.truncated_deadline <- t.truncated_deadline + 1);
+      | Completed ->
+          t.completed <- t.completed + 1;
+          if slow then t.slow_completed <- t.slow_completed + 1
+      | Truncated_budget ->
+          t.truncated_budget <- t.truncated_budget + 1;
+          if slow then t.slow_truncated_budget <- t.slow_truncated_budget + 1
+      | Truncated_deadline ->
+          t.truncated_deadline <- t.truncated_deadline + 1;
+          if slow then
+            t.slow_truncated_deadline <- t.slow_truncated_deadline + 1);
       Run_stats.merge_into t.totals stats;
+      (match misestimation with
+      | Some f -> Obs.Histogram.record t.misestimation f
+      | None -> ());
+      (match fingerprint with
+      | Some fp ->
+          let fm = fp_slot t fp in
+          fm.fp_count <- fm.fp_count + 1;
+          if slow then fm.fp_slow <- fm.fp_slow + 1;
+          fm.fp_seconds <- fm.fp_seconds +. seconds
+      | None -> ());
       let mm = method_slot t (Workload.Engine.method_name method_) in
       mm.count <- mm.count + 1;
       Obs.Histogram.record mm.latency seconds)
@@ -100,6 +145,13 @@ let outcome_counts t =
     ("internal_errors", t.internal_errors);
   ]
 
+let slow_counts t =
+  [
+    ("completed", t.slow_completed);
+    ("truncated_budget", t.slow_truncated_budget);
+    ("truncated_deadline", t.slow_truncated_deadline);
+  ]
+
 let run_stat_counts t =
   [
     ("results", t.totals.Run_stats.results);
@@ -115,6 +167,30 @@ let sorted_methods t =
   Hashtbl.fold (fun name mm acc -> (name, mm) :: acc) t.per_method []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
+(* hottest query shapes: by request count, ties broken by total time,
+   then lexicographically so the snapshot is deterministic *)
+let hot_fingerprints t =
+  Hashtbl.fold (fun fp fm acc -> (fp, fm) :: acc) t.per_fingerprint []
+  |> List.sort (fun (fa, a) (fb, b) ->
+         match compare b.fp_count a.fp_count with
+         | 0 -> (
+             match compare b.fp_seconds a.fp_seconds with
+             | 0 -> String.compare fa fb
+             | c -> c)
+         | c -> c)
+
+let fingerprint_json (fp, fm) =
+  Json.Obj
+    [
+      ("fingerprint", Json.String fp);
+      ("count", Json.Int fm.fp_count);
+      ("slow", Json.Int fm.fp_slow);
+      ( "mean_ms",
+        Json.Float
+          (if fm.fp_count = 0 then 0.0
+           else fm.fp_seconds *. 1000.0 /. float_of_int fm.fp_count) );
+    ]
+
 let snapshot_json t ~queue_depth ~pool_dropped =
   locked t (fun () ->
       let methods =
@@ -128,15 +204,72 @@ let snapshot_json t ~queue_depth ~pool_dropped =
           ( "requests",
             Json.Obj
               (List.map (fun (k, v) -> (k, Json.Int v)) (outcome_counts t)) );
+          ( "slow_requests",
+            Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) (slow_counts t))
+          );
           ("totals", Protocol.stats_json t.totals);
           ("methods", Json.Obj methods);
+          ( "misestimation",
+            Json.Obj
+              [
+                ("count", Json.Int (Obs.Histogram.count t.misestimation));
+                ("mean", Json.Float (Obs.Histogram.mean t.misestimation));
+                ( "p95",
+                  Json.Float (Obs.Histogram.quantile t.misestimation 0.95) );
+              ] );
+          ( "fingerprints",
+            Json.List (List.map fingerprint_json (hot_fingerprints t)) );
         ])
+
+(* Prometheus label-value escaping (exposition format 0.0.4): inside a
+   quoted label value, backslash, double-quote and newline must be
+   escaped. Every label value below goes through this, so a hostile
+   method/outcome name can never corrupt the exposition. *)
+let plabel v =
+  let buf = Buffer.create (String.length v) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    v;
+  Buffer.contents buf
+
+(* One full histogram family block: every bucket of the [Obs.Histogram]
+   decade ladder, the mandatory +Inf bucket, and _sum/_count. *)
+let prom_histogram buf ~family ~label h =
+  let bucket le_str n =
+    match label with
+    | None ->
+        Printf.bprintf buf "%s_bucket{le=\"%s\"} %d\n" family le_str n
+    | Some (k, v) ->
+        Printf.bprintf buf "%s_bucket{%s=\"%s\",le=\"%s\"} %d\n" family k
+          (plabel v) le_str n
+  in
+  Array.iter
+    (fun le ->
+      bucket (Printf.sprintf "%g" le) (Obs.Histogram.cumulative h ~le))
+    Obs.Histogram.le_edges;
+  bucket "+Inf" (Obs.Histogram.count h);
+  (match label with
+  | None ->
+      Printf.bprintf buf "%s_sum %.6f\n" family (Obs.Histogram.sum h);
+      Printf.bprintf buf "%s_count %d\n" family (Obs.Histogram.count h)
+  | Some (k, v) ->
+      Printf.bprintf buf "%s_sum{%s=\"%s\"} %.6f\n" family k (plabel v)
+        (Obs.Histogram.sum h);
+      Printf.bprintf buf "%s_count{%s=\"%s\"} %d\n" family k (plabel v)
+        (Obs.Histogram.count h))
 
 (* Prometheus text exposition (version 0.0.4). Families:
    tcsq_uptime_seconds, tcsq_queue_depth (gauges);
-   tcsq_requests_total{outcome}, tcsq_run_stats_total{counter} (counters);
-   tcsq_request_duration_seconds{method} (histogram whose "le" ladder is
-   the decade edges of [Obs.Histogram] — exact cumulative counts). *)
+   tcsq_requests_total{outcome}, tcsq_slow_requests_total{outcome},
+   tcsq_run_stats_total{counter} (counters);
+   tcsq_request_duration_seconds{method}, tcsq_misestimation_ratio
+   (histograms whose "le" ladder is the decade edges of [Obs.Histogram]
+   — exact cumulative counts, always closed with +Inf/_sum/_count). *)
 let prometheus t ~queue_depth ~pool_dropped =
   locked t (fun () ->
       let buf = Buffer.create 2048 in
@@ -161,39 +294,40 @@ let prometheus t ~queue_depth ~pool_dropped =
          # TYPE tcsq_requests_total counter\n";
       List.iter
         (fun (o, v) ->
-          Printf.bprintf buf "tcsq_requests_total{outcome=\"%s\"} %d\n" o v)
+          Printf.bprintf buf "tcsq_requests_total{outcome=\"%s\"} %d\n"
+            (plabel o) v)
         (outcome_counts t);
+      Buffer.add_string buf
+        "# HELP tcsq_slow_requests_total Requests at or over the slow-query \
+         threshold, by outcome.\n\
+         # TYPE tcsq_slow_requests_total counter\n";
+      List.iter
+        (fun (o, v) ->
+          Printf.bprintf buf "tcsq_slow_requests_total{outcome=\"%s\"} %d\n"
+            (plabel o) v)
+        (slow_counts t);
       Buffer.add_string buf
         "# HELP tcsq_run_stats_total Execution counters merged over all \
          queries.\n\
          # TYPE tcsq_run_stats_total counter\n";
       List.iter
         (fun (c, v) ->
-          Printf.bprintf buf "tcsq_run_stats_total{counter=\"%s\"} %d\n" c v)
+          Printf.bprintf buf "tcsq_run_stats_total{counter=\"%s\"} %d\n"
+            (plabel c) v)
         (run_stat_counts t);
       Buffer.add_string buf
         "# HELP tcsq_request_duration_seconds Query wall time by method.\n\
          # TYPE tcsq_request_duration_seconds histogram\n";
       List.iter
         (fun (name, mm) ->
-          Array.iter
-            (fun le ->
-              Printf.bprintf buf
-                "tcsq_request_duration_seconds_bucket{method=\"%s\",le=\"%g\"} \
-                 %d\n"
-                name le
-                (Obs.Histogram.cumulative mm.latency ~le))
-            Obs.Histogram.le_edges;
-          Printf.bprintf buf
-            "tcsq_request_duration_seconds_bucket{method=\"%s\",le=\"+Inf\"} \
-             %d\n"
-            name
-            (Obs.Histogram.count mm.latency);
-          Printf.bprintf buf
-            "tcsq_request_duration_seconds_sum{method=\"%s\"} %.6f\n" name
-            (Obs.Histogram.sum mm.latency);
-          Printf.bprintf buf
-            "tcsq_request_duration_seconds_count{method=\"%s\"} %d\n" name
-            (Obs.Histogram.count mm.latency))
+          prom_histogram buf ~family:"tcsq_request_duration_seconds"
+            ~label:(Some ("method", name))
+            mm.latency)
         (sorted_methods t);
+      Buffer.add_string buf
+        "# HELP tcsq_misestimation_ratio Per-query max over plan levels of \
+         the symmetric estimated-vs-actual cardinality factor.\n\
+         # TYPE tcsq_misestimation_ratio histogram\n";
+      prom_histogram buf ~family:"tcsq_misestimation_ratio" ~label:None
+        t.misestimation;
       Buffer.contents buf)

@@ -78,6 +78,9 @@ let parse_request line =
 let id_field = function None -> [] | Some id -> [ ("id", Json.String id) ]
 
 let stats_json (s : Run_stats.t) =
+  let int_array a =
+    Json.List (Array.to_list (Array.map (fun v -> Json.Int v) a))
+  in
   Json.Obj
     [
       ("results", Json.Int s.Run_stats.results);
@@ -87,6 +90,8 @@ let stats_json (s : Run_stats.t) =
       ("enum_steps", Json.Int s.Run_stats.enum_steps);
       ("seeks", Json.Int s.Run_stats.seeks);
       ("est_intermediate", Json.Int s.Run_stats.est_intermediate);
+      ("levels", int_array (Run_stats.levels s));
+      ("est_levels", int_array (Run_stats.est_levels s));
     ]
 
 let match_json g (m : Match_result.t) =

@@ -36,6 +36,14 @@ type config = {
      to [domains - 1] *idle* pool workers as TSRJoin helpers; 1 keeps
      every query single-domain *)
   domains : int;
+  (* when set, append one tcsq-qlog/v1 JSON line per finished request
+     (any outcome) to this file *)
+  query_log : string option;
+  (* requests at or over this wall time are flagged slow: always logged
+     regardless of sampling, and counted in tcsq_slow_requests_total *)
+  slow_ms : float option;
+  (* keep-rate for ordinary (fast, completed) query-log lines *)
+  qlog_sample : float;
 }
 
 let default_config ~socket_path =
@@ -52,6 +60,9 @@ let default_config ~socket_path =
     trace_dir = None;
     trace_sample = 1;
     domains = 1;
+    query_log = None;
+    slow_ms = None;
+    qlog_sample = 1.0;
   }
 
 type t = {
@@ -59,6 +70,7 @@ type t = {
   engine : Workload.Engine.t;
   pool : Exec.Pool.t;
   metrics : Metrics.t;
+  qlog : Obs.Qlog.t option;
   listener : Unix.file_descr;
   state_mutex : Mutex.t;
   stop_requested : Condition.t;
@@ -128,9 +140,83 @@ let finish_request t obs ~req_t0 ~seq =
          with Sys_error _ -> ())
   end
 
+(* ---- structured query log ---- *)
+
+(* symmetric misestimation factor: >= 1, direction-agnostic; both sides
+   floored at 1 so a true-zero level does not divide by zero *)
+let misest_factor est actual =
+  let e = float_of_int (max est 1) and a = float_of_int (max actual 1) in
+  Float.max e a /. Float.min e a
+
+(* per-level est-vs-actual pairs and the per-query max factor; no
+   factor when the query carried no estimate (non-TSRJoin methods) *)
+let levels_of_stats stats =
+  let est = Run_stats.est_levels stats in
+  let act = Run_stats.levels stats in
+  let n = max (Array.length est) (Array.length act) in
+  let get a i = if i < Array.length a then a.(i) else 0 in
+  let levels =
+    List.init n (fun i ->
+        { Obs.Qlog.level = i; est = get est i; actual = get act i })
+  in
+  let misest =
+    if Array.length est = 0 then None
+    else
+      Some
+        (List.fold_left
+           (fun m (l : Obs.Qlog.level) ->
+             Float.max m (misest_factor l.Obs.Qlog.est l.Obs.Qlog.actual))
+           1.0 levels)
+  in
+  (levels, misest)
+
+let qlog_stat_pairs stats =
+  [
+    ("results", stats.Run_stats.results);
+    ("intermediate", stats.Run_stats.intermediate);
+    ("scanned", stats.Run_stats.scanned);
+    ("bindings", stats.Run_stats.bindings);
+    ("enum_steps", stats.Run_stats.enum_steps);
+    ("seeks", stats.Run_stats.seeks);
+    ("est_intermediate", stats.Run_stats.est_intermediate);
+  ]
+
+let log_query t ~outcome ~duration_ms ?id ?fingerprint ?query ?method_ ?window
+    ?stats () =
+  match t.qlog with
+  | None -> ()
+  | Some q ->
+      let stat_pairs, levels, misestimation =
+        match stats with
+        | None -> ([], [], None)
+        | Some s ->
+            let levels, misest = levels_of_stats s in
+            (qlog_stat_pairs s, levels, misest)
+      in
+      ignore
+        (Obs.Qlog.log q
+           {
+             Obs.Qlog.ts = Unix.gettimeofday ();
+             id;
+             fingerprint;
+             query;
+             method_ = Option.map Workload.Engine.method_name method_;
+             window;
+             outcome;
+             duration_ms;
+             stats = stat_pairs;
+             levels;
+             misestimation;
+           })
+
+let is_slow t seconds =
+  match t.config.slow_ms with
+  | Some ms -> seconds *. 1000.0 >= ms
+  | None -> false
+
 (* ---- request execution (worker domain) ---- *)
 
-let execute t send ~obs (qr : Protocol.query_request) eq ds =
+let execute t send ~obs ~fingerprint (qr : Protocol.query_request) eq ds =
   let cfg = t.config in
   (* a COUNT aggregate is exactly the wire protocol's count_only mode:
      report the piece count, ship no matches *)
@@ -194,16 +280,29 @@ let execute t send ~obs (qr : Protocol.query_request) eq ds =
       | exception e -> Error (Printexc.to_string e)
   in
   let elapsed = Unix.gettimeofday () -. t0 in
+  let w = Query.window (Equery.core eq) in
+  let window = (Temporal.Interval.ts w, Temporal.Interval.te w) in
+  let qlog_common outcome =
+    log_query t ~outcome
+      ~duration_ms:(elapsed *. 1000.0)
+      ?id:qr.Protocol.id ~fingerprint ~query:qr.Protocol.text
+      ~method_:qr.Protocol.method_ ~window ~stats ()
+  in
   match outcome with
   | Ok truncated ->
-      let metric_outcome =
+      let metric_outcome, qlog_outcome =
         match truncated with
-        | None -> Metrics.Completed
-        | Some Protocol.Budget -> Metrics.Truncated_budget
-        | Some Protocol.Deadline -> Metrics.Truncated_deadline
+        | None -> (Metrics.Completed, Obs.Qlog.Completed)
+        | Some Protocol.Budget ->
+            (Metrics.Truncated_budget, Obs.Qlog.Truncated_budget)
+        | Some Protocol.Deadline ->
+            (Metrics.Truncated_deadline, Obs.Qlog.Truncated_deadline)
       in
-      Metrics.record_query t.metrics ~method_:qr.Protocol.method_
-        ~outcome:metric_outcome ~stats ~seconds:elapsed;
+      let _, misestimation = levels_of_stats stats in
+      Metrics.record_query t.metrics ~slow:(is_slow t elapsed) ~fingerprint
+        ?misestimation ~method_:qr.Protocol.method_ ~outcome:metric_outcome
+        ~stats ~seconds:elapsed;
+      qlog_common qlog_outcome;
       Obs.Sink.span obs Obs.Phase.Respond (fun () ->
           send
             (Protocol.result_response ?id:qr.Protocol.id
@@ -212,6 +311,7 @@ let execute t send ~obs (qr : Protocol.query_request) eq ds =
                ~elapsed_ms:(elapsed *. 1000.0) ()))
   | Error msg ->
       Metrics.record_internal_error t.metrics;
+      qlog_common Obs.Qlog.Internal_error;
       Obs.Sink.span obs Obs.Phase.Respond (fun () ->
           send (Protocol.error_response ?id:qr.Protocol.id ~kind:"internal" msg))
 
@@ -220,7 +320,9 @@ let execute t send ~obs (qr : Protocol.query_request) eq ds =
 let handle_query t send (qr : Protocol.query_request) =
   let obs, seq = request_sink t in
   let req_t0 = Obs.Sink.now obs in
+  let wall_t0 = Unix.gettimeofday () in
   let finish () = finish_request t obs ~req_t0 ~seq in
+  let reject_ms () = (Unix.gettimeofday () -. wall_t0) *. 1000.0 in
   let g = Workload.Engine.graph t.engine in
   match
     Obs.Sink.span obs Obs.Phase.Parse (fun () ->
@@ -228,15 +330,24 @@ let handle_query t send (qr : Protocol.query_request) =
   with
   | Error msg ->
       Metrics.record_rejected t.metrics;
+      log_query t ~outcome:Obs.Qlog.Rejected_query
+        ~duration_ms:(reject_ms ()) ?id:qr.Protocol.id ~query:qr.Protocol.text
+        ~method_:qr.Protocol.method_ ();
       send (Protocol.error_response ?id:qr.Protocol.id ~kind:"query" msg);
       finish ()
   | Ok eq ->
+      (* the query-shape grouping key of the log and the hot list; the
+         raw (pre-tightening) shape so equal requests group together *)
+      let fingerprint = Fingerprint.of_equery eq in
       let ds =
         Obs.Sink.span obs Obs.Phase.Lint (fun () ->
             Workload.Engine.analyze_ext t.engine qr.Protocol.method_ eq)
       in
       if Analysis.Diagnostic.has_errors ds then begin
         Metrics.record_rejected t.metrics;
+        log_query t ~outcome:Obs.Qlog.Rejected_lint ~duration_ms:(reject_ms ())
+          ?id:qr.Protocol.id ~fingerprint ~query:qr.Protocol.text
+          ~method_:qr.Protocol.method_ ();
         send
           (Protocol.error_response ?id:qr.Protocol.id ~kind:"lint"
              ~diagnostics:ds "query rejected by static analysis");
@@ -251,12 +362,15 @@ let handle_query t send (qr : Protocol.query_request) =
         let admit_t0 = Obs.Sink.now obs in
         let job () =
           Obs.Sink.record_span obs Obs.Phase.Admit ~t0:admit_t0;
-          execute t send ~obs qr eq ds;
+          execute t send ~obs ~fingerprint qr eq ds;
           finish ()
         in
         if not (Exec.Pool.submit t.pool job) then begin
           Metrics.record_overloaded t.metrics;
           Obs.Sink.record_span obs Obs.Phase.Admit ~t0:admit_t0;
+          log_query t ~outcome:Obs.Qlog.Overloaded ~duration_ms:(reject_ms ())
+            ?id:qr.Protocol.id ~fingerprint ~query:qr.Protocol.text
+            ~method_:qr.Protocol.method_ ();
           send
             (Protocol.overloaded_response ?id:qr.Protocol.id
                ~queue_depth:(Exec.Pool.depth t.pool) ());
@@ -268,6 +382,8 @@ let handle_request t send line =
   match Protocol.parse_request line with
   | Error msg ->
       Metrics.record_parse_error t.metrics;
+      log_query t ~outcome:Obs.Qlog.Rejected_query ~duration_ms:0.0
+        ~query:line ();
       send (Protocol.error_response ~kind:"parse" msg)
   | Ok (Protocol.Ping id) -> send (Protocol.pong_response ?id ())
   | Ok (Protocol.Metrics id) ->
@@ -352,17 +468,31 @@ let start config engine =
       | Unix.Unix_error (Unix.EEXIST, _, _) -> ()
       | Unix.Unix_error _ -> ())
   | None -> ());
+  let qlog =
+    match config.query_log with
+    | None -> None
+    | Some path -> (
+        let slow_ms = Option.value config.slow_ms ~default:infinity in
+        match Obs.Qlog.create ~slow_ms ~sample:config.qlog_sample path with
+        | Ok q -> Some q
+        | Error msg ->
+            invalid_arg
+              (Printf.sprintf "Server.start: cannot open query log %s: %s"
+                 path msg))
+  in
   let listener = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   (try
      Unix.bind listener (Unix.ADDR_UNIX config.socket_path);
      Unix.listen listener 64
    with e ->
      (try Unix.close listener with Unix.Unix_error _ -> ());
+     (match qlog with Some q -> Obs.Qlog.close q | None -> ());
      raise e);
   let t =
     {
       config;
       engine;
+      qlog;
       pool =
         Exec.Pool.create ~workers:config.workers
           ~max_depth:config.queue_depth;
@@ -404,6 +534,7 @@ let finish t =
     let threads = t.threads in
     Mutex.unlock t.state_mutex;
     List.iter Thread.join threads;
+    (match t.qlog with Some q -> Obs.Qlog.close q | None -> ());
     (try Unix.unlink t.config.socket_path with Unix.Unix_error _ -> ())
   end
 

@@ -59,9 +59,13 @@ let record_estimate ?stats t plan =
   match stats with
   | None -> ()
   | Some s ->
+      let est = Analysis.Selectivity.estimate ~cost:t.cost t.tai plan in
       Semantics.Run_stats.add_est_intermediate s
-        (Analysis.Selectivity.intermediate_counter
-           (Analysis.Selectivity.estimate ~cost:t.cost t.tai plan))
+        (Analysis.Selectivity.intermediate_counter est);
+      Array.iteri
+        (fun level n ->
+          Semantics.Run_stats.add_est_level_intermediate s level n)
+        (Analysis.Selectivity.level_counters est)
 
 let run ?stats ?(obs = Obs.Sink.null) ?tsrjoin_config ?pool ?(domains = 1) t
     method_ q ~emit =

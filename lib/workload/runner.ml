@@ -21,6 +21,8 @@ type measurement = {
   total_scanned : int;
   total_seeks : int;
   total_est_intermediate : int;
+  total_levels : int array;
+  total_est_levels : int array;
 }
 
 let percentile sorted p =
@@ -71,6 +73,8 @@ let run_method ?(budget = default_budget) ?obs ?tsrjoin_config ?pool ?domains
     total_scanned = totals.Run_stats.scanned;
     total_seeks = totals.Run_stats.seeks;
     total_est_intermediate = totals.Run_stats.est_intermediate;
+    total_levels = Run_stats.levels totals;
+    total_est_levels = Run_stats.est_levels totals;
   }
 
 let run_all ?budget ?(methods = Engine.all_methods) engine queries =
@@ -94,6 +98,9 @@ let to_csv_row ?tag m =
     (m.p95_seconds *. 1000.0)
     m.total_seconds m.total_results m.total_intermediate m.total_scanned
     m.total_seeks m.total_est_intermediate
+
+let int_array_json a =
+  Json_out.arr (Array.to_list (Array.map string_of_int a))
 
 let measurement_to_json ?(extra = []) ?(raw = []) ?(obs = Obs.Sink.null) m =
   let phases =
@@ -130,6 +137,8 @@ let measurement_to_json ?(extra = []) ?(raw = []) ?(obs = Obs.Sink.null) m =
         ("scanned", string_of_int m.total_scanned);
         ("seeks", string_of_int m.total_seeks);
         ("est_intermediate", string_of_int m.total_est_intermediate);
+        ("levels", int_array_json m.total_levels);
+        ("est_levels", int_array_json m.total_est_levels);
       ]
     @ phases)
 

@@ -27,6 +27,12 @@ type measurement = {
       (** the static analyzer's summed intermediate-cardinality
           prediction (TSRJoin only) — compare with [total_intermediate]
           for estimator error *)
+  total_levels : int array;
+      (** measured intermediate tuples per TSRJoin plan level, summed
+          over the workload; empty for methods without levelled
+          execution *)
+  total_est_levels : int array;
+      (** the analyzer's per-level predictions, summed likewise *)
 }
 
 val run_method :

@@ -1,0 +1,190 @@
+(* Query-shape fingerprint stability: the invariances the plan cache
+   and the query log's grouping key depend on (QCheck properties over
+   random extended queries), and the sensitivities that keep distinct
+   shapes from colliding by construction. *)
+
+open Semantics
+
+let window = Temporal.Interval.make 5 30
+
+let graph () =
+  Test_util.random_graph ~seed:4242 ~n_vertices:6 ~n_edges:80 ~n_labels:3
+    ~domain:40 ~max_len:10 ()
+
+let equery_arb g =
+  QCheck.make
+    ~print:(fun eq -> Qlang.render_ext g eq)
+    (Testkit.equery_gen ~n_labels:3 ~max_edges:4 ~window)
+
+(* ---- pinned canonical form ----
+
+   The fingerprint is a durable key (query logs outlive builds), so the
+   canonical form of a known query is pinned exactly: an accidental
+   format change shows up here before it silently splits log history. *)
+let test_pinned_canonical () =
+  let q =
+    Query.with_min_duration
+      (Query.make ~n_vars:3
+         ~edges:[ (1, 0, 1); (Query.any_label, 1, 2) ]
+         ~window:(Temporal.Interval.make 10 29))
+      3
+  in
+  let eq =
+    Equery.make
+      ~anti:[ { Equery.lbl = 0; src = Equery.Var 1; dst = Equery.Any } ]
+      ~allen:[ (0, Temporal.Allen.Before, 1) ]
+      ~agg:(Equery.Top 2) q
+  in
+  Alcotest.(check string)
+    "canonical form is pinned"
+    "tcsq-fp/v1|e1:0>1|e-1:1>2|w20|d3|n0:1>*|a0 before 1|top2"
+    (Fingerprint.canonical eq);
+  Alcotest.(check string)
+    "fingerprint is pinned" "015d18bfc157a527" (Fingerprint.of_equery eq)
+
+(* ---- invariances ---- *)
+
+let prop_roundtrip_preserves =
+  let g = graph () in
+  QCheck.Test.make ~name:"render/parse roundtrip preserves fingerprint"
+    ~count:200 (equery_arb g) (fun eq ->
+      match Qlang.parse_and_compile_ext g (Qlang.render_ext g eq) with
+      | Error _ -> false
+      | Ok eq' -> Fingerprint.of_equery eq = Fingerprint.of_equery eq')
+
+(* rename every variable through a derangement-ish permutation while
+   keeping the edge list order: the canonical form renumbers by first
+   appearance, so the fingerprint must not move *)
+let permute_vars q perm =
+  let edges =
+    Array.to_list
+      (Array.map
+         (fun (e : Query.edge) ->
+           (e.Query.lbl, perm.(e.Query.src_var), perm.(e.Query.dst_var)))
+         (Query.edges q))
+  in
+  Query.with_min_duration
+    (Query.make ~n_vars:(Query.n_vars q) ~edges ~window:(Query.window q))
+    (Query.min_duration q)
+
+let prop_renaming_preserves =
+  let g = graph () in
+  QCheck.Test.make ~name:"variable renaming preserves fingerprint" ~count:200
+    QCheck.(pair (equery_arb g) (int_range 1 1000))
+    (fun (eq, rot) ->
+      let q = Equery.core eq in
+      let n = Query.n_vars q in
+      let perm = Array.init n (fun i -> (i + rot) mod n) in
+      let q' = permute_vars q perm in
+      let remap = function
+        | Equery.Any -> Equery.Any
+        | Equery.Var v -> Equery.Var perm.(v)
+      in
+      let clauses cs =
+        List.map
+          (fun (c : Equery.clause) ->
+            { c with Equery.src = remap c.Equery.src; dst = remap c.Equery.dst })
+          cs
+      in
+      let eq' =
+        Equery.make ~anti:(clauses (Equery.anti eq))
+          ~semi:(clauses (Equery.semi eq)) ~allen:(Equery.allen eq)
+          ?agg:(Equery.agg eq) q'
+      in
+      Fingerprint.of_equery eq = Fingerprint.of_equery eq')
+
+let prop_window_shift_preserves =
+  let g = graph () in
+  QCheck.Test.make ~name:"window translation preserves fingerprint" ~count:200
+    QCheck.(pair (equery_arb g) (int_range 1 10_000))
+    (fun (eq, delta) ->
+      let w = Query.window (Equery.core eq) in
+      let w' =
+        Temporal.Interval.make
+          (Temporal.Interval.ts w + delta)
+          (Temporal.Interval.te w + delta)
+      in
+      Fingerprint.of_equery eq
+      = Fingerprint.of_equery (Equery.with_window eq w'))
+
+let prop_clause_order_invariant =
+  let g = graph () in
+  QCheck.Test.make ~name:"clause/constraint order is canonicalized" ~count:200
+    (equery_arb g) (fun eq ->
+      let eq' =
+        Equery.make
+          ~anti:(List.rev (Equery.anti eq))
+          ~semi:(List.rev (Equery.semi eq))
+          ~allen:(List.rev (Equery.allen eq))
+          ?agg:(Equery.agg eq) (Equery.core eq)
+      in
+      Fingerprint.of_equery eq = Fingerprint.of_equery eq')
+
+(* ---- sensitivities ---- *)
+
+let prop_label_change_alters =
+  let g = graph () in
+  QCheck.Test.make ~name:"changing a label changes the fingerprint"
+    ~count:200 (equery_arb g) (fun eq ->
+      let q = Equery.core eq in
+      (* bump every real label by one: a different shape unless the
+         query was all-wildcard, which we skip *)
+      let has_real =
+        Array.exists
+          (fun (e : Query.edge) -> e.Query.lbl <> Query.any_label)
+          (Query.edges q)
+      in
+      QCheck.assume has_real;
+      let q' = Testkit.map_query_labels q ~f:(fun l -> l + 1) in
+      Fingerprint.of_query q <> Fingerprint.of_query q')
+
+let test_structural_sensitivity () =
+  let base =
+    Query.make ~n_vars:2 ~edges:[ (1, 0, 1) ]
+      ~window:(Temporal.Interval.make 0 19)
+  in
+  let fp q = Fingerprint.of_equery (Equery.plain q) in
+  Alcotest.(check bool)
+    "window length matters" false
+    (fp base = fp (Query.with_window base (Temporal.Interval.make 0 24)));
+  Alcotest.(check bool)
+    "duration floor matters" false
+    (fp base = fp (Query.with_min_duration base 4));
+  Alcotest.(check bool)
+    "an added clause matters" false
+    (Fingerprint.of_equery (Equery.plain base)
+    = Fingerprint.of_equery
+        (Equery.make
+           ~semi:[ { Equery.lbl = 0; src = Equery.Var 0; dst = Equery.Any } ]
+           base));
+  Alcotest.(check bool)
+    "the aggregate matters" false
+    (Fingerprint.of_equery (Equery.plain base)
+    = Fingerprint.of_equery (Equery.make ~agg:Equery.Count base));
+  Alcotest.(check bool)
+    "an added edge matters" false
+    (fp base
+    = fp
+        (Query.make ~n_vars:2
+           ~edges:[ (1, 0, 1); (1, 0, 1) ]
+           ~window:(Temporal.Interval.make 0 19)))
+
+let () =
+  Alcotest.run "fingerprint"
+    [
+      ( "pinned",
+        [
+          Alcotest.test_case "canonical form and hash" `Quick
+            test_pinned_canonical;
+          Alcotest.test_case "structural sensitivity" `Quick
+            test_structural_sensitivity;
+        ] );
+      ( "properties",
+        List.map
+          (QCheck_alcotest.to_alcotest ~long:false)
+          [
+            prop_roundtrip_preserves; prop_renaming_preserves;
+            prop_window_shift_preserves; prop_clause_order_invariant;
+            prop_label_change_alters;
+          ] );
+    ]

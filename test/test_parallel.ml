@@ -99,7 +99,9 @@ let test_parallel_validation () =
 
 (* Merged per-domain stats must equal a sequential run on every
    deterministic counter: same root bindings processed exactly once,
-   root-leapfrog seeks charged by the coordinator. *)
+   root-leapfrog seeks charged by the coordinator. The per-level
+   intermediate counters must merge bit-equal too (element-wise sums of
+   disjoint root partitions), at every domain count. *)
 let test_merged_stats_equal_sequential () =
   let g = graph () in
   let tai = Tai.build g in
@@ -107,19 +109,31 @@ let test_merged_stats_equal_sequential () =
     (fun qi q ->
       let seq = Run_stats.create () in
       ignore (Tsrjoin.evaluate ~stats:seq tai q);
-      let par = Run_stats.create () in
-      ignore (Exec.Parallel.evaluate ~domains:4 ~chunk:3 ~stats:par tai q);
-      let check name f =
-        Alcotest.(check int)
-          (Printf.sprintf "query %d: %s" qi name)
-          (f seq) (f par)
-      in
-      check "results" (fun s -> s.Run_stats.results);
-      check "intermediate" (fun s -> s.Run_stats.intermediate);
-      check "scanned" (fun s -> s.Run_stats.scanned);
-      check "bindings" (fun s -> s.Run_stats.bindings);
-      check "enum_steps" (fun s -> s.Run_stats.enum_steps);
-      check "seeks" (fun s -> s.Run_stats.seeks))
+      List.iter
+        (fun domains ->
+          let par = Run_stats.create () in
+          ignore
+            (Exec.Parallel.evaluate ~domains ~chunk:3 ~stats:par tai q);
+          let check name f =
+            Alcotest.(check int)
+              (Printf.sprintf "query %d (%d domains): %s" qi domains name)
+              (f seq) (f par)
+          in
+          check "results" (fun s -> s.Run_stats.results);
+          check "intermediate" (fun s -> s.Run_stats.intermediate);
+          check "scanned" (fun s -> s.Run_stats.scanned);
+          check "bindings" (fun s -> s.Run_stats.bindings);
+          check "enum_steps" (fun s -> s.Run_stats.enum_steps);
+          check "seeks" (fun s -> s.Run_stats.seeks);
+          Alcotest.(check (array int))
+            (Printf.sprintf "query %d (%d domains): level counters" qi
+               domains)
+            (Run_stats.levels seq) (Run_stats.levels par);
+          Alcotest.(check int)
+            (Printf.sprintf "query %d (%d domains): levels sum" qi domains)
+            par.Run_stats.intermediate
+            (Array.fold_left ( + ) 0 (Run_stats.levels par)))
+        [ 2; 3; 4 ])
     (Test_util.query_pool ~n_labels:3 ~window:(window 8 40))
 
 (* Merged child sinks must carry the same deterministic phase counts as

@@ -486,6 +486,223 @@ let test_match_limit () =
             "matches capped at the limit" 3
             (List.length r.Protocol.matches)))
 
+(* ---- Prometheus exposition-format conformance ----
+
+   Validates the text exposition against the 0.0.4 grammar without a
+   regex engine: metric names, label syntax, numeric values, a # TYPE
+   comment for every family, and — for each histogram series — the
+   mandatory +Inf bucket, monotone cumulative buckets, and matching
+   _sum/_count lines. *)
+
+let is_name_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = ':'
+
+(* "name{labels} value" -> (family, labels-without-le, le option, value);
+   labels arrive as the raw sorted k="v" list so series compare equal *)
+let parse_sample line =
+  let name_end =
+    let rec go i =
+      if i < String.length line && is_name_char line.[i] then go (i + 1)
+      else i
+    in
+    go 0
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "sample %S has a metric name" line)
+    true (name_end > 0);
+  let name = String.sub line 0 name_end in
+  let rest = String.sub line name_end (String.length line - name_end) in
+  let labels, value_str =
+    if String.length rest > 0 && rest.[0] = '{' then begin
+      match String.index_opt rest '}' with
+      | None -> Alcotest.failf "sample %S: unterminated label set" line
+      | Some close ->
+          ( String.sub rest 1 (close - 1),
+            String.trim
+              (String.sub rest (close + 1) (String.length rest - close - 1))
+          )
+    end
+    else ("", String.trim rest)
+  in
+  (match float_of_string_opt value_str with
+  | Some _ -> ()
+  | None -> Alcotest.failf "sample %S: value %S not numeric" line value_str);
+  let label_list =
+    if labels = "" then []
+    else
+      String.split_on_char ',' labels
+      |> List.map (fun kv ->
+             match String.index_opt kv '=' with
+             | None -> Alcotest.failf "sample %S: label %S has no =" line kv
+             | Some eq ->
+                 let k = String.sub kv 0 eq in
+                 let v = String.sub kv (eq + 1) (String.length kv - eq - 1) in
+                 Alcotest.(check bool)
+                   (Printf.sprintf "sample %S: label value %S quoted" line v)
+                   true
+                   (String.length v >= 2
+                   && v.[0] = '"'
+                   && v.[String.length v - 1] = '"');
+                 (k, String.sub v 1 (String.length v - 2)))
+  in
+  let le = List.assoc_opt "le" label_list in
+  let others =
+    List.filter (fun (k, _) -> k <> "le") label_list
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  (name, others, le, float_of_string value_str)
+
+let test_prometheus_exposition () =
+  let m = Metrics.create () in
+  let stats = Run_stats.create () in
+  Run_stats.tick_level_intermediate stats 0;
+  Run_stats.tick_level_intermediate stats 1;
+  Run_stats.add_est_level_intermediate stats 0 3;
+  Metrics.record_query m ~slow:true ~fingerprint:"deadbeef01234567"
+    ~misestimation:17.0 ~method_:Workload.Engine.Tsrjoin
+    ~outcome:Metrics.Completed ~stats ~seconds:0.25;
+  Metrics.record_query m ~method_:Workload.Engine.Binary
+    ~outcome:Metrics.Truncated_budget
+    ~stats:(Run_stats.create ()) ~seconds:0.001;
+  Metrics.record_parse_error m;
+  let text = Metrics.prometheus m ~queue_depth:2 ~pool_dropped:0 in
+  let lines =
+    String.split_on_char '\n' text |> List.filter (fun l -> l <> "")
+  in
+  (* every family referenced by a sample has a preceding # TYPE *)
+  let typed = Hashtbl.create 16 in
+  let samples =
+    List.filter_map
+      (fun line ->
+        if String.length line > 0 && line.[0] = '#' then begin
+          (match String.split_on_char ' ' line with
+          | "#" :: "TYPE" :: family :: [ kind ] ->
+              Hashtbl.replace typed family kind
+          | _ -> ());
+          None
+        end
+        else Some (parse_sample line))
+      lines
+  in
+  let family_of name =
+    List.fold_left
+      (fun acc suffix ->
+        match acc with
+        | Some _ -> acc
+        | None ->
+            if
+              String.length name > String.length suffix
+              && String.sub name
+                   (String.length name - String.length suffix)
+                   (String.length suffix)
+                 = suffix
+              && Hashtbl.mem typed
+                   (String.sub name 0 (String.length name - String.length suffix))
+            then
+              Some (String.sub name 0 (String.length name - String.length suffix))
+            else None)
+      None
+      [ "_bucket"; "_sum"; "_count" ]
+    |> Option.value ~default:name
+  in
+  List.iter
+    (fun (name, _, _, _) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "family of %s has a # TYPE comment" name)
+        true
+        (Hashtbl.mem typed (family_of name)))
+    samples;
+  (* histogram series: +Inf present, buckets monotone, _count matches *)
+  let histograms =
+    Hashtbl.fold
+      (fun family kind acc -> if kind = "histogram" then family :: acc else acc)
+      typed []
+  in
+  Alcotest.(check bool)
+    "misestimation histogram family present" true
+    (List.mem "tcsq_misestimation_ratio" histograms);
+  List.iter
+    (fun family ->
+      let series =
+        List.filter_map
+          (fun (name, others, le, v) ->
+            if name = family ^ "_bucket" then Some (others, le, v) else None)
+          samples
+      in
+      let keys =
+        List.sort_uniq compare (List.map (fun (o, _, _) -> o) series)
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s has at least one series" family)
+        true (keys <> []);
+      List.iter
+        (fun key ->
+          let buckets =
+            List.filter (fun (o, _, _) -> o = key) series
+            |> List.map (fun (_, le, v) -> (le, v))
+          in
+          let inf =
+            List.filter (fun (le, _) -> le = Some "+Inf") buckets
+          in
+          Alcotest.(check int)
+            (Printf.sprintf "%s: exactly one +Inf bucket" family)
+            1 (List.length inf);
+          (* exposition order is the ladder order: cumulative counts
+             must be nondecreasing and end at the +Inf bucket *)
+          ignore
+            (List.fold_left
+               (fun prev (_, v) ->
+                 Alcotest.(check bool)
+                   (Printf.sprintf "%s: cumulative buckets monotone" family)
+                   true (v >= prev);
+                 v)
+               0.0 buckets);
+          let count =
+            List.filter_map
+              (fun (name, others, _, v) ->
+                if name = family ^ "_count" && others = key then Some v
+                else None)
+              samples
+          in
+          let sum =
+            List.filter_map
+              (fun (name, others, _, v) ->
+                if name = family ^ "_sum" && others = key then Some v
+                else None)
+              samples
+          in
+          Alcotest.(check int)
+            (Printf.sprintf "%s: one _count line" family)
+            1 (List.length count);
+          Alcotest.(check int)
+            (Printf.sprintf "%s: one _sum line" family)
+            1 (List.length sum);
+          Alcotest.(check (float 0.0))
+            (Printf.sprintf "%s: +Inf bucket equals _count" family)
+            (List.hd count)
+            (snd (List.hd inf)))
+        keys)
+    histograms;
+  (* the new counters landed with the values just recorded *)
+  let sample_value name key =
+    List.filter_map
+      (fun (n, others, _, v) -> if n = name && others = key then Some v else None)
+      samples
+  in
+  Alcotest.(check (list (float 0.0)))
+    "slow completed counter" [ 1.0 ]
+    (sample_value "tcsq_slow_requests_total" [ ("outcome", "completed") ]);
+  Alcotest.(check (list (float 0.0)))
+    "slow truncated_budget counter stays 0" [ 0.0 ]
+    (sample_value "tcsq_slow_requests_total"
+       [ ("outcome", "truncated_budget") ]);
+  Alcotest.(check (list (float 0.0)))
+    "misestimation _count is 1" [ 1.0 ]
+    (sample_value "tcsq_misestimation_ratio_count" [])
+
 let () =
   Alcotest.run "server"
     [
@@ -506,7 +723,11 @@ let () =
           Alcotest.test_case "match limit vs count" `Quick test_match_limit;
         ] );
       ( "metrics",
-        [ Alcotest.test_case "golden totals" `Quick test_golden_metrics ] );
+        [
+          Alcotest.test_case "golden totals" `Quick test_golden_metrics;
+          Alcotest.test_case "prometheus exposition conformance" `Quick
+            test_prometheus_exposition;
+        ] );
       ( "admission",
         [ Alcotest.test_case "shedding under load" `Quick test_admission_shedding ]
       );
