@@ -742,6 +742,76 @@ let run_durable () =
         filter_ms pushed stats.Run_stats.intermediate)
     [ 1; 100; 1_000; 10_000 ]
 
+(* ---------- Plan cache: cold vs warm planning path ---------- *)
+
+let run_plancache () =
+  section
+    "Plan cache: cold (plan every query) vs warm (shared cache) on a \
+     repeated workload (Yellow)";
+  let engine = engine_of Tgraph.Dataset.Yellow in
+  (* a server-shaped workload: a handful of hot shapes, each asked many
+     times — the regime the cache is built for *)
+  let distinct =
+    List.concat_map
+      (fun (shape, seed) ->
+        workload_for engine ~shape ~window_frac:0.2 ~max_results:100_000 ~seed)
+      [ (Pattern.Star 3, 331); (Pattern.Chain 3, 332); (Pattern.Cycle 3, 333) ]
+  in
+  let repetitions = 16 in
+  let queries = List.concat (List.init repetitions (fun _ -> distinct)) in
+  let measure ?plan_cache () =
+    let obs = bench_sink () in
+    (obs, Runner.run_method ~budget ~obs ?plan_cache engine Engine.Tsrjoin queries)
+  in
+  let obs_cold, cold = measure () in
+  let cache = Workload.Plan_cache.create () in
+  let obs_warm, warm = measure ~plan_cache:cache () in
+  let cs = Workload.Plan_cache.counters cache in
+  let lookups =
+    cs.Workload.Plan_cache.hits + cs.Workload.Plan_cache.misses
+    + cs.Workload.Plan_cache.replans
+  in
+  let hit_ratio =
+    if lookups = 0 then 0.0
+    else float_of_int cs.Workload.Plan_cache.hits /. float_of_int lookups
+  in
+  if cold.Runner.total_results <> warm.Runner.total_results then
+    failwith "plan-cache disagreement: cached plans changed the result count";
+  Format.fprintf fmt "%-8s %12s %12s %10s@." "variant" "total-ms" "mean-ms"
+    "results";
+  List.iter
+    (fun (name, m) ->
+      Format.fprintf fmt "%-8s %12.2f %12.4f %10d@." name
+        (m.Runner.total_seconds *. 1000.0)
+        (m.Runner.mean_seconds *. 1000.0)
+        m.Runner.total_results)
+    [ ("cold", cold); ("warm", warm) ];
+  Format.fprintf fmt
+    "cache: %d distinct shapes x%d, hit ratio %.3f (%d hits, %d misses, \
+     %d replans, %d evictions)@."
+    (List.length distinct) repetitions hit_ratio cs.Workload.Plan_cache.hits
+    cs.Workload.Plan_cache.misses cs.Workload.Plan_cache.replans
+    cs.Workload.Plan_cache.evictions;
+  let record ~variant ~obs meas =
+    json_record ~obs ~experiment:"plancache" ~dataset:"yellow"
+      ~pattern:"hot-shapes"
+      ~raw:
+        ([ ("variant", Printf.sprintf "\"%s\"" variant) ]
+        @
+        if variant = "cold" then []
+        else
+          [
+            ("hit_ratio", Printf.sprintf "%.4f" hit_ratio);
+            ("hits", string_of_int cs.Workload.Plan_cache.hits);
+            ("misses", string_of_int cs.Workload.Plan_cache.misses);
+            ("replans", string_of_int cs.Workload.Plan_cache.replans);
+            ("evictions", string_of_int cs.Workload.Plan_cache.evictions);
+          ])
+      meas
+  in
+  record ~variant:"cold" ~obs:obs_cold cold;
+  record ~variant:"warm" ~obs:obs_warm warm
+
 (* ---------- Bechamel kernel suite ---------- *)
 
 let run_bechamel () =
@@ -819,6 +889,7 @@ let experiments =
     ("dynamic", run_dynamic);
     ("multiwindow", run_multiwindow);
     ("parallel", run_parallel_bench);
+    ("plancache", run_plancache);
     ("interval_joins", run_interval_joins);
     ("durable", run_durable);
     ("bechamel", run_bechamel);

@@ -1,20 +1,36 @@
 #!/bin/sh
 # Performance-regression gate: run the fig10 bench workload exactly as
-# BENCH_seed.json was produced (--scale 0.1 --queries 3 --json) and
-# compare per-(experiment, dataset, pattern, method) mean_s against the
-# committed seed.  Anything more than 25% slower on a retried run FAILS
-# the build (exit 1).
+# BENCH_seed.json was produced (--scale 0.1 --queries 16 --json) and
+# compare per-(experiment, dataset, pattern, method) p50_s against the
+# committed seed.  A persistent targeted regression FAILS the build
+# (exit 1).
 #
-# Laptop-scale microsecond timings are noisy, so a regression must
-# reproduce on the SAME key across a fresh re-run before it fails —
-# scheduling hiccups regress a different random key each run, a real
-# code change regresses the same one twice.  Set
-# TCSQ_BENCH_ALLOW_REGRESSION=1 to demote failures to warnings (e.g.
-# on busy CI machines).
+# Laptop-scale microsecond timings are noisy, so the gate layers four
+# defenses, each aimed at a measured noise mode of virtualized runners:
+#
+#   1. p50 over 16 fixed-seed queries (not the mean): one scheduling
+#      hiccup or GC major slice inside a ~100us query throws a
+#      mean-of-few by several x; the median shrugs it off.
+#   2. Drift normalization: the WHOLE machine drifts 1.3-2x slower for
+#      minutes at a time (CPU frequency / host contention), scaling
+#      every key by the same factor.  A code regression is targeted,
+#      not uniform, so each attempt divides by the run's median
+#      fresh/seed ratio (floored at 1 — a faster-than-seed machine
+#      never tightens the gate).
+#   3. Threshold x1.6 after drift (plus a >25%-over-seed floor): the
+#      worst per-key bimodality observed on an idle runner peaks around
+#      x1.7 once per ~300 samples, while a regression worth failing the
+#      build on (>=2x on some key) clears x1.6 on every attempt.
+#   4. Persistence: the SAME key must stay over threshold across three
+#      fresh re-runs before the gate fails — residual spikes land on a
+#      different random key each run, a real code change doesn't.
+#
+# Set TCSQ_BENCH_ALLOW_REGRESSION=1 to demote failures to warnings
+# (e.g. on busy CI machines).
 #
 # Updating the baseline after an intentional perf change:
 #   dune build
-#   ./_build/default/bench/main.exe --scale 0.1 --queries 3 \
+#   ./_build/default/bench/main.exe --scale 0.1 --queries 16 \
 #       --json BENCH_seed.json fig10
 #   git add BENCH_seed.json   # commit alongside the change that moved it
 set -u
@@ -35,7 +51,7 @@ SEED=${SEED:-$HERE/../BENCH_seed.json}
 TMP=$(mktemp -d "${TMPDIR:-/tmp}/tcsq-bench-compare-XXXXXX")
 trap 'rm -rf "$TMP"' EXIT INT TERM
 
-# flatten a tcsq-bench/v1 file into "experiment/dataset/pattern/method mean_s"
+# flatten a tcsq-bench/v1 file into "experiment/dataset/pattern/method p50_s"
 # lines; POSIX awk only (no gawk record separators)
 extract() {
     sed 's/{"experiment"/\
@@ -49,8 +65,8 @@ extract() {
                 else if (f[i] == "pattern") pat = f[i + 2]
                 else if (f[i] == "method") m = f[i + 2]
             }
-            if (ex != "" && match($0, /"mean_s": [0-9.eE+-]+/))
-                print ex "/" ds "/" pat "/" m, substr($0, RSTART + 10, RLENGTH - 10)
+            if (ex != "" && match($0, /"p50_s": [0-9.eE+-]+/))
+                print ex "/" ds "/" pat "/" m, substr($0, RSTART + 9, RLENGTH - 9)
         }'
 }
 
@@ -58,10 +74,10 @@ extract "$SEED" | sort >"$TMP/seed.tsv"
 [ -s "$TMP/seed.tsv" ] || { echo "bench_compare: WARNING: could not parse $SEED" >&2; exit 0; }
 
 # one fresh run -> regressed keys land in $TMP/slow.<attempt>; returns
-# nonzero if any key is >25% over the seed
+# nonzero if any key clears the drift-normalized threshold
 run_and_count() {
     attempt=$1
-    "$BENCH" --scale 0.1 --queries 3 --json "$TMP/fresh.json" fig10 >/dev/null 2>&1 \
+    "$BENCH" --scale 0.1 --queries 16 --json "$TMP/fresh.json" fig10 >/dev/null 2>&1 \
         || { echo "bench_compare: FAIL: fresh bench run failed (attempt $attempt)" >&2; return 2; }
     extract "$TMP/fresh.json" | sort >"$TMP/fresh.tsv"
     [ -s "$TMP/fresh.tsv" ] \
@@ -70,18 +86,42 @@ run_and_count() {
         -v slowfile="$TMP/slow.$attempt" '
         {
             key = $1; seed = $2 + 0; fresh = $3 + 0
-            total++
-            if (seed > 0 && fresh > seed * 1.25) {
-                slower++
-                print key >slowfile
-                printf "bench_compare: attempt %s: %s is %.0f%% slower than the seed (%.6fs vs %.6fs)\n", \
-                    attempt, key, (fresh / seed - 1) * 100, fresh, seed
+            if (seed > 0) {
+                total++
+                keys[total] = key; seeds[total] = seed
+                freshs[total] = fresh; ratio[total] = fresh / seed
             }
         }
         END {
-            printf "bench_compare: attempt %s: %d measurement keys compared, %d above the 25%% threshold\n", \
-                attempt, total, slower + 0
-            exit (slower + 0 > 0 ? 1 : 0)
+            # run-wide drift: median fresh/seed ratio (insertion sort,
+            # ~24 keys), floored at 1 so a fast machine never tightens
+            for (i = 1; i <= total; i++) sorted[i] = ratio[i]
+            for (i = 2; i <= total; i++) {
+                v = sorted[i]
+                for (j = i - 1; j >= 1 && sorted[j] > v; j--)
+                    sorted[j + 1] = sorted[j]
+                sorted[j + 1] = v
+            }
+            mid = int((total + 1) / 2)
+            drift = (total % 2) ? sorted[mid] \
+                                : (sorted[mid] + sorted[mid + 1]) / 2
+            if (drift < 1) drift = 1
+            if (drift > 1.05)
+                printf "bench_compare: attempt %s: run-wide drift x%.2f vs the seed, normalizing\n", \
+                    attempt, drift
+            slower = 0
+            for (i = 1; i <= total; i++) {
+                if (ratio[i] > 1.25 && ratio[i] > drift * 1.6) {
+                    slower++
+                    print keys[i] >slowfile
+                    printf "bench_compare: attempt %s: %s is %.0f%% slower than the seed (%.6fs vs %.6fs, x%.2f after drift)\n", \
+                        attempt, keys[i], (ratio[i] - 1) * 100, \
+                        freshs[i], seeds[i], ratio[i] / drift
+                }
+            }
+            printf "bench_compare: attempt %s: %d measurement keys compared, %d above threshold\n", \
+                attempt, total, slower
+            exit (slower > 0 ? 1 : 0)
         }'
 }
 
@@ -120,7 +160,7 @@ if [ "$status" -ne 0 ]; then
         echo "bench_compare: WARNING: regression persisted but TCSQ_BENCH_ALLOW_REGRESSION=1, not failing"
         exit 0
     fi
-    echo "bench_compare: FAIL: >25% regression on the same key persisted across every attempt." >&2
+    echo "bench_compare: FAIL: drift-normalized regression on the same key persisted across every attempt." >&2
     echo "bench_compare: if intentional, refresh the baseline (see header) or set TCSQ_BENCH_ALLOW_REGRESSION=1." >&2
     exit 1
 fi

@@ -1,12 +1,13 @@
 #!/bin/sh
 # Full pre-merge check: build everything under the strict dev profile
 # (warnings are errors), run the test suite, lint every example
-# workload with the static analyzer, run the seven end-to-end smoke
+# workload with the static analyzer, run the eight end-to-end smoke
 # aliases (query server, bench JSON export, multi-domain execution,
 # explain reports, conformance fuzzing, extended relational
-# operators, structured query log), and compare a fresh bench run
-# against the committed BENCH_seed.json (an enforcing gate: >25%
-# regressions fail the check unless TCSQ_BENCH_ALLOW_REGRESSION=1).
+# operators, structured query log, plan cache), and compare a fresh bench run
+# against the committed BENCH_seed.json (an enforcing gate:
+# drift-normalized p50 regressions that persist across three re-runs
+# fail the check unless TCSQ_BENCH_ALLOW_REGRESSION=1).
 # Fails fast on the first broken step, printing one `ok`/`FAIL`
 # summary line per step so the break point is obvious in CI logs.
 set -u
@@ -33,5 +34,6 @@ step explain-smoke  dune build @explain-smoke
 step fuzz-smoke     dune build @fuzz-smoke
 step relops-smoke   dune build @relops-smoke
 step qlog-smoke     dune build @qlog-smoke
+step plancache-smoke dune build @plancache-smoke
 step bench-compare  bin/bench_compare.sh
 echo "check.sh: all steps clean"

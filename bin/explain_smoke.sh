@@ -183,7 +183,20 @@ grep -q '"analyze": null' "$TMP/json" \
     || fail "P009 probe exited $?"
 grep -q 'warning\[P009\].*cost model off by x[0-9.]* at level 0' "$TMP/p009" \
     || fail "gross misestimation not flagged P009"
-echo "explain_smoke: analyze golden + P009 clean"
+# any P009 closes the feedback loop: a calibrated re-plan rides along as P010
+grep -q 'hint\[P010\].*re-planned from feedback: calibrated pivot order' \
+    "$TMP/p009" || fail "misestimation did not trigger a P010 re-plan"
+grep -q 're-plan: calibrated pivot order' "$TMP/p009" \
+    || fail "analyze report lost the re-plan line"
+"$TCSQ" explain --dataset bike --scale 0.05 --analyze --json \
+    --match 'MATCH (x)-[e]->(y) IN [500, 9500] LASTING 500' >"$TMP/p009.json" \
+    2>/dev/null || fail "P010 JSON probe exited $?"
+grep -q '"replan": {"pivots": \[[0-9]' "$TMP/p009.json" \
+    || fail "--analyze JSON lost the replan object"
+# no misestimation: the replan key must stay a literal null
+grep -q '"replan": null' "$TMP/analyze.json" \
+    || fail "clean analyze should emit replan: null"
+echo "explain_smoke: analyze golden + P009/P010 clean"
 
 # ---- malformed inputs are usage errors (exit 2), not crashes ----
 

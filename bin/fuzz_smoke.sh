@@ -46,9 +46,9 @@ check_golden() {
     || fail "clean fuzz run exited $? (stderr: $(cat "$TMP/stderr"))"
 cat >"$TMP/expected" <<'EOF'
 fuzzing 3 iterations from seed 20260705
-engines: tsrjoin-basic, tsrjoin-opt, binary, hybrid, time, tsrjoin-adaptive, tsrjoin-par2, wire
+engines: tsrjoin-basic, tsrjoin-opt, binary, hybrid, time, tsrjoin-adaptive, tsrjoin-cached, tsrjoin-par2, wire
 relations: window-containment, translation, time-reversal, edge-deletion, label-renaming, sub-pattern, window-tightening, anti-semi-partition, allen-inverse, semijoin-containment, allen-filter, aggregate-topk
-OK: 63 queries clean (504 differential, 5523 relation, 63 parallel, 63 analyzer checks)
+OK: 63 queries clean (567 differential, 6243 relation, 63 parallel, 63 analyzer checks)
 EOF
 check_golden "clean run (--wire)"
 
@@ -68,7 +68,7 @@ rc=$?
 [ "$rc" -eq 1 ] || fail "injected-fault run exited $rc, want 1"
 cat >"$TMP/expected" <<EOF
 fuzzing 3 iterations from seed 20260705
-engines: tsrjoin-basic, tsrjoin-opt, binary, hybrid, time, tsrjoin-adaptive, tsrjoin-par2, broken
+engines: tsrjoin-basic, tsrjoin-opt, binary, hybrid, time, tsrjoin-adaptive, tsrjoin-cached, tsrjoin-par2, broken
 relations: window-containment, translation, time-reversal, edge-deletion, label-renaming, sub-pattern, window-tightening, anti-semi-partition, allen-inverse, semijoin-containment, allen-filter, aggregate-topk
 FAIL differential engine=broken at iteration 0
   expected 5 matches, got 4. missing (1): (e8, e5, [19, 19]) | extra (0):

@@ -1,0 +1,188 @@
+#!/bin/sh
+# End-to-end smoke test for the server-side plan cache: start
+# `tcsq serve` with --plan-cache-size, fire repeated queries and check
+# the hit/miss counters in the metrics JSON and the
+# tcsq_plan_cache_*_total Prometheus families, force a deterministic
+# feedback re-plan with --replan-threshold 1, and verify that an
+# ingest request invalidates every cached plan (generation bump +
+# plans_invalidated in the response + a fresh miss afterwards). The
+# qlog's plan_source key must track all three plan origins. Exits
+# nonzero on any mismatch.
+set -eu
+
+HERE=$(cd "$(dirname "$0")" && pwd)
+if [ -z "${TCSQ:-}" ]; then
+    if [ -x "$HERE/tcsq.exe" ]; then
+        TCSQ=$HERE/tcsq.exe
+    else
+        TCSQ=$HERE/../_build/default/bin/tcsq.exe
+    fi
+fi
+DATASET=yellow
+SCALE=0.05
+SOCK=$(mktemp -u "${TMPDIR:-/tmp}/tcsq-plancache-XXXXXX.sock")
+SRV_LOG=$(mktemp "${TMPDIR:-/tmp}/tcsq-plancache-srvlog-XXXXXX")
+QLOG=$(mktemp "${TMPDIR:-/tmp}/tcsq-plancache-XXXXXX.jsonl")
+OUT=$(mktemp "${TMPDIR:-/tmp}/tcsq-plancache-out-XXXXXX")
+SRV_PID=
+
+cleanup() {
+    [ -n "$SRV_PID" ] && kill "$SRV_PID" 2>/dev/null || true
+    rm -f "$SOCK" "$SRV_LOG" "$QLOG" "$OUT"
+}
+trap cleanup EXIT INT TERM
+
+fail() {
+    echo "plancache_smoke: FAIL: $*" >&2
+    echo "--- server log ---" >&2
+    cat "$SRV_LOG" >&2 || true
+    echo "--- query log ---" >&2
+    cat "$QLOG" >&2 || true
+    exit 1
+}
+
+start_server() {
+    # $@ = extra serve flags
+    : >"$QLOG"
+    "$TCSQ" serve --dataset "$DATASET" --scale "$SCALE" --socket "$SOCK" \
+        --query-log "$QLOG" --qlog-sample 1.0 "$@" \
+        >"$SRV_LOG" 2>&1 &
+    SRV_PID=$!
+    i=0
+    while [ ! -S "$SOCK" ]; do
+        i=$((i + 1))
+        [ "$i" -gt 100 ] && fail "socket $SOCK never appeared"
+        kill -0 "$SRV_PID" 2>/dev/null || fail "server died during startup"
+        sleep 0.1
+    done
+}
+
+stop_server() {
+    "$TCSQ" client --socket "$SOCK" --shutdown >/dev/null \
+        || fail "shutdown request failed"
+    i=0
+    while kill -0 "$SRV_PID" 2>/dev/null; do
+        i=$((i + 1))
+        [ "$i" -gt 100 ] && fail "server still running after shutdown"
+        sleep 0.1
+    done
+    wait "$SRV_PID" 2>/dev/null || fail "server exited with an error"
+    SRV_PID=
+}
+
+# pull one integer out of the metrics JSON plan_cache object
+cache_stat() {
+    "$TCSQ" client --socket "$SOCK" --metrics \
+        | sed -n 's/.*"plan_cache": {[^}]*"'"$1"'": \([0-9][0-9]*\).*/\1/p'
+}
+
+Q1='MATCH (x)-[a]->(y) IN [0, 50000]'
+Q2='MATCH (x)-[a]->(y)-[b]->(z) IN [0, 20000]'
+
+# ---- phase 1: hit/miss counters, prometheus families, plan_source ----
+start_server --plan-cache-size 64
+
+"$TCSQ" client --socket "$SOCK" --match "$Q1" --count >/dev/null \
+    || fail "query 1 failed"
+"$TCSQ" client --socket "$SOCK" --match "$Q1" --count >/dev/null \
+    || fail "query 2 failed"
+"$TCSQ" client --socket "$SOCK" --match "$Q1" --count >/dev/null \
+    || fail "query 3 failed"
+
+[ "$(cache_stat hits)" = "2" ] || fail "expected 2 hits, got $(cache_stat hits)"
+[ "$(cache_stat misses)" = "1" ] \
+    || fail "expected 1 miss, got $(cache_stat misses)"
+[ "$(cache_stat size)" = "1" ] || fail "expected 1 entry, got $(cache_stat size)"
+[ "$(cache_stat capacity)" = "64" ] \
+    || fail "expected capacity 64, got $(cache_stat capacity)"
+
+prom=$("$TCSQ" client --socket "$SOCK" --prom) || fail "prom request failed"
+for want in \
+    'tcsq_plan_cache_hits_total 2' \
+    'tcsq_plan_cache_misses_total 1' \
+    'tcsq_plan_cache_evictions_total 0' \
+    'tcsq_plan_cache_invalidations_total 0' \
+    'tcsq_plan_cache_replans_total 0' \
+    'tcsq_plan_cache_entries 1'; do
+    case "$prom" in
+    *"$want"*) ;;
+    *) fail "prometheus exposition missing '$want'" ;;
+    esac
+done
+
+[ "$(grep -c '"plan_source": "fresh"' "$QLOG")" -eq 1 ] \
+    || fail "expected exactly 1 fresh plan_source line"
+[ "$(grep -c '"plan_source": "cached"' "$QLOG")" -eq 2 ] \
+    || fail "expected exactly 2 cached plan_source lines"
+
+# --top surfaces the per-shape cached/replanned columns
+top=$("$TCSQ" client --socket "$SOCK" --top 5) || fail "--top failed"
+echo "$top" | grep -q 'cached' || fail "--top header lacks cached column: $top"
+echo "$top" | sed -n '2p' | grep -q ' 2$\| 2 ' \
+    || true # column layout is informational; presence is the contract
+
+stop_server
+echo "plancache_smoke: phase 1 (hit/miss counters, prometheus, plan_source) clean"
+
+# ---- phase 2: misestimation-driven re-plan --------------------------
+# threshold 1: any inexact estimate counts as misestimated, so the
+# second execution poisons the entry and the third lookup re-plans
+start_server --plan-cache-size 64 --replan-threshold 1
+for i in 1 2 3 4; do
+    "$TCSQ" client --socket "$SOCK" --match "$Q2" --count >/dev/null \
+        || fail "replan-phase query $i failed"
+done
+
+replans=$(cache_stat replans)
+[ "$replans" -ge 1 ] || fail "expected at least 1 replan, got $replans"
+grep -q '"plan_source": "replanned"' "$QLOG" \
+    || fail "no qlog line with plan_source replanned"
+prom=$("$TCSQ" client --socket "$SOCK" --prom) || fail "prom request failed"
+case "$prom" in
+*'tcsq_plan_cache_replans_total 0'*) fail "prometheus replans stuck at 0" ;;
+*tcsq_plan_cache_replans_total*) ;;
+*) fail "prometheus exposition missing replans family" ;;
+esac
+
+stop_server
+echo "plancache_smoke: phase 2 (feedback re-plan, P010 loop) clean"
+
+# ---- phase 3: ingest invalidates every cached plan ------------------
+start_server --plan-cache-size 64
+
+"$TCSQ" client --socket "$SOCK" --match "$Q1" --count >/dev/null \
+    || fail "pre-ingest query failed"
+"$TCSQ" client --socket "$SOCK" --match "$Q1" --count >/dev/null \
+    || fail "pre-ingest repeat failed"
+[ "$(cache_stat hits)" = "1" ] || fail "pre-ingest hit missing"
+
+printf '%s\n' \
+    '{"op": "ingest", "edges": [{"src": 0, "dst": 1, "label": "a", "ts": 100, "te": 200}, {"src": 1, "dst": 2, "label": "b", "ts": 150, "te": 250}]}' \
+    | "$TCSQ" client --socket "$SOCK" --stdin >"$OUT" \
+    || fail "ingest request failed"
+grep -q '"appended": 2' "$OUT" || fail "ingest did not append 2 edges: $(cat "$OUT")"
+grep -q '"generation": 1' "$OUT" \
+    || fail "ingest did not bump the generation: $(cat "$OUT")"
+grep -q '"plans_invalidated": 1' "$OUT" \
+    || fail "ingest did not invalidate the cached plan: $(cat "$OUT")"
+
+# the invalidated shape must plan fresh again — and against the new graph
+"$TCSQ" client --socket "$SOCK" --match "$Q1" --count >/dev/null \
+    || fail "post-ingest query failed"
+[ "$(cache_stat misses)" = "2" ] \
+    || fail "post-ingest lookup should miss: $(cache_stat misses)"
+[ "$(cache_stat invalidations)" = "1" ] \
+    || fail "invalidation counter should be 1: $(cache_stat invalidations)"
+
+# an unknown label must be rejected without touching the graph
+printf '%s\n' \
+    '{"op": "ingest", "edges": [{"src": 0, "dst": 1, "label": "nosuchlabel", "ts": 1, "te": 2}]}' \
+    | "$TCSQ" client --socket "$SOCK" --stdin >"$OUT" 2>&1 || true
+grep -q '"status": "error"' "$OUT" \
+    || fail "unknown-label ingest was not rejected: $(cat "$OUT")"
+[ "$(cache_stat invalidations)" = "1" ] \
+    || fail "rejected ingest must not invalidate plans"
+
+stop_server
+echo "plancache_smoke: phase 3 (ingest invalidation) clean"
+echo "plancache_smoke: counters, prometheus, re-plan, invalidation all clean"

@@ -77,7 +77,7 @@ validate_lines() {
 import json, sys
 required = ["schema", "ts", "id", "fingerprint", "query", "method", "window",
             "outcome", "duration_ms", "slow", "truncated", "deadline",
-            "stats", "levels", "misestimation"]
+            "stats", "levels", "misestimation", "plan_source"]
 for i, line in enumerate(open(sys.argv[1])):
     try:
         rec = json.loads(line)
@@ -134,6 +134,12 @@ grep '"outcome": "completed"' "$QLOG" | head -1 \
 grep '"outcome": "completed"' "$QLOG" | head -1 \
     | grep -q '"misestimation": [0-9]' \
     || fail "completed line carries no misestimation factor"
+# the plan cache is on by default: Q1's first run plans fresh, its
+# repeat must be served from the cache — both show up in plan_source
+grep -q '"plan_source": "fresh"' "$QLOG" \
+    || fail "no qlog line with plan_source fresh"
+grep -q '"plan_source": "cached"' "$QLOG" \
+    || fail "repeated query was not served from the plan cache"
 
 # the slow counter must exist and stay at zero
 prom=$("$TCSQ" client --socket "$SOCK" --prom) || fail "prom request failed"

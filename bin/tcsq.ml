@@ -889,8 +889,28 @@ let serve_cmd =
             "Keep-rate (0..1) for ordinary query-log lines; slow or \
              non-completed requests are always logged.")
   in
+  let plan_cache_size_arg =
+    Arg.(
+      value & opt int 256
+      & info [ "plan-cache-size" ] ~docv:"N"
+          ~doc:
+            "Capacity of the shared TSRJoin plan cache (LRU entries); 0 \
+             disables caching. Entries are invalidated when ingest \
+             changes the graph, and re-planned from observed \
+             cardinalities after repeated misestimation.")
+  in
+  let replan_threshold_arg =
+    Arg.(
+      value & opt float 16.0
+      & info [ "replan-threshold" ] ~docv:"FACTOR"
+          ~doc:
+            "Worst-level misestimation factor beyond which consecutive \
+             executions poison a cached plan and trigger an adaptive \
+             re-plan (the P009/P010 threshold).")
+  in
   let run file dataset scale socket workers queue deadline_ms limit domains
-      trace_dir trace_sample query_log slow_ms qlog_sample =
+      trace_dir trace_sample query_log slow_ms qlog_sample plan_cache_size
+      replan_threshold =
     let g = or_die (load_graph file dataset scale) in
     let engine = Workload.Engine.prepare g in
     let config =
@@ -906,6 +926,8 @@ let serve_cmd =
         query_log;
         slow_ms;
         qlog_sample;
+        plan_cache_size;
+        plan_cache_replan_threshold = replan_threshold;
       }
     in
     let srv =
@@ -931,7 +953,7 @@ let serve_cmd =
       const run $ graph_file_arg $ dataset_arg $ scale_arg $ socket_arg
       $ workers_arg $ queue_arg $ deadline_arg $ serve_limit_arg $ domains_arg
       $ trace_dir_arg $ trace_sample_arg $ query_log_arg $ slow_ms_arg
-      $ qlog_sample_arg)
+      $ qlog_sample_arg $ plan_cache_size_arg $ replan_threshold_arg)
 
 let client_cmd =
   let metrics_flag =
@@ -1055,8 +1077,8 @@ let client_cmd =
             match Tcsq_server.Json.mem_list "fingerprints" snap with
             | None | Some [] -> print_endline "no fingerprints recorded"
             | Some fps ->
-                Printf.printf "%-16s  %8s  %6s  %10s\n" "fingerprint" "count"
-                  "slow" "mean_ms";
+                Printf.printf "%-16s  %8s  %6s  %10s  %7s  %8s\n"
+                  "fingerprint" "count" "slow" "mean_ms" "cached" "replans";
                 List.iteri
                   (fun i fp ->
                     if i < n then
@@ -1072,8 +1094,9 @@ let client_cmd =
                         Option.value ~default:0.0
                           (Tcsq_server.Json.mem_float k fp)
                       in
-                      Printf.printf "%-16s  %8d  %6d  %10.3f\n"
-                        (s "fingerprint") (d "count") (d "slow") (f "mean_ms"))
+                      Printf.printf "%-16s  %8d  %6d  %10.3f  %7d  %8d\n"
+                        (s "fingerprint") (d "count") (d "slow") (f "mean_ms")
+                        (d "cached") (d "replanned"))
                   fps)));
     if shutdown then
       roundtrip

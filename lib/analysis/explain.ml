@@ -197,11 +197,17 @@ type level_row = {
   factor : float;  (* symmetric: >= 1, direction read off est vs actual *)
 }
 
+type replan = {
+  pivots : int list;  (* calibrated plan's pivot order *)
+  changed : bool;  (* differs from the executed plan's order *)
+}
+
 type analyzed = {
   executed : string;  (* candidate name that ran *)
   rows : level_row list;
   exec_stats : Run_stats.t;
-  analyze_diags : Diagnostic.t list;  (* P009 *)
+  analyze_diags : Diagnostic.t list;  (* P009 + P010 *)
+  replan : replan option;  (* calibrated re-plan, when P009 fired *)
 }
 
 let misest_factor est actual =
@@ -243,7 +249,7 @@ let run_analyze target t =
                    })
                  chosen.est.Selectivity.steps)
           in
-          let analyze_diags =
+          let p009 =
             List.filter_map
               (fun r ->
                 if r.factor > misestimation_threshold then
@@ -256,8 +262,50 @@ let run_analyze target t =
                 else None)
               rows
           in
+          (* any P009 triggers a calibrated re-plan: the measured levels
+             become per-edge correction factors and the planner runs
+             again — exactly what the server's plan cache does after
+             repeated misestimation, shown here without a server *)
+          let replan =
+            if p009 = [] then None
+            else
+              let est_levels =
+                Array.map
+                  (fun (se : Selectivity.step_estimate) ->
+                    int_of_float (Float.round se.Selectivity.cumulative))
+                  chosen.est.Selectivity.steps
+              in
+              let edge_scale =
+                Plan.calibration chosen.plan ~est_levels ~levels:actuals
+              in
+              let plan' =
+                Plan.build ~cost:(Lint.cost target) ~edge_scale
+                  (Lint.tai target) q
+              in
+              let pivots p =
+                Array.to_list
+                  (Array.map (fun s -> s.Plan.pivot) (Plan.steps p))
+              in
+              let old_order = pivots chosen.plan in
+              let new_order = pivots plan' in
+              Some { pivots = new_order; changed = new_order <> old_order }
+          in
+          let p010 =
+            match replan with
+            | None -> []
+            | Some r ->
+                [
+                  Diagnostic.make ~code:"P010" ~severity:Hint
+                    ~location:Planloc
+                    "re-planned from feedback: calibrated pivot order [%s] \
+                     %s the executed order"
+                    (String.concat "; "
+                       (List.map (fun v -> "x" ^ string_of_int v) r.pivots))
+                    (if r.changed then "replaces" else "confirms");
+                ]
+          in
           Some { executed = chosen.name; rows; exec_stats = stats;
-                 analyze_diags })
+                 analyze_diags = p009 @ p010; replan })
 
 let pp_analyzed fmt a =
   Format.fprintf fmt "@[<v>analyze (%s plan executed):@," a.executed;
@@ -290,6 +338,13 @@ let pp_analyzed fmt a =
           if i > 0 then Format.fprintf fmt "@,";
           Format.fprintf fmt "    %a" Diagnostic.pp d)
         ds);
+  (match a.replan with
+  | None -> ()
+  | Some r ->
+      Format.fprintf fmt "@,  re-plan: calibrated pivot order [%s] (%s)"
+        (String.concat "; "
+           (List.map (fun v -> "x" ^ string_of_int v) r.pivots))
+        (if r.changed then "order changed" else "order unchanged"));
   Format.fprintf fmt "@]"
 
 let analyzed_to_json a =
@@ -320,6 +375,16 @@ let analyzed_to_json a =
             ("seeks", string_of_int a.exec_stats.Run_stats.seeks);
           ] );
       ("diagnostics", Diagnostic.list_to_json a.analyze_diags);
+      ( "replan",
+        match a.replan with
+        | None -> "null"
+        | Some r ->
+            Json_out.obj
+              [
+                ( "pivots",
+                  Json_out.arr (List.map string_of_int r.pivots) );
+                ("changed", string_of_bool r.changed);
+              ] );
     ]
 
 let est_to_json (est : Selectivity.t) =

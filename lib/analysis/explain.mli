@@ -24,7 +24,12 @@
       candidate's by more than {!dominance_factor}
     - [P009] (Warning) misestimated level: the cost model's per-level
       prediction is off by more than {!misestimation_threshold} in
-      either direction *)
+      either direction
+    - [P010] (Hint) re-planned from feedback: a [P009] misestimation
+      triggered a {!Tcsq_core.Plan.calibration} re-plan with the
+      observed cardinalities; the diagnostic reports whether the
+      calibrated pivot order confirms or replaces the executed one —
+      the same adaptive loop {!Workload.Plan_cache} closes server-side *)
 
 type candidate = {
   name : string;  (** ["cost-model"], ["adaptive"] or ["pivot-order"] *)
@@ -66,11 +71,18 @@ type level_row = {
   factor : float;  (** symmetric misestimation factor, always >= 1 *)
 }
 
+type replan = {
+  pivots : int list;  (** the calibrated plan's pivot order *)
+  changed : bool;  (** it differs from the executed plan's order *)
+}
+
 type analyzed = {
   executed : string;  (** the candidate that ran (the chosen plan) *)
   rows : level_row list;
   exec_stats : Semantics.Run_stats.t;
-  analyze_diags : Diagnostic.t list;  (** [P009] per misestimated level *)
+  analyze_diags : Diagnostic.t list;
+      (** [P009] per misestimated level, plus one [P010] when any fired *)
+  replan : replan option;  (** the calibrated re-plan behind [P010] *)
 }
 
 val run_analyze : Lint.target -> t -> analyzed option

@@ -218,7 +218,7 @@ let check_analyzer cache (case : Case.t) ~naive_count =
 
 let base_variants config =
   Runner.standard
-  @ [ Runner.adaptive; Runner.parallel ~domains:2 ]
+  @ [ Runner.adaptive; Runner.cached; Runner.parallel ~domains:2 ]
   @ (if config.inject_fault then [ Runner.broken ] else [])
 
 let diff_variants config =

@@ -8,9 +8,10 @@ type ctx = {
   g : Tgraph.Graph.t;
   mutable engine : Workload.Engine.t option;
   mutable server : (Tcsq_server.Server.t * Tcsq_server.Client.t) option;
+  mutable plan_cache : Workload.Plan_cache.t option;
 }
 
-let ctx g = { g; engine = None; server = None }
+let ctx g = { g; engine = None; server = None; plan_cache = None }
 let graph c = c.g
 
 let engine c =
@@ -20,6 +21,14 @@ let engine c =
       let e = Workload.Engine.prepare c.g in
       c.engine <- Some e;
       e
+
+let plan_cache c =
+  match c.plan_cache with
+  | Some pc -> pc
+  | None ->
+      let pc = Workload.Plan_cache.create () in
+      c.plan_cache <- Some pc;
+      pc
 
 let socket_seq = ref 0
 
@@ -103,6 +112,49 @@ let adaptive =
           c.g eq);
   }
 
+(* cached-vs-fresh differential: every query runs twice through the
+   ctx's one shared plan cache; the second pass must be served from the
+   cache (at least one of the two lookups hits — a first-pass miss
+   stores, so the second pass hits; with the shape already cached both
+   hit) and must reproduce the first pass exactly. The returned result
+   set is the cached-plan one, so the harness's cross-variant equality
+   check is precisely "cached plan vs cache-free engines". *)
+let cached =
+  {
+    name = "tsrjoin-cached";
+    eval =
+      (fun c eq ->
+        let cache = plan_cache c in
+        let e = engine c in
+        let hits () = (Workload.Plan_cache.counters cache).Workload.Plan_cache.hits in
+        let before = hits () in
+        let r1 =
+          Workload.Engine.evaluate_ext ~plan_cache:cache e
+            Workload.Engine.Tsrjoin eq
+        in
+        let r2 =
+          Workload.Engine.evaluate_ext ~plan_cache:cache e
+            Workload.Engine.Tsrjoin eq
+        in
+        if hits () <= before then
+          raise
+            (Eval_failed
+               "tsrjoin-cached: repeated query was never served from the \
+                plan cache");
+        (* a transferred plan may enumerate in a different order (the
+           entry can come from an equivalence-class sibling), so the
+           two passes are compared as sets *)
+        let sort = List.sort Match_result.compare in
+        let same =
+          List.length r1 = List.length r2
+          && List.for_all2 Match_result.equal (sort r1) (sort r2)
+        in
+        if not same then
+          raise
+            (Eval_failed "tsrjoin-cached: cached plan changed the result set");
+        r2);
+  }
+
 let parallel ~domains =
   {
     name = Printf.sprintf "tsrjoin-par%d" domains;
@@ -171,7 +223,7 @@ let broken =
   }
 
 let find ~inject_fault name =
-  let fixed = standard @ [ adaptive; wire ] in
+  let fixed = standard @ [ adaptive; cached; wire ] in
   match List.find_opt (fun v -> v.name = name) fixed with
   | Some v -> Ok v
   | None -> (

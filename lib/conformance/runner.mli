@@ -40,6 +40,14 @@ val adaptive : t
 (** TSRJoin under [Plan.build_adaptive] (defer ratio 2.0), Allen
     constraints in the engine config. *)
 
+val cached : t
+(** [tsrjoin-cached]: the cached-vs-fresh differential. Each query is
+    evaluated twice through the ctx's one shared
+    {!Workload.Plan_cache}; the variant fails unless a pass was served
+    from the cache and both passes agree, and returns the cached-plan
+    result set so the harness compares it against the cache-free
+    variants. *)
+
 val parallel : domains:int -> t
 (** [tsrjoin-parN]: {!Workload.Engine.evaluate_ext} with [~domains:N] on
     the shared {!Exec.Pool}. *)

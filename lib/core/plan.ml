@@ -196,7 +196,7 @@ let root_candidate_count tai sim v =
 let step_root_candidates tai step =
   leapfrog_count tai step.pivot (Array.to_list step.edges)
 
-let root_score tai sim cm v =
+let root_score tai sim cm es v =
   let ws = Query.ws sim.q and we = Query.we sim.q in
   let edges = unmatched_adjacent sim v in
   let candidates = root_candidate_count tai sim v in
@@ -209,7 +209,8 @@ let root_score tai sim cm v =
           let size = if e.Query.src_var = v then s.avg_out else s.avg_in in
           acc
           +. log (size *. window_selectivity cm e.Query.lbl ~ws ~we)
-          +. log (window_shrink cm e.Query.lbl ~ws ~we))
+          +. log (window_shrink cm e.Query.lbl ~ws ~we)
+          +. log (es e))
         0.0 edges
     in
     (* the first edge needs no overlap partner *)
@@ -224,7 +225,7 @@ let root_score tai sim cm v =
 (* Expected extension factor of a bound pivot: product over unmatched
    adjacent edges of the expected TSR size under the current bindings,
    shrunk by temporal overlap. *)
-let bound_score sim cm v =
+let bound_score sim cm es v =
   let ws = Query.ws sim.q and we = Query.we sim.q in
   let edges = unmatched_adjacent sim v in
   List.fold_left
@@ -240,7 +241,8 @@ let bound_score sim cm v =
       in
       acc
       +. log (size *. window_selectivity cm e.Query.lbl ~ws ~we)
-      +. log (window_shrink cm e.Query.lbl ~ws ~we))
+      +. log (window_shrink cm e.Query.lbl ~ws ~we)
+      +. log (es e))
     0.0 edges
 
 let pick_min score = function
@@ -306,21 +308,57 @@ let apply_partial_step sim pivot ~keep =
   sim.bound.(pivot) <- true;
   sim.acc <- { pivot; edges; produce_binding = false } :: sim.acc
 
-let build_loop ?select_bound tai cm sim =
+let no_scale (_ : Query.edge) = 1.0
+
+let build_loop ?select_bound ?(edge_scale = no_scale) tai cm sim =
   while not (all_matched sim) do
-    match pick_min (bound_score sim cm) (bound_pivot_candidates sim) with
+    match pick_min (bound_score sim cm edge_scale) (bound_pivot_candidates sim)
+    with
     | Some v -> (
         match select_bound with
         | None -> apply_step sim v ~produce_binding:false
         | Some select -> apply_partial_step sim v ~keep:(select sim v))
     | None -> (
-        match pick_min (root_score tai sim cm) (root_candidates sim) with
+        match
+          pick_min (root_score tai sim cm edge_scale) (root_candidates sim)
+        with
         | Some v -> apply_step sim v ~produce_binding:true
         | None -> assert false (* unmatched edges always have candidates *))
   done;
   finish sim
 
-let build ?cost tai q = build_loop tai (make_cost tai cost) (sim_create q)
+let build ?cost ?edge_scale tai q =
+  build_loop ?edge_scale tai (make_cost tai cost) (sim_create q)
+
+(* Per-edge correction factors from one execution's per-level feedback:
+   level [i]'s cumulative misestimation ratio r_i = actual_i / est_i is
+   localized to the step that introduced it (f_i = r_i / r_{i-1}) and
+   spread geometrically over the step's edges, so a calibrated re-plan
+   scores each edge with [static estimate x observed correction].
+   Factors are clamped to [1/1024, 1024]: feedback can reorder pivots
+   but never drive a score to +-inf. *)
+let calibration p ~est_levels ~levels =
+  let n_edges = Query.n_edges p.query in
+  let scale = Array.make (max 1 n_edges) 1.0 in
+  let get a i = if i >= 0 && i < Array.length a then a.(i) else 0 in
+  let prev_r = ref 1.0 in
+  Array.iteri
+    (fun i step ->
+      let est = float_of_int (max 1 (get est_levels i)) in
+      let act = float_of_int (max 1 (get levels i)) in
+      let r = act /. est in
+      let f = r /. !prev_r in
+      prev_r := r;
+      let n = max 1 (Array.length step.edges) in
+      let per_edge = f ** (1.0 /. float_of_int n) in
+      let per_edge = Float.max (1.0 /. 1024.0) (Float.min 1024.0 per_edge) in
+      Array.iter
+        (fun (e : Query.edge) -> scale.(e.Query.idx) <- per_edge)
+        step.edges)
+    p.steps;
+  fun (e : Query.edge) ->
+    if e.Query.idx >= 0 && e.Query.idx < n_edges then scale.(e.Query.idx)
+    else 1.0
 
 let build_adaptive ?cost ?(defer_ratio = 8.0) tai q =
   if defer_ratio < 1.0 then

@@ -64,8 +64,30 @@ val step_root_candidates : Tai.t -> step -> int
     planner used when scoring the root. Meaningless for non-root
     steps. *)
 
-val build : ?cost:cost_model -> Tai.t -> Semantics.Query.t -> t
-(** Cost-model planner; [cost] defaults to a freshly computed model. *)
+val build :
+  ?cost:cost_model ->
+  ?edge_scale:(Semantics.Query.edge -> float) ->
+  Tai.t ->
+  Semantics.Query.t ->
+  t
+(** Cost-model planner; [cost] defaults to a freshly computed model.
+
+    [edge_scale] (default: constantly [1.0]) multiplies each edge's
+    expected cardinality before scoring — the runtime-feedback hook: the
+    plan cache and [explain --analyze] pass {!calibration} factors here
+    to re-plan with observed cardinalities substituted for the static
+    estimates. Scores only: the produced plan is always structurally
+    valid and result-identical to an uncalibrated one. *)
+
+val calibration :
+  t -> est_levels:int array -> levels:int array -> Semantics.Query.edge -> float
+(** [calibration plan ~est_levels ~levels] turns one execution's
+    per-level feedback (the analyzer's cumulative predictions next to
+    the measured {!Semantics.Run_stats.levels}) into per-edge correction
+    factors for {!build}'s [edge_scale]: level [i]'s misestimation ratio
+    is localized to the step that introduced it and spread geometrically
+    over that step's edges, clamped to [[1/1024, 1024]]. Missing levels
+    count as matching the estimate; edges outside [plan] score [1.0]. *)
 
 val build_adaptive :
   ?cost:cost_model -> ?defer_ratio:float -> Tai.t -> Semantics.Query.t -> t

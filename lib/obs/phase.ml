@@ -13,14 +13,16 @@ type t =
   | Admit
   | Execute
   | Respond
+  | Plan_cache
 
 (* [index] doubles as the array slot in sinks; keep [all] in the same
-   order so [of_index (index p) = p]. *)
+   order so [of_index (index p) = p]. New phases append (Plan_cache) so
+   existing trace/profile slot numbers stay stable. *)
 let all =
   [|
     Run; Plan_select; Tsr_slice; Tai_probe; Leapfrog_open; Leapfrog_seek;
     Leapfrog_next; Interval_sweep; Request; Parse; Lint; Admit; Execute;
-    Respond;
+    Respond; Plan_cache;
   |]
 
 let n = Array.length all
@@ -40,6 +42,7 @@ let index = function
   | Admit -> 11
   | Execute -> 12
   | Respond -> 13
+  | Plan_cache -> 14
 
 let of_index i =
   if i < 0 || i >= n then invalid_arg "Phase.of_index";
@@ -60,3 +63,4 @@ let name = function
   | Admit -> "admit"
   | Execute -> "execute"
   | Respond -> "respond"
+  | Plan_cache -> "plan_cache"

@@ -23,6 +23,10 @@ type t =
   | Admit
   | Execute
   | Respond
+  | Plan_cache
+      (** plan-cache lookup/rebuild — split from {!Plan_select} so
+          [plan_select] self-time honestly drops to ~0 on a cache hit
+          instead of silently absorbing the lookup cost *)
 
 val all : t array
 (** Every phase, in [index] order. *)

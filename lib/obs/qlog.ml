@@ -42,6 +42,7 @@ type record = {
   stats : (string * int) list;
   levels : level list;
   misestimation : float option;
+  plan_source : string option;
 }
 
 (* ---- rendering ---- *)
@@ -103,6 +104,7 @@ let to_json ~slow r =
   (match r.misestimation with
   | None -> Printf.bprintf buf ", \"misestimation\": null"
   | Some f -> Printf.bprintf buf ", \"misestimation\": %.3f" f);
+  Printf.bprintf buf ", \"plan_source\": %s" (opt_string r.plan_source);
   Printf.bprintf buf "}";
   Buffer.contents buf
 

@@ -14,7 +14,7 @@
     [schema], [ts], [id], [fingerprint], [query], [method], [window]
     ([{ws, we}]), [outcome], [duration_ms], [slow], [truncated],
     [deadline], [stats] (object of counters), [levels] (array of
-    [{level, est, actual}]), [misestimation]. *)
+    [{level, est, actual}]), [misestimation], [plan_source]. *)
 
 type outcome =
   | Completed
@@ -46,6 +46,11 @@ type record = {
   misestimation : float option;
       (** max over levels of the symmetric est-vs-actual factor;
           [None] when there is no estimate to compare against *)
+  plan_source : string option;
+      (** where the TSRJoin plan came from: ["cached"], ["fresh"] or
+          ["replanned"] ({!Workload.Plan_cache} — named here as a plain
+          string to keep lib/obs dependency-free); [None] for methods
+          without a planner or requests that never executed *)
 }
 
 val to_json : slow:bool -> record -> string

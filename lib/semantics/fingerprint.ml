@@ -85,3 +85,39 @@ let canonical eq =
 let of_equery eq = Printf.sprintf "%016Lx" (fnv1a64 (canonical eq))
 
 let of_query q = of_equery (Equery.plain q)
+
+(* ---- plan-cache keys ---- *)
+
+let canonical_vars = canon_vars
+
+(* ceil-log2 buckets over the window length: lengths 1 | 2 | 3-4 | 5-8 |
+   9-16 | ... share a bucket, so 2^k and 2^k + 1 always key apart — the
+   planner's temporal factors move smoothly within a bucket but change
+   regime across the doubling boundary. *)
+let window_bucket len =
+  if len <= 1 then 0
+  else begin
+    (* bits of (len - 1) = ceil (log2 len) for len >= 2 *)
+    let n = ref (len - 1) and b = ref 0 in
+    while !n > 0 do
+      incr b;
+      n := !n lsr 1
+    done;
+    !b
+  end
+
+let canonical_plan q =
+  let canon = canon_vars q in
+  let buf = Buffer.create 96 in
+  Printf.bprintf buf "tcsq-fp-plan/v1";
+  Array.iter
+    (fun (e : Query.edge) ->
+      Printf.bprintf buf "|e%d:%d>%d" e.Query.lbl canon.(e.Query.src_var)
+        canon.(e.Query.dst_var))
+    (Query.edges q);
+  Printf.bprintf buf "|wb%d"
+    (window_bucket (Temporal.Interval.length (Query.window q)));
+  Printf.bprintf buf "|d%d" (Query.min_duration q);
+  Buffer.contents buf
+
+let plan_key q = Printf.sprintf "%016Lx" (fnv1a64 (canonical_plan q))

@@ -28,3 +28,38 @@ val of_equery : Equery.t -> string
 
 val of_query : Query.t -> string
 (** [of_equery (Equery.plain q)]. *)
+
+(** {2 Plan-cache keys}
+
+    The plan cache keys on a {e coarser} canonical form than the
+    fingerprint: only what the TSRJoin planner actually reads — the
+    canonical edge list, the duration floor, and the window length
+    {e bucketed} into ceil-log2 classes (plan choice is stable within a
+    doubling of the window but can flip across one; exact lengths would
+    make every zoom level a cold miss). NOT/EXISTS clauses, Allen
+    constraints and aggregates decorate results after the core join and
+    never influence the plan, so they are deliberately absent. *)
+
+val window_bucket : int -> int
+(** Ceil-log2 bucket of a window length: lengths [1], [2], [3..4],
+    [5..8], [9..16], ... map to buckets [0, 1, 2, 3, 4, ...] — so
+    [2^k] and [2^k + 1] always key apart. Negative or zero lengths
+    share bucket [0]. *)
+
+val canonical_plan : Query.t -> string
+(** The readable plan-key form ([tcsq-fp-plan/v1|...]): canonical edges,
+    bucketed window length, duration floor. *)
+
+val plan_key : Query.t -> string
+(** 16 lowercase hex digits over {!canonical_plan} — the plan-cache
+    lookup key. Two queries with equal keys have edge lists of the same
+    length whose i-th edges agree on label and canonical endpoints
+    (modulo hash collision), which is exactly the property that makes a
+    cached pivot order transferable between them. *)
+
+val canonical_vars : Query.t -> int array
+(** The canonicalization behind both forms: actual variable id →
+    canonical id by first appearance over the edge list (src before
+    dst); [-1] for variables appearing in no edge. The plan cache uses
+    it (and its inverse) to store pivots in canonical space and rebuild
+    them against a fingerprint-equal query. *)

@@ -20,8 +20,12 @@ type fp_metrics = {
   mutable fp_count : int;
   mutable fp_slow : int;
   mutable fp_seconds : float;
+  mutable fp_cached : int;
+  mutable fp_replanned : int;
 }
-(* per-query-shape hot list, keyed by Semantics.Fingerprint *)
+(* per-query-shape hot list, keyed by Semantics.Fingerprint;
+   fp_cached/fp_replanned count requests whose plan came from the plan
+   cache / from a feedback-triggered re-plan *)
 
 type t = {
   mutex : Mutex.t;
@@ -80,12 +84,20 @@ let fp_slot t fingerprint =
   match Hashtbl.find_opt t.per_fingerprint fingerprint with
   | Some fm -> fm
   | None ->
-      let fm = { fp_count = 0; fp_slow = 0; fp_seconds = 0.0 } in
+      let fm =
+        {
+          fp_count = 0;
+          fp_slow = 0;
+          fp_seconds = 0.0;
+          fp_cached = 0;
+          fp_replanned = 0;
+        }
+      in
       Hashtbl.add t.per_fingerprint fingerprint fm;
       fm
 
-let record_query ?(slow = false) ?fingerprint ?misestimation t ~method_
-    ~outcome ~stats ~seconds =
+let record_query ?(slow = false) ?fingerprint ?misestimation ?plan_source t
+    ~method_ ~outcome ~stats ~seconds =
   locked t (fun () ->
       (match outcome with
       | Completed ->
@@ -107,7 +119,12 @@ let record_query ?(slow = false) ?fingerprint ?misestimation t ~method_
           let fm = fp_slot t fp in
           fm.fp_count <- fm.fp_count + 1;
           if slow then fm.fp_slow <- fm.fp_slow + 1;
-          fm.fp_seconds <- fm.fp_seconds +. seconds
+          fm.fp_seconds <- fm.fp_seconds +. seconds;
+          (match plan_source with
+          | Some Workload.Plan_cache.Cached -> fm.fp_cached <- fm.fp_cached + 1
+          | Some Workload.Plan_cache.Replanned ->
+              fm.fp_replanned <- fm.fp_replanned + 1
+          | Some Workload.Plan_cache.Fresh | None -> ())
       | None -> ());
       let mm = method_slot t (Workload.Engine.method_name method_) in
       mm.count <- mm.count + 1;
@@ -189,15 +206,30 @@ let fingerprint_json (fp, fm) =
         Json.Float
           (if fm.fp_count = 0 then 0.0
            else fm.fp_seconds *. 1000.0 /. float_of_int fm.fp_count) );
+      ("cached", Json.Int fm.fp_cached);
+      ("replanned", Json.Int fm.fp_replanned);
     ]
 
-let snapshot_json t ~queue_depth ~pool_dropped =
+(* plan-cache counter pairs shared by the JSON snapshot and the
+   Prometheus exposition; read fresh from the cache at snapshot time so
+   the registry holds no second copy that could drift *)
+let plan_cache_counts cache =
+  let c = Workload.Plan_cache.counters cache in
+  [
+    ("hits", c.Workload.Plan_cache.hits);
+    ("misses", c.Workload.Plan_cache.misses);
+    ("evictions", c.Workload.Plan_cache.evictions);
+    ("invalidations", c.Workload.Plan_cache.invalidations);
+    ("replans", c.Workload.Plan_cache.replans);
+  ]
+
+let snapshot_json ?plan_cache t ~queue_depth ~pool_dropped =
   locked t (fun () ->
       let methods =
         List.map (fun (name, mm) -> (name, method_json mm)) (sorted_methods t)
       in
       Json.Obj
-        [
+        ([
           ("uptime_s", Json.Float (Unix.gettimeofday () -. t.started_at));
           ("queue_depth", Json.Int queue_depth);
           ("pool_dropped_exceptions", Json.Int pool_dropped);
@@ -219,7 +251,25 @@ let snapshot_json t ~queue_depth ~pool_dropped =
               ] );
           ( "fingerprints",
             Json.List (List.map fingerprint_json (hot_fingerprints t)) );
-        ])
+        ]
+        @
+        match plan_cache with
+      | None -> []
+      | Some cache ->
+          [
+            ( "plan_cache",
+              Json.Obj
+                (List.map
+                   (fun (k, v) -> (k, Json.Int v))
+                   (plan_cache_counts cache)
+                @ [
+                    ("size", Json.Int (Workload.Plan_cache.length cache));
+                    ( "capacity",
+                      Json.Int (Workload.Plan_cache.capacity cache) );
+                    ( "generation",
+                      Json.Int (Workload.Plan_cache.generation cache) );
+                  ]) );
+          ]))
 
 (* Prometheus label-value escaping (exposition format 0.0.4): inside a
    quoted label value, backslash, double-quote and newline must be
@@ -270,7 +320,7 @@ let prom_histogram buf ~family ~label h =
    tcsq_request_duration_seconds{method}, tcsq_misestimation_ratio
    (histograms whose "le" ladder is the decade edges of [Obs.Histogram]
    — exact cumulative counts, always closed with +Inf/_sum/_count). *)
-let prometheus t ~queue_depth ~pool_dropped =
+let prometheus ?plan_cache t ~queue_depth ~pool_dropped =
   locked t (fun () ->
       let buf = Buffer.create 2048 in
       Printf.bprintf buf
@@ -330,4 +380,34 @@ let prometheus t ~queue_depth ~pool_dropped =
          # TYPE tcsq_misestimation_ratio histogram\n";
       prom_histogram buf ~family:"tcsq_misestimation_ratio" ~label:None
         t.misestimation;
+      (match plan_cache with
+      | None -> ()
+      | Some cache ->
+          List.iter
+            (fun (name, help, v) ->
+              Printf.bprintf buf
+                "# HELP tcsq_plan_cache_%s_total %s\n\
+                 # TYPE tcsq_plan_cache_%s_total counter\n\
+                 tcsq_plan_cache_%s_total %d\n"
+                name help name name v)
+            (let c = plan_cache_counts cache in
+             let get k = List.assoc k c in
+             [
+               ("hits", "Plan-cache lookups served from the cache.", get "hits");
+               ("misses", "Plan-cache lookups that planned fresh.", get "misses");
+               ( "evictions",
+                 "Plan-cache entries dropped by the LRU bound.",
+                 get "evictions" );
+               ( "invalidations",
+                 "Plan-cache entries dropped by ingest invalidation.",
+                 get "invalidations" );
+               ( "replans",
+                 "Poisoned plan-cache entries re-planned from feedback.",
+                 get "replans" );
+             ]);
+          Printf.bprintf buf
+            "# HELP tcsq_plan_cache_entries Live plan-cache entries.\n\
+             # TYPE tcsq_plan_cache_entries gauge\n\
+             tcsq_plan_cache_entries %d\n"
+            (Workload.Plan_cache.length cache));
       Buffer.contents buf)

@@ -4,6 +4,9 @@
      {"op": "query", "query": "MATCH ... IN [a, b]", "method": "tsrjoin",
       "deadline_ms": 500, "limit": 100, "count_only": false,
       "max_results": N, "max_intermediate": N, "id": "optional tag"}
+     {"op": "ingest",
+      "edges": [{"src": 0, "dst": 1, "label": "a", "ts": 3, "te": 9}, ...],
+      "id": "optional tag"}
      {"op": "metrics"}   {"op": "metrics_prom"}
      {"op": "ping"}      {"op": "shutdown"}
 
@@ -28,12 +31,35 @@ type query_request = {
   max_intermediate : int option;
 }
 
+type ingest_edge = {
+  src : int;
+  dst : int;
+  label : string;
+  ts : int;
+  te : int;
+}
+
+type ingest_request = { ingest_id : string option; edges : ingest_edge list }
+
 type request =
   | Query of query_request
+  | Ingest of ingest_request
   | Metrics of string option
   | Metrics_prom of string option
   | Ping of string option
   | Shutdown of string option
+
+let parse_ingest_edge j =
+  match
+    ( Json.mem_int "src" j,
+      Json.mem_int "dst" j,
+      Json.mem_string "label" j,
+      Json.mem_int "ts" j,
+      Json.mem_int "te" j )
+  with
+  | Some src, Some dst, Some label, Some ts, Some te ->
+      Ok { src; dst; label; ts; te }
+  | _ -> Error "ingest edge needs src, dst, label, ts, te"
 
 let parse_request line =
   match Json.parse line with
@@ -42,6 +68,20 @@ let parse_request line =
       let id = Json.mem_string "id" j in
       match Json.mem_string "op" j with
       | None -> Error "missing \"op\" field"
+      | Some "ingest" -> (
+          match Json.mem_list "edges" j with
+          | None -> Error "missing \"edges\" field"
+          | Some items -> (
+              let rec collect acc = function
+                | [] -> Ok (List.rev acc)
+                | item :: rest -> (
+                    match parse_ingest_edge item with
+                    | Ok e -> collect (e :: acc) rest
+                    | Error _ as e -> e)
+              in
+              match collect [] items with
+              | Ok edges -> Ok (Ingest { ingest_id = id; edges })
+              | Error msg -> Error msg))
       | Some "metrics" -> Ok (Metrics id)
       | Some "metrics_prom" -> Ok (Metrics_prom id)
       | Some "ping" -> Ok (Ping id)
@@ -169,6 +209,18 @@ let overloaded_response ?id ~queue_depth () =
        @ [
            ("status", Json.String "overloaded");
            ("queue_depth", Json.Int queue_depth);
+         ]))
+
+let ingest_response ?id ~appended ~n_edges ~generation ~invalidated () =
+  Json.to_string
+    (Json.Obj
+       (id_field id
+       @ [
+           ("status", Json.String "ok");
+           ("appended", Json.Int appended);
+           ("n_edges", Json.Int n_edges);
+           ("generation", Json.Int generation);
+           ("plans_invalidated", Json.Int invalidated);
          ]))
 
 let pong_response ?id () =

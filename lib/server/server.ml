@@ -44,6 +44,13 @@ type config = {
   slow_ms : float option;
   (* keep-rate for ordinary (fast, completed) query-log lines *)
   qlog_sample : float;
+  (* bound on the shared plan cache (entries); 0 disables caching —
+     every request plans from scratch, exactly the pre-cache behavior *)
+  plan_cache_size : int;
+  (* worst-level symmetric est-vs-actual factor that counts an execution
+     as misestimated for the cache's adaptive re-planning; the default
+     is the P009 threshold (16x) *)
+  plan_cache_replan_threshold : float;
 }
 
 let default_config ~socket_path =
@@ -63,11 +70,20 @@ let default_config ~socket_path =
     query_log = None;
     slow_ms = None;
     qlog_sample = 1.0;
+    plan_cache_size = 256;
+    plan_cache_replan_threshold = 16.0;
   }
 
 type t = {
   config : config;
-  engine : Workload.Engine.t;
+  (* swapped atomically by ingest; a request captures one engine at
+     admission and uses it throughout, so in-flight queries keep a
+     consistent graph while new requests see the appended edges *)
+  engine : Workload.Engine.t Atomic.t;
+  plan_cache : Workload.Plan_cache.t option;
+  (* serializes ingest batches (index rebuild + engine swap + cache
+     invalidation); queries never take it *)
+  ingest_mutex : Mutex.t;
   pool : Exec.Pool.t;
   metrics : Metrics.t;
   qlog : Obs.Qlog.t option;
@@ -105,7 +121,8 @@ let request_stop t =
   Mutex.unlock t.state_mutex
 
 let metrics t = t.metrics
-let engine t = t.engine
+let engine t = Atomic.get t.engine
+let plan_cache t = t.plan_cache
 let queue_depth t = Exec.Pool.depth t.pool
 
 (* ---- request tracing ---- *)
@@ -182,7 +199,7 @@ let qlog_stat_pairs stats =
   ]
 
 let log_query t ~outcome ~duration_ms ?id ?fingerprint ?query ?method_ ?window
-    ?stats () =
+    ?stats ?plan_source () =
   match t.qlog with
   | None -> ()
   | Some q ->
@@ -207,6 +224,8 @@ let log_query t ~outcome ~duration_ms ?id ?fingerprint ?query ?method_ ?window
              stats = stat_pairs;
              levels;
              misestimation;
+             plan_source =
+               Option.map Workload.Plan_cache.source_name plan_source;
            })
 
 let is_slow t seconds =
@@ -216,7 +235,8 @@ let is_slow t seconds =
 
 (* ---- request execution (worker domain) ---- *)
 
-let execute t send ~obs ~fingerprint (qr : Protocol.query_request) eq ds =
+let execute t engine send ~obs ~fingerprint (qr : Protocol.query_request) eq
+    ds =
   let cfg = t.config in
   (* a COUNT aggregate is exactly the wire protocol's count_only mode:
      report the piece count, ship no matches *)
@@ -266,13 +286,15 @@ let execute t send ~obs ~fingerprint (qr : Protocol.query_request) eq ds =
     if cfg.domains <= 1 then 1
     else min cfg.domains (1 + Exec.Pool.idle_workers t.pool)
   in
+  let plan_source = ref None in
   let outcome =
     if Analysis.Diagnostic.proves_empty ds then Ok None
     else
       match
         Obs.Sink.span obs Obs.Phase.Execute (fun () ->
             Workload.Engine.run_ext ~stats ~obs ~pool:t.pool ~domains:fanout
-              t.engine qr.Protocol.method_ eq ~emit)
+              ?plan_cache:t.plan_cache ~plan_source engine
+              qr.Protocol.method_ eq ~emit)
       with
       | () -> Ok None
       | exception Run_stats.Limit_exceeded _ -> Ok (Some Protocol.Budget)
@@ -286,7 +308,7 @@ let execute t send ~obs ~fingerprint (qr : Protocol.query_request) eq ds =
     log_query t ~outcome
       ~duration_ms:(elapsed *. 1000.0)
       ?id:qr.Protocol.id ~fingerprint ~query:qr.Protocol.text
-      ~method_:qr.Protocol.method_ ~window ~stats ()
+      ~method_:qr.Protocol.method_ ~window ~stats ?plan_source:!plan_source ()
   in
   match outcome with
   | Ok truncated ->
@@ -300,13 +322,13 @@ let execute t send ~obs ~fingerprint (qr : Protocol.query_request) eq ds =
       in
       let _, misestimation = levels_of_stats stats in
       Metrics.record_query t.metrics ~slow:(is_slow t elapsed) ~fingerprint
-        ?misestimation ~method_:qr.Protocol.method_ ~outcome:metric_outcome
-        ~stats ~seconds:elapsed;
+        ?misestimation ?plan_source:!plan_source ~method_:qr.Protocol.method_
+        ~outcome:metric_outcome ~stats ~seconds:elapsed;
       qlog_common qlog_outcome;
       Obs.Sink.span obs Obs.Phase.Respond (fun () ->
           send
             (Protocol.result_response ?id:qr.Protocol.id
-               ~graph:(Workload.Engine.graph t.engine)
+               ~graph:(Workload.Engine.graph engine)
                ~truncated ~count:!total ~matches:(List.rev !kept) ~stats
                ~elapsed_ms:(elapsed *. 1000.0) ()))
   | Error msg ->
@@ -323,7 +345,8 @@ let handle_query t send (qr : Protocol.query_request) =
   let wall_t0 = Unix.gettimeofday () in
   let finish () = finish_request t obs ~req_t0 ~seq in
   let reject_ms () = (Unix.gettimeofday () -. wall_t0) *. 1000.0 in
-  let g = Workload.Engine.graph t.engine in
+  let engine = Atomic.get t.engine in
+  let g = Workload.Engine.graph engine in
   match
     Obs.Sink.span obs Obs.Phase.Parse (fun () ->
         Qlang.parse_and_compile_ext g qr.Protocol.text)
@@ -341,7 +364,7 @@ let handle_query t send (qr : Protocol.query_request) =
       let fingerprint = Fingerprint.of_equery eq in
       let ds =
         Obs.Sink.span obs Obs.Phase.Lint (fun () ->
-            Workload.Engine.analyze_ext t.engine qr.Protocol.method_ eq)
+            Workload.Engine.analyze_ext engine qr.Protocol.method_ eq)
       in
       if Analysis.Diagnostic.has_errors ds then begin
         Metrics.record_rejected t.metrics;
@@ -356,13 +379,13 @@ let handle_query t send (qr : Protocol.query_request) =
       else begin
         (* the analyzer's tightened window is result-preserving, so the
            admitted job executes it in place of the raw query *)
-        let eq = Workload.Engine.tighten_ext t.engine eq in
+        let eq = Workload.Engine.tighten_ext engine eq in
         (* the admit span measures queue wait: opened at submission,
            closed when a worker picks the request up *)
         let admit_t0 = Obs.Sink.now obs in
         let job () =
           Obs.Sink.record_span obs Obs.Phase.Admit ~t0:admit_t0;
-          execute t send ~obs ~fingerprint qr eq ds;
+          execute t engine send ~obs ~fingerprint qr eq ds;
           finish ()
         in
         if not (Exec.Pool.submit t.pool job) then begin
@@ -378,6 +401,69 @@ let handle_query t send (qr : Protocol.query_request) =
         end
       end
 
+(* ---- streaming ingest (connection thread) ----
+
+   Appends a batch of edges, rebuilds the indexes, swaps the engine
+   atomically, and invalidates the plan cache (plans and estimates are
+   functions of graph statistics that just changed). The rebuild is the
+   seed's batch path — ROADMAP item 1 tracks incremental TAI/ECI
+   maintenance; the wire op and the invalidation contract are what the
+   plan cache needs today. In-flight queries finish on the engine they
+   captured at admission. *)
+let handle_ingest t send (ir : Protocol.ingest_request) =
+  Mutex.lock t.ingest_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.ingest_mutex) @@ fun () ->
+  let engine = Atomic.get t.engine in
+  let g = Workload.Engine.graph engine in
+  let labels = Tgraph.Graph.labels g in
+  let resolve (e : Protocol.ingest_edge) =
+    match Tgraph.Label.find labels e.Protocol.label with
+    | Some lbl ->
+        Ok (e.Protocol.src, e.Protocol.dst, lbl, e.Protocol.ts, e.Protocol.te)
+    | None -> Error (Printf.sprintf "unknown label %S" e.Protocol.label)
+  in
+  let rec resolve_all acc = function
+    | [] -> Ok (List.rev acc)
+    | e :: rest -> (
+        match resolve e with
+        | Ok r -> resolve_all (r :: acc) rest
+        | Error _ as err -> err)
+  in
+  match resolve_all [] ir.Protocol.edges with
+  | Error msg ->
+      send
+        (Protocol.error_response ?id:ir.Protocol.ingest_id ~kind:"ingest" msg)
+  | Ok edges -> (
+      match Tgraph.Graph.append g edges with
+      | exception Invalid_argument msg ->
+          send
+            (Protocol.error_response ?id:ir.Protocol.ingest_id ~kind:"ingest"
+               msg)
+      | g' ->
+          Atomic.set t.engine (Workload.Engine.prepare g');
+          let invalidated =
+            match t.plan_cache with
+            | None -> 0
+            | Some cache ->
+                let before =
+                  (Workload.Plan_cache.counters cache)
+                    .Workload.Plan_cache.invalidations
+                in
+                Workload.Plan_cache.bump_generation cache;
+                (Workload.Plan_cache.counters cache)
+                  .Workload.Plan_cache.invalidations - before
+          in
+          let generation =
+            match t.plan_cache with
+            | Some cache -> Workload.Plan_cache.generation cache
+            | None -> 0
+          in
+          send
+            (Protocol.ingest_response ?id:ir.Protocol.ingest_id
+               ~appended:(List.length edges)
+               ~n_edges:(Tgraph.Graph.n_edges g')
+               ~generation ~invalidated ()))
+
 let handle_request t send line =
   match Protocol.parse_request line with
   | Error msg ->
@@ -386,16 +472,17 @@ let handle_request t send line =
         ~query:line ();
       send (Protocol.error_response ~kind:"parse" msg)
   | Ok (Protocol.Ping id) -> send (Protocol.pong_response ?id ())
+  | Ok (Protocol.Ingest ir) -> handle_ingest t send ir
   | Ok (Protocol.Metrics id) ->
       send
         (Protocol.metrics_response ?id
-           (Metrics.snapshot_json t.metrics
+           (Metrics.snapshot_json ?plan_cache:t.plan_cache t.metrics
               ~queue_depth:(Exec.Pool.depth t.pool)
               ~pool_dropped:(Exec.Pool.dropped_exceptions t.pool)))
   | Ok (Protocol.Metrics_prom id) ->
       send
         (Protocol.metrics_prom_response ?id
-           (Metrics.prometheus t.metrics
+           (Metrics.prometheus ?plan_cache:t.plan_cache t.metrics
               ~queue_depth:(Exec.Pool.depth t.pool)
               ~pool_dropped:(Exec.Pool.dropped_exceptions t.pool)))
   | Ok (Protocol.Shutdown id) ->
@@ -488,10 +575,19 @@ let start config engine =
      (try Unix.close listener with Unix.Unix_error _ -> ());
      (match qlog with Some q -> Obs.Qlog.close q | None -> ());
      raise e);
+  if config.plan_cache_size < 0 then
+    invalid_arg "Server.start: negative plan_cache_size";
   let t =
     {
       config;
-      engine;
+      engine = Atomic.make engine;
+      plan_cache =
+        (if config.plan_cache_size = 0 then None
+         else
+           Some
+             (Workload.Plan_cache.create ~capacity:config.plan_cache_size
+                ~replan_threshold:config.plan_cache_replan_threshold ()));
+      ingest_mutex = Mutex.create ();
       qlog;
       pool =
         Exec.Pool.create ~workers:config.workers

@@ -43,69 +43,155 @@ let sti_index t = t.sti_index
 
 (* plan invariant analysis guards the hot path: a planner bug surfaces
    as a diagnostic here instead of as wrong answers *)
-let tsrjoin_plan ~obs t q =
-  Obs.Sink.span obs Obs.Phase.Plan_select (fun () ->
-      let plan = Tcsq_core.Plan.build ~cost:t.cost t.tai q in
-      (match Analysis.Plan_check.check_result plan with
-      | Ok () -> ()
-      | Error msg -> invalid_arg ("Engine.run: invalid plan: " ^ msg));
-      plan)
+let fresh_plan ?edge_scale t q =
+  let plan = Tcsq_core.Plan.build ~cost:t.cost ?edge_scale t.tai q in
+  (match Analysis.Plan_check.check_result plan with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Engine.run: invalid plan: " ^ msg));
+  plan
+
+let selectivity_counters t plan =
+  let est = Analysis.Selectivity.estimate ~cost:t.cost t.tai plan in
+  ( Analysis.Selectivity.intermediate_counter est,
+    Analysis.Selectivity.level_counters est )
 
 (* records the static analyzer's intermediate-cardinality prediction on
    the caller's stats (satellite of `tcsq explain`): deterministic in
    (plan, window), so sequential and parallel runs agree and merged
    per-domain stats (which contribute 0) stay additive *)
-let record_estimate ?stats t plan =
+let record_est_counters ?stats (est_intermediate, est_levels) =
   match stats with
   | None -> ()
   | Some s ->
-      let est = Analysis.Selectivity.estimate ~cost:t.cost t.tai plan in
-      Semantics.Run_stats.add_est_intermediate s
-        (Analysis.Selectivity.intermediate_counter est);
+      Semantics.Run_stats.add_est_intermediate s est_intermediate;
       Array.iteri
         (fun level n ->
           Semantics.Run_stats.add_est_level_intermediate s level n)
-        (Analysis.Selectivity.level_counters est)
+        est_levels
 
-let run ?stats ?(obs = Obs.Sink.null) ?tsrjoin_config ?pool ?(domains = 1) t
-    method_ q ~emit =
+let record_estimate ?stats t plan =
+  match stats with
+  | None -> ()
+  | Some _ -> record_est_counters ?stats (selectivity_counters t plan)
+
+let set_source plan_source src =
+  match plan_source with None -> () | Some r -> r := Some src
+
+(* Plan acquisition. Without a cache this is the original path: build +
+   invariant-check under [plan_select], estimates only when the caller
+   wants stats. With a cache, the lookup/store/feedback bookkeeping runs
+   under [plan_cache] and only actual planning work (miss or replan)
+   under [plan_select] — so a hit's plan_select self-time is honestly
+   ~0. Cached estimates are recorded from the entry without replaying
+   the analyzer. *)
+let tsrjoin_plan ?plan_cache ?plan_source ?stats ~obs t q =
+  match plan_cache with
+  | None ->
+      set_source plan_source Plan_cache.Fresh;
+      let plan =
+        Obs.Sink.span obs Obs.Phase.Plan_select (fun () -> fresh_plan t q)
+      in
+      record_estimate ?stats t plan;
+      plan
+  | Some cache -> (
+      let build ?edge_scale src =
+        let plan, est =
+          Obs.Sink.span obs Obs.Phase.Plan_select (fun () ->
+              let plan = fresh_plan ?edge_scale t q in
+              (plan, selectivity_counters t plan))
+        in
+        Obs.Sink.span obs Obs.Phase.Plan_cache (fun () ->
+            Plan_cache.store cache q ~plan ~est_intermediate:(fst est)
+              ~est_levels:(snd est));
+        set_source plan_source src;
+        record_est_counters ?stats est;
+        plan
+      in
+      match
+        Obs.Sink.span obs Obs.Phase.Plan_cache (fun () ->
+            Plan_cache.lookup cache q)
+      with
+      | Plan_cache.Hit { plan; est_intermediate; est_levels } ->
+          set_source plan_source Plan_cache.Cached;
+          record_est_counters ?stats (est_intermediate, est_levels);
+          plan
+      | Plan_cache.Miss -> build Plan_cache.Fresh
+      | Plan_cache.Replan { edge_scale } ->
+          build ~edge_scale Plan_cache.Replanned)
+
+(* Wraps a TSRJoin execution with plan acquisition and — when a cache is
+   in play — post-run feedback of this execution's per-level actuals
+   (the delta against the caller's possibly-shared stats). Feedback is
+   skipped when execution raises (budget/deadline truncation leaves the
+   level counters partial, which would poison entries spuriously). *)
+let with_tsrjoin_plan ?plan_cache ?plan_source ?stats ~obs t q exec =
+  let stats =
+    (* feedback needs measured levels even if the caller asked for none *)
+    match (stats, plan_cache) with
+    | None, Some _ -> Some (Semantics.Run_stats.create ())
+    | s, _ -> s
+  in
+  let plan = tsrjoin_plan ?plan_cache ?plan_source ?stats ~obs t q in
+  let pre_levels =
+    match (plan_cache, stats) with
+    | Some _, Some s -> Semantics.Run_stats.levels s
+    | _ -> [||]
+  in
+  let result = exec ~plan ~stats in
+  (match (plan_cache, stats) with
+  | Some cache, Some s ->
+      let post = Semantics.Run_stats.levels s in
+      let delta =
+        Array.init (Array.length post) (fun i ->
+            post.(i)
+            - (if i < Array.length pre_levels then pre_levels.(i) else 0))
+      in
+      Obs.Sink.span obs Obs.Phase.Plan_cache (fun () ->
+          Plan_cache.feedback cache q ~levels:delta)
+  | _ -> ());
+  result
+
+let run ?stats ?(obs = Obs.Sink.null) ?tsrjoin_config ?pool ?(domains = 1)
+    ?plan_cache ?plan_source t method_ q ~emit =
   Obs.Sink.span obs Obs.Phase.Run @@ fun () ->
   match method_ with
   | Tsrjoin ->
-      let plan = tsrjoin_plan ~obs t q in
-      record_estimate ?stats t plan;
-      if domains <= 1 then
-        Tcsq_core.Tsrjoin.run ?stats ~obs ?config:tsrjoin_config ~plan t.tai q
-          ~emit
-      else
-        (* multicore is TSRJoin-only: root-binding independence is what
-           makes the fan-out sound; the baselines stay single-domain *)
-        Exec.Parallel.run ?pool ~domains ?stats ~obs ?config:tsrjoin_config
-          ~plan t.tai q ~emit
+      with_tsrjoin_plan ?plan_cache ?plan_source ?stats ~obs t q
+        (fun ~plan ~stats ->
+          if domains <= 1 then
+            Tcsq_core.Tsrjoin.run ?stats ~obs ?config:tsrjoin_config ~plan
+              t.tai q ~emit
+          else
+            (* multicore is TSRJoin-only: root-binding independence is what
+               makes the fan-out sound; the baselines stay single-domain *)
+            Exec.Parallel.run ?pool ~domains ?stats ~obs ?config:tsrjoin_config
+              ~plan t.tai q ~emit)
   | Binary -> Relops.Binary.run ?stats t.adjacency q ~emit
   | Hybrid -> Relops.Hybrid.run ?stats t.adjacency q ~emit
   | Time -> Relops.Time_pipeline.run ?stats t.sti_index q ~emit
 
 let evaluate ?stats ?(obs = Obs.Sink.null) ?tsrjoin_config ?pool ?(domains = 1)
-    t method_ q =
+    ?plan_cache ?plan_source t method_ q =
   match method_ with
   | Tsrjoin when domains > 1 ->
       (* the parallel driver reconstructs the sequential order itself *)
       Obs.Sink.span obs Obs.Phase.Run @@ fun () ->
-      let plan = tsrjoin_plan ~obs t q in
-      record_estimate ?stats t plan;
-      Exec.Parallel.evaluate ?pool ~domains ?stats ~obs
-        ?config:tsrjoin_config ~plan t.tai q
+      with_tsrjoin_plan ?plan_cache ?plan_source ?stats ~obs t q
+        (fun ~plan ~stats ->
+          Exec.Parallel.evaluate ?pool ~domains ?stats ~obs
+            ?config:tsrjoin_config ~plan t.tai q)
   | _ ->
       let acc = ref [] in
-      run ?stats ~obs ?tsrjoin_config ?pool ~domains t method_ q
-        ~emit:(fun m -> acc := m :: !acc);
+      run ?stats ~obs ?tsrjoin_config ?pool ~domains ?plan_cache ?plan_source
+        t method_ q ~emit:(fun m -> acc := m :: !acc);
       List.rev !acc
 
-let count ?stats ?obs ?tsrjoin_config ?pool ?domains t method_ q =
+let count ?stats ?obs ?tsrjoin_config ?pool ?domains ?plan_cache ?plan_source
+    t method_ q =
   let n = ref 0 in
   (* parallel [run] serializes [emit] under a mutex, so a ref suffices *)
-  run ?stats ?obs ?tsrjoin_config ?pool ?domains t method_ q
+  run ?stats ?obs ?tsrjoin_config ?pool ?domains ?plan_cache ?plan_source t
+    method_ q
     ~emit:(fun _ -> incr n);
   !n
 
@@ -124,29 +210,36 @@ let analyze t method_ q =
 
 let tighten t q = Analysis.Bound.tighten ~env:t.qenv q
 
-let run_checked ?stats ?obs ?tsrjoin_config ?pool ?domains t method_ q ~emit =
+let run_checked ?stats ?obs ?tsrjoin_config ?pool ?domains ?plan_cache
+    ?plan_source t method_ q ~emit =
   let ds = analyze t method_ q in
   if Analysis.Diagnostic.has_errors ds then Error ds
   else if Analysis.Diagnostic.proves_empty ds then Ok ds
   else begin
     (* result-preserving by Bound's window-tightening theorem — the
        conformance window-tightening relation holds every engine to it *)
-    run ?stats ?obs ?tsrjoin_config ?pool ?domains t method_ (tighten t q)
-      ~emit;
+    run ?stats ?obs ?tsrjoin_config ?pool ?domains ?plan_cache ?plan_source t
+      method_ (tighten t q) ~emit;
     Ok ds
   end
 
-let evaluate_checked ?stats ?tsrjoin_config ?pool ?domains t method_ q =
+let evaluate_checked ?stats ?tsrjoin_config ?pool ?domains ?plan_cache
+    ?plan_source t method_ q =
   let ds = analyze t method_ q in
   if Analysis.Diagnostic.has_errors ds then Error ds
   else if Analysis.Diagnostic.proves_empty ds then Ok ([], ds)
   else
-    Ok (evaluate ?stats ?tsrjoin_config ?pool ?domains t method_ (tighten t q), ds)
+    Ok
+      ( evaluate ?stats ?tsrjoin_config ?pool ?domains ?plan_cache
+          ?plan_source t method_ (tighten t q),
+        ds )
 
-let count_checked ?stats ?tsrjoin_config ?pool ?domains t method_ q =
+let count_checked ?stats ?tsrjoin_config ?pool ?domains ?plan_cache
+    ?plan_source t method_ q =
   let n = ref 0 in
   match
-    run_checked ?stats ?tsrjoin_config ?pool ?domains t method_ q
+    run_checked ?stats ?tsrjoin_config ?pool ?domains ?plan_cache ?plan_source
+      t method_ q
       ~emit:(fun _ -> incr n)
   with
   | Ok ds -> Ok (!n, ds)
@@ -192,33 +285,40 @@ let tighten_ext t eq =
   in
   Semantics.Equery.with_window eq (Semantics.Query.window q)
 
-let evaluate_ext ?stats ?obs ?tsrjoin_config ?pool ?domains t method_ eq =
+let evaluate_ext ?stats ?obs ?tsrjoin_config ?pool ?domains ?plan_cache
+    ?plan_source t method_ eq =
   let tsrjoin_config = ext_config tsrjoin_config eq in
   Semantics.Equery.evaluate_with
-    (fun q -> evaluate ?stats ?obs ?tsrjoin_config ?pool ?domains t method_ q)
+    (fun q ->
+      evaluate ?stats ?obs ?tsrjoin_config ?pool ?domains ?plan_cache
+        ?plan_source t method_ q)
     t.graph eq
 
-let run_ext ?stats ?obs ?tsrjoin_config ?pool ?domains t method_ eq ~emit =
+let run_ext ?stats ?obs ?tsrjoin_config ?pool ?domains ?plan_cache
+    ?plan_source t method_ eq ~emit =
   match Semantics.Equery.agg eq with
   | Some (Semantics.Equery.Top _) ->
       (* top-k is a selection over the full result set: collect first *)
       List.iter emit
-        (evaluate_ext ?stats ?obs ?tsrjoin_config ?pool ?domains t method_ eq)
+        (evaluate_ext ?stats ?obs ?tsrjoin_config ?pool ?domains ?plan_cache
+           ?plan_source t method_ eq)
   | Some Semantics.Equery.Count | None ->
       if not (Semantics.Equery.has_decorations eq) then
-        run ?stats ?obs ?tsrjoin_config ?pool ?domains t method_
-          (Semantics.Equery.core eq) ~emit
+        run ?stats ?obs ?tsrjoin_config ?pool ?domains ?plan_cache
+          ?plan_source t method_ (Semantics.Equery.core eq) ~emit
       else begin
         let p = Semantics.Equery.prepare t.graph eq in
         let tsrjoin_config = ext_config tsrjoin_config eq in
-        run ?stats ?obs ?tsrjoin_config ?pool ?domains t method_
-          (Semantics.Equery.core eq) ~emit:(fun m ->
+        run ?stats ?obs ?tsrjoin_config ?pool ?domains ?plan_cache
+          ?plan_source t method_ (Semantics.Equery.core eq) ~emit:(fun m ->
             List.iter emit (Semantics.Equery.decorate p m))
       end
 
-let count_ext ?stats ?obs ?tsrjoin_config ?pool ?domains t method_ eq =
+let count_ext ?stats ?obs ?tsrjoin_config ?pool ?domains ?plan_cache
+    ?plan_source t method_ eq =
   List.length
-    (evaluate_ext ?stats ?obs ?tsrjoin_config ?pool ?domains t method_ eq)
+    (evaluate_ext ?stats ?obs ?tsrjoin_config ?pool ?domains ?plan_cache
+       ?plan_source t method_ eq)
 
 module Match_gen = Temporal.Push_pull.Make (struct
   type t = Semantics.Match_result.t

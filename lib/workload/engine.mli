@@ -27,6 +27,8 @@ val run :
   ?tsrjoin_config:Tcsq_core.Tsrjoin.config ->
   ?pool:Exec.Pool.t ->
   ?domains:int ->
+  ?plan_cache:Plan_cache.t ->
+  ?plan_source:Plan_cache.source option ref ->
   t ->
   method_ ->
   Semantics.Query.t ->
@@ -49,7 +51,19 @@ val run :
     plan construction under [plan_select], and — for {!Tsrjoin} — the
     engine phases (TAI probes, TSR slicing, leapfrog, sweeps) below it.
     Instrumentation never changes results: with [Obs.Sink.null] (the
-    default) every site is a no-op. *)
+    default) every site is a no-op.
+
+    [plan_cache] (TSRJoin only; the other methods have no planner)
+    consults a shared {!Plan_cache} before planning: a hit skips plan
+    construction and the selectivity estimate entirely (cache
+    bookkeeping is attributed to the [plan_cache] phase, so
+    [plan_select] self-time drops to ~0), a miss or feedback-triggered
+    re-plan builds and stores. After a successful execution the
+    observed per-level cardinalities are fed back to the cache entry.
+    Cached plans are validated against the incoming query, so results
+    are identical with and without a cache — only speed changes.
+    [plan_source] (when given) is set to where this query's plan came
+    from. *)
 
 (** {2 Statically checked execution}
 
@@ -79,6 +93,8 @@ val run_checked :
   ?tsrjoin_config:Tcsq_core.Tsrjoin.config ->
   ?pool:Exec.Pool.t ->
   ?domains:int ->
+  ?plan_cache:Plan_cache.t ->
+  ?plan_source:Plan_cache.source option ref ->
   t ->
   method_ ->
   Semantics.Query.t ->
@@ -90,6 +106,8 @@ val evaluate_checked :
   ?tsrjoin_config:Tcsq_core.Tsrjoin.config ->
   ?pool:Exec.Pool.t ->
   ?domains:int ->
+  ?plan_cache:Plan_cache.t ->
+  ?plan_source:Plan_cache.source option ref ->
   t ->
   method_ ->
   Semantics.Query.t ->
@@ -102,6 +120,8 @@ val count_checked :
   ?tsrjoin_config:Tcsq_core.Tsrjoin.config ->
   ?pool:Exec.Pool.t ->
   ?domains:int ->
+  ?plan_cache:Plan_cache.t ->
+  ?plan_source:Plan_cache.source option ref ->
   t ->
   method_ ->
   Semantics.Query.t ->
@@ -113,6 +133,8 @@ val evaluate :
   ?tsrjoin_config:Tcsq_core.Tsrjoin.config ->
   ?pool:Exec.Pool.t ->
   ?domains:int ->
+  ?plan_cache:Plan_cache.t ->
+  ?plan_source:Plan_cache.source option ref ->
   t ->
   method_ ->
   Semantics.Query.t ->
@@ -126,6 +148,8 @@ val count :
   ?tsrjoin_config:Tcsq_core.Tsrjoin.config ->
   ?pool:Exec.Pool.t ->
   ?domains:int ->
+  ?plan_cache:Plan_cache.t ->
+  ?plan_source:Plan_cache.source option ref ->
   t ->
   method_ ->
   Semantics.Query.t ->
@@ -158,6 +182,8 @@ val run_ext :
   ?tsrjoin_config:Tcsq_core.Tsrjoin.config ->
   ?pool:Exec.Pool.t ->
   ?domains:int ->
+  ?plan_cache:Plan_cache.t ->
+  ?plan_source:Plan_cache.source option ref ->
   t ->
   method_ ->
   Semantics.Equery.t ->
@@ -172,6 +198,8 @@ val evaluate_ext :
   ?tsrjoin_config:Tcsq_core.Tsrjoin.config ->
   ?pool:Exec.Pool.t ->
   ?domains:int ->
+  ?plan_cache:Plan_cache.t ->
+  ?plan_source:Plan_cache.source option ref ->
   t ->
   method_ ->
   Semantics.Equery.t ->
@@ -183,6 +211,8 @@ val count_ext :
   ?tsrjoin_config:Tcsq_core.Tsrjoin.config ->
   ?pool:Exec.Pool.t ->
   ?domains:int ->
+  ?plan_cache:Plan_cache.t ->
+  ?plan_source:Plan_cache.source option ref ->
   t ->
   method_ ->
   Semantics.Equery.t ->

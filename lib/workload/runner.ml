@@ -31,7 +31,7 @@ let percentile sorted p =
   else sorted.(min (n - 1) (int_of_float (float_of_int (n - 1) *. p)))
 
 let run_method ?(budget = default_budget) ?obs ?tsrjoin_config ?pool ?domains
-    engine method_ queries =
+    ?plan_cache engine method_ queries =
   let totals = Run_stats.create () in
   let n_truncated = ref 0 in
   let per_query = ref [] in
@@ -49,8 +49,8 @@ let run_method ?(budget = default_budget) ?obs ?tsrjoin_config ?pool ?domains
       in
       let q0 = Unix.gettimeofday () in
       (try
-         Engine.run ~stats ?obs ?tsrjoin_config ?pool ?domains engine method_
-           q
+         Engine.run ~stats ?obs ?tsrjoin_config ?pool ?domains ?plan_cache
+           engine method_ q
            ~emit:(fun _ -> ())
        with Run_stats.Limit_exceeded _ -> incr n_truncated);
       per_query := (Unix.gettimeofday () -. q0) :: !per_query;

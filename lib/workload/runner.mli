@@ -41,13 +41,15 @@ val run_method :
   ?tsrjoin_config:Tcsq_core.Tsrjoin.config ->
   ?pool:Exec.Pool.t ->
   ?domains:int ->
+  ?plan_cache:Plan_cache.t ->
   Engine.t ->
   Engine.method_ ->
   Semantics.Query.t list ->
   measurement
-(** [domains]/[pool] are forwarded to {!Engine.run} — the domain-scaling
-    benchmark's lever. Merged parallel stats keep the deterministic
-    counters identical to a 1-domain run, so only the timing columns
+(** [domains]/[pool]/[plan_cache] are forwarded to {!Engine.run} — the
+    domain-scaling and plan-cache benchmarks' levers. Merged parallel
+    stats keep the deterministic counters identical to a 1-domain run,
+    so only the timing columns
     move. *)
 
 val run_all :
