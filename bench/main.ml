@@ -541,7 +541,101 @@ let run_dynamic () =
       Format.fprintf fmt "%-12d %14.2f %14.2f %9.1fx@." size merge_ms
         rebuild_ms
         (rebuild_ms /. max merge_ms 0.001))
-    [ 16; 128; 1024; 8192 ]
+    [ 16; 128; 1024; 8192 ];
+  (* end-to-end serving path: per-batch latency of the streaming ingest
+     pipeline (Incremental buffers + prepare_with_tai engine swap, what
+     the server runs since the subscribe/ingest rework) vs the old
+     rebuild-per-batch (Graph.append + eager Engine.prepare), with a
+     result-equality check against a fixed probe query after every
+     batch. `--json BENCH_ingest.json` commits the comparison. *)
+  section
+    "Streaming ingest: Incremental + prepare_with_tai vs rebuild-per-batch \
+     (Yellow)";
+  let n_batches = 24 in
+  let probe =
+    Pattern.instantiate (Pattern.Star 3)
+      ~labels:(Array.init 3 (fun i -> i mod n_labels))
+      ~window:(Tgraph.Graph.window_of_fraction base ~frac:0.2 ~at:0.5)
+  in
+  let meas_of times total_results =
+    let n = List.length times in
+    let arr = Array.of_list (List.sort compare times) in
+    let pct p = arr.(min (n - 1) (int_of_float (p *. float_of_int n))) in
+    let total = List.fold_left ( +. ) 0.0 times in
+    {
+      Runner.method_ = Engine.Tsrjoin; n_queries = n; n_truncated = 0;
+      total_seconds = total; mean_seconds = total /. float_of_int n;
+      p50_seconds = pct 0.5; p95_seconds = pct 0.95; total_results;
+      total_intermediate = 0; total_scanned = 0; total_seeks = 0;
+      total_est_intermediate = 0; total_levels = [||];
+      total_est_levels = [||];
+    }
+  in
+  let bench_variant ~batches step =
+    (* step : batch -> engine, timed; the probe count is outside the
+       timed region for both variants *)
+    let times = ref [] and counts = ref [] in
+    List.iter
+      (fun b ->
+        let t0 = Unix.gettimeofday () in
+        let engine = step b in
+        times := (Unix.gettimeofday () -. t0) :: !times;
+        counts := Engine.count engine Engine.Tsrjoin probe :: !counts)
+      batches;
+    (List.rev !times, List.rev !counts)
+  in
+  List.iter
+    (fun size ->
+      let batches = List.init n_batches (fun _ -> batch size) in
+      let inc =
+        Tcsq_core.Incremental.of_tai ~merge_threshold:4096 base
+          (Tcsq_core.Tai.build base)
+      in
+      let inc_times, inc_counts =
+        bench_variant ~batches (fun b ->
+            List.iter
+              (fun (src, dst, lbl, ts, te) ->
+                ignore (Tcsq_core.Incremental.add_edge inc ~src ~dst ~lbl ~ts ~te))
+              b;
+            Engine.prepare_with_tai
+              (Tcsq_core.Incremental.graph inc)
+              (Tcsq_core.Incremental.tai inc))
+      in
+      let cur = ref base in
+      let reb_times, reb_counts =
+        bench_variant ~batches (fun b ->
+            cur := Tgraph.Graph.append !cur b;
+            Engine.prepare !cur)
+      in
+      if inc_counts <> reb_counts then
+        failwith
+          "ingest pipeline disagreement: streaming and rebuilt engines \
+           returned different probe counts";
+      let results = List.fold_left ( + ) 0 inc_counts in
+      let inc_meas = meas_of inc_times results in
+      let reb_meas = meas_of reb_times results in
+      Format.fprintf fmt
+        "batch %-6d incremental %8.2f ms/batch (p95 %8.2f)   rebuild %8.2f \
+         ms/batch (p95 %8.2f)   %5.1fx@."
+        size
+        (inc_meas.Runner.mean_seconds *. 1000.0)
+        (inc_meas.Runner.p95_seconds *. 1000.0)
+        (reb_meas.Runner.mean_seconds *. 1000.0)
+        (reb_meas.Runner.p95_seconds *. 1000.0)
+        (reb_meas.Runner.mean_seconds /. max inc_meas.Runner.mean_seconds 1e-6);
+      List.iter
+        (fun (variant, meas) ->
+          json_record ~experiment:"ingest" ~dataset:"yellow"
+            ~pattern:"3-star"
+            ~raw:
+              [
+                ("variant", Printf.sprintf "\"%s\"" variant);
+                ("batch_size", string_of_int size);
+                ("n_batches", string_of_int n_batches);
+              ]
+            meas)
+        [ ("incremental", inc_meas); ("rebuild", reb_meas) ])
+    [ 128; 1024 ]
 
 (* ---------- Multi-window sharing ---------- *)
 

@@ -35,5 +35,6 @@ step fuzz-smoke     dune build @fuzz-smoke
 step relops-smoke   dune build @relops-smoke
 step qlog-smoke     dune build @qlog-smoke
 step plancache-smoke dune build @plancache-smoke
+step subscribe-smoke dune build @subscribe-smoke
 step bench-compare  bin/bench_compare.sh
 echo "check.sh: all steps clean"

@@ -47,8 +47,8 @@ check_golden() {
 cat >"$TMP/expected" <<'EOF'
 fuzzing 3 iterations from seed 20260705
 engines: tsrjoin-basic, tsrjoin-opt, binary, hybrid, time, tsrjoin-adaptive, tsrjoin-cached, tsrjoin-par2, wire
-relations: window-containment, translation, time-reversal, edge-deletion, label-renaming, sub-pattern, window-tightening, anti-semi-partition, allen-inverse, semijoin-containment, allen-filter, aggregate-topk
-OK: 63 queries clean (567 differential, 6243 relation, 63 parallel, 63 analyzer checks)
+relations: window-containment, translation, time-reversal, edge-deletion, label-renaming, sub-pattern, window-tightening, anti-semi-partition, allen-inverse, semijoin-containment, allen-filter, aggregate-topk, ingest-commutativity
+OK: 63 queries clean (567 differential, 6723 relation, 63 parallel, 63 analyzer checks)
 EOF
 check_golden "clean run (--wire)"
 
@@ -69,7 +69,7 @@ rc=$?
 cat >"$TMP/expected" <<EOF
 fuzzing 3 iterations from seed 20260705
 engines: tsrjoin-basic, tsrjoin-opt, binary, hybrid, time, tsrjoin-adaptive, tsrjoin-cached, tsrjoin-par2, broken
-relations: window-containment, translation, time-reversal, edge-deletion, label-renaming, sub-pattern, window-tightening, anti-semi-partition, allen-inverse, semijoin-containment, allen-filter, aggregate-topk
+relations: window-containment, translation, time-reversal, edge-deletion, label-renaming, sub-pattern, window-tightening, anti-semi-partition, allen-inverse, semijoin-containment, allen-filter, aggregate-topk, ingest-commutativity
 FAIL differential engine=broken at iteration 0
   expected 5 matches, got 4. missing (1): (e8, e5, [19, 19]) | extra (0):
 found on: 39 graph edges, 7 vertices, 2 pattern edges, window [18, 35]

@@ -174,14 +174,25 @@ grep -q '"plans_invalidated": 1' "$OUT" \
 [ "$(cache_stat invalidations)" = "1" ] \
     || fail "invalidation counter should be 1: $(cache_stat invalidations)"
 
-# an unknown label must be rejected without touching the graph
+# a label the dataset has never seen is interned on ingest: the batch
+# lands, plans invalidate again, and the new label is queryable
 printf '%s\n' \
-    '{"op": "ingest", "edges": [{"src": 0, "dst": 1, "label": "nosuchlabel", "ts": 1, "te": 2}]}' \
-    | "$TCSQ" client --socket "$SOCK" --stdin >"$OUT" 2>&1 || true
-grep -q '"status": "error"' "$OUT" \
-    || fail "unknown-label ingest was not rejected: $(cat "$OUT")"
-[ "$(cache_stat invalidations)" = "1" ] \
-    || fail "rejected ingest must not invalidate plans"
+    '{"op": "ingest", "edges": [{"src": 0, "dst": 1, "label": "freshlabel", "ts": 1, "te": 2}]}' \
+    | "$TCSQ" client --socket "$SOCK" --stdin >"$OUT" \
+    || fail "new-label ingest failed"
+grep -q '"status": "ok"' "$OUT" \
+    || fail "new-label ingest was rejected: $(cat "$OUT")"
+grep -q '"appended": 1' "$OUT" \
+    || fail "new-label ingest did not append: $(cat "$OUT")"
+grep -q '"generation": 2' "$OUT" \
+    || fail "new-label ingest did not bump the generation: $(cat "$OUT")"
+[ "$(cache_stat invalidations)" = "2" ] \
+    || fail "new-label ingest must invalidate cached plans"
+"$TCSQ" client --socket "$SOCK" \
+    --match 'MATCH (x)-[freshlabel]->(y) IN [0, 10]' --count >"$OUT" \
+    || fail "query on the interned label failed"
+grep -q '"count": 1' "$OUT" \
+    || fail "interned label should match its edge: $(cat "$OUT")"
 
 stop_server
 echo "plancache_smoke: phase 3 (ingest invalidation) clean"

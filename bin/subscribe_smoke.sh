@@ -1,0 +1,201 @@
+#!/bin/sh
+# End-to-end smoke test for standing queries: `tcsq client --subscribe`
+# registers a query over the wire, ingest batches push framed delta
+# notifications (additions on a fixed future window, retraction as a
+# sliding window advances past an old match), `--watch` streams them,
+# unsubscribe stops the stream, the tcsq_subscriptions_active /
+# tcsq_deltas_pushed_total / tcsq_delta_duration_seconds Prometheus
+# families and the qlog's delta records track it all, and a malformed
+# subscribe query is a usage error (exit 2). Exits nonzero on any
+# mismatch.
+set -eu
+
+HERE=$(cd "$(dirname "$0")" && pwd)
+if [ -z "${TCSQ:-}" ]; then
+    if [ -x "$HERE/tcsq.exe" ]; then
+        TCSQ=$HERE/tcsq.exe
+    else
+        TCSQ=$HERE/../_build/default/bin/tcsq.exe
+    fi
+fi
+DATASET=yellow
+SCALE=0.05
+SOCK=$(mktemp -u "${TMPDIR:-/tmp}/tcsq-subscribe-XXXXXX.sock")
+SRV_LOG=$(mktemp "${TMPDIR:-/tmp}/tcsq-subscribe-srvlog-XXXXXX")
+QLOG=$(mktemp "${TMPDIR:-/tmp}/tcsq-subscribe-XXXXXX.jsonl")
+OUT=$(mktemp "${TMPDIR:-/tmp}/tcsq-subscribe-out-XXXXXX")
+WATCH1=$(mktemp "${TMPDIR:-/tmp}/tcsq-subscribe-w1-XXXXXX")
+WATCH2=$(mktemp "${TMPDIR:-/tmp}/tcsq-subscribe-w2-XXXXXX")
+SRV_PID=
+WATCH_PID=
+
+cleanup() {
+    [ -n "$WATCH_PID" ] && kill "$WATCH_PID" 2>/dev/null || true
+    [ -n "$SRV_PID" ] && kill "$SRV_PID" 2>/dev/null || true
+    rm -f "$SOCK" "$SRV_LOG" "$QLOG" "$OUT" "$WATCH1" "$WATCH2"
+}
+trap cleanup EXIT INT TERM
+
+fail() {
+    echo "subscribe_smoke: FAIL: $*" >&2
+    echo "--- server log ---" >&2
+    cat "$SRV_LOG" >&2 || true
+    echo "--- watcher 1 ---" >&2
+    cat "$WATCH1" >&2 || true
+    echo "--- watcher 2 ---" >&2
+    cat "$WATCH2" >&2 || true
+    exit 1
+}
+
+"$TCSQ" serve --dataset "$DATASET" --scale "$SCALE" --socket "$SOCK" \
+    --query-log "$QLOG" --qlog-sample 1.0 \
+    >"$SRV_LOG" 2>&1 &
+SRV_PID=$!
+i=0
+while [ ! -S "$SOCK" ]; do
+    i=$((i + 1))
+    [ "$i" -gt 100 ] && fail "socket $SOCK never appeared"
+    kill -0 "$SRV_PID" 2>/dev/null || fail "server died during startup"
+    sleep 0.1
+done
+
+# poll the gauge until the registry reaches the wanted size; this is
+# also the sync point that keeps ingests from racing a (dis)connect
+wait_active() {
+    want=$1
+    i=0
+    while :; do
+        got=$("$TCSQ" client --socket "$SOCK" --prom \
+            | sed -n 's/^tcsq_subscriptions_active \([0-9][0-9]*\)$/\1/p')
+        [ "$got" = "$want" ] && return 0
+        i=$((i + 1))
+        [ "$i" -gt 100 ] \
+            && fail "subscriptions_active never reached $want (got ${got:-?})"
+        sleep 0.1
+    done
+}
+
+ingest() {
+    printf '%s\n' "$1" | "$TCSQ" client --socket "$SOCK" --stdin >"$OUT" \
+        || fail "ingest request failed: $(cat "$OUT")"
+    grep -q '"status": "ok"' "$OUT" \
+        || fail "ingest not acknowledged: $(cat "$OUT")"
+}
+
+# the window lives far beyond the dataset's time domain, so the initial
+# snapshot is empty and every delta is exactly the edges we ingest
+Q='MATCH (x)-[a]->(y) IN [900000000, 900000100]'
+
+# ---- phase 1: subscribe, ingest, watch two pushed deltas ------------
+"$TCSQ" client --socket "$SOCK" --subscribe "$Q" --watch 2 >"$WATCH1" 2>&1 &
+WATCH_PID=$!
+wait_active 1
+
+ingest '{"op": "ingest", "edges": [{"src": 0, "dst": 1, "label": "a", "ts": 900000010, "te": 900000020}]}'
+grep -q '"appended": 1' "$OUT" || fail "first ingest appended: $(cat "$OUT")"
+ingest '{"op": "ingest", "edges": [{"src": 1, "dst": 2, "label": "a", "ts": 900000030, "te": 900000040}]}'
+
+wait "$WATCH_PID" || fail "watcher 1 exited nonzero"
+WATCH_PID=
+[ "$(grep -c '"notification": "delta"' "$WATCH1")" -eq 2 ] \
+    || fail "expected 2 delta notifications: $(cat "$WATCH1")"
+head -n 1 "$WATCH1" | grep -q '"status": "ok"' \
+    || fail "subscribe response missing: $(cat "$WATCH1")"
+head -n 1 "$WATCH1" | grep -q '"count": 0' \
+    || fail "initial snapshot should be empty: $(cat "$WATCH1")"
+grep -q '"total": 1' "$WATCH1" || fail "first delta total: $(cat "$WATCH1")"
+grep -q '"total": 2' "$WATCH1" || fail "second delta total: $(cat "$WATCH1")"
+grep -q '"retracted": \[\]' "$WATCH1" \
+    || fail "fixed-window deltas should not retract: $(cat "$WATCH1")"
+
+# the watcher hung up: its subscription must be garbage-collected
+wait_active 0
+echo "subscribe_smoke: phase 1 (subscribe, pushed deltas, watch) clean"
+
+# ---- phase 2: a sliding window retracts what it leaves behind -------
+# stream head is 900000040 now, so width 11 starts at [900000030, ...]
+# covering only the second phase-1 edge; the next ingest advances the
+# window past it
+"$TCSQ" client --socket "$SOCK" --subscribe "$Q" --window-width 11 \
+    --watch 1 >"$WATCH2" 2>&1 &
+WATCH_PID=$!
+wait_active 1
+ingest '{"op": "ingest", "edges": [{"src": 2, "dst": 3, "label": "a", "ts": 900000050, "te": 900000060}]}'
+wait "$WATCH_PID" || fail "watcher 2 exited nonzero"
+WATCH_PID=
+head -n 1 "$WATCH2" | grep -q '"count": 1' \
+    || fail "sliding snapshot should hold one match: $(cat "$WATCH2")"
+delta2=$(grep '"notification": "delta"' "$WATCH2") \
+    || fail "no delta on the sliding subscription: $(cat "$WATCH2")"
+echo "$delta2" | grep -q '"total": 1' \
+    || fail "sliding delta total: $delta2"
+echo "$delta2" | grep -q '"retracted": \[{' \
+    || fail "advancing window pushed no retraction: $delta2"
+wait_active 0
+echo "subscribe_smoke: phase 2 (sliding-window retraction) clean"
+
+# ---- phase 3: explicit unsubscribe ----------------------------------
+printf '%s\n' '{"op": "subscribe", "query": "'"$Q"'"}' \
+    | "$TCSQ" client --socket "$SOCK" --stdin >"$OUT" \
+    || fail "stdin subscribe failed"
+sub=$(sed -n 's/.*"sub": \([0-9][0-9]*\).*/\1/p' "$OUT")
+[ -n "$sub" ] || fail "subscribe response carried no sub id: $(cat "$OUT")"
+wait_active 0 # that connection closed, so the registry is empty again
+
+"$TCSQ" client --socket "$SOCK" --subscribe "$Q" --watch 1 >"$WATCH1" 2>&1 &
+WATCH_PID=$!
+wait_active 1
+sub=$(sed -n 's/.*"sub": \([0-9][0-9]*\).*/\1/p' "$WATCH1")
+[ -n "$sub" ] || fail "watcher subscribe carried no sub id: $(cat "$WATCH1")"
+printf '%s\n' '{"op": "unsubscribe", "sub": '"$sub"'}' \
+    | "$TCSQ" client --socket "$SOCK" --stdin >"$OUT" \
+    || fail "unsubscribe failed"
+grep -q '"removed": true' "$OUT" \
+    || fail "unsubscribe did not remove: $(cat "$OUT")"
+wait_active 0
+# the watcher is still blocked on deltas that will never come; reap it
+kill "$WATCH_PID" 2>/dev/null || true
+wait "$WATCH_PID" 2>/dev/null || true
+WATCH_PID=
+echo "subscribe_smoke: phase 3 (unsubscribe) clean"
+
+# ---- phase 4: observability -----------------------------------------
+prom=$("$TCSQ" client --socket "$SOCK" --prom) || fail "prom request failed"
+for want in \
+    'tcsq_subscriptions_active 0' \
+    'tcsq_deltas_pushed_total 3' \
+    'tcsq_delta_duration_seconds_count 3' \
+    'tcsq_delta_duration_seconds_bucket'; do
+    case "$prom" in
+    *"$want"*) ;;
+    *) fail "prometheus exposition missing '$want'" ;;
+    esac
+done
+[ "$(grep -c '"method": "delta"' "$QLOG")" -eq 3 ] \
+    || fail "expected 3 qlog delta records, got $(grep -c '"method": "delta"' "$QLOG" || true)"
+echo "subscribe_smoke: phase 4 (prometheus families, qlog deltas) clean"
+
+# ---- phase 5: malformed subscribe is a usage error (exit 2) ---------
+rc=0
+"$TCSQ" client --socket "$SOCK" --subscribe 'MATCH (x)-[a]->' \
+    >/dev/null 2>&1 || rc=$?
+[ "$rc" -eq 2 ] || fail "malformed subscribe exited $rc, want 2"
+# protocol-level garbage (bad window_width) is a typed server error
+printf '%s\n' '{"op": "subscribe", "query": "'"$Q"'", "window_width": 0}' \
+    | "$TCSQ" client --socket "$SOCK" --stdin >"$OUT" 2>&1 || true
+grep -q '"status": "error"' "$OUT" \
+    || fail "window_width 0 not rejected: $(cat "$OUT")"
+echo "subscribe_smoke: phase 5 (malformed subscribe) clean"
+
+"$TCSQ" client --socket "$SOCK" --shutdown >/dev/null \
+    || fail "shutdown request failed"
+i=0
+while kill -0 "$SRV_PID" 2>/dev/null; do
+    i=$((i + 1))
+    [ "$i" -gt 100 ] && fail "server still running after shutdown"
+    sleep 0.1
+done
+wait "$SRV_PID" 2>/dev/null || fail "server exited with an error"
+SRV_PID=
+
+echo "subscribe_smoke: subscribe, deltas, retraction, unsubscribe, metrics all clean"

@@ -1006,8 +1006,37 @@ let client_cmd =
              snapshot (request count, slow count, mean latency), hottest \
              first.")
   in
+  let subscribe_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "subscribe" ] ~docv:"QUERY"
+          ~doc:
+            "Register QUERY as a standing query and print the subscribe \
+             response (the initial result snapshot); combine with \
+             $(b,--watch) to then stream pushed delta notifications.")
+  in
+  let window_width_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "window-width" ] ~docv:"W"
+          ~doc:
+            "Make the subscription's window slide: width-W, ending at the \
+             newest edge end, re-derived on every ingest batch. Without \
+             this the query's own window is fixed.")
+  in
+  let watch_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "watch" ] ~docv:"N"
+          ~doc:
+            "After sending the requests, keep reading frames and print \
+             each one, exiting after N pushed delta notifications.")
+  in
   let run socket match_ method_ deadline_ms limit count_only metrics prom ping
-      shutdown stdin_mode top =
+      shutdown stdin_mode top subscribe window_width watch =
     let m =
       or_die
         (match Workload.Engine.method_of_string method_ with
@@ -1047,6 +1076,21 @@ let client_cmd =
              (Tcsq_server.Client.query_json ~method_:m ?deadline_ms ~limit
                 ~count_only text))
     | None -> ());
+    (match subscribe with
+    | Some text ->
+        (* a syntax error is a usage error (exit 2), caught before the
+           round-trip; label resolution still happens server-side *)
+        (match Semantics.Qlang.parse text with
+        | Error e ->
+            or_die
+              (Error
+                 (Printf.sprintf "subscribe query (at offset %d): %s"
+                    e.Semantics.Qlang.position e.Semantics.Qlang.message))
+        | Ok _ -> ());
+        roundtrip
+          (Tcsq_server.Json.to_string
+             (Tcsq_server.Client.subscribe_json ?window_width text))
+    | None -> ());
     if stdin_mode then begin
       try
         while true do
@@ -1055,6 +1099,22 @@ let client_cmd =
         done
       with End_of_file -> ()
     end;
+    (match watch with
+    | None -> ()
+    | Some n ->
+        (* stream frames as they arrive; only pushed notifications count
+           toward N, interleaved plain responses are printed verbatim *)
+        let seen = ref 0 in
+        while !seen < n do
+          match Tcsq_server.Client.recv_raw client with
+          | Error msg -> or_die (Error msg)
+          | Ok line -> (
+              print_endline line;
+              flush stdout;
+              match Tcsq_server.Protocol.parse_response line with
+              | Ok r when Tcsq_server.Protocol.is_notification r -> incr seen
+              | Ok _ | Error _ -> ())
+        done);
     if metrics then
       roundtrip
         (Tcsq_server.Json.to_string (Tcsq_server.Client.op_json "metrics"));
@@ -1113,7 +1173,8 @@ let client_cmd =
     Term.(
       const run $ socket_arg $ match_arg $ method_arg $ deadline_arg
       $ limit_arg $ count_flag $ metrics_flag $ prom_flag $ ping_flag
-      $ shutdown_flag $ stdin_flag $ top_arg)
+      $ shutdown_flag $ stdin_flag $ top_arg $ subscribe_arg
+      $ window_width_arg $ watch_arg)
 
 let fuzz_cmd =
   let iterations_arg =
@@ -1242,7 +1303,7 @@ let fuzz_cmd =
        ~doc:
          "Conformance-fuzz the engines: random graphs and queries checked \
           differentially against the brute-force oracle, through the \
-          static analyzer, across a multi-domain run, and under seven \
+          static analyzer, across a multi-domain run, and under a suite of \
           metamorphic relations — on the first divergence, a delta-debugged \
           minimal reproducer file is written.")
     Term.(

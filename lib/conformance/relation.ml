@@ -694,6 +694,179 @@ let aggregate_topk =
         });
   }
 
+(* ---- ingest commutativity: batch splits change nothing ---- *)
+
+module MS = Set.Make (struct
+  type t = Match_result.t
+
+  let compare = Match_result.compare
+end)
+
+(* split [xs] into [k] contiguous sub-batches (sizes as even as
+   possible; some may be empty when [k] exceeds the suffix length) *)
+let split_into k xs =
+  let m = List.length xs in
+  let sizes =
+    List.init k (fun i -> (m / k) + if i < m mod k then 1 else 0)
+  in
+  let rec take n xs =
+    if n = 0 then ([], xs)
+    else
+      match xs with
+      | [] -> ([], [])
+      | x :: rest ->
+          let ys, zs = take (n - 1) rest in
+          (x :: ys, zs)
+  in
+  let batches, _ =
+    List.fold_left
+      (fun (acc, rest) sz ->
+        let b, rest' = take sz rest in
+        (b :: acc, rest'))
+      ([], xs) sizes
+  in
+  List.rev batches
+
+(* Cut the graph at a random edge id, re-ingest the suffix through the
+   live streaming pipeline (Incremental merge + prepare_with_tai engine
+   swaps + a standing-query subscription), and demand that
+
+     1. the subscribe snapshot on the prefix equals the variant's own
+        prefix answer (cases = [prefix], evaluated per engine variant);
+     2. after every batch boundary the accumulated deltas (snapshot
+        + added - retracted) equal a fresh oracle re-query;
+     3. the final accumulation equals the full-graph base, whether the
+        suffix arrived as one batch or as k random sub-batches.
+
+   The replays are variant-independent, so they run lazily once per
+   derive and are shared across the engine-variant sweep. *)
+let ingest_commutativity =
+  {
+    name = "ingest-commutativity";
+    mutates_graph = true;
+    derive =
+      (fun case ~relseed ->
+        let rng = rng_of relseed 13 in
+        let g = case.Case.graph and eq = case.Case.query in
+        let n = Tgraph.Graph.n_edges g in
+        if n < 2 then
+          { cases = []; check = (fun ~base:_ ~derived:_ -> Ok ()) }
+        else begin
+          let cut = 1 + Random.State.int rng (n - 1) in
+          let k = 1 + Random.State.int rng 4 in
+          let merge_threshold = 1 + Random.State.int rng 8 in
+          let prefix, _ = Testkit.drop_edges g ~keep:(fun id -> id < cut) in
+          (* suffix edges in id order: re-appending them in order gives
+             every edge back its original id, so result sets over the
+             reconstructed graph compare 1:1 against the base *)
+          let suffix =
+            List.init (n - cut) (fun i ->
+                let e = Tgraph.Graph.edge g (cut + i) in
+                ( Tgraph.Edge.src e,
+                  Tgraph.Edge.dst e,
+                  Tgraph.Edge.lbl e,
+                  Tgraph.Edge.ts e,
+                  Tgraph.Edge.te e ))
+          in
+          let prefix_tai = lazy (Tcsq_core.Tai.build prefix) in
+          let replay batches =
+            let ( let* ) = Result.bind in
+            let inc =
+              Tcsq_core.Incremental.of_tai ~merge_threshold prefix
+                (Lazy.force prefix_tai)
+            in
+            let subs = Tcsq_server.Subscription.create () in
+            let acc = ref MS.empty in
+            let delta_err = ref None in
+            let push (d : Tcsq_server.Subscription.delta) =
+              if !delta_err = None then begin
+                let added = MS.of_list d.Tcsq_server.Subscription.added in
+                let retracted =
+                  MS.of_list d.Tcsq_server.Subscription.retracted
+                in
+                if not (MS.is_empty (MS.inter added !acc)) then
+                  delta_err := Some "a delta re-added a standing match"
+                else if not (MS.subset retracted !acc) then
+                  delta_err :=
+                    Some "a delta retracted a match that was not standing"
+                else acc := MS.diff (MS.union !acc added) retracted
+              end
+            in
+            let engine0 =
+              Workload.Engine.prepare_with_tai prefix
+                (Tcsq_core.Incremental.tai inc)
+            in
+            let _sub, _window, initial =
+              Tcsq_server.Subscription.subscribe subs ~engine:engine0 ~push
+                eq
+            in
+            acc := MS.of_list initial;
+            let* () =
+              List.fold_left
+                (fun res batch ->
+                  let* () = res in
+                  List.iter
+                    (fun (src, dst, lbl, ts, te) ->
+                      ignore
+                        (Tcsq_core.Incremental.add_edge inc ~src ~dst ~lbl
+                           ~ts ~te))
+                    batch;
+                  let gb = Tcsq_core.Incremental.graph inc in
+                  let engine =
+                    Workload.Engine.prepare_with_tai gb
+                      (Tcsq_core.Incremental.tai inc)
+                  in
+                  Tcsq_server.Subscription.on_ingest subs ~engine
+                    ~generation:0;
+                  let* () =
+                    match !delta_err with Some e -> Error e | None -> Ok ()
+                  in
+                  (* oracle-first: the standing set must equal a fresh
+                     re-query at every batch boundary *)
+                  expect_equal
+                    ~what:
+                      "accumulated subscribe deltas at a batch boundary \
+                       must equal a fresh re-query"
+                    ~expected:(RS.of_list (Naive.evaluate_ext gb eq))
+                    ~actual:(RS.of_list (MS.elements !acc)))
+                (Ok ()) batches
+            in
+            Ok (RS.of_list initial, RS.of_list (MS.elements !acc))
+          in
+          let replay_split = lazy (replay (split_into k suffix)) in
+          let replay_single = lazy (replay [ suffix ]) in
+          {
+            cases = [ { case with Case.graph = prefix } ];
+            check =
+              (fun ~base ~derived ->
+                let ( let* ) = Result.bind in
+                let* initial, final_split = Lazy.force replay_split in
+                let* _, final_single = Lazy.force replay_single in
+                let* () =
+                  expect_equal
+                    ~what:
+                      "the subscribe snapshot on the prefix graph must \
+                       equal the engine's own prefix answer"
+                    ~expected:initial ~actual:(one derived)
+                in
+                let* () =
+                  expect_equal
+                    ~what:
+                      (Printf.sprintf
+                         "deltas accumulated over %d sub-batches must \
+                          equal the full-graph base"
+                         k)
+                    ~expected:base ~actual:final_split
+                in
+                expect_equal
+                  ~what:
+                    "a single-batch ingest must accumulate to the same \
+                     standing set as the k-split ingest"
+                  ~expected:final_split ~actual:final_single);
+          }
+        end);
+  }
+
 let all =
   [
     window_containment; translation; time_reversal; edge_deletion;
@@ -701,7 +874,7 @@ let all =
     (* the extended-operator relations are appended so older repro
        relseeds (which index into this list) stay valid *)
     anti_semi_partition; allen_inverse; semijoin_containment; allen_filter;
-    aggregate_topk;
+    aggregate_topk; ingest_commutativity;
   ]
 
 let find name =

@@ -17,6 +17,11 @@ let create ?(merge_threshold = 1024) base =
     n_buffered = 0;
   }
 
+let of_tai ?(merge_threshold = 1024) base tai =
+  if merge_threshold <= 0 then
+    invalid_arg "Incremental.of_tai: merge_threshold must be positive";
+  { merge_threshold; tai; merged = base; buffered = []; n_buffered = 0 }
+
 let materialize t =
   if t.n_buffered > 0 then begin
     let g = Tgraph.Graph.append t.merged (List.rev t.buffered) in

@@ -14,6 +14,12 @@ val create : ?merge_threshold:int -> Tgraph.Graph.t -> t
 (** [merge_threshold] (default 1024) bounds how many buffered edges may
     accumulate before an automatic merge. *)
 
+val of_tai : ?merge_threshold:int -> Tgraph.Graph.t -> Tai.t -> t
+(** [of_tai g tai] adopts an existing index over [g] instead of
+    rebuilding one — [tai] must index exactly [g] (as from [Tai.build g]
+    or a previous [Tai.merge]). This is how a long-lived server resumes
+    incremental maintenance from its current engine state. *)
+
 val add_edge : t -> src:int -> dst:int -> lbl:int -> ts:int -> te:int -> int
 (** Appends an edge, returning its id. Labels must already exist in the
     base graph's table.

@@ -52,6 +52,50 @@ let query ?id ?method_ ?deadline_ms ?limit ?count_only ?max_results
        (query_json ?id ?method_ ?deadline_ms ?limit ?count_only ?max_results
           ?max_intermediate text))
 
+(* ---- standing queries ---- *)
+
+let subscribe_json ?id ?window_width text =
+  Json.Obj
+    ((match id with None -> [] | Some s -> [ ("id", Json.String s) ])
+    @ [ ("op", Json.String "subscribe"); ("query", Json.String text) ]
+    @
+    match window_width with
+    | None -> []
+    | Some w -> [ ("window_width", Json.Int w) ])
+
+let subscribe ?id ?window_width t text =
+  match request_raw t (Json.to_string (subscribe_json ?id ?window_width text)) with
+  | Error _ as e -> e
+  | Ok r when r.Protocol.status <> "ok" ->
+      Error
+        (Printf.sprintf "subscribe failed: %s"
+           (Option.value r.Protocol.message ~default:r.Protocol.status))
+  | Ok r -> (
+      match Json.mem_int "sub" r.Protocol.json with
+      | Some sub -> Ok (sub, r)
+      | None -> Error "subscribe response carried no sub id")
+
+let unsubscribe_json ?id sub =
+  Json.Obj
+    ((match id with None -> [] | Some s -> [ ("id", Json.String s) ])
+    @ [ ("op", Json.String "unsubscribe"); ("sub", Json.Int sub) ])
+
+let unsubscribe ?id t sub =
+  match request_raw t (Json.to_string (unsubscribe_json ?id sub)) with
+  | Error _ as e -> e
+  | Ok r -> Ok (Json.mem_bool "removed" r.Protocol.json = Some true)
+
+(* Blocks until the next pushed notification frame, buffering nothing
+   else: plain responses arriving in between are returned to the caller
+   via [`Response] so pipelined users can demux. *)
+let next_frame t =
+  match recv t with
+  | Error _ as e -> e
+  | Ok r -> (
+      match Protocol.delta_of_response r with
+      | Some d -> Ok (`Delta (d, r))
+      | None -> Ok (`Response r))
+
 let op_json ?id op =
   Json.Obj
     ((match id with None -> [] | Some s -> [ ("id", Json.String s) ])

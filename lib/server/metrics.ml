@@ -46,6 +46,11 @@ type t = {
          factor; only queries that carry an estimate are recorded *)
   per_method : (string, method_metrics) Hashtbl.t;
   per_fingerprint : (string, fp_metrics) Hashtbl.t;
+  (* standing queries: live registrations, pushed delta frames, and the
+     wall time of each per-subscription delta computation *)
+  mutable subscriptions_active : int;
+  mutable deltas_pushed : int;
+  delta_latency : Obs.Histogram.t;
 }
 
 let create () =
@@ -66,6 +71,9 @@ let create () =
     misestimation = Obs.Histogram.create ();
     per_method = Hashtbl.create 8;
     per_fingerprint = Hashtbl.create 32;
+    subscriptions_active = 0;
+    deltas_pushed = 0;
+    delta_latency = Obs.Histogram.create ();
   }
 
 let locked t f =
@@ -140,6 +148,14 @@ let record_overloaded t =
 
 let record_internal_error t =
   locked t (fun () -> t.internal_errors <- t.internal_errors + 1)
+
+let set_subscriptions t n =
+  locked t (fun () -> t.subscriptions_active <- n)
+
+let record_delta t ~seconds =
+  locked t (fun () ->
+      t.deltas_pushed <- t.deltas_pushed + 1;
+      Obs.Histogram.record t.delta_latency seconds)
 
 let method_json mm =
   let ms s = s *. 1000.0 in
@@ -251,6 +267,17 @@ let snapshot_json ?plan_cache t ~queue_depth ~pool_dropped =
               ] );
           ( "fingerprints",
             Json.List (List.map fingerprint_json (hot_fingerprints t)) );
+          ( "subscriptions",
+            Json.Obj
+              [
+                ("active", Json.Int t.subscriptions_active);
+                ("deltas_pushed", Json.Int t.deltas_pushed);
+                ( "delta_mean_ms",
+                  Json.Float (Obs.Histogram.mean t.delta_latency *. 1000.0) );
+                ( "delta_p95_ms",
+                  Json.Float
+                    (Obs.Histogram.quantile t.delta_latency 0.95 *. 1000.0) );
+              ] );
         ]
         @
         match plan_cache with
@@ -380,6 +407,23 @@ let prometheus ?plan_cache t ~queue_depth ~pool_dropped =
          # TYPE tcsq_misestimation_ratio histogram\n";
       prom_histogram buf ~family:"tcsq_misestimation_ratio" ~label:None
         t.misestimation;
+      Printf.bprintf buf
+        "# HELP tcsq_subscriptions_active Registered standing queries.\n\
+         # TYPE tcsq_subscriptions_active gauge\n\
+         tcsq_subscriptions_active %d\n"
+        t.subscriptions_active;
+      Printf.bprintf buf
+        "# HELP tcsq_deltas_pushed_total Standing-query delta notifications \
+         pushed to subscribers.\n\
+         # TYPE tcsq_deltas_pushed_total counter\n\
+         tcsq_deltas_pushed_total %d\n"
+        t.deltas_pushed;
+      Buffer.add_string buf
+        "# HELP tcsq_delta_duration_seconds Per-subscription delta \
+         computation wall time.\n\
+         # TYPE tcsq_delta_duration_seconds histogram\n";
+      prom_histogram buf ~family:"tcsq_delta_duration_seconds" ~label:None
+        t.delta_latency;
       (match plan_cache with
       | None -> ()
       | Some cache ->

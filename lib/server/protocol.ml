@@ -7,6 +7,9 @@
      {"op": "ingest",
       "edges": [{"src": 0, "dst": 1, "label": "a", "ts": 3, "te": 9}, ...],
       "id": "optional tag"}
+     {"op": "subscribe", "query": "MATCH ...", "window_width": 500,
+      "id": "optional tag"}
+     {"op": "unsubscribe", "sub": 3, "id": "optional tag"}
      {"op": "metrics"}   {"op": "metrics_prom"}
      {"op": "ping"}      {"op": "shutdown"}
 
@@ -16,7 +19,14 @@
      error      request never executed; "kind" is "parse" (bad JSON),
                 "query" (query-language rejection), "lint" (analyzer
                 error, with "diagnostics"), or "internal"
-     overloaded admission queue full; retry later *)
+     overloaded admission queue full; retry later
+
+   Standing-query notifications are the one server->client frame that is
+   NOT a response: after a subscribe, each ingest batch may push
+     {"notification": "delta", "sub": 3, "window": {...},
+      "added": [...], "retracted": [...], ...}
+   lines onto subscribed connections. They carry no "status" field, so
+   pipelined clients can demux by presence of "notification". *)
 
 open Semantics
 
@@ -41,9 +51,19 @@ type ingest_edge = {
 
 type ingest_request = { ingest_id : string option; edges : ingest_edge list }
 
+type subscribe_request = {
+  subscribe_id : string option;
+  subscribe_text : string;
+  window_width : int option; (* None: the query's own window, fixed *)
+}
+
+type unsubscribe_request = { unsubscribe_id : string option; sub : int }
+
 type request =
   | Query of query_request
   | Ingest of ingest_request
+  | Subscribe of subscribe_request
+  | Unsubscribe of unsubscribe_request
   | Metrics of string option
   | Metrics_prom of string option
   | Ping of string option
@@ -82,6 +102,21 @@ let parse_request line =
               match collect [] items with
               | Ok edges -> Ok (Ingest { ingest_id = id; edges })
               | Error msg -> Error msg))
+      | Some "subscribe" -> (
+          match Json.mem_string "query" j with
+          | None -> Error "missing \"query\" field"
+          | Some text -> (
+              match Json.mem_int "window_width" j with
+              | Some w when w <= 0 -> Error "window_width must be positive"
+              | window_width ->
+                  Ok
+                    (Subscribe
+                       { subscribe_id = id; subscribe_text = text; window_width })
+              ))
+      | Some "unsubscribe" -> (
+          match Json.mem_int "sub" j with
+          | None -> Error "missing \"sub\" field"
+          | Some sub -> Ok (Unsubscribe { unsubscribe_id = id; sub }))
       | Some "metrics" -> Ok (Metrics id)
       | Some "metrics_prom" -> Ok (Metrics_prom id)
       | Some "ping" -> Ok (Ping id)
@@ -223,6 +258,53 @@ let ingest_response ?id ~appended ~n_edges ~generation ~invalidated () =
            ("plans_invalidated", Json.Int invalidated);
          ]))
 
+let interval_json iv =
+  Json.Obj
+    [
+      ("ts", Json.Int (Temporal.Interval.ts iv));
+      ("te", Json.Int (Temporal.Interval.te iv));
+    ]
+
+let subscribe_response ?id ~sub ~graph ~window ~matches () =
+  Json.to_string
+    (Json.Obj
+       (id_field id
+       @ [
+           ("status", Json.String "ok");
+           ("sub", Json.Int sub);
+           ("window", interval_json window);
+           ("count", Json.Int (List.length matches));
+           ("matches", Json.List (List.map (match_json graph) matches));
+         ]))
+
+let unsubscribe_response ?id ~sub ~removed () =
+  Json.to_string
+    (Json.Obj
+       (id_field id
+       @ [
+           ("status", Json.String "ok");
+           ("sub", Json.Int sub);
+           ("removed", Json.Bool removed);
+         ]))
+
+(* Pushed frame, not a response: no "status", demuxed by "notification".
+   [tag] echoes the id the client sent with the subscribe, so a
+   pipelined client can route deltas without tracking sub numbers. *)
+let delta_notification ?tag ~sub ~generation ~graph ~window ~added ~retracted
+    ~total ~elapsed_ms () =
+  Json.to_string
+    (Json.Obj
+       ([ ("notification", Json.String "delta"); ("sub", Json.Int sub) ]
+       @ (match tag with None -> [] | Some t -> [ ("tag", Json.String t) ])
+       @ [
+           ("generation", Json.Int generation);
+           ("window", interval_json window);
+           ("added", Json.List (List.map (match_json graph) added));
+           ("retracted", Json.List (List.map (match_json graph) retracted));
+           ("total", Json.Int total);
+           ("elapsed_ms", Json.Float elapsed_ms);
+         ]))
+
 let pong_response ?id () =
   Json.to_string
     (Json.Obj
@@ -259,6 +341,7 @@ type response = {
   count : int option;
   matches : Match_result.t list;
   elapsed_ms : float option;
+  notification : string option; (* Some "delta" on pushed frames *)
   json : Json.t;
 }
 
@@ -296,6 +379,7 @@ let response_of_json j =
       | None -> []
       | Some ms -> List.filter_map match_of_json ms);
     elapsed_ms = Json.mem_float "elapsed_ms" j;
+    notification = Json.mem_string "notification" j;
     json = j;
   }
 
@@ -303,3 +387,45 @@ let parse_response line =
   match Json.parse line with
   | Error msg -> Error (Printf.sprintf "bad response JSON: %s" msg)
   | Ok j -> Ok (response_of_json j)
+
+let is_notification r = r.notification <> None
+
+(* typed view of a pushed delta frame, for watch loops and tests *)
+type delta_view = {
+  delta_sub : int;
+  delta_tag : string option;
+  delta_generation : int option;
+  delta_window : Temporal.Interval.t option;
+  delta_added : Match_result.t list;
+  delta_retracted : Match_result.t list;
+  delta_total : int option;
+}
+
+let delta_of_response r =
+  if r.notification <> Some "delta" then None
+  else
+    match Json.mem_int "sub" r.json with
+    | None -> None
+    | Some delta_sub ->
+        let matches field =
+          match Json.mem_list field r.json with
+          | None -> []
+          | Some ms -> List.filter_map match_of_json ms
+        in
+        Some
+          {
+            delta_sub;
+            delta_tag = Json.mem_string "tag" r.json;
+            delta_generation = Json.mem_int "generation" r.json;
+            delta_window =
+              (match Json.member "window" r.json with
+              | None -> None
+              | Some w -> (
+                  match (Json.mem_int "ts" w, Json.mem_int "te" w) with
+                  | Some ts, Some te when ts <= te ->
+                      Some (Temporal.Interval.make ts te)
+                  | _ -> None));
+            delta_added = matches "added";
+            delta_retracted = matches "retracted";
+            delta_total = Json.mem_int "total" r.json;
+          }

@@ -81,8 +81,14 @@ type t = {
      consistent graph while new requests see the appended edges *)
   engine : Workload.Engine.t Atomic.t;
   plan_cache : Workload.Plan_cache.t option;
-  (* serializes ingest batches (index rebuild + engine swap + cache
-     invalidation); queries never take it *)
+  (* incremental index maintenance state: owns the merged graph + TAI
+     the engine serves from; mutated only under [ingest_mutex] *)
+  inc : Tcsq_core.Incremental.t;
+  (* standing queries; refreshed under [ingest_mutex] on every batch *)
+  subs : Subscription.t;
+  (* serializes ingest batches (index merge + engine swap + cache
+     invalidation + standing-query deltas) and subscription
+     registration; queries never take it *)
   ingest_mutex : Mutex.t;
   pool : Exec.Pool.t;
   metrics : Metrics.t;
@@ -124,6 +130,7 @@ let metrics t = t.metrics
 let engine t = Atomic.get t.engine
 let plan_cache t = t.plan_cache
 let queue_depth t = Exec.Pool.depth t.pool
+let subscriptions t = Subscription.active t.subs
 
 (* ---- request tracing ---- *)
 
@@ -232,6 +239,37 @@ let is_slow t seconds =
   match t.config.slow_ms with
   | Some ms -> seconds *. 1000.0 >= ms
   | None -> false
+
+(* one qlog line per pushed delta: method "delta", the subscriber's tag
+   as the id, and the add/retract/total counts as stats *)
+let log_delta t ~fingerprint (d : Subscription.delta) =
+  match t.qlog with
+  | None -> ()
+  | Some q ->
+      ignore
+        (Obs.Qlog.log q
+           {
+             Obs.Qlog.ts = Unix.gettimeofday ();
+             id = d.Subscription.tag;
+             fingerprint = Some fingerprint;
+             query = None;
+             method_ = Some "delta";
+             window =
+               Some
+                 ( Temporal.Interval.ts d.Subscription.window,
+                   Temporal.Interval.te d.Subscription.window );
+             outcome = Obs.Qlog.Completed;
+             duration_ms = d.Subscription.elapsed_ms;
+             stats =
+               [
+                 ("added", List.length d.Subscription.added);
+                 ("retracted", List.length d.Subscription.retracted);
+                 ("total", d.Subscription.total);
+               ];
+             levels = [];
+             misestimation = None;
+             plan_source = None;
+           })
 
 (* ---- request execution (worker domain) ---- *)
 
@@ -403,68 +441,151 @@ let handle_query t send (qr : Protocol.query_request) =
 
 (* ---- streaming ingest (connection thread) ----
 
-   Appends a batch of edges, rebuilds the indexes, swaps the engine
-   atomically, and invalidates the plan cache (plans and estimates are
-   functions of graph statistics that just changed). The rebuild is the
-   seed's batch path — ROADMAP item 1 tracks incremental TAI/ECI
-   maintenance; the wire op and the invalidation contract are what the
-   plan cache needs today. In-flight queries finish on the engine they
-   captured at admission. *)
+   Appends a batch of edges through [Tcsq_core.Incremental] — one
+   buffered [Tai.merge] per batch, which re-sorts nothing and recomputes
+   ECI coverage only for the touched (label, endpoint) groups — then
+   swaps in a fresh engine around the maintained TAI
+   ([Engine.prepare_with_tai]: no index rebuilds; adjacency and STI-CP
+   are rebuilt lazily iff a later request uses those methods) and
+   invalidates the plan cache (plans and estimates are functions of
+   graph statistics that just changed). Labels not yet interned are
+   interned here: the label table is shared and append-only, so queries
+   compiled against the old graph stay valid. In-flight queries finish
+   on the engine they captured at admission.
+
+   Standing-query deltas are pushed *before* the ingest response is
+   written, so a client that subscribes and ingests on one connection
+   has every delta of a batch on the wire once it reads the batch's
+   ingest ack. *)
 let handle_ingest t send (ir : Protocol.ingest_request) =
   Mutex.lock t.ingest_mutex;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.ingest_mutex) @@ fun () ->
-  let engine = Atomic.get t.engine in
-  let g = Workload.Engine.graph engine in
-  let labels = Tgraph.Graph.labels g in
-  let resolve (e : Protocol.ingest_edge) =
-    match Tgraph.Label.find labels e.Protocol.label with
-    | Some lbl ->
-        Ok (e.Protocol.src, e.Protocol.dst, lbl, e.Protocol.ts, e.Protocol.te)
-    | None -> Error (Printf.sprintf "unknown label %S" e.Protocol.label)
+  (* validate the whole batch before touching any state so a bad edge
+     rejects the batch atomically, never half-applied *)
+  let invalid =
+    List.find_map
+      (fun (e : Protocol.ingest_edge) ->
+        if e.Protocol.src < 0 || e.Protocol.dst < 0 then
+          Some
+            (Printf.sprintf "negative vertex id on edge %d->%d" e.Protocol.src
+               e.Protocol.dst)
+        else if e.Protocol.te < e.Protocol.ts then
+          Some
+            (Printf.sprintf "te < ts on edge %d->%d" e.Protocol.src
+               e.Protocol.dst)
+        else None)
+      ir.Protocol.edges
   in
-  let rec resolve_all acc = function
-    | [] -> Ok (List.rev acc)
-    | e :: rest -> (
-        match resolve e with
-        | Ok r -> resolve_all (r :: acc) rest
-        | Error _ as err -> err)
-  in
-  match resolve_all [] ir.Protocol.edges with
-  | Error msg ->
+  match invalid with
+  | Some msg ->
       send
         (Protocol.error_response ?id:ir.Protocol.ingest_id ~kind:"ingest" msg)
-  | Ok edges -> (
-      match Tgraph.Graph.append g edges with
-      | exception Invalid_argument msg ->
-          send
-            (Protocol.error_response ?id:ir.Protocol.ingest_id ~kind:"ingest"
-               msg)
-      | g' ->
-          Atomic.set t.engine (Workload.Engine.prepare g');
-          let invalidated =
-            match t.plan_cache with
-            | None -> 0
-            | Some cache ->
-                let before =
-                  (Workload.Plan_cache.counters cache)
-                    .Workload.Plan_cache.invalidations
-                in
-                Workload.Plan_cache.bump_generation cache;
-                (Workload.Plan_cache.counters cache)
-                  .Workload.Plan_cache.invalidations - before
-          in
-          let generation =
-            match t.plan_cache with
-            | Some cache -> Workload.Plan_cache.generation cache
-            | None -> 0
-          in
-          send
-            (Protocol.ingest_response ?id:ir.Protocol.ingest_id
-               ~appended:(List.length edges)
-               ~n_edges:(Tgraph.Graph.n_edges g')
-               ~generation ~invalidated ()))
+  | None ->
+      let labels =
+        Tgraph.Graph.labels (Tcsq_core.Incremental.graph t.inc)
+      in
+      List.iter
+        (fun (e : Protocol.ingest_edge) ->
+          let lbl = Tgraph.Label.intern labels e.Protocol.label in
+          ignore
+            (Tcsq_core.Incremental.add_edge t.inc ~src:e.Protocol.src
+               ~dst:e.Protocol.dst ~lbl ~ts:e.Protocol.ts ~te:e.Protocol.te))
+        ir.Protocol.edges;
+      let g' = Tcsq_core.Incremental.graph t.inc in
+      let engine' =
+        Workload.Engine.prepare_with_tai g' (Tcsq_core.Incremental.tai t.inc)
+      in
+      Atomic.set t.engine engine';
+      let invalidated =
+        match t.plan_cache with
+        | None -> 0
+        | Some cache ->
+            let before =
+              (Workload.Plan_cache.counters cache)
+                .Workload.Plan_cache.invalidations
+            in
+            Workload.Plan_cache.bump_generation cache;
+            (Workload.Plan_cache.counters cache)
+              .Workload.Plan_cache.invalidations - before
+      in
+      let generation =
+        match t.plan_cache with
+        | Some cache -> Workload.Plan_cache.generation cache
+        | None -> 0
+      in
+      Subscription.on_ingest t.subs ~engine:engine' ~generation;
+      send
+        (Protocol.ingest_response ?id:ir.Protocol.ingest_id
+           ~appended:(List.length ir.Protocol.edges)
+           ~n_edges:(Tgraph.Graph.n_edges g')
+           ~generation ~invalidated ())
 
-let handle_request t send line =
+(* ---- standing queries (connection thread) ---- *)
+
+let handle_subscribe t send conn (sr : Protocol.subscribe_request) =
+  let engine0 = Atomic.get t.engine in
+  let g0 = Workload.Engine.graph engine0 in
+  match Qlang.parse_and_compile_ext g0 sr.Protocol.subscribe_text with
+  | Error msg ->
+      Metrics.record_rejected t.metrics;
+      send
+        (Protocol.error_response ?id:sr.Protocol.subscribe_id ~kind:"query"
+           msg)
+  | Ok eq ->
+      let ds = Workload.Engine.analyze_ext engine0 Workload.Engine.Tsrjoin eq in
+      if Analysis.Diagnostic.has_errors ds then begin
+        Metrics.record_rejected t.metrics;
+        send
+          (Protocol.error_response ?id:sr.Protocol.subscribe_id ~kind:"lint"
+             ~diagnostics:ds "query rejected by static analysis")
+      end
+      else begin
+        let fingerprint = Fingerprint.of_equery eq in
+        (* runs inside [Subscription.on_ingest], i.e. under the ingest
+           mutex with the freshly swapped engine installed — so the
+           graph read here is the one the delta's edge ids refer to *)
+        let push (d : Subscription.delta) =
+          let g = Workload.Engine.graph (Atomic.get t.engine) in
+          send
+            (Protocol.delta_notification ?tag:d.Subscription.tag
+               ~sub:d.Subscription.sub ~generation:d.Subscription.generation
+               ~graph:g ~window:d.Subscription.window
+               ~added:d.Subscription.added
+               ~retracted:d.Subscription.retracted ~total:d.Subscription.total
+               ~elapsed_ms:d.Subscription.elapsed_ms ());
+          Metrics.record_delta t.metrics
+            ~seconds:(d.Subscription.elapsed_ms /. 1000.0);
+          log_delta t ~fingerprint d
+        in
+        (* under the ingest mutex: the initial evaluation and the
+           registration are atomic w.r.t. concurrent batches, so the
+           snapshot + accumulated deltas always equal a fresh re-query *)
+        Mutex.lock t.ingest_mutex;
+        Fun.protect ~finally:(fun () -> Mutex.unlock t.ingest_mutex)
+        @@ fun () ->
+        let engine = Atomic.get t.engine in
+        let sub, window, initial =
+          Subscription.subscribe t.subs ~engine ~conn
+            ?tag:sr.Protocol.subscribe_id ?window_width:sr.Protocol.window_width
+            ~push eq
+        in
+        Metrics.set_subscriptions t.metrics (Subscription.active t.subs);
+        send
+          (Protocol.subscribe_response ?id:sr.Protocol.subscribe_id ~sub
+             ~graph:(Workload.Engine.graph engine)
+             ~window ~matches:initial ())
+      end
+
+let handle_unsubscribe t send (ur : Protocol.unsubscribe_request) =
+  Mutex.lock t.ingest_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.ingest_mutex) @@ fun () ->
+  let removed = Subscription.unsubscribe t.subs ur.Protocol.sub in
+  Metrics.set_subscriptions t.metrics (Subscription.active t.subs);
+  send
+    (Protocol.unsubscribe_response ?id:ur.Protocol.unsubscribe_id
+       ~sub:ur.Protocol.sub ~removed ())
+
+let handle_request t ~conn send line =
   match Protocol.parse_request line with
   | Error msg ->
       Metrics.record_parse_error t.metrics;
@@ -473,6 +594,8 @@ let handle_request t send line =
       send (Protocol.error_response ~kind:"parse" msg)
   | Ok (Protocol.Ping id) -> send (Protocol.pong_response ?id ())
   | Ok (Protocol.Ingest ir) -> handle_ingest t send ir
+  | Ok (Protocol.Subscribe sr) -> handle_subscribe t send conn sr
+  | Ok (Protocol.Unsubscribe ur) -> handle_unsubscribe t send ur
   | Ok (Protocol.Metrics id) ->
       send
         (Protocol.metrics_response ?id
@@ -511,11 +634,14 @@ let handle_conn t fd =
     | None -> ()
     | Some line ->
         let line = String.trim line in
-        if line <> "" then handle_request t send line;
+        if line <> "" then handle_request t ~conn:fd send line;
         loop ()
   in
   (try loop () with _ -> ());
   unregister t fd;
+  (* a vanished subscriber takes its standing queries with it *)
+  if Subscription.drop_conn t.subs fd > 0 then
+    Metrics.set_subscriptions t.metrics (Subscription.active t.subs);
   (try Unix.close fd with Unix.Unix_error _ -> ())
 
 let accept_loop t () =
@@ -587,6 +713,11 @@ let start config engine =
            Some
              (Workload.Plan_cache.create ~capacity:config.plan_cache_size
                 ~replan_threshold:config.plan_cache_replan_threshold ()));
+      inc =
+        Tcsq_core.Incremental.of_tai
+          (Workload.Engine.graph engine)
+          (Workload.Engine.tai engine);
+      subs = Subscription.create ();
       ingest_mutex = Mutex.create ();
       qlog;
       pool =

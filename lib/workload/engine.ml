@@ -16,12 +16,43 @@ let method_of_string s =
   | "time" -> Some Time
   | _ -> None
 
+(* Domain-safe lazy cell. [Lazy.t] is not safe to force concurrently
+   under OCaml 5 (a racing force raises [Lazy.Undefined]), and engine
+   values are shared across the server's worker domains, so the
+   on-demand indexes live behind a mutex + atomic slot: the fast path
+   is a single [Atomic.get]; builders run at most once. *)
+type 'a slot = {
+  sm : Mutex.t;
+  cell : 'a option Atomic.t;
+  build : unit -> 'a;
+}
+
+let slot_ready v =
+  { sm = Mutex.create (); cell = Atomic.make (Some v); build = (fun () -> v) }
+
+let slot_deferred build = { sm = Mutex.create (); cell = Atomic.make None; build }
+
+let slot_force s =
+  match Atomic.get s.cell with
+  | Some v -> v
+  | None ->
+      Mutex.lock s.sm;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock s.sm)
+        (fun () ->
+          match Atomic.get s.cell with
+          | Some v -> v
+          | None ->
+              let v = s.build () in
+              Atomic.set s.cell (Some v);
+              v)
+
 type t = {
   graph : Tgraph.Graph.t;
   tai : Tcsq_core.Tai.t;
   cost : Tcsq_core.Plan.cost_model;
-  adjacency : Triejoin.Adjacency.t;
-  sti_index : Relops.Sti_index.t;
+  adjacency : Triejoin.Adjacency.t slot;
+  sti_index : Relops.Sti_index.t slot;
   qenv : Analysis.Query_check.env;
 }
 
@@ -31,15 +62,31 @@ let prepare graph =
     graph;
     tai;
     cost = Tcsq_core.Plan.cost_model tai;
-    adjacency = Triejoin.Adjacency.build graph;
-    sti_index = Relops.Sti_index.build graph;
+    adjacency = slot_ready (Triejoin.Adjacency.build graph);
+    sti_index = slot_ready (Relops.Sti_index.build graph);
+    qenv = Analysis.Query_check.env_of_graph graph;
+  }
+
+(* The streaming-ingest constructor: adopts a TAI maintained by
+   [Tcsq_core.Incremental] (one buffered [Tai.merge] per batch) instead
+   of rebuilding it, and defers the Binary/Hybrid adjacency and the
+   STI-CP index until a request actually needs them — the default
+   TSRJoin serve path never does, so per-batch engine refresh is a cost
+   model + analyzer env, not three index builds. *)
+let prepare_with_tai graph tai =
+  {
+    graph;
+    tai;
+    cost = Tcsq_core.Plan.cost_model tai;
+    adjacency = slot_deferred (fun () -> Triejoin.Adjacency.build graph);
+    sti_index = slot_deferred (fun () -> Relops.Sti_index.build graph);
     qenv = Analysis.Query_check.env_of_graph graph;
   }
 
 let graph t = t.graph
 let tai t = t.tai
-let adjacency t = t.adjacency
-let sti_index t = t.sti_index
+let adjacency t = slot_force t.adjacency
+let sti_index t = slot_force t.sti_index
 
 (* plan invariant analysis guards the hot path: a planner bug surfaces
    as a diagnostic here instead of as wrong answers *)
@@ -166,9 +213,9 @@ let run ?stats ?(obs = Obs.Sink.null) ?tsrjoin_config ?pool ?(domains = 1)
                makes the fan-out sound; the baselines stay single-domain *)
             Exec.Parallel.run ?pool ~domains ?stats ~obs ?config:tsrjoin_config
               ~plan t.tai q ~emit)
-  | Binary -> Relops.Binary.run ?stats t.adjacency q ~emit
-  | Hybrid -> Relops.Hybrid.run ?stats t.adjacency q ~emit
-  | Time -> Relops.Time_pipeline.run ?stats t.sti_index q ~emit
+  | Binary -> Relops.Binary.run ?stats (slot_force t.adjacency) q ~emit
+  | Hybrid -> Relops.Hybrid.run ?stats (slot_force t.adjacency) q ~emit
+  | Time -> Relops.Time_pipeline.run ?stats (slot_force t.sti_index) q ~emit
 
 let evaluate ?stats ?(obs = Obs.Sink.null) ?tsrjoin_config ?pool ?(domains = 1)
     ?plan_cache ?plan_source t method_ q =
@@ -357,8 +404,8 @@ let volcano ?tsrjoin_config t method_ q =
 
 let index_size_words t = function
   | Tsrjoin -> Tcsq_core.Tai.size_words t.tai
-  | Binary | Hybrid -> Triejoin.Adjacency.size_words t.adjacency
-  | Time -> Relops.Sti_index.size_words t.sti_index
+  | Binary | Hybrid -> Triejoin.Adjacency.size_words (slot_force t.adjacency)
+  | Time -> Relops.Sti_index.size_words (slot_force t.sti_index)
 
 let index_build_seconds graph = function
   | Tsrjoin -> snd (Tcsq_core.Tai.build_time ~with_eci:true graph)

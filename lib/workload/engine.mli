@@ -16,6 +16,13 @@ val prepare : Tgraph.Graph.t -> t
 (** Builds the TAI (+ECIs), the label adjacency index, and the STI-CP
     index. *)
 
+val prepare_with_tai : Tgraph.Graph.t -> Tcsq_core.Tai.t -> t
+(** Adopts an already-maintained TAI over [graph] (as produced by
+    {!Tcsq_core.Incremental} / [Tai.merge]) instead of rebuilding it.
+    The adjacency and STI-CP indexes are built lazily on first use
+    (domain-safe), so refreshing an engine after an ingest batch costs
+    a cost model and an analyzer env, not three index builds. *)
+
 val graph : t -> Tgraph.Graph.t
 val tai : t -> Tcsq_core.Tai.t
 val adjacency : t -> Triejoin.Adjacency.t

@@ -69,6 +69,10 @@ let relation_props =
     relation_prop ~gen:ecase_of ~relation:"allen-filter"
       ~engine:"tsrjoin-adaptive" ();
     relation_prop ~gen:ecase_of ~relation:"aggregate-topk" ~engine:"time" ();
+    (* streaming: replays the suffix through the live ingest pipeline *)
+    relation_prop ~relation:"ingest-commutativity" ~engine:"tsrjoin-opt" ();
+    relation_prop ~gen:ecase_of ~relation:"ingest-commutativity"
+      ~engine:"binary" ();
   ]
 
 let prop_parallel_and_analyzer =

@@ -167,6 +167,52 @@ let prop_merge_equals_rebuild =
             (Match_result.Result_set.of_list (Tsrjoin.evaluate merged q)))
         (Test_util.query_pool ~n_labels:3 ~window:(window 5 22)))
 
+(* the streaming ingest path end to end: adopt a prefix TAI with
+   [of_tai] under a random merge threshold, feed random batch splits,
+   refresh with [prepare_with_tai], and demand every engine variant
+   agrees with a from-scratch [prepare] at every batch boundary *)
+let prop_streaming_engine_equals_rebuild =
+  QCheck.Test.make
+    ~name:"of_tai + prepare_with_tai = full rebuild (all methods)" ~count:20
+    QCheck.(
+      triple (int_range 0 10_000) (int_range 1 8) (int_range 1 4))
+    (fun (seed, merge_threshold, n_batches) ->
+      let g =
+        Test_util.random_graph ~seed ~n_vertices:5 ~n_edges:25 ~n_labels:3
+          ~domain:30 ~max_len:8 ()
+      in
+      let inc = Incremental.of_tai ~merge_threshold g (Tai.build g) in
+      let rng = Random.State.make [| seed; 91 |] in
+      let queries = Test_util.query_pool ~n_labels:3 ~window:(window 5 22) in
+      let agree () =
+        let g' = Incremental.graph inc in
+        let streamed =
+          Workload.Engine.prepare_with_tai g' (Incremental.tai inc)
+        in
+        let rebuilt = Workload.Engine.prepare g' in
+        List.for_all
+          (fun q ->
+            Array.for_all
+              (fun m ->
+                Match_result.Result_set.equal
+                  (Match_result.Result_set.of_list
+                     (Workload.Engine.evaluate rebuilt m q))
+                  (Match_result.Result_set.of_list
+                     (Workload.Engine.evaluate streamed m q)))
+              Workload.Engine.all_methods)
+          queries
+      in
+      List.for_all
+        (fun _ ->
+          List.iter
+            (fun (src, dst, lbl, ts, te) ->
+              ignore (Incremental.add_edge inc ~src ~dst ~lbl ~ts ~te))
+            (random_extra rng
+               (1 + Random.State.int rng 7)
+               ~n_vertices:5 ~n_labels:3 ~domain:30);
+          agree ())
+        (List.init n_batches Fun.id))
+
 let qsuite name tests = (name, List.map (QCheck_alcotest.to_alcotest ~long:false) tests)
 
 let () =
@@ -186,5 +232,6 @@ let () =
             test_incremental_query_correctness;
           Alcotest.test_case "threshold behaviour" `Quick test_incremental_threshold;
         ] );
-      qsuite "properties" [ prop_merge_equals_rebuild ];
+      qsuite "properties"
+        [ prop_merge_equals_rebuild; prop_streaming_engine_equals_rebuild ];
     ]
